@@ -1,0 +1,319 @@
+(* The velum command-line tool: boot guests natively or under the
+   hypervisor, migrate them between hosts, snapshot them, disassemble
+   guest images, and plan consolidations — all from the shell.
+
+     dune exec bin/velum.exe -- run --workload hello --paging shadow
+     dune exec bin/velum.exe -- migrate --strategy precopy
+     dune exec bin/velum.exe -- consolidate --hosts-cores 8
+     dune exec bin/velum.exe -- disasm --workload memwalk *)
+
+open Cmdliner
+open Velum_util
+open Velum_devices
+open Velum_vmm
+open Velum_guests
+
+(* ---------------- shared workload construction ---------------- *)
+
+type workload_kind =
+  | W_hello
+  | W_spin
+  | W_syscalls
+  | W_memwalk
+  | W_pt_churn
+  | W_blk
+  | W_vblk
+  | W_dirty
+
+let workload_conv =
+  Arg.enum
+    [
+      ("hello", W_hello); ("spin", W_spin); ("syscalls", W_syscalls);
+      ("memwalk", W_memwalk); ("pt-churn", W_pt_churn); ("blk", W_blk);
+      ("vblk", W_vblk); ("dirty", W_dirty);
+    ]
+
+let build_setup kind ~size ~pv =
+  let n = Int64.of_int size in
+  let user, heap =
+    match kind with
+    | W_hello -> (Workloads.hello (), 0)
+    | W_spin -> (Workloads.cpu_spin ~iters:(Int64.mul n 1000L), 0)
+    | W_syscalls -> (Workloads.syscall_loop ~count:n, 0)
+    | W_memwalk -> (Workloads.memwalk ~pages:size ~iters:8 ~write:true, size)
+    | W_pt_churn -> (Workloads.pt_churn ~batch:16 ~count:size (), 0)
+    | W_blk -> (Workloads.blk_read ~sector:0 ~count:4 ~reps:size, 8)
+    | W_vblk -> (Workloads.vblk_read ~sector:0 ~count:4 ~reps:size, 8)
+    | W_dirty -> (Workloads.dirty_loop ~pages:size ~delay:2000, size + 8)
+  in
+  Images.plan ~pv_console:pv ~pv_pt:pv ~heap_pages:heap ~user ()
+
+let paging_conv =
+  Arg.enum [ ("shadow", Vm.Shadow_paging); ("nested", Vm.Nested_paging) ]
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let workload =
+    Arg.(value & opt workload_conv W_hello & info [ "workload"; "w" ] ~doc:"Guest workload.")
+  in
+  let size =
+    Arg.(value & opt int 64 & info [ "size"; "n" ] ~doc:"Workload size parameter.")
+  in
+  let native =
+    Arg.(value & flag & info [ "native" ] ~doc:"Run on bare metal instead of a VM.")
+  in
+  let paging =
+    Arg.(value & opt paging_conv Vm.Nested_paging & info [ "paging" ] ~doc:"Paging mode.")
+  in
+  let pv = Arg.(value & flag & info [ "pv" ] ~doc:"Enable paravirtualization.") in
+  let exec_mode =
+    Arg.(
+      value
+      & opt (enum [ ("trap", Vm.Trap_emulate); ("bt", Vm.Binary_translation) ])
+          Vm.Trap_emulate
+      & info [ "exec" ] ~doc:"CPU virtualization technique: trap or bt.")
+  in
+  let budget =
+    Arg.(value & opt int64 2_000_000_000L & info [ "budget" ] ~doc:"Cycle budget.")
+  in
+  let action workload size native paging pv exec_mode budget =
+    let setup = build_setup workload ~size ~pv in
+    if native then begin
+      let platform = Platform.create ~frames:(setup.Images.frames + 16) () in
+      Images.load_native platform setup;
+      let outcome = Platform.run ~budget platform in
+      print_string (Platform.console_output platform);
+      Printf.printf "[native] outcome: %s, cycles: %Ld, instructions: %Ld\n"
+        (match outcome with
+        | Platform.Halted -> "halted"
+        | Platform.Out_of_budget -> "out of budget"
+        | Platform.Deadlock -> "deadlock")
+        (Platform.cycles platform)
+        (Platform.instructions_retired platform)
+    end
+    else begin
+      let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let hyp = Hypervisor.create ~host () in
+      let vm =
+        Hypervisor.create_vm hyp ~name:"cli" ~mem_frames:setup.Images.frames ~paging
+          ~pv:(if pv then Vm.full_pv else Vm.no_pv)
+          ~exec_mode ~entry:Images.entry ()
+      in
+      Images.load_vm vm setup;
+      let outcome = Hypervisor.run hyp ~budget in
+      print_string (Vm.console_output vm);
+      Printf.printf "[vm] outcome: %s, guest cycles: %Ld, vmm cycles: %Ld\n"
+        (match outcome with
+        | Hypervisor.All_halted -> "halted"
+        | Hypervisor.Out_of_budget -> "out of budget"
+        | Hypervisor.Idle_deadlock -> "deadlock"
+        | Hypervisor.Until_satisfied -> "condition met")
+        (Vm.guest_cycles vm) (Vm.vmm_cycles vm);
+      Format.printf "%a@?" Monitor.pp vm.Vm.monitor
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Boot a guest workload natively or under the hypervisor.")
+    Term.(const action $ workload $ size $ native $ paging $ pv $ exec_mode $ budget)
+
+(* ---------------- migrate ---------------- *)
+
+let migrate_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("stopcopy", `Stop); ("precopy", `Pre); ("postcopy", `Post) ]) `Pre
+      & info [ "strategy"; "s" ] ~doc:"Migration strategy.")
+  in
+  let delay =
+    Arg.(value & opt int 4000 & info [ "delay" ] ~doc:"Guest inter-write delay (dirty rate knob).")
+  in
+  let pages =
+    Arg.(value & opt int 64 & info [ "pages" ] ~doc:"Guest dirty working set in pages.")
+  in
+  let action strategy delay pages =
+    let setup =
+      Images.plan ~heap_pages:(pages + 8) ~user:(Workloads.dirty_loop ~pages ~delay) ()
+    in
+    let src = Hypervisor.create ~host:(Host.create ~frames:(setup.Images.frames + 1024) ()) () in
+    let dst = Hypervisor.create ~host:(Host.create ~frames:(setup.Images.frames + 1024) ()) () in
+    let vm =
+      Hypervisor.create_vm src ~name:"mig" ~mem_frames:setup.Images.frames
+        ~entry:Images.entry ()
+    in
+    Images.load_vm vm setup;
+    ignore (Hypervisor.run src ~budget:4_000_000L);
+    let link = Link.create () in
+    let twin, r =
+      match strategy with
+      | `Stop -> Migrate.stop_and_copy ~src ~dst ~vm ~link ()
+      | `Pre -> Migrate.precopy ~src ~dst ~vm ~link ~max_rounds:10 ~stop_threshold:8 ()
+      | `Post -> Migrate.postcopy ~src ~dst ~vm ~link ()
+    in
+    ignore (Hypervisor.run dst ~budget:2_000_000L);
+    Printf.printf
+      "migrated '%s': total %Ld cycles, downtime %Ld cycles, %d pages, %d rounds, %d demand faults\n"
+      twin.Vm.name r.Migrate.total_cycles r.Migrate.downtime_cycles r.Migrate.pages_sent
+      r.Migrate.rounds r.Migrate.remote_faults;
+    Printf.printf "twin is %s on the destination\n"
+      (if Vm.halted twin then "halted" else "running")
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"Live-migrate a running guest between two hosts.")
+    Term.(const action $ strategy $ delay $ pages)
+
+(* ---------------- replicate ---------------- *)
+
+let replicate_cmd =
+  let epoch =
+    Arg.(value & opt int64 300_000L & info [ "epoch" ] ~doc:"Checkpoint epoch in cycles.")
+  in
+  let epochs = Arg.(value & opt int 8 & info [ "epochs" ] ~doc:"Epochs before failover.") in
+  let action epoch_cycles epochs =
+    let setup =
+      Images.plan ~heap_pages:64 ~user:(Workloads.dirty_loop ~pages:48 ~delay:500) ()
+    in
+    let primary =
+      Hypervisor.create ~host:(Host.create ~frames:(setup.Images.frames + 1024) ()) ()
+    in
+    let backup =
+      Hypervisor.create ~host:(Host.create ~frames:(setup.Images.frames + 1024) ()) ()
+    in
+    let vm =
+      Hypervisor.create_vm primary ~name:"protected" ~mem_frames:setup.Images.frames
+        ~entry:Images.entry ()
+    in
+    Images.load_vm vm setup;
+    ignore (Hypervisor.run primary ~budget:3_000_000L);
+    let link = Link.create () in
+    let twin, st = Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs in
+    Printf.printf
+      "protected for %d epochs: %d pages shipped (+%d initial), paused %Ld cycles over %Ld run
+"
+      st.Replicate.epochs_completed st.Replicate.pages_sent st.Replicate.initial_pages
+      st.Replicate.paused_cycles st.Replicate.run_cycles;
+    ignore (Hypervisor.run backup ~budget:2_000_000L);
+    Printf.printf "failover complete; '%s' is %s on the backup host
+" twin.Vm.name
+      (if Vm.halted twin then "halted" else "running")
+  in
+  Cmd.v
+    (Cmd.info "replicate" ~doc:"Protect a guest with Remus-style checkpoints, then fail over.")
+    Term.(const action $ epoch $ epochs)
+
+(* ---------------- snapshot ---------------- *)
+
+let snapshot_cmd =
+  let action () =
+    let setup = build_setup W_hello ~size:0 ~pv:false in
+    let host = Host.create ~frames:((3 * setup.Images.frames) + 1024) () in
+    let hyp = Hypervisor.create ~host () in
+    let vm =
+      Hypervisor.create_vm hyp ~name:"snap-demo" ~mem_frames:setup.Images.frames
+        ~entry:Images.entry ()
+    in
+    Images.load_vm vm setup;
+    ignore (Hypervisor.run hyp);
+    let image = Snapshot.capture vm in
+    Printf.printf "captured %s: %d bytes (%d guest frames)\n" vm.Vm.name
+      (Snapshot.size_bytes image) (Vm.mem_frames vm);
+    let restored = Snapshot.restore hyp image in
+    Printf.printf "restored as vm%d; console identical: %b\n" restored.Vm.id
+      (Vm.console_output restored = Vm.console_output vm)
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Capture and restore a full VM snapshot.")
+    Term.(const action $ const ())
+
+(* ---------------- disasm ---------------- *)
+
+let disasm_cmd =
+  let workload =
+    Arg.(value & opt workload_conv W_hello & info [ "workload"; "w" ] ~doc:"Workload to disassemble.")
+  in
+  let kernel =
+    Arg.(value & flag & info [ "kernel" ] ~doc:"Disassemble the guest kernel instead.")
+  in
+  let action workload kernel =
+    let setup = build_setup workload ~size:16 ~pv:false in
+    let img = if kernel then setup.Images.kernel else setup.Images.user in
+    List.iter print_endline (Velum_isa.Asm.disassemble img)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a guest image.")
+    Term.(const action $ workload $ kernel)
+
+(* ---------------- consolidate ---------------- *)
+
+let consolidate_cmd =
+  let cores =
+    Arg.(value & opt int 8 & info [ "host-cores" ] ~doc:"Cores per physical host.")
+  in
+  let ram =
+    Arg.(value & opt int 16384 & info [ "host-ram-mb" ] ~doc:"RAM per physical host (MiB).")
+  in
+  let action cores ram =
+    let spec = { Placement.default_host with cores; ram_mb = ram } in
+    let mk name n cpu mem =
+      List.init n (fun i ->
+          { Placement.vm_name = Printf.sprintf "%s-%d" name i; cpu_units = cpu; mem_mb = mem })
+    in
+    let fleet =
+      List.concat
+        [
+          mk "ad-dc" 4 50 2048; mk "terminal" 8 200 4096; mk "erp-app" 6 150 4096;
+          mk "mssql" 6 250 8192; mk "mail" 2 200 8192; mk "web" 8 100 2048;
+          mk "antivirus" 2 100 2048; mk "devtest" 10 100 2048; mk "legacy-dos" 4 25 512;
+        ]
+    in
+    let plan = Placement.first_fit_decreasing spec fleet in
+    let report = Placement.cost_savings spec fleet plan () in
+    let t = Tablefmt.create [ ("host", Tablefmt.Right); ("VMs", Tablefmt.Left) ] in
+    for h = 0 to plan.Placement.hosts_used - 1 do
+      let vms =
+        List.filter_map
+          (fun a ->
+            if a.Placement.host_index = h then Some a.Placement.req.Placement.vm_name
+            else None)
+          plan.Placement.assignments
+      in
+      Tablefmt.add_row t [ string_of_int h; String.concat " " vms ]
+    done;
+    Tablefmt.print t;
+    Printf.printf "%d VMs on %d hosts (%.1f VMs/host); %.0f EUR/year saved (%.0f per displaced server)\n"
+      (List.length fleet) plan.Placement.hosts_used
+      (Placement.consolidation_ratio plan) report.Placement.annual_euro_saved
+      report.Placement.euro_saved_per_displaced_server
+  in
+  Cmd.v
+    (Cmd.info "consolidate" ~doc:"Plan a 50-VM consolidation with FFD packing.")
+    Term.(const action $ cores $ ram)
+
+(* ---------------- info ---------------- *)
+
+let info_cmd =
+  let action () =
+    let c = Velum_machine.Cost_model.default in
+    Printf.printf "Velum: a trap-and-emulate VMM for the VR64 simulated machine\n\n";
+    Printf.printf "architecture: %d-bit, %d registers, %d-level paging, %d-byte pages\n"
+      Velum_isa.Arch.xlen Velum_isa.Arch.num_regs Velum_isa.Arch.pt_levels
+      Velum_isa.Arch.page_size;
+    Printf.printf "cost model (cycles): vmexit %d, hypercall %d, trap %d, pt-ref %d\n"
+      c.Velum_machine.Cost_model.vmexit c.Velum_machine.Cost_model.hypercall
+      c.Velum_machine.Cost_model.trap_enter c.Velum_machine.Cost_model.pt_ref;
+    Printf.printf "walk refs: 1-D %d, 2-D %d\n" Velum_machine.Cost_model.walk_refs_1d
+      Velum_machine.Cost_model.walk_refs_2d
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print architecture and cost-model summary.")
+    Term.(const action $ const ())
+
+let () =
+  let doc = "Velum hypervisor playground" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "velum" ~version:"1.0.0" ~doc)
+          [
+            run_cmd; migrate_cmd; replicate_cmd; snapshot_cmd; disasm_cmd;
+            consolidate_cmd; info_cmd;
+          ]))

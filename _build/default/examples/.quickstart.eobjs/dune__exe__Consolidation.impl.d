@@ -1,0 +1,1 @@
+examples/consolidation.ml: Array Frame_alloc Host Hypervisor Images Int64 List Mem_mgr Monitor Placement Printf Tablefmt Vcpu Velum_guests Velum_util Velum_vmm Vm Workloads

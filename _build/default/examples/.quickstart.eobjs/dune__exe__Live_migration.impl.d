@@ -1,0 +1,1 @@
+examples/live_migration.ml: Host Hypervisor Images Int64 Link List Migrate Printf Tablefmt Velum_devices Velum_guests Velum_util Velum_vmm Vm Workloads

@@ -1,0 +1,1 @@
+examples/network.ml: Host Hypervisor Images Link Monitor Nic Printf Velum_devices Velum_guests Velum_vmm Vm Workloads

@@ -1,0 +1,1 @@
+examples/overcommit.ml: Abi Host Hypervisor Images Int64 Mem_mgr Monitor Printf Velum_guests Velum_vmm Vm Workloads

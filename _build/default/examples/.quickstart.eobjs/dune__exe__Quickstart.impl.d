@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Host Hypervisor Images Monitor Platform Printf Velum_devices Velum_guests Velum_vmm Vm Workloads

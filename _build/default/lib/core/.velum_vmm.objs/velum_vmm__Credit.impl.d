@@ -1,0 +1,1 @@
+lib/core/credit.ml: Int64 List Option Scheduler Vcpu

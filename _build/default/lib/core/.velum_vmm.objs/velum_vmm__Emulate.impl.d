@@ -1,0 +1,1 @@
+lib/core/emulate.ml: Arch Array Bus Cost_model Cpu Hashtbl Host Hypercall Instr Int64 Monitor Nested Option P2m Shadow Vcpu Velum_devices Velum_isa Velum_machine Velum_util Vm

@@ -1,0 +1,1 @@
+lib/core/emulate.mli: Cpu Vcpu Velum_machine Vm

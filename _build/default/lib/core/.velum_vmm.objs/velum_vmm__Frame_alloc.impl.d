@@ -1,0 +1,1 @@
+lib/core/frame_alloc.ml: Array Int64 List Phys_mem Printf Velum_machine

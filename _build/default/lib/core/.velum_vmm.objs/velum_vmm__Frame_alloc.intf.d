@@ -1,0 +1,1 @@
+lib/core/frame_alloc.mli: Velum_machine

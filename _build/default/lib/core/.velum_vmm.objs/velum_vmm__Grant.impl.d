@@ -1,0 +1,1 @@
+lib/core/grant.ml: Frame_alloc Hashtbl Host P2m Shadow Vm

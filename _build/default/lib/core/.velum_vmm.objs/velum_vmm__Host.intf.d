@@ -1,0 +1,1 @@
+lib/core/host.mli: Bytes Cost_model Frame_alloc Phys_mem Velum_machine

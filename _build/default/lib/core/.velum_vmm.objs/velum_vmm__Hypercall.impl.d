@@ -1,0 +1,1 @@
+lib/core/hypercall.ml: Arch Array Bytes Char Cpu Event Int64 Shadow String Vcpu Velum_isa Velum_machine Vm

@@ -1,0 +1,1 @@
+lib/core/hypervisor.ml: Arch Array Blockdev Bus Cost_model Cpu Credit Emulate Host Int64 List Logs Nic Option Phys_mem Scheduler Vcpu Velum_devices Velum_isa Velum_machine Virtio_blk Vm

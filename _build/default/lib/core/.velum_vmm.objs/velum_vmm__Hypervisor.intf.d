@@ -1,0 +1,1 @@
+lib/core/hypervisor.mli: Host Scheduler Vcpu Velum_devices Vm

@@ -1,0 +1,1 @@
+lib/core/mem_mgr.ml: Array Frame_alloc Hashtbl Host Int64 List P2m Phys_mem Shadow Velum_machine Velum_util Vm

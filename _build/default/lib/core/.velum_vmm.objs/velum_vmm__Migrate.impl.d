@@ -1,0 +1,1 @@
+lib/core/migrate.ml: Arch Array Cpu Frame_alloc Host Hypervisor Int64 Link List Logs Monitor P2m Phys_mem Vcpu Velum_devices Velum_isa Velum_machine Vm

@@ -1,0 +1,1 @@
+lib/core/migrate.mli: Hypervisor Link Velum_devices Vm

@@ -1,0 +1,1 @@
+lib/core/nested.ml: Arch Bus Cost_model Cpu Instr Int64 P2m Page_table Phys_mem Pte Tlb Velum_isa Velum_machine Velum_util

@@ -1,0 +1,1 @@
+lib/core/nested.mli: Arch Cost_model Cpu P2m Phys_mem Tlb Velum_isa Velum_machine

@@ -1,0 +1,1 @@
+lib/core/p2m.mli:

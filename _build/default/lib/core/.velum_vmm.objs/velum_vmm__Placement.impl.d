@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Float List Printf

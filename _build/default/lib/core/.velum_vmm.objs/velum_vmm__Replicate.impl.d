@@ -1,0 +1,1 @@
+lib/core/replicate.ml: Array Cpu Frame_alloc Host Hypervisor Int64 Link List Migrate P2m Phys_mem Scheduler Vcpu Velum_devices Velum_machine Vm

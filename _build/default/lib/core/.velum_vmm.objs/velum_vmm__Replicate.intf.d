@@ -1,0 +1,1 @@
+lib/core/replicate.mli: Hypervisor Link Velum_devices Vm

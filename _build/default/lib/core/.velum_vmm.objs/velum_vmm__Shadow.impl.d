@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Arch Bus Cost_model Cpu Frame_alloc Hashtbl Instr Int64 List Option Page_table Phys_mem Pte Tlb Velum_isa Velum_machine Velum_util

@@ -1,0 +1,1 @@
+lib/core/shadow.mli: Arch Cost_model Cpu Frame_alloc Phys_mem Pte Tlb Velum_isa Velum_machine

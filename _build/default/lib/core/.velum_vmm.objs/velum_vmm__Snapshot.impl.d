@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Arch Array Buffer Bytes Cpu Frame_alloc Host Hypervisor Int64 List P2m Phys_mem Shadow String Vcpu Velum_isa Velum_machine Vm

@@ -1,0 +1,1 @@
+lib/core/vcpu.ml: Cpu Format Int64 Velum_isa Velum_machine

@@ -1,0 +1,1 @@
+lib/core/vcpu.mli: Cpu Format Velum_machine

@@ -1,0 +1,1 @@
+lib/core/vm.mli: Arch Asm Blockdev Bus Bytes Cpu Format Hashtbl Host Monitor Nested Nic P2m Shadow Tlb Uart Vcpu Velum_devices Velum_isa Velum_machine Virtio_blk Virtio_ring

@@ -1,0 +1,45 @@
+type state = { slice : int; mutable queue : Vcpu.t list }
+
+let min_vruntime st =
+  List.fold_left
+    (fun acc v -> match acc with None -> Some v.Vcpu.vruntime | Some m -> Some (min m v.Vcpu.vruntime))
+    None st.queue
+
+let create ?(slice = Scheduler.default_slice) () =
+  let st = { slice; queue = [] } in
+  let push v = if not (List.memq v st.queue) then st.queue <- st.queue @ [ v ] in
+  {
+    Scheduler.name = "bvt";
+    enqueue = push;
+    requeue = push;
+    wake =
+      (fun v ->
+        v.Vcpu.boosted <- false;
+        (* Clamp a waker to the current minimum so it cannot monopolise
+           the CPU to "catch up" for its sleep. *)
+        (match min_vruntime st with
+        | Some m when v.Vcpu.vruntime < m -> v.Vcpu.vruntime <- m
+        | _ -> ());
+        push v);
+    remove = (fun v -> st.queue <- List.filter (fun x -> not (x == v)) st.queue);
+    pick =
+      (fun ~now:_ ->
+        let runnable = List.filter Vcpu.is_runnable st.queue in
+        match runnable with
+        | [] ->
+            st.queue <- [];
+            None
+        | first :: rest ->
+            let best =
+              List.fold_left
+                (fun b v -> if v.Vcpu.vruntime < b.Vcpu.vruntime then v else b)
+                first rest
+            in
+            st.queue <- List.filter (fun x -> not (x == best)) st.queue;
+            Some (best, st.slice));
+    charge =
+      (fun v ~used ~now:_ ->
+        v.Vcpu.vruntime <-
+          v.Vcpu.vruntime +. (float_of_int used /. float_of_int (max 1 v.Vcpu.weight)));
+    next_release = (fun ~now:_ -> None);
+  }

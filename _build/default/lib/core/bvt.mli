@@ -1,0 +1,8 @@
+(** Borrowed-virtual-time scheduler.
+
+    Each vCPU accumulates virtual time at a rate inversely proportional
+    to its weight; the runnable vCPU with the smallest virtual time runs
+    next.  Newly woken vCPUs are clamped to the minimum runnable virtual
+    time so sleepers cannot starve the system when they return. *)
+
+val create : ?slice:int -> unit -> Scheduler.t

@@ -1,0 +1,98 @@
+type state = {
+  slice : int;
+  period : int;
+  mutable registered : Vcpu.t list; (* all vCPUs that receive refills *)
+  mutable queue : Vcpu.t list; (* runnable, FIFO within priority class *)
+  mutable next_refill : int64;
+}
+
+let priority v =
+  if v.Vcpu.boosted then 0 else if v.Vcpu.credits > 0 then 1 else 2
+
+(* A capped vCPU may not exceed cap% of one pCPU per accounting period;
+   once it has, it is parked until the next refill. *)
+let over_cap st v =
+  v.Vcpu.cap > 0 && v.Vcpu.window_used >= st.period * v.Vcpu.cap / 100
+
+let refill st =
+  let total_weight =
+    List.fold_left (fun acc v -> acc + max 1 v.Vcpu.weight) 0 st.registered
+  in
+  if total_weight > 0 then
+    List.iter
+      (fun v ->
+        let grant = st.period * max 1 v.Vcpu.weight / total_weight in
+        v.Vcpu.credits <- min (v.Vcpu.credits + grant) (2 * st.period);
+        v.Vcpu.window_used <- 0)
+      st.registered
+
+let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
+  let st = { slice; period; registered = []; queue = []; next_refill = 0L } in
+  let register v =
+    if not (List.memq v st.registered) then st.registered <- v :: st.registered
+  in
+  let push v =
+    register v;
+    if not (List.memq v st.queue) then st.queue <- st.queue @ [ v ]
+  in
+  let maybe_refill now =
+    if Int64.unsigned_compare now st.next_refill >= 0 then begin
+      refill st;
+      st.next_refill <- Int64.add now (Int64.of_int st.period)
+    end
+  in
+  {
+    Scheduler.name = "credit";
+    enqueue = push;
+    requeue = push;
+    wake = push;
+    remove =
+      (fun v ->
+        st.queue <- List.filter (fun x -> not (x == v)) st.queue;
+        st.registered <- List.filter (fun x -> not (x == v)) st.registered);
+    pick =
+      (fun ~now ->
+        maybe_refill now;
+        let eligible =
+          List.filter (fun v -> Vcpu.is_runnable v && not (over_cap st v)) st.queue
+        in
+        match eligible with
+        | [] ->
+            (* drop stale entries but keep capped vCPUs parked for the
+               next period *)
+            st.queue <- List.filter (fun v -> Vcpu.is_runnable v) st.queue;
+            None
+        | _ ->
+            (* lowest priority class number first, FIFO inside a class *)
+            let best =
+              List.fold_left
+                (fun acc v ->
+                  match acc with
+                  | None -> Some v
+                  | Some b -> if priority v < priority b then Some v else acc)
+                None eligible
+            in
+            let v = Option.get best in
+            st.queue <- List.filter (fun x -> not (x == v)) st.queue;
+            v.Vcpu.boosted <- false;
+            (* never hand out a slice crossing the cap boundary *)
+            let slice =
+              if v.Vcpu.cap = 0 then st.slice
+              else min st.slice (max 1 ((st.period * v.Vcpu.cap / 100) - v.Vcpu.window_used))
+            in
+            Some (v, slice));
+    charge =
+      (fun v ~used ~now ->
+        maybe_refill now;
+        v.Vcpu.credits <- v.Vcpu.credits - used;
+        v.Vcpu.window_used <- v.Vcpu.window_used + used);
+    next_release =
+      (fun ~now ->
+        (* only relevant when someone runnable is parked by a cap *)
+        let parked =
+          List.exists (fun v -> Vcpu.is_runnable v && over_cap st v) st.queue
+        in
+        if parked && Int64.unsigned_compare st.next_refill now > 0 then
+          Some st.next_refill
+        else None);
+  }

@@ -1,0 +1,36 @@
+let connect ~(a : Vm.t) ~(b : Vm.t) ~port_a ~port_b =
+  if a == b then Error "cannot connect a VM to itself"
+  else if Hashtbl.mem a.Vm.event_channels port_a then Error "port busy on first VM"
+  else if Hashtbl.mem b.Vm.event_channels port_b then Error "port busy on second VM"
+  else begin
+    Hashtbl.replace a.Vm.event_channels port_a b;
+    Hashtbl.replace b.Vm.event_channels port_b a;
+    Ok ()
+  end
+
+let disconnect ~(vm : Vm.t) ~port =
+  match Hashtbl.find_opt vm.Vm.event_channels port with
+  | None -> false
+  | Some peer ->
+      Hashtbl.remove vm.Vm.event_channels port;
+      (* drop the peer's end(s) pointing back at us *)
+      let back =
+        Hashtbl.fold
+          (fun p q acc -> if q == vm then p :: acc else acc)
+          peer.Vm.event_channels []
+      in
+      List.iter (Hashtbl.remove peer.Vm.event_channels) back;
+      true
+
+let send ~(vm : Vm.t) ~port =
+  match Hashtbl.find_opt vm.Vm.event_channels port with
+  | None -> false
+  | Some peer ->
+      peer.Vm.event_pending <- true;
+      true
+
+let pending (vm : Vm.t) = vm.Vm.event_pending
+let ack (vm : Vm.t) = vm.Vm.event_pending <- false
+
+let ports (vm : Vm.t) =
+  Hashtbl.fold (fun p _ acc -> p :: acc) vm.Vm.event_channels [] |> List.sort compare

@@ -1,0 +1,28 @@
+(** Event channels: inter-VM notification doorbells (Xen-style).
+
+    A channel binds a local port number in each of two VMs.  A guest
+    sends on its port with the {!Hypercall.hc_evt_send} hypercall; the
+    peer's external-interrupt line rises until the peer acknowledges
+    with {!Hypercall.hc_evt_ack}.  Together with {!Grant} mappings this
+    is the classic split-driver transport: shared ring in a granted
+    frame, doorbell over an event channel. *)
+
+val connect : a:Vm.t -> b:Vm.t -> port_a:int64 -> port_b:int64 -> (unit, string) result
+(** [connect ~a ~b ~port_a ~port_b] binds a channel between the two VMs;
+    [a] sends on [port_a] to signal [b] and vice versa.  Fails when a
+    port is already bound on its VM or the VMs are the same. *)
+
+val disconnect : vm:Vm.t -> port:int64 -> bool
+(** [disconnect ~vm ~port] unbinds the channel end (and its peer end);
+    false if not bound. *)
+
+val send : vm:Vm.t -> port:int64 -> bool
+(** Host-side send (the hypercall path uses this too). *)
+
+val pending : Vm.t -> bool
+(** The VM has an unacknowledged event. *)
+
+val ack : Vm.t -> unit
+
+val ports : Vm.t -> int64 list
+(** Bound local ports, sorted. *)

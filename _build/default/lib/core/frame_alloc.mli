@@ -1,0 +1,43 @@
+(** Host (machine) frame allocator with reference counting.
+
+    The hypervisor hands machine frames to guests, shadow page tables and
+    its own metadata from this allocator.  Reference counts support
+    content-based page sharing and copy-on-write snapshots: a frame is
+    returned to the free list when its last reference is dropped. *)
+
+type t
+
+val create : mem:Velum_machine.Phys_mem.t -> ?reserved:int -> unit -> t
+(** [create ~mem ~reserved ()] manages all of [mem]'s frames except the
+    first [reserved] (default 16, kept for boot/firmware use).
+
+    @raise Invalid_argument if [reserved] exceeds the frame count. *)
+
+val total : t -> int
+(** Frames under management. *)
+
+val free_count : t -> int
+val used_count : t -> int
+
+val alloc : t -> int64 option
+(** [alloc t] takes a frame (zeroed) with refcount 1; [None] when
+    exhausted. *)
+
+val alloc_exn : t -> int64
+(** @raise Failure when out of frames. *)
+
+val refcount : t -> int64 -> int
+(** Current reference count (0 = free).
+
+    @raise Invalid_argument for frames outside management. *)
+
+val incr_ref : t -> int64 -> unit
+(** [incr_ref t ppn] adds a reference (page sharing / snapshot).
+
+    @raise Invalid_argument if the frame is free. *)
+
+val decr_ref : t -> int64 -> bool
+(** [decr_ref t ppn] drops a reference; returns [true] when this freed
+    the frame.
+
+    @raise Invalid_argument if the frame is already free. *)

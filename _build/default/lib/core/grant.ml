@@ -1,0 +1,98 @@
+type entry = {
+  from_vm : Vm.t;
+  gfn : int64;
+  hpa_ppn : int64;
+  writable : bool;
+  mutable mapped : (Vm.t * int64) option;
+}
+
+type t = { mutable next : int; entries : (int, entry) Hashtbl.t }
+
+type grant_ref = int
+
+let create () = { next = 0; entries = Hashtbl.create 16 }
+
+let already_offered t vm gfn =
+  Hashtbl.fold
+    (fun _ e acc -> acc || (e.from_vm == vm && e.gfn = gfn))
+    t.entries false
+
+let offer t ~from_vm ~gfn ~writable =
+  if already_offered t from_vm gfn then Error "gfn already offered"
+  else if not (P2m.in_range from_vm.Vm.p2m gfn) then Error "gfn out of range"
+  else
+    match P2m.get from_vm.Vm.p2m gfn with
+    | P2m.Present { hpa_ppn; cow = true; _ } ->
+        (* break the COW first so the peer shares the live copy *)
+        ignore (Vm.resolve_write from_vm gfn);
+        (match P2m.get from_vm.Vm.p2m gfn with
+        | P2m.Present { hpa_ppn = fresh; _ } ->
+            let r = t.next in
+            t.next <- r + 1;
+            Hashtbl.replace t.entries r
+              { from_vm; gfn; hpa_ppn = fresh; writable; mapped = None };
+            ignore hpa_ppn;
+            Ok r
+        | _ -> Error "gfn not present after cow break")
+    | P2m.Present { hpa_ppn; cow = false; _ } ->
+        let r = t.next in
+        t.next <- r + 1;
+        Hashtbl.replace t.entries r { from_vm; gfn; hpa_ppn; writable; mapped = None };
+        Ok r
+    | _ -> Error "gfn not present"
+
+let map t ~grant ~into_vm ~at_gfn =
+  match Hashtbl.find_opt t.entries grant with
+  | None -> Error "no such grant"
+  | Some e -> (
+      if e.mapped <> None then Error "grant already mapped"
+      else if into_vm == e.from_vm then Error "cannot map a grant into its owner"
+      else if not (into_vm.Vm.host == e.from_vm.Vm.host) then
+        Error "grantor and grantee live on different hosts"
+      else if not (P2m.in_range into_vm.Vm.p2m at_gfn) then Error "slot out of range"
+      else
+        match P2m.get into_vm.Vm.p2m at_gfn with
+        | P2m.Absent | P2m.Ballooned ->
+            Frame_alloc.incr_ref into_vm.Vm.host.Host.alloc e.hpa_ppn;
+            P2m.set into_vm.Vm.p2m at_gfn
+              (P2m.Present { hpa_ppn = e.hpa_ppn; writable = e.writable; cow = false });
+            Vm.flush_all_tlbs into_vm;
+            e.mapped <- Some (into_vm, at_gfn);
+            Ok ()
+        | _ -> Error "slot not free")
+
+let unmap t ~grant =
+  match Hashtbl.find_opt t.entries grant with
+  | None -> Error "no such grant"
+  | Some e -> (
+      match e.mapped with
+      | None -> Error "grant not mapped"
+      | Some (vm, at_gfn) ->
+          (match P2m.get vm.Vm.p2m at_gfn with
+          | P2m.Present { hpa_ppn; _ } when hpa_ppn = e.hpa_ppn ->
+              ignore (Frame_alloc.decr_ref vm.Vm.host.Host.alloc hpa_ppn);
+              P2m.set vm.Vm.p2m at_gfn P2m.Absent;
+              (match vm.Vm.shadow with
+              | Some s -> Shadow.invalidate_gfn s at_gfn
+              | None -> ());
+              Vm.flush_all_tlbs vm
+          | _ -> ());
+          e.mapped <- None;
+          Ok ())
+
+let revoke t ~grant =
+  match Hashtbl.find_opt t.entries grant with
+  | None -> Error "no such grant"
+  | Some e ->
+      if e.mapped <> None then Error "grant still mapped"
+      else begin
+        Hashtbl.remove t.entries grant;
+        Ok ()
+      end
+
+let is_mapped t ~grant =
+  match Hashtbl.find_opt t.entries grant with
+  | Some e -> e.mapped <> None
+  | None -> false
+
+let active_grants t = Hashtbl.length t.entries

@@ -1,0 +1,44 @@
+(** Grant tables: controlled inter-VM memory sharing (Xen-style).
+
+    A granting VM offers one of its frames to a specific peer; the peer
+    maps the grant into a free slot of its own guest-physical space.
+    Both VMs then address the same machine frame — the foundation for
+    shared-ring I/O between driver domains, zero-copy networking, and
+    inter-VM channels.  Grants may be read-only (the mapping side faults
+    to the VMM on stores) or read-write.
+
+    Bookkeeping rules:
+    - the backing frame's refcount rises while mapped, so neither
+      ballooning nor VM destruction on one side can free memory the
+      other side still addresses;
+    - page sharing/COW is disabled on granted frames (they are
+      intentionally shared; a COW break would silently unshare them);
+    - a grant must be unmapped before it can be revoked. *)
+
+type t
+(** A grant table (one per host suffices). *)
+
+val create : unit -> t
+
+type grant_ref = int
+
+val offer :
+  t -> from_vm:Vm.t -> gfn:int64 -> writable:bool -> (grant_ref, string) result
+(** [offer t ~from_vm ~gfn ~writable] publishes frame [gfn] of
+    [from_vm].  Fails if the gfn is not Present or is already offered. *)
+
+val map :
+  t -> grant:grant_ref -> into_vm:Vm.t -> at_gfn:int64 -> (unit, string) result
+(** [map t ~grant ~into_vm ~at_gfn] installs the granted frame at
+    [at_gfn] of the mapping VM, which must currently be [Absent] or
+    [Ballooned] there.  Read-only grants map with the p2m writable bit
+    clear. *)
+
+val unmap : t -> grant:grant_ref -> (unit, string) result
+(** Remove the peer's mapping (the slot returns to [Absent]). *)
+
+val revoke : t -> grant:grant_ref -> (unit, string) result
+(** Withdraw an unmapped offer. *)
+
+val is_mapped : t -> grant:grant_ref -> bool
+val active_grants : t -> int

@@ -1,0 +1,39 @@
+(** Host machine resources shared by the hypervisor's subsystems: machine
+    memory, the frame allocator, the cost model, and a swap area.
+
+    Swap models a host-level paging device: slot granularity is one
+    frame, and each transfer has a large fixed latency —
+    {!swap_cost_cycles} — so hypervisor swapping is visibly worse than
+    ballooning in the overcommit experiments, as in the ESX memory
+    paper. *)
+
+open Velum_machine
+
+type t = {
+  mem : Phys_mem.t;
+  alloc : Frame_alloc.t;
+  cost : Cost_model.t;
+  mutable swap : Bytes.t option array;  (** slot → parked frame image *)
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+}
+
+val create : ?frames:int -> ?cost:Cost_model.t -> ?swap_slots:int -> unit -> t
+(** Default: 16384 frames (64 MiB) and 4096 swap slots. *)
+
+val swap_cost_cycles : int
+(** Cycles charged per swap transfer (~a disk access). *)
+
+val swap_out : t -> ppn:int64 -> int
+(** [swap_out t ~ppn] copies the frame into a free slot and returns it
+    (the frame itself is {e not} freed — the caller owns that).
+
+    @raise Failure when swap is full. *)
+
+val swap_in : t -> slot:int -> ppn:int64 -> unit
+(** [swap_in t ~slot ~ppn] restores a slot into the given frame and frees
+    the slot.
+
+    @raise Invalid_argument if the slot is empty. *)
+
+val free_swap_slots : t -> int

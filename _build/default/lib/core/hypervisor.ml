@@ -1,0 +1,339 @@
+open Velum_isa
+open Velum_machine
+open Velum_devices
+
+let log_src = Logs.Src.create "velum.hypervisor" ~doc:"VM lifecycle and scheduling"
+
+module Log = (val Logs.src_log log_src)
+
+type pcpu = { mutable pclock : int64 }
+
+type t = {
+  host : Host.t;
+  sched : Scheduler.t;
+  mutable vms : Vm.t list;
+  pcpus : pcpu array;
+  mutable clock : int64; (* makespan: max over pcpu clocks *)
+  mutable next_vm_id : int;
+  mutable idle_cycles : int64;
+  mutable sched_decisions : int;
+}
+
+let create ?host ?sched ?(pcpus = 1) () =
+  if pcpus <= 0 then invalid_arg "Hypervisor.create: pcpus must be positive";
+  let host = match host with Some h -> h | None -> Host.create () in
+  let sched = match sched with Some s -> s | None -> Credit.create () in
+  {
+    host;
+    sched;
+    vms = [];
+    pcpus = Array.init pcpus (fun _ -> { pclock = 0L });
+    clock = 0L;
+    next_vm_id = 0;
+    idle_cycles = 0L;
+    sched_decisions = 0;
+  }
+
+let now t = t.clock
+let pcpu_count t = Array.length t.pcpus
+
+let refresh_makespan t =
+  Array.iter
+    (fun p -> if Int64.unsigned_compare p.pclock t.clock > 0 then t.clock <- p.pclock)
+    t.pcpus
+
+let min_pcpu t =
+  let best = ref t.pcpus.(0) in
+  Array.iter
+    (fun p -> if Int64.unsigned_compare p.pclock !best.pclock < 0 then best := p)
+    t.pcpus;
+  !best
+
+(* The closest pcpu clock strictly ahead of [p] — an idle pcpu never
+   runs ahead of its peers, so wakeups peers trigger stay visible. *)
+let next_peer_clock t p =
+  Array.fold_left
+    (fun acc q ->
+      if Int64.unsigned_compare q.pclock p.pclock > 0 then
+        match acc with
+        | None -> Some q.pclock
+        | Some a -> if Int64.unsigned_compare q.pclock a < 0 then Some q.pclock else acc
+      else acc)
+    None t.pcpus
+
+let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
+    ?(pv = Vm.no_pv) ?(weight = 256) ?(populate = true) ?nic ?tlb_size ?exec_mode ~entry
+    () =
+  let id = t.next_vm_id in
+  t.next_vm_id <- id + 1;
+  let vm =
+    Vm.create ~host:t.host ~id ~name ~mem_frames ~vcpu_count ~paging ~pv ~populate ?nic
+      ?tlb_size ?exec_mode ~entry ()
+  in
+  Array.iter
+    (fun vcpu ->
+      vcpu.Vcpu.weight <- weight;
+      t.sched.Scheduler.enqueue vcpu)
+    vm.Vm.vcpus;
+  t.vms <- t.vms @ [ vm ];
+  Log.info (fun m ->
+      m "created %s (%d frames, %d vcpus)" vm.Vm.name mem_frames vcpu_count);
+  vm
+
+let remove_vm t vm =
+  Log.info (fun m -> m "destroying %s" vm.Vm.name);
+  Array.iter (fun vcpu -> t.sched.Scheduler.remove vcpu) vm.Vm.vcpus;
+  t.vms <- List.filter (fun v -> not (v == vm)) t.vms;
+  Vm.destroy vm
+
+let find_vm t ~vm_id = List.find_opt (fun vm -> vm.Vm.id = vm_id) t.vms
+
+let vcpu_index vm vcpu =
+  let found = ref (-1) in
+  Array.iteri (fun i v -> if v == vcpu then found := i) vm.Vm.vcpus;
+  if !found < 0 then raise Not_found;
+  !found
+
+(* ---- vCPU execution ---- *)
+
+type exec_outcome = Slice_done | Yielded | Blocked | Halted_vcpu
+
+(* Run one vCPU for up to [slice] cycles starting at [base], servicing
+   exits as they occur.  Returns cycles consumed (guest + VMM). *)
+let exec_vcpu t vm ~vcpu_idx ~base ~slice =
+  let vcpu = vm.Vm.vcpus.(vcpu_idx) in
+  let state = vcpu.Vcpu.state in
+  vcpu.Vcpu.runstate <- Vcpu.Running;
+  let used = ref 0 in
+  let now_fn () = Int64.add base (Int64.of_int !used) in
+  let charge_vmm_delta before =
+    let delta = Int64.to_int (Int64.sub vcpu.Vcpu.vmm_cycles before) in
+    used := !used + delta
+  in
+  let ctx =
+    {
+      Cpu.translate = (fun ~access ~user va -> Vm.translate vm ~vcpu_idx ~access ~user va);
+      read_ram = (fun pa w -> Phys_mem.read t.host.Host.mem pa w);
+      write_ram = (fun pa w v -> Phys_mem.write t.host.Host.mem pa w v);
+      flush_tlb = (fun () -> Vm.flush_vcpu_tlb vm ~vcpu_idx);
+      now = now_fn;
+      ext_irq = (fun () -> false);
+      cost = t.host.Host.cost;
+      env = Cpu.Deprivileged;
+    }
+  in
+  let inject () =
+    let before = vcpu.Vcpu.vmm_cycles in
+    let injected = Emulate.maybe_inject_irq vm ~vcpu_idx ~now:(now_fn ()) in
+    if injected then charge_vmm_delta before
+  in
+  inject ();
+  let outcome = ref None in
+  while !outcome = None do
+    if !used >= slice then outcome := Some Slice_done
+    else begin
+      (* Bound the chunk by the virtual timer so expiry is noticed
+         promptly even inside a long slice. *)
+      let remaining = slice - !used in
+      let chunk =
+        let cmp = Cpu.get_csr state Arch.Stimecmp in
+        if cmp = 0L then remaining
+        else
+          let until = Int64.sub cmp (now_fn ()) in
+          if until <= 0L then remaining
+          else min remaining (max 200 (Int64.to_int (min until 1_000_000L)))
+      in
+      let consumed, stop = Cpu.run state ctx ~budget:chunk in
+      used := !used + consumed;
+      vcpu.Vcpu.guest_cycles <- Int64.add vcpu.Vcpu.guest_cycles (Int64.of_int consumed);
+      match stop with
+      | Cpu.Budget -> inject ()
+      | Cpu.Halted ->
+          vcpu.Vcpu.runstate <- Vcpu.Halted;
+          outcome := Some Halted_vcpu
+      | Cpu.Waiting ->
+          Vcpu.block vcpu;
+          outcome := Some Blocked
+      | Cpu.Exit e -> (
+          let before = vcpu.Vcpu.vmm_cycles in
+          let action = Emulate.handle_exit vm ~vcpu_idx ~now:(now_fn ()) e in
+          charge_vmm_delta before;
+          match action with
+          | Emulate.Resume -> inject ()
+          | Emulate.Yielded -> outcome := Some Yielded
+          | Emulate.Became_blocked -> outcome := Some Blocked
+          | Emulate.Vcpu_halted -> outcome := Some Halted_vcpu)
+    end
+  done;
+  Bus.tick vm.Vm.bus (now_fn ());
+  (if vcpu.Vcpu.runstate = Vcpu.Running then vcpu.Vcpu.runstate <- Vcpu.Runnable);
+  let result = match !outcome with Some o -> o | None -> assert false in
+  (!used, result)
+
+(* ---- wake and idle machinery ---- *)
+
+let wake_sleepers_at t ~now =
+  List.iter
+    (fun vm ->
+      Bus.tick vm.Vm.bus now;
+      Array.iteri
+        (fun _i vcpu ->
+          if vcpu.Vcpu.runstate = Vcpu.Blocked && Emulate.irq_deliverable vm vcpu ~now
+          then begin
+            Vcpu.wake vcpu ~boost:true;
+            t.sched.Scheduler.wake vcpu
+          end)
+        vm.Vm.vcpus)
+    t.vms
+
+let wake_sleepers t = wake_sleepers_at t ~now:t.clock
+
+let next_event t =
+  let earliest = ref None in
+  let consider when_ =
+    match !earliest with
+    | None -> earliest := Some when_
+    | Some e -> if Int64.unsigned_compare when_ e < 0 then earliest := Some when_
+  in
+  List.iter
+    (fun vm ->
+      Array.iter
+        (fun vcpu ->
+          if vcpu.Vcpu.runstate = Vcpu.Blocked then begin
+            let cmp = Cpu.get_csr vcpu.Vcpu.state Arch.Stimecmp in
+            if cmp <> 0L then consider cmp
+          end)
+        vm.Vm.vcpus;
+      Option.iter consider (Blockdev.next_completion vm.Vm.blk);
+      Option.iter consider (Virtio_blk.next_completion vm.Vm.vblk);
+      Option.iter (fun n -> Option.iter consider (Nic.next_arrival n)) vm.Vm.nic)
+    t.vms;
+  !earliest
+
+let all_halted t = t.vms <> [] && List.for_all Vm.halted t.vms
+
+(* ---- main run loop ---- *)
+
+type outcome = All_halted | Until_satisfied | Out_of_budget | Idle_deadlock
+
+let dispatch_on t p (vcpu : Vcpu.t) slice =
+  t.sched_decisions <- t.sched_decisions + 1;
+  match find_vm t ~vm_id:vcpu.Vcpu.vm_id with
+  | None -> () (* VM was removed; drop the stale pick *)
+  | Some vm ->
+      let vcpu_idx = vcpu_index vm vcpu in
+      (* a vCPU's virtual time never runs backwards across pcpus *)
+      if Int64.unsigned_compare vcpu.Vcpu.last_scheduled p.pclock > 0 then begin
+        t.idle_cycles <-
+          Int64.add t.idle_cycles (Int64.sub vcpu.Vcpu.last_scheduled p.pclock);
+        p.pclock <- vcpu.Vcpu.last_scheduled
+      end;
+      p.pclock <- Int64.add p.pclock (Int64.of_int t.host.Host.cost.Cost_model.ctx_switch);
+      let used, outcome = exec_vcpu t vm ~vcpu_idx ~base:p.pclock ~slice in
+      p.pclock <- Int64.add p.pclock (Int64.of_int used);
+      vcpu.Vcpu.last_scheduled <- p.pclock;
+      t.sched.Scheduler.charge vcpu ~used ~now:p.pclock;
+      (match outcome with
+      | Slice_done | Yielded -> t.sched.Scheduler.requeue vcpu
+      | Blocked -> ()
+      | Halted_vcpu -> t.sched.Scheduler.remove vcpu);
+      refresh_makespan t
+
+let run ?(budget = 2_000_000_000L) ?until t =
+  let deadline = Int64.add t.clock budget in
+  let stalls = ref 0 in
+  let max_stalls = (2 * Array.length t.pcpus) + 2 in
+  let rec loop () =
+    if (match until with Some f -> f t | None -> false) then Until_satisfied
+    else if all_halted t then All_halted
+    else if Int64.unsigned_compare t.clock deadline >= 0 then Out_of_budget
+    else begin
+      let p = min_pcpu t in
+      wake_sleepers_at t ~now:p.pclock;
+      match t.sched.Scheduler.pick ~now:p.pclock with
+      | Some (vcpu, slice) ->
+          stalls := 0;
+          dispatch_on t p vcpu slice;
+          loop ()
+      | None -> (
+          (* Idle: catch up to the nearest peer clock, the next device/
+             timer event, or a scheduler release (CPU caps), whichever
+             comes first. *)
+          let min_opt a b =
+            match (a, b) with
+            | Some a, Some b -> Some (if Int64.unsigned_compare a b < 0 then a else b)
+            | Some a, None -> Some a
+            | None, b -> b
+          in
+          let target =
+            min_opt
+              (min_opt (next_peer_clock t p) (next_event t))
+              (t.sched.Scheduler.next_release ~now:p.pclock)
+          in
+          match target with
+          | Some when_ when Int64.unsigned_compare when_ p.pclock > 0 ->
+              stalls := 0;
+              t.idle_cycles <- Int64.add t.idle_cycles (Int64.sub when_ p.pclock);
+              p.pclock <- when_;
+              refresh_makespan t;
+              loop ()
+          | Some _ | None ->
+              incr stalls;
+              if !stalls > max_stalls then Idle_deadlock
+              else begin
+                (* Give devices one more tick; a wake may become due. *)
+                List.iter (fun vm -> Bus.tick vm.Vm.bus p.pclock) t.vms;
+                loop ()
+              end)
+    end
+  in
+  loop ()
+
+(* ---- single-VM execution (live migration, replication) ---- *)
+
+let run_vm t vm ~cycles =
+  let p = t.pcpus.(0) in
+  let deadline = Int64.add p.pclock cycles in
+  let next = ref 0 in
+  let rec loop () =
+    if Int64.unsigned_compare p.pclock deadline >= 0 then ()
+    else begin
+      wake_sleepers_at t ~now:p.pclock;
+      let n = Array.length vm.Vm.vcpus in
+      let runnable =
+        List.filter
+          (fun i -> Vcpu.is_runnable vm.Vm.vcpus.(i))
+          (List.init n (fun i -> (i + !next) mod n))
+      in
+      match runnable with
+      | [] -> (
+          match next_event t with
+          | Some when_
+            when Int64.unsigned_compare when_ p.pclock > 0
+                 && Int64.unsigned_compare when_ deadline <= 0 ->
+              t.idle_cycles <- Int64.add t.idle_cycles (Int64.sub when_ p.pclock);
+              p.pclock <- when_;
+              loop ()
+          | _ ->
+              t.idle_cycles <- Int64.add t.idle_cycles (Int64.sub deadline p.pclock);
+              p.pclock <- deadline)
+      | i :: _ ->
+          next := i + 1;
+          let remaining = Int64.to_int (min (Int64.sub deadline p.pclock) 1_000_000L) in
+          let slice = min Scheduler.default_slice (max 1 remaining) in
+          let used, _outcome = exec_vcpu t vm ~vcpu_idx:i ~base:p.pclock ~slice in
+          p.pclock <- Int64.add p.pclock (Int64.of_int used);
+          loop ()
+    end
+  in
+  (if not (Vm.halted vm) then loop ()
+   else begin
+     t.idle_cycles <- Int64.add t.idle_cycles (Int64.sub deadline p.pclock);
+     p.pclock <- deadline
+   end);
+  refresh_makespan t
+
+(* ---- accounting ---- *)
+
+let guest_cycles t = List.fold_left (fun acc vm -> Int64.add acc (Vm.guest_cycles vm)) 0L t.vms
+let vmm_cycles t = List.fold_left (fun acc vm -> Int64.add acc (Vm.vmm_cycles vm)) 0L t.vms

@@ -1,0 +1,88 @@
+(** The hypervisor: host resources, a vCPU scheduler, and the run loop
+    that multiplexes virtual machines on one or more physical CPUs.
+
+    The run loop picks a vCPU, world-switches in (charging
+    {!Velum_machine.Cost_model.t.ctx_switch}), executes deprivileged
+    guest code until the slice expires or an exit needs service, routes
+    exits through {!Emulate}, and keeps device models and virtual timers
+    flowing.  Blocked vCPUs wake when a virtual interrupt becomes
+    deliverable; a fully idle host fast-forwards its clock to the next
+    event. *)
+
+type pcpu = { mutable pclock : int64 }
+
+type t = {
+  host : Host.t;
+  sched : Scheduler.t;
+  mutable vms : Vm.t list;  (** registration order *)
+  pcpus : pcpu array;
+  mutable clock : int64;  (** makespan: max over pcpu clocks *)
+  mutable next_vm_id : int;
+  mutable idle_cycles : int64;
+  mutable sched_decisions : int;
+}
+
+val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
+(** Defaults: a fresh 64 MiB host, the credit scheduler, one pCPU.  With
+    several pCPUs the run loop is an event-driven multiprocessor
+    simulation: each pCPU has its own cycle clock, the scheduler's run
+    queue is global (vCPUs migrate freely), an idle pCPU's clock never
+    runs ahead of a busy peer's (so wakeups stay visible), and a vCPU's
+    own virtual time is monotonic across pCPUs. *)
+
+val now : t -> int64
+(** Makespan: the farthest pcpu clock. *)
+
+val pcpu_count : t -> int
+
+val create_vm :
+  t ->
+  name:string ->
+  mem_frames:int ->
+  ?vcpu_count:int ->
+  ?paging:Vm.paging_mode ->
+  ?pv:Vm.pv ->
+  ?weight:int ->
+  ?populate:bool ->
+  ?nic:Velum_devices.Nic.link_binding ->
+  ?tlb_size:int ->
+  ?exec_mode:Vm.exec_mode ->
+  entry:int64 ->
+  unit ->
+  Vm.t
+(** Create a VM, register its vCPUs with the scheduler and return it.
+    Load a boot image with {!Vm.load_image} before running. *)
+
+val remove_vm : t -> Vm.t -> unit
+(** Deschedule and destroy the VM, returning its frames to the host. *)
+
+val find_vm : t -> vm_id:int -> Vm.t option
+
+type outcome =
+  | All_halted  (** every vCPU of every VM has halted *)
+  | Until_satisfied
+  | Out_of_budget
+  | Idle_deadlock  (** every vCPU blocked with no wake event in sight *)
+
+val run : ?budget:int64 -> ?until:(t -> bool) -> t -> outcome
+(** [run ?budget ?until t] — default budget 2G cycles. *)
+
+val run_vm : t -> Vm.t -> cycles:int64 -> unit
+(** [run_vm t vm ~cycles] advances only [vm] (round-robin over its
+    runnable vCPUs) for the given number of host cycles — used by live
+    migration to let the guest execute "during" a transfer round.  Time
+    always advances by [cycles] (idle if the VM blocks). *)
+
+(** {1 Accounting} *)
+
+val guest_cycles : t -> int64
+val vmm_cycles : t -> int64
+
+val vcpu_index : Vm.t -> Vcpu.t -> int
+(** Position of a vCPU within its VM.
+
+    @raise Not_found if it belongs to another VM. *)
+
+val wake_sleepers : t -> unit
+(** Re-evaluate wake conditions for all blocked vCPUs now (the run loop
+    does this automatically; exposed for tests and migration). *)

@@ -1,0 +1,31 @@
+(** Host memory management: content-based page sharing and hypervisor
+    swapping — the ESX-lineage overcommit machinery that complements the
+    balloon driver in {!Hypercall}.
+
+    Page sharing scans guest frames, buckets them by FNV-1a digest,
+    byte-compares candidates, and collapses duplicates onto one machine
+    frame mapped copy-on-write everywhere.  A later write by any owner
+    breaks the sharing with a private copy ({!Vm.resolve_write}). *)
+
+type share_stats = {
+  scanned : int;  (** candidate frames hashed *)
+  shared : int;  (** p2m entries redirected to a canonical frame *)
+  freed : int;  (** machine frames returned to the allocator *)
+}
+
+val share_pass : Vm.t list -> share_stats
+(** [share_pass vms] runs one full scan over the present, non-swapped
+    frames of the given VMs (all VMs must live on the same host).
+    Idempotent: frames already sharing a canonical copy are skipped. *)
+
+val shared_frames : Vm.t list -> int
+(** Number of p2m entries currently marked copy-on-write shared. *)
+
+val saved_frames : Vm.t list -> int
+(** Machine frames saved versus fully private copies: for each frame
+    with refcount [r > 1], [r - 1] are saved. *)
+
+val evict : Vm.t -> n:int -> int
+(** [evict vm ~n] forcibly swaps out up to [n] of the VM's present,
+    non-shared frames (hypervisor swapping — the slow fallback when the
+    balloon cannot reclaim enough).  Returns how many were evicted. *)

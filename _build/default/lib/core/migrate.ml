@@ -1,0 +1,229 @@
+open Velum_isa
+open Velum_machine
+open Velum_devices
+
+let log_src = Logs.Src.create "velum.migrate" ~doc:"live migration"
+
+module Log = (val Logs.src_log log_src)
+
+type result = {
+  total_cycles : int64;
+  downtime_cycles : int64;
+  pages_sent : int;
+  bytes_sent : int;
+  rounds : int;
+  remote_faults : int;
+}
+
+let page_wire_bytes = Arch.page_size + 16
+let zero_page_wire_bytes = 24 (* header + "all zero" marker *)
+let vcpu_state_bytes = 1024
+
+(* Wire footprint of a page set, optionally eliding zero pages. *)
+let wire_bytes ~compress (vm : Vm.t) gfns =
+  if not compress then List.length gfns * page_wire_bytes
+  else
+    List.fold_left
+      (fun acc gfn ->
+        match Vm.resolve_read vm gfn with
+        | Some ppn when Phys_mem.frame_is_zero vm.Vm.host.Host.mem ~ppn ->
+            acc + zero_page_wire_bytes
+        | _ -> acc + page_wire_bytes)
+      0 gfns
+
+let copy_vcpu_state ~(src : Vcpu.t) ~(dst : Vcpu.t) =
+  let s = src.Vcpu.state and d = dst.Vcpu.state in
+  Array.blit s.Cpu.regs 0 d.Cpu.regs 0 (Array.length s.Cpu.regs);
+  Array.blit s.Cpu.csrs 0 d.Cpu.csrs 0 (Array.length s.Cpu.csrs);
+  d.Cpu.pc <- s.Cpu.pc;
+  d.Cpu.mode <- s.Cpu.mode;
+  d.Cpu.halted <- s.Cpu.halted;
+  d.Cpu.waiting <- s.Cpu.waiting;
+  d.Cpu.instret <- s.Cpu.instret;
+  dst.Vcpu.runstate <- src.Vcpu.runstate
+
+(* Create the destination twin (same shape, unpopulated p2m). *)
+let make_twin ~(dst : Hypervisor.t) ~(vm : Vm.t) =
+  Hypervisor.create_vm dst ~name:vm.Vm.name ~mem_frames:(Vm.mem_frames vm)
+    ~vcpu_count:(Array.length vm.Vm.vcpus) ~paging:vm.Vm.paging ~pv:vm.Vm.pv
+    ~exec_mode:vm.Vm.exec_mode ~populate:false ~entry:0L ()
+
+(* Copy one page's current contents source→destination memory. *)
+let copy_page ~(vm : Vm.t) ~(twin : Vm.t) gfn =
+  match Vm.resolve_read vm gfn with
+  | None -> false
+  | Some src_ppn -> (
+      let dst_ppn =
+        match P2m.get twin.Vm.p2m gfn with
+        | P2m.Present { hpa_ppn; _ } -> Some hpa_ppn
+        | _ -> (
+            match Frame_alloc.alloc twin.Vm.host.Host.alloc with
+            | Some ppn ->
+                P2m.set twin.Vm.p2m gfn
+                  (P2m.Present { hpa_ppn = ppn; writable = true; cow = false });
+                Some ppn
+            | None -> None)
+      in
+      match dst_ppn with
+      | None -> false
+      | Some dst_ppn ->
+          Phys_mem.blit_between ~src:vm.Vm.host.Host.mem ~src_ppn
+            ~dst:twin.Vm.host.Host.mem ~dst_ppn;
+          true)
+
+let present_gfns (vm : Vm.t) =
+  P2m.fold_present vm.Vm.p2m ~init:[] ~f:(fun acc ~gfn ~hpa_ppn:_ -> gfn :: acc)
+  |> List.rev
+
+let finish ~src ~vm ~(twin : Vm.t) =
+  (* The source instance is gone; its frames return to the source host. *)
+  Hypervisor.remove_vm src vm;
+  (* Destination vCPUs may be runnable now — make sure the scheduler
+     sees them. *)
+  Array.iter
+    (fun vcpu -> if Vcpu.is_runnable vcpu then vcpu.Vcpu.runstate <- Vcpu.Runnable)
+    twin.Vm.vcpus
+
+let transfer_pages_cycles link n =
+  Link.transfer_cycles link ~bytes:(n * page_wire_bytes)
+
+let stop_and_copy ?(compress = false) ~src ~dst ~vm ~link () =
+  let twin = make_twin ~dst ~vm in
+  let gfns = present_gfns vm in
+  let bytes = wire_bytes ~compress vm gfns + vcpu_state_bytes in
+  List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) gfns;
+  Array.iteri
+    (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+    vm.Vm.vcpus;
+  let pages = List.length gfns in
+  let cycles = Int64.of_int (Link.transfer_cycles link ~bytes) in
+  finish ~src ~vm ~twin;
+  ( twin,
+    {
+      total_cycles = cycles;
+      downtime_cycles = cycles;
+      pages_sent = pages;
+      bytes_sent = bytes;
+      rounds = 1;
+      remote_faults = 0;
+    } )
+
+let precopy ?(compress = false) ~src ~dst ~vm ~link ?(max_rounds = 8)
+    ?(stop_threshold = 64) () =
+  let twin = make_twin ~dst ~vm in
+  Vm.start_dirty_logging vm;
+  let total = ref 0L in
+  let pages = ref 0 in
+  let bytes_total = ref 0 in
+  let rounds = ref 0 in
+  let rec round to_send prev_count =
+    incr rounds;
+    Log.debug (fun m ->
+        m "precopy %s: round %d, %d pages" vm.Vm.name !rounds (List.length to_send));
+    let round_bytes = wire_bytes ~compress vm to_send in
+    bytes_total := !bytes_total + round_bytes;
+    List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) to_send;
+    let n = List.length to_send in
+    pages := !pages + n;
+    let cycles = Link.transfer_cycles link ~bytes:round_bytes in
+    ignore (transfer_pages_cycles link n);
+    total := Int64.add !total (Int64.of_int cycles);
+    (* The guest executes on the source while this round is on the
+       wire, dirtying pages that the next round must re-send. *)
+    Hypervisor.run_vm src vm ~cycles:(Int64.of_int cycles);
+    let dirty = Vm.collect_dirty vm ~clear:false in
+    (* Re-arm write protection for the next epoch (clears the bitmap). *)
+    Vm.start_dirty_logging vm;
+    let count = List.length dirty in
+    if count = 0 then []
+    else if !rounds >= max_rounds || count <= stop_threshold || count >= prev_count then
+      dirty (* freeze and send the residue *)
+    else round dirty count
+  in
+  let residue = round (present_gfns vm) max_int in
+  (* Stop phase: guest frozen, send the residual dirty set + vCPU state. *)
+  let residue_bytes = wire_bytes ~compress vm residue + vcpu_state_bytes in
+  bytes_total := !bytes_total + residue_bytes;
+  List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) residue;
+  let n = List.length residue in
+  pages := !pages + n;
+  let downtime = Int64.of_int (Link.transfer_cycles link ~bytes:residue_bytes) in
+  total := Int64.add !total downtime;
+  Vm.stop_dirty_logging vm;
+  Array.iteri
+    (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+    vm.Vm.vcpus;
+  finish ~src ~vm ~twin;
+  ( twin,
+    {
+      total_cycles = !total;
+      downtime_cycles = downtime;
+      pages_sent = !pages;
+      bytes_sent = !bytes_total;
+      rounds = !rounds;
+      remote_faults = 0;
+    } )
+
+let postcopy ~src ~dst ~vm ~link ?(push_batch = 32) () =
+  let twin = make_twin ~dst ~vm in
+  (* Freeze: ship only the vCPU state; every present page becomes Remote
+     on the destination. *)
+  let downtime = Int64.of_int (Link.transfer_cycles link ~bytes:vcpu_state_bytes) in
+  let gfns = present_gfns vm in
+  List.iter (fun gfn -> P2m.set twin.Vm.p2m gfn P2m.Remote) gfns;
+  Array.iteri
+    (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+    vm.Vm.vcpus;
+  let pulled = ref 0 in
+  twin.Vm.remote_fetch <-
+    Some
+      (fun gfn ->
+        match Vm.resolve_read vm gfn with
+        | Some src_ppn ->
+            incr pulled;
+            Some (Phys_mem.frame_read vm.Vm.host.Host.mem ~ppn:src_ppn)
+        | None -> None);
+  (* A demand fetch pays a full network round trip plus the page. *)
+  twin.Vm.remote_fault_cycles <-
+    (2 * Link.latency_cycles link) + Link.transfer_cycles link ~bytes:page_wire_bytes;
+  let total = ref downtime in
+  (* Background push: run the guest on the destination for the time one
+     batch occupies the wire, then mark the batch resident. *)
+  let remote_left () =
+    P2m.count twin.Vm.p2m ~f:(function P2m.Remote -> true | _ -> false)
+  in
+  let rec push () =
+    if remote_left () > 0 && not (Vm.halted twin) then begin
+      let batch = ref [] in
+      (try
+         P2m.iter twin.Vm.p2m ~f:(fun ~gfn entry ->
+             if List.length !batch >= push_batch then raise Exit;
+             match entry with P2m.Remote -> batch := gfn :: !batch | _ -> ())
+       with Exit -> ());
+      let cycles = transfer_pages_cycles link (List.length !batch) in
+      total := Int64.add !total (Int64.of_int cycles);
+      Hypervisor.run_vm dst twin ~cycles:(Int64.of_int cycles);
+      (* Whatever is still remote from this batch arrives now. *)
+      List.iter
+        (fun gfn ->
+          match P2m.get twin.Vm.p2m gfn with
+          | P2m.Remote -> ignore (Vm.resolve_read twin gfn)
+          | _ -> ())
+        !batch;
+      push ()
+    end
+  in
+  push ();
+  let faults = Monitor.count twin.Vm.monitor Monitor.E_remote_fetch in
+  twin.Vm.remote_fetch <- None;
+  let pages = !pulled in
+  finish ~src ~vm ~twin;
+  ( twin,
+    {
+      total_cycles = !total;
+      downtime_cycles = downtime;
+      pages_sent = pages;
+      bytes_sent = pages * page_wire_bytes;
+      rounds = 1;
+      remote_faults = faults;
+    } )

@@ -1,0 +1,73 @@
+(** Live migration of a VM between two hypervisors over a network link.
+
+    Three strategies, as in the live-migration literature:
+
+    - {!stop_and_copy}: freeze, transfer everything, resume — downtime
+      equals total time (the baseline);
+    - {!precopy}: iterative rounds — transfer all pages while the guest
+      keeps running and dirtying, then re-send each round's dirty set
+      until it is small enough (or stops shrinking), then freeze for a
+      short final round.  Downtime scales with the residual dirty set;
+      writable-working-set behaviour decides convergence;
+    - {!postcopy}: freeze only for the vCPU state, resume on the
+      destination immediately, pull pages on demand (charging a network
+      round trip per fault) while pushing the rest in the background.
+      Minimal downtime, degraded performance until the working set
+      arrives.
+
+    Storage is modelled as shared (network-attached); only memory and
+    vCPU state move.  Transfer times are charged through the
+    {!Velum_devices.Link} bandwidth/latency model, and the source VM
+    executes on its hypervisor for the duration of each transfer round,
+    so dirtying happens at the guest's natural rate. *)
+
+open Velum_devices
+
+type result = {
+  total_cycles : int64;  (** start of migration to guest running on the
+                             destination with all pages resident *)
+  downtime_cycles : int64;  (** guest frozen (neither side executing) *)
+  pages_sent : int;  (** includes re-sends and post-copy pulls *)
+  bytes_sent : int;
+  rounds : int;  (** pre-copy rounds (1 for stop-and-copy) *)
+  remote_faults : int;  (** post-copy demand fetches *)
+}
+
+val page_wire_bytes : int
+(** Bytes on the wire per page (page + header). *)
+
+val stop_and_copy :
+  ?compress:bool ->
+  src:Hypervisor.t ->
+  dst:Hypervisor.t ->
+  vm:Vm.t ->
+  link:Link.t ->
+  unit ->
+  Vm.t * result
+(** [compress] elides all-zero pages to a 24-byte wire marker (default
+    false). *)
+
+val precopy :
+  ?compress:bool ->
+  src:Hypervisor.t ->
+  dst:Hypervisor.t ->
+  vm:Vm.t ->
+  link:Link.t ->
+  ?max_rounds:int ->
+  ?stop_threshold:int ->
+  unit ->
+  Vm.t * result
+(** Defaults: at most 8 rounds; freeze when the dirty set is ≤ 64
+    pages.  Also freezes early when a round fails to shrink the dirty
+    set (non-convergence guard). *)
+
+val postcopy :
+  src:Hypervisor.t ->
+  dst:Hypervisor.t ->
+  vm:Vm.t ->
+  link:Link.t ->
+  ?push_batch:int ->
+  unit ->
+  Vm.t * result
+(** [push_batch] pages are pushed in the background between execution
+    bursts (default 32). *)

@@ -1,0 +1,103 @@
+type exit_kind =
+  | E_csr
+  | E_sret
+  | E_sfence
+  | E_wfi
+  | E_halt
+  | E_port_io
+  | E_mmio
+  | E_hypercall
+  | E_guest_trap
+  | E_guest_page_fault
+  | E_shadow_fill
+  | E_pt_write
+  | E_dirty_log
+  | E_cow_break
+  | E_swap_in
+  | E_remote_fetch
+  | E_bt_translate
+
+let all_exit_kinds =
+  [
+    E_csr;
+    E_sret;
+    E_sfence;
+    E_wfi;
+    E_halt;
+    E_port_io;
+    E_mmio;
+    E_hypercall;
+    E_guest_trap;
+    E_guest_page_fault;
+    E_shadow_fill;
+    E_pt_write;
+    E_dirty_log;
+    E_cow_break;
+    E_swap_in;
+    E_remote_fetch;
+    E_bt_translate;
+  ]
+
+let exit_kind_name = function
+  | E_csr -> "csr"
+  | E_sret -> "sret"
+  | E_sfence -> "sfence"
+  | E_wfi -> "wfi"
+  | E_halt -> "halt"
+  | E_port_io -> "port-io"
+  | E_mmio -> "mmio"
+  | E_hypercall -> "hypercall"
+  | E_guest_trap -> "guest-trap"
+  | E_guest_page_fault -> "guest-page-fault"
+  | E_shadow_fill -> "shadow-fill"
+  | E_pt_write -> "pt-write"
+  | E_dirty_log -> "dirty-log"
+  | E_cow_break -> "cow-break"
+  | E_swap_in -> "swap-in"
+  | E_remote_fetch -> "remote-fetch"
+  | E_bt_translate -> "bt-translate"
+
+let kind_index k =
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if x = k then i else go (i + 1) rest
+  in
+  go 0 all_exit_kinds
+
+let nkinds = List.length all_exit_kinds
+
+type t = {
+  counts : int array;
+  cycle_acc : int64 array;
+  mutable injections : int;
+}
+
+let create () =
+  { counts = Array.make nkinds 0; cycle_acc = Array.make nkinds 0L; injections = 0 }
+
+let bump t k = t.counts.(kind_index k) <- t.counts.(kind_index k) + 1
+
+let add_cycles t k c =
+  let i = kind_index k in
+  t.cycle_acc.(i) <- Int64.add t.cycle_acc.(i) (Int64.of_int c)
+
+let count t k = t.counts.(kind_index k)
+let cycles t k = t.cycle_acc.(kind_index k)
+let total_exits t = Array.fold_left ( + ) 0 t.counts
+
+let irq_injected t = t.injections <- t.injections + 1
+let irq_injections t = t.injections
+
+let reset t =
+  Array.fill t.counts 0 nkinds 0;
+  Array.fill t.cycle_acc 0 nkinds 0L;
+  t.injections <- 0
+
+let pp ppf t =
+  List.iter
+    (fun k ->
+      let c = count t k in
+      if c > 0 then
+        Format.fprintf ppf "%s: %d (%Ld cyc)@." (exit_kind_name k) c (cycles t k))
+    all_exit_kinds;
+  if t.injections > 0 then Format.fprintf ppf "irq-injections: %d@." t.injections

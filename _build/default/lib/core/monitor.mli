@@ -1,0 +1,48 @@
+(** Per-VM event counters — the hypervisor's telemetry.
+
+    Every VM exit, interrupt injection, shadow-pager action and
+    memory-management event increments a counter here; the benchmark
+    harness reads them to build the paper's tables. *)
+
+type exit_kind =
+  | E_csr
+  | E_sret
+  | E_sfence
+  | E_wfi
+  | E_halt
+  | E_port_io
+  | E_mmio
+  | E_hypercall
+  | E_guest_trap  (** reflected trap (syscall, illegal, breakpoint…) *)
+  | E_guest_page_fault  (** reflected to the guest *)
+  | E_shadow_fill  (** hidden fault: shadow entry built, guest resumed *)
+  | E_pt_write  (** write-protected guest page-table write emulated *)
+  | E_dirty_log  (** dirty-tracking write fault *)
+  | E_cow_break
+  | E_swap_in
+  | E_remote_fetch  (** post-copy demand fetch *)
+  | E_bt_translate  (** binary translation of a new sensitive site *)
+
+val exit_kind_name : exit_kind -> string
+val all_exit_kinds : exit_kind list
+
+type t
+
+val create : unit -> t
+
+val bump : t -> exit_kind -> unit
+val add_cycles : t -> exit_kind -> int -> unit
+(** [add_cycles t k c] accumulates VMM overhead cycles attributed to
+    [k]. *)
+
+val count : t -> exit_kind -> int
+val cycles : t -> exit_kind -> int64
+val total_exits : t -> int
+
+val irq_injected : t -> unit
+val irq_injections : t -> int
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per nonzero counter. *)

@@ -1,0 +1,56 @@
+(** Server-consolidation planning: pack VM reservations onto physical
+    hosts and estimate the power/cost savings of the consolidation —
+    Experiment E9, the one quantitative claim in the supplied text
+    (≈3-4 VMs per host, ≈200-250 €/server/year of power+cooling). *)
+
+type vm_req = {
+  vm_name : string;
+  cpu_units : int;  (** 100 = one core's worth of sustained demand *)
+  mem_mb : int;
+}
+
+type host_spec = {
+  cores : int;
+  ram_mb : int;
+  watts_idle : float;  (** power drawn by a host that is on *)
+  watts_per_core : float;  (** additional power per busy core *)
+}
+
+val default_host : host_spec
+(** 8 cores, 16 GiB, 120 W idle + 20 W/core — a modest 2010-era server. *)
+
+type assignment = { host_index : int; req : vm_req }
+
+type plan = {
+  hosts_used : int;
+  assignments : assignment list;
+  cpu_utilization : float;  (** mean over used hosts, 0..1 *)
+  mem_utilization : float;
+}
+
+val first_fit_decreasing : host_spec -> vm_req list -> plan
+(** FFD bin packing on (cpu, memory) — sorted by the max of the two
+    normalized dimensions.  Opens a new host when a VM fits nowhere.
+
+    @raise Invalid_argument if some VM exceeds a whole host. *)
+
+val consolidation_ratio : plan -> float
+(** VMs per used host. *)
+
+type cost_report = {
+  unconsolidated_hosts : int;  (** one VM per host *)
+  consolidated_hosts : int;
+  watts_before : float;
+  watts_after : float;
+  annual_kwh_saved : float;
+  annual_euro_saved : float;
+  euro_saved_per_displaced_server : float;
+}
+
+val cost_savings :
+  host_spec -> vm_req list -> plan -> ?euro_per_kwh:float -> ?cooling_overhead:float ->
+  unit -> cost_report
+(** Power model: each powered-on host draws [watts_idle] plus
+    [watts_per_core × busy-cores]; consolidation removes idle draw of
+    displaced hosts.  [cooling_overhead] multiplies IT power (default
+    0.6 — cooling adds 60%).  Default electricity price 0.12 €/kWh. *)

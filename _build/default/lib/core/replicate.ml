@@ -1,0 +1,157 @@
+open Velum_machine
+open Velum_devices
+
+type session = {
+  primary : Hypervisor.t;
+  backup : Hypervisor.t;
+  vm : Vm.t;
+  twin : Vm.t;
+  link : Link.t;
+  mutable epochs_completed : int;
+  mutable pages_sent : int;
+  mutable initial_pages : int;
+  mutable initial_sync_cycles : int64;
+  mutable paused_cycles : int64;
+  mutable run_cycles : int64;
+  mutable finished : bool;
+}
+
+type stats = {
+  epochs_completed : int;
+  pages_sent : int;
+  initial_pages : int;
+  initial_sync_cycles : int64;
+  bytes_sent : int;
+  paused_cycles : int64;
+  run_cycles : int64;
+}
+
+let vcpu_state_bytes = 1024
+
+let copy_page (s : session) gfn =
+  match Vm.resolve_read s.vm gfn with
+  | None -> ()
+  | Some src_ppn -> (
+      let dst_ppn =
+        match P2m.get s.twin.Vm.p2m gfn with
+        | P2m.Present { hpa_ppn; _ } -> Some hpa_ppn
+        | _ -> (
+            match Frame_alloc.alloc s.twin.Vm.host.Host.alloc with
+            | Some ppn ->
+                P2m.set s.twin.Vm.p2m gfn
+                  (P2m.Present { hpa_ppn = ppn; writable = true; cow = false });
+                Some ppn
+            | None -> None)
+      in
+      match dst_ppn with
+      | None -> ()
+      | Some dst_ppn ->
+          Phys_mem.blit_between ~src:s.vm.Vm.host.Host.mem ~src_ppn
+            ~dst:s.twin.Vm.host.Host.mem ~dst_ppn;
+          s.pages_sent <- s.pages_sent + 1)
+
+let copy_vcpus (s : session) =
+  Array.iteri
+    (fun i (vcpu : Vcpu.t) ->
+      let src = vcpu.Vcpu.state and dst = s.twin.Vm.vcpus.(i).Vcpu.state in
+      Array.blit src.Cpu.regs 0 dst.Cpu.regs 0 (Array.length src.Cpu.regs);
+      Array.blit src.Cpu.csrs 0 dst.Cpu.csrs 0 (Array.length src.Cpu.csrs);
+      dst.Cpu.pc <- src.Cpu.pc;
+      dst.Cpu.mode <- src.Cpu.mode;
+      dst.Cpu.halted <- src.Cpu.halted;
+      dst.Cpu.waiting <- src.Cpu.waiting;
+      dst.Cpu.instret <- src.Cpu.instret)
+    s.vm.Vm.vcpus
+
+let transfer_cycles (s : session) ~pages =
+  Int64.of_int
+    (Link.transfer_cycles s.link
+       ~bytes:((pages * Migrate.page_wire_bytes) + vcpu_state_bytes))
+
+let start ~primary ~backup ~vm ~link =
+  let twin =
+    Hypervisor.create_vm backup ~name:(vm.Vm.name ^ "-backup")
+      ~mem_frames:(Vm.mem_frames vm)
+      ~vcpu_count:(Array.length vm.Vm.vcpus)
+      ~paging:vm.Vm.paging ~pv:vm.Vm.pv ~exec_mode:vm.Vm.exec_mode ~populate:false
+      ~entry:0L ()
+  in
+  (* the backup must not run until failover *)
+  Array.iter (fun v -> Vcpu.block v) twin.Vm.vcpus;
+  let s =
+    {
+      primary;
+      backup;
+      vm;
+      twin;
+      link;
+      epochs_completed = 0;
+      pages_sent = 0;
+      initial_pages = 0;
+      initial_sync_cycles = 0L;
+      paused_cycles = 0L;
+      run_cycles = 0L;
+      finished = false;
+    }
+  in
+  (* initial full synchronization with the guest paused *)
+  let gfns =
+    P2m.fold_present vm.Vm.p2m ~init:[] ~f:(fun acc ~gfn ~hpa_ppn:_ -> gfn :: acc)
+  in
+  List.iter (copy_page s) gfns;
+  copy_vcpus s;
+  s.initial_pages <- List.length gfns;
+  s.pages_sent <- 0 (* epoch accounting starts after the full sync *);
+  s.initial_sync_cycles <- transfer_cycles s ~pages:s.initial_pages;
+  Vm.start_dirty_logging vm;
+  s
+
+let epoch (s : session) ~run_cycles =
+  if s.finished then failwith "Replicate.epoch: session finished";
+  Hypervisor.run_vm s.primary s.vm ~cycles:run_cycles;
+  s.run_cycles <- Int64.add s.run_cycles run_cycles;
+  let dirty = Vm.collect_dirty s.vm ~clear:false in
+  Vm.start_dirty_logging s.vm (* re-arm write protection, clear bitmap *);
+  List.iter (copy_page s) dirty;
+  copy_vcpus s;
+  s.paused_cycles <-
+    Int64.add s.paused_cycles (transfer_cycles s ~pages:(List.length dirty));
+  s.epochs_completed <- s.epochs_completed + 1
+
+let stats (s : session) =
+  {
+    epochs_completed = s.epochs_completed;
+    pages_sent = s.pages_sent;
+    initial_pages = s.initial_pages;
+    initial_sync_cycles = s.initial_sync_cycles;
+    bytes_sent =
+      ((s.pages_sent + s.initial_pages) * Migrate.page_wire_bytes)
+      + ((s.epochs_completed + 1) * vcpu_state_bytes);
+    paused_cycles = s.paused_cycles;
+    run_cycles = s.run_cycles;
+  }
+
+let failover (s : session) =
+  if s.finished then failwith "Replicate.failover: session finished";
+  s.finished <- true;
+  Vm.stop_dirty_logging s.vm;
+  Hypervisor.remove_vm s.primary s.vm;
+  (* unblock the twin at the last checkpoint *)
+  Array.iter
+    (fun (v : Vcpu.t) ->
+      if not v.Vcpu.state.Cpu.halted then begin
+        v.Vcpu.runstate <- Vcpu.Runnable;
+        s.backup.Hypervisor.sched.Scheduler.wake v
+      end
+      else v.Vcpu.runstate <- Vcpu.Halted)
+    s.twin.Vm.vcpus;
+  s.twin
+
+let protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs =
+  let s = start ~primary ~backup ~vm ~link in
+  for _ = 1 to epochs do
+    epoch s ~run_cycles:epoch_cycles
+  done;
+  let st = stats s in
+  let twin = failover s in
+  (twin, st)

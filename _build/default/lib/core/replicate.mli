@@ -1,0 +1,57 @@
+(** Checkpoint replication for high availability (Remus-style).
+
+    A protected VM runs in epochs: at the end of each epoch the primary
+    pauses briefly, ships the pages dirtied during the epoch plus the
+    vCPU state to a warm backup on another host, and resumes.  If the
+    primary fails, the backup resumes from the last completed checkpoint
+    — losing at most one epoch of execution, with no shared storage of
+    memory state required.
+
+    The trade-off this module lets the benchmarks quantify: shorter
+    epochs bound the failover loss window but pause the guest more often
+    (checkpoint overhead grows), exactly the knob the Remus paper
+    (NSDI'08) evaluates. *)
+
+open Velum_devices
+
+type session
+
+type stats = {
+  epochs_completed : int;
+  pages_sent : int;  (** epoch checkpoints only *)
+  initial_pages : int;  (** the one-time full synchronization *)
+  initial_sync_cycles : int64;
+  bytes_sent : int;  (** everything, including the full sync *)
+  paused_cycles : int64;  (** guest stopped while epoch checkpoints
+                              shipped (full sync excluded) *)
+  run_cycles : int64;  (** guest execution between checkpoints *)
+}
+
+val start :
+  primary:Hypervisor.t -> backup:Hypervisor.t -> vm:Vm.t -> link:Link.t -> session
+(** Full initial synchronization (guest paused), then dirty logging is
+    armed and the VM keeps running on the primary.  The backup twin is
+    created blocked — it must not execute while the primary lives. *)
+
+val epoch : session -> run_cycles:int64 -> unit
+(** Run the guest for [run_cycles] on the primary, then pause it for the
+    time the epoch's dirty pages + vCPU state occupy the wire, applying
+    them to the backup. *)
+
+val stats : session -> stats
+
+val failover : session -> Vm.t
+(** The primary is declared dead: it is destroyed, and the backup twin is
+    unblocked at the last completed checkpoint.
+
+    @raise Failure if called twice. *)
+
+val protect :
+  primary:Hypervisor.t ->
+  backup:Hypervisor.t ->
+  vm:Vm.t ->
+  link:Link.t ->
+  epoch_cycles:int64 ->
+  epochs:int ->
+  Vm.t * stats
+(** Convenience: [start], run [epochs] epochs, then [failover]. *)

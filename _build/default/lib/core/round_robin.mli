@@ -1,0 +1,8 @@
+(** First-in-first-out round-robin scheduler with a fixed time slice.
+
+    The baseline policy: ignores weights and I/O boost, so CPU time
+    divides equally among runnable vCPUs regardless of administrator
+    intent — exactly the failure the credit scheduler's weight experiment
+    demonstrates. *)
+
+val create : ?slice:int -> unit -> Scheduler.t

@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  enqueue : Vcpu.t -> unit;
+  requeue : Vcpu.t -> unit;
+  wake : Vcpu.t -> unit;
+  remove : Vcpu.t -> unit;
+  pick : now:int64 -> (Vcpu.t * int) option;
+  charge : Vcpu.t -> used:int -> now:int64 -> unit;
+  next_release : now:int64 -> int64 option;
+}
+
+let default_slice = 100_000

@@ -1,0 +1,29 @@
+(** vCPU scheduler interface.
+
+    The hypervisor drives whichever policy is plugged in through this
+    record of operations.  Implementations: {!Round_robin} (baseline),
+    {!Credit} (Xen-style proportional share with I/O boost), {!Bvt}
+    (borrowed virtual time). *)
+
+type t = {
+  name : string;
+  enqueue : Vcpu.t -> unit;
+      (** register a runnable vCPU (first time or after wake) *)
+  requeue : Vcpu.t -> unit;
+      (** the vCPU used its slice but is still runnable *)
+  wake : Vcpu.t -> unit;
+      (** a blocked vCPU became runnable (its [boosted] flag tells the
+          policy whether it was an I/O wake) *)
+  remove : Vcpu.t -> unit;  (** halted or migrated away *)
+  pick : now:int64 -> (Vcpu.t * int) option;
+      (** choose the next vCPU and its slice in cycles; [None] = idle *)
+  charge : Vcpu.t -> used:int -> now:int64 -> unit;
+      (** account consumed cycles after running *)
+  next_release : now:int64 -> int64 option;
+      (** when a policy is holding runnable work back (CPU caps), the
+          earliest time it will release some — lets an idle host sleep
+          to that point instead of deadlocking *)
+}
+
+val default_slice : int
+(** 100k cycles — the time quantum baseline policies use. *)

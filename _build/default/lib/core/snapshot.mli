@@ -1,0 +1,40 @@
+(** VM snapshots: full serialization and copy-on-write live snapshots.
+
+    A {e full} snapshot serializes vCPU state and every present page to a
+    byte buffer that can be restored on any host (portable, sized ~ guest
+    memory).  A {e live} snapshot instead bumps refcounts and marks the
+    VM's frames copy-on-write — O(pages) metadata, O(1) data — the VM
+    keeps running and pays a COW break per page it subsequently writes;
+    restoring clones a VM from the shared frames. *)
+
+type full = Bytes.t
+
+val capture : Vm.t -> full
+(** Serialize the VM (vCPU state, present pages, balloon/absent layout,
+    console).  The VM should be quiesced (not running) for a consistent
+    image. *)
+
+val restore : Hypervisor.t -> full -> Vm.t
+(** Materialize a VM from a full snapshot on the given hypervisor
+    (scheduler-registered, same run states).
+
+    @raise Failure on a corrupt image or when the host lacks frames. *)
+
+val size_bytes : full -> int
+
+type live
+
+val capture_live : Vm.t -> live
+(** Mark every present frame copy-on-write and take a reference; the VM
+    continues running. *)
+
+val restore_live : Hypervisor.t -> live -> Vm.t
+(** Clone a VM sharing the snapshot's frames (all copy-on-write).  The
+    clone and the original diverge page by page as either writes.  Must
+    run on the same host as the snapshot's frames. *)
+
+val release_live : live -> unit
+(** Drop the snapshot's frame references (frames whose last reference
+    this was are freed).  Restored clones keep their own references. *)
+
+val live_pages : live -> int

@@ -1,0 +1,58 @@
+(** Virtual CPU: the guest-visible architectural state plus run-state and
+    scheduling bookkeeping.
+
+    The architectural state is a plain {!Velum_machine.Cpu.state} whose
+    [mode] field holds the {e virtual} privilege mode — under
+    trap-and-emulate the real hart always runs deprivileged, and the
+    hypervisor consults the virtual mode when emulating sensitive
+    instructions. *)
+
+open Velum_machine
+
+type runstate =
+  | Runnable
+  | Running  (** currently on a physical CPU *)
+  | Blocked  (** waiting for a virtual interrupt (wfi) *)
+  | Halted  (** executed [halt]; never runs again *)
+
+type t = {
+  id : int;  (** unique across the host *)
+  vm_id : int;
+  state : Cpu.state;
+  mutable runstate : runstate;
+  (* scheduling *)
+  mutable weight : int;  (** credit-scheduler weight (default 256) *)
+  mutable cap : int;
+      (** hard ceiling as a percentage of one pCPU (0 = uncapped); caps
+          are non-work-conserving — a capped vCPU idles even on an
+          otherwise idle host *)
+  mutable window_used : int;
+      (** cycles consumed in the current accounting period (cap
+          bookkeeping) *)
+  mutable credits : int;
+  mutable boosted : bool;  (** woken by I/O; gets priority (Xen BOOST) *)
+  mutable vruntime : float;  (** borrowed-virtual-time accounting *)
+  mutable last_scheduled : int64;
+  (* accounting *)
+  mutable guest_cycles : int64;  (** cycles spent executing guest code *)
+  mutable vmm_cycles : int64;  (** cycles charged for exits/emulation *)
+}
+
+val create :
+  id:int -> vm_id:int -> ?weight:int -> ?hartid:int -> entry:int64 -> unit -> t
+(** Fresh vCPU parked at [entry] in virtual supervisor mode, [Runnable];
+    [hartid] (default 0) seeds the read-only [Hartid] CSR. *)
+
+val is_runnable : t -> bool
+(** [Runnable] or [Running]. *)
+
+val total_cycles : t -> int64
+(** Guest + VMM cycles consumed on behalf of this vCPU. *)
+
+val block : t -> unit
+val wake : t -> boost:bool -> unit
+(** [wake t ~boost] makes a blocked vCPU runnable; [boost] marks it as
+    I/O-woken for schedulers that prioritise latency-sensitive vCPUs.
+    No-op unless blocked. *)
+
+val pp : Format.formatter -> t -> unit

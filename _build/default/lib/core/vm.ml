@@ -1,0 +1,499 @@
+open Velum_isa
+open Velum_machine
+open Velum_devices
+
+type paging_mode = Shadow_paging | Nested_paging
+
+type exec_mode = Trap_emulate | Binary_translation
+
+type pv = { pv_console : bool; pv_pt : bool }
+
+let no_pv = { pv_console = false; pv_pt = false }
+let full_pv = { pv_console = true; pv_pt = true }
+
+type t = {
+  id : int;
+  name : string;
+  host : Host.t;
+  p2m : P2m.t;
+  vcpus : Vcpu.t array;
+  tlbs : Tlb.t array;
+  paging : paging_mode;
+  mutable shadow : Shadow.t option;
+  mutable nested : Nested.t option;
+  bus : Bus.t;
+  uart : Uart.t;
+  mutable blk : Blockdev.t;
+  mutable vblk : Virtio_blk.t;
+  mutable nic : Nic.t option;
+  monitor : Monitor.t;
+  dirty : Bytes.t;
+  mutable dirty_logging : bool;
+  mutable remote_fetch : (int64 -> Bytes.t option) option;
+  mutable remote_fault_cycles : int;
+  pv : pv;
+  mutable balloon_pages : int;
+  exec_mode : exec_mode;
+  bt_cache : (int64, unit) Hashtbl.t;
+      (* guest PCs whose sensitive instruction has been translated *)
+  event_channels : (int64, t) Hashtbl.t;  (* local port -> peer VM *)
+  mutable event_pending : bool;
+}
+
+let page = Arch.page_size
+let frame_base ppn = Int64.shift_left ppn Arch.page_shift
+let gfn_of gpa = Int64.shift_right_logical gpa Arch.page_shift
+let page_off gpa = Int64.logand gpa (Int64.of_int (page - 1))
+
+(* ---- dirty bitmap ---- *)
+
+let mark_dirty t gfn =
+  let i = Int64.to_int gfn in
+  if i >= 0 && i < P2m.gframes t.p2m then begin
+    let byte = i / 8 and bit = i mod 8 in
+    Bytes.set t.dirty byte
+      (Char.chr (Char.code (Bytes.get t.dirty byte) lor (1 lsl bit)))
+  end
+
+let is_dirty t gfn =
+  let i = Int64.to_int gfn in
+  i >= 0
+  && i < P2m.gframes t.p2m
+  && Char.code (Bytes.get t.dirty (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let dirty_count t =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let v = Char.code c in
+      for b = 0 to 7 do
+        if v land (1 lsl b) <> 0 then incr n
+      done)
+    t.dirty;
+  !n
+
+let collect_dirty t ~clear =
+  let acc = ref [] in
+  for i = P2m.gframes t.p2m - 1 downto 0 do
+    if Char.code (Bytes.get t.dirty (i / 8)) land (1 lsl (i mod 8)) <> 0 then
+      acc := Int64.of_int i :: !acc
+  done;
+  if clear then Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  !acc
+
+(* ---- gfn resolution ---- *)
+
+let resolve_read t gfn =
+  if not (P2m.in_range t.p2m gfn) then None
+  else
+    match P2m.get t.p2m gfn with
+    | P2m.Present { hpa_ppn; _ } -> Some hpa_ppn
+    | P2m.Swapped { slot } -> (
+        match Frame_alloc.alloc t.host.Host.alloc with
+        | None -> None
+        | Some ppn ->
+            Host.swap_in t.host ~slot ~ppn;
+            P2m.set t.p2m gfn
+              (P2m.Present { hpa_ppn = ppn; writable = not t.dirty_logging; cow = false });
+            Some ppn)
+    | P2m.Remote -> (
+        match t.remote_fetch with
+        | None -> None
+        | Some fetch -> (
+            match fetch gfn with
+            | None -> None
+            | Some bytes -> (
+                match Frame_alloc.alloc t.host.Host.alloc with
+                | None -> None
+                | Some ppn ->
+                    Phys_mem.frame_write t.host.Host.mem ~ppn bytes;
+                    P2m.set t.p2m gfn
+                      (P2m.Present
+                         { hpa_ppn = ppn; writable = not t.dirty_logging; cow = false });
+                    Some ppn)))
+    | P2m.Ballooned | P2m.Absent -> None
+
+let invalidate_mapping t gfn =
+  (match t.shadow with Some s -> Shadow.invalidate_gfn s gfn | None -> ());
+  Array.iter Tlb.flush t.tlbs
+
+let resolve_write t gfn =
+  match resolve_read t gfn with
+  | None -> None
+  | Some hpa_ppn -> (
+      match P2m.get t.p2m gfn with
+      | P2m.Present { hpa_ppn = cur; writable; cow } ->
+          let hpa =
+            if cow then begin
+              (* Copy-on-write break: private copy, drop the shared ref. *)
+              let fresh = Frame_alloc.alloc_exn t.host.Host.alloc in
+              Phys_mem.blit_between ~src:t.host.Host.mem ~src_ppn:cur
+                ~dst:t.host.Host.mem ~dst_ppn:fresh;
+              ignore (Frame_alloc.decr_ref t.host.Host.alloc cur);
+              P2m.set t.p2m gfn (P2m.Present { hpa_ppn = fresh; writable = true; cow = false });
+              Monitor.bump t.monitor Monitor.E_cow_break;
+              invalidate_mapping t gfn;
+              fresh
+            end
+            else begin
+              if not writable then
+                P2m.set t.p2m gfn (P2m.Present { hpa_ppn = cur; writable = true; cow = false });
+              cur
+            end
+          in
+          if t.dirty_logging then mark_dirty t gfn;
+          Some hpa
+      | _ ->
+          (* resolve_read just made it Present *)
+          if t.dirty_logging then mark_dirty t gfn;
+          Some hpa_ppn)
+
+(* ---- guest-physical accessors ---- *)
+
+let read_gpa_u64 t gpa =
+  if Int64.rem gpa 8L <> 0L then None
+  else
+    Option.map
+      (fun ppn ->
+        Phys_mem.read t.host.Host.mem (Int64.logor (frame_base ppn) (page_off gpa)) Instr.W64)
+      (resolve_read t (gfn_of gpa))
+
+let write_gpa_u64 t gpa v =
+  if Int64.rem gpa 8L <> 0L then false
+  else
+    match resolve_write t (gfn_of gpa) with
+    | Some ppn ->
+        Phys_mem.write t.host.Host.mem
+          (Int64.logor (frame_base ppn) (page_off gpa))
+          Instr.W64 v;
+        true
+    | None -> false
+
+let read_gpa_bytes t gpa len =
+  if len < 0 then None
+  else begin
+    let out = Bytes.create len in
+    let rec go gpa off remaining =
+      if remaining = 0 then Some out
+      else
+        match resolve_read t (gfn_of gpa) with
+        | None -> None
+        | Some ppn ->
+            let in_page = min remaining (page - Int64.to_int (page_off gpa)) in
+            let base = Int64.to_int (Int64.logor (frame_base ppn) (page_off gpa)) in
+            for i = 0 to in_page - 1 do
+              Bytes.set out (off + i)
+                (Char.chr
+                   (Int64.to_int
+                      (Phys_mem.read t.host.Host.mem (Int64.of_int (base + i)) Instr.W8)))
+            done;
+            go (Int64.add gpa (Int64.of_int in_page)) (off + in_page) (remaining - in_page)
+    in
+    go gpa 0 len
+  end
+
+let write_gpa_bytes t gpa b =
+  let len = Bytes.length b in
+  let rec go gpa off remaining =
+    if remaining = 0 then true
+    else
+      match resolve_write t (gfn_of gpa) with
+      | None -> false
+      | Some ppn ->
+          let in_page = min remaining (page - Int64.to_int (page_off gpa)) in
+          let base = Int64.to_int (Int64.logor (frame_base ppn) (page_off gpa)) in
+          for i = 0 to in_page - 1 do
+            Phys_mem.write t.host.Host.mem
+              (Int64.of_int (base + i))
+              Instr.W8
+              (Int64.of_int (Char.code (Bytes.get b (off + i))))
+          done;
+          go (Int64.add gpa (Int64.of_int in_page)) (off + in_page) (remaining - in_page)
+  in
+  go gpa 0 len
+
+let guest_mem t =
+  {
+    Virtio_ring.read_u64 = (fun gpa -> read_gpa_u64 t gpa);
+    write_u64 = (fun gpa v -> write_gpa_u64 t gpa v);
+    read_bytes = (fun gpa len -> read_gpa_bytes t gpa len);
+    write_bytes = (fun gpa b -> write_gpa_bytes t gpa b);
+  }
+
+let guest_dma t =
+  {
+    Blockdev.dma_read = (fun gpa len -> read_gpa_bytes t gpa len);
+    dma_write = (fun gpa b -> write_gpa_bytes t gpa b);
+  }
+
+(* ---- creation ---- *)
+
+let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_paging)
+    ?(pv = no_pv) ?(blk_sectors = 2048) ?(populate = true) ?nic ?(tlb_size = 64)
+    ?(exec_mode = Trap_emulate) ~entry () =
+  let p2m = P2m.create ~gframes:mem_frames in
+  (* Populate guest memory eagerly; on failure return what we took. *)
+  let allocated = ref [] in
+  (if populate then
+     try
+       for gfn = 0 to mem_frames - 1 do
+         match Frame_alloc.alloc host.Host.alloc with
+         | Some ppn ->
+             allocated := ppn :: !allocated;
+             P2m.set p2m (Int64.of_int gfn)
+               (P2m.Present { hpa_ppn = ppn; writable = true; cow = false })
+         | None -> failwith "Vm.create: host out of frames"
+       done
+     with e ->
+       List.iter (fun ppn -> ignore (Frame_alloc.decr_ref host.Host.alloc ppn)) !allocated;
+       raise e);
+  let vcpus =
+    Array.init vcpu_count (fun i ->
+        Vcpu.create ~id:((id * 64) + i) ~vm_id:id ~hartid:i ~entry ())
+  in
+  let tlbs = Array.init vcpu_count (fun _ -> Tlb.create ~size:tlb_size) in
+  let bus = Bus.create () in
+  let uart = Uart.create () in
+  let t =
+    {
+      id;
+      name;
+      host;
+      p2m;
+      vcpus;
+      tlbs;
+      paging;
+      shadow = None;
+      nested = None;
+      bus;
+      uart;
+      blk = Blockdev.create ~sectors:blk_sectors { Blockdev.dma_read = (fun _ _ -> None); dma_write = (fun _ _ -> false) };
+      vblk = Virtio_blk.create ~sectors:blk_sectors { Virtio_ring.read_u64 = (fun _ -> None); write_u64 = (fun _ _ -> false); read_bytes = (fun _ _ -> None); write_bytes = (fun _ _ -> false) };
+      nic = None;
+      monitor = Monitor.create ();
+      dirty = Bytes.make ((mem_frames + 7) / 8) '\000';
+      dirty_logging = false;
+      remote_fetch = None;
+      remote_fault_cycles = 0;
+      pv;
+      balloon_pages = 0;
+      exec_mode;
+      bt_cache = Hashtbl.create 64;
+      event_channels = Hashtbl.create 4;
+      event_pending = false;
+    }
+  in
+  (* Rebuild the devices now that [t] exists, wiring DMA through the VM's
+     p2m, and attach them to the virtual bus. *)
+  t.blk <- Blockdev.create ~sectors:blk_sectors (guest_dma t);
+  t.vblk <- Virtio_blk.create ~sectors:blk_sectors (guest_mem t);
+  t.nic <-
+    Option.map
+      (fun (link, endpoint) -> Nic.create ~link ~endpoint ~dma:(guest_dma t) ())
+      nic;
+  Bus.attach t.bus (Uart.device t.uart);
+  Bus.attach t.bus (Blockdev.device t.blk);
+  Bus.attach t.bus (Virtio_blk.device t.vblk);
+  Option.iter (fun n -> Bus.attach t.bus (Nic.device n)) t.nic;
+  (match paging with
+  | Shadow_paging ->
+      let env =
+        {
+          Shadow.mem = host.Host.mem;
+          alloc = host.Host.alloc;
+          cost = host.Host.cost;
+          read_guest_pte = (fun gpa -> read_gpa_u64 t gpa);
+          write_guest_pte = (fun gpa v -> write_gpa_u64 t gpa v);
+          resolve_read = (fun gfn -> resolve_read t gfn);
+          resolve_write = (fun gfn -> resolve_write t gfn);
+          host_writable =
+            (fun gfn ->
+              match P2m.get t.p2m gfn with
+              | P2m.Present { writable; cow; _ } -> writable && not cow
+              | _ -> false);
+        }
+      in
+      t.shadow <- Some (Shadow.create env)
+  | Nested_paging ->
+      let env =
+        {
+          Nested.mem = host.Host.mem;
+          cost = host.Host.cost;
+          p2m = t.p2m;
+          mark_ad_write = (fun gfn -> if t.dirty_logging then mark_dirty t gfn);
+        }
+      in
+      t.nested <- Some (Nested.create env));
+  t
+
+let destroy t =
+  (match t.shadow with Some s -> Shadow.flush_all s | None -> ());
+  P2m.iter t.p2m ~f:(fun ~gfn entry ->
+      match entry with
+      | P2m.Present { hpa_ppn; _ } ->
+          ignore (Frame_alloc.decr_ref t.host.Host.alloc hpa_ppn);
+          P2m.set t.p2m gfn P2m.Absent
+      | _ -> ())
+
+let load_image t (img : Asm.image) =
+  if not (write_gpa_bytes t img.Asm.origin img.Asm.code) then
+    failwith "Vm.load_image: image does not fit in guest memory"
+
+let mem_frames t = P2m.gframes t.p2m
+
+let halted t = Array.for_all (fun v -> v.Vcpu.runstate = Vcpu.Halted) t.vcpus
+
+let guest_cycles t =
+  Array.fold_left (fun acc v -> Int64.add acc v.Vcpu.guest_cycles) 0L t.vcpus
+
+let vmm_cycles t =
+  Array.fold_left (fun acc v -> Int64.add acc v.Vcpu.vmm_cycles) 0L t.vcpus
+
+(* ---- dirty logging epochs ---- *)
+
+let flush_all_tlbs t = Array.iter Tlb.flush t.tlbs
+let flush_vcpu_tlb t ~vcpu_idx = Tlb.flush t.tlbs.(vcpu_idx)
+
+let start_dirty_logging t =
+  t.dirty_logging <- true;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  ignore (P2m.clear_writable_all t.p2m);
+  (match t.shadow with Some s -> Shadow.clear_all_writable s | None -> ());
+  flush_all_tlbs t
+
+let stop_dirty_logging t =
+  t.dirty_logging <- false;
+  P2m.iter t.p2m ~f:(fun ~gfn entry ->
+      match entry with
+      | P2m.Present { hpa_ppn; writable = false; cow = false } ->
+          P2m.set t.p2m gfn (P2m.Present { hpa_ppn; writable = true; cow = false })
+      | _ -> ());
+  flush_all_tlbs t
+
+(* ---- guest-virtual software walk (no side effects) ---- *)
+
+let read_guest_va t ~vcpu_idx va =
+  let vcpu = t.vcpus.(vcpu_idx) in
+  let satp = Cpu.get_csr vcpu.Vcpu.state Arch.Satp in
+  let gpa =
+    if not (Arch.satp_enabled satp) then Some va
+    else begin
+      let acc =
+        {
+          Page_table.read_pte =
+            (fun gpa -> Option.value (read_gpa_u64 t gpa) ~default:Pte.invalid);
+          write_pte = (fun _ _ -> ());
+        }
+      in
+      match Page_table.walk acc ~root_ppn:(Arch.satp_root_ppn satp) va with
+      | Ok { pte; level; _ } -> Some (Page_table.leaf_pa ~pte ~level ~va)
+      | Error _ -> None
+    end
+  in
+  Option.bind gpa (fun gpa ->
+      if Int64.rem gpa 8L <> 0L then None else read_gpa_u64 t gpa)
+
+(* ---- translation ---- *)
+
+(* Shadow mode with guest paging disabled: guest-virtual = guest-physical
+   through the hypervisor's direct map (still a 1-D walk on a miss). *)
+let translate_bare_shadow t ~vcpu_idx ~access ~user:_ va =
+  if Bus.is_mmio va then Ok { Cpu.pa = va; mmio = true; xlate_cycles = 0 }
+  else begin
+    let tlb = t.tlbs.(vcpu_idx) in
+    let vpn = gfn_of va in
+    let hit =
+      match Tlb.lookup tlb ~vpn with
+      | Some e when not e.Tlb.mmio ->
+          if access = Arch.Store && not e.dirty_ok then None else Some e
+      | _ -> None
+    in
+    match hit with
+    | Some e ->
+        Tlb.note_hit tlb;
+        Ok
+          {
+            Cpu.pa = Int64.logor (frame_base e.Tlb.ppn) (page_off va);
+            mmio = false;
+            xlate_cycles = 0;
+          }
+    | None -> (
+        Tlb.note_miss tlb;
+        if not (P2m.in_range t.p2m vpn) then Error `Access
+        else
+          match P2m.get t.p2m vpn with
+          | P2m.Present { hpa_ppn; writable; cow } ->
+              let w = writable && not cow in
+              if access = Arch.Store && not w then Error `Page
+              else begin
+                Tlb.insert tlb
+                  {
+                    Tlb.vpn;
+                    ppn = hpa_ppn;
+                    perms = { Pte.r = true; w; x = true; u = true };
+                    dirty_ok = w;
+                    mmio = false;
+                    superpage = false;
+                  };
+                let cost = t.host.Host.cost in
+                Ok
+                  {
+                    Cpu.pa = Int64.logor (frame_base hpa_ppn) (page_off va);
+                    mmio = false;
+                    xlate_cycles = Cost_model.walk_cycles_1d cost + cost.Cost_model.tlb_fill;
+                  }
+              end
+          | P2m.Swapped _ | P2m.Remote -> Error `Page
+          | P2m.Ballooned | P2m.Absent -> Error `Access)
+  end
+
+let translate t ~vcpu_idx ~access ~user va =
+  let vcpu = t.vcpus.(vcpu_idx) in
+  let satp = Cpu.get_csr vcpu.Vcpu.state Arch.Satp in
+  match t.paging with
+  | Nested_paging ->
+      let nested = Option.get t.nested in
+      Nested.translate nested ~guest_satp:satp ~tlb:t.tlbs.(vcpu_idx) ~access ~user va
+  | Shadow_paging ->
+      if Arch.satp_enabled satp then
+        let shadow = Option.get t.shadow in
+        Shadow.translate shadow ~root_gfn:(Arch.satp_root_ppn satp) ~tlb:t.tlbs.(vcpu_idx)
+          ~access ~user va
+      else translate_bare_shadow t ~vcpu_idx ~access ~user va
+
+(* ---- ballooning ---- *)
+
+let balloon_out t gfn =
+  if not (P2m.in_range t.p2m gfn) then false
+  else
+    match P2m.get t.p2m gfn with
+    | P2m.Present { hpa_ppn; _ } ->
+        ignore (Frame_alloc.decr_ref t.host.Host.alloc hpa_ppn);
+        P2m.set t.p2m gfn P2m.Ballooned;
+        t.balloon_pages <- t.balloon_pages + 1;
+        invalidate_mapping t gfn;
+        true
+    | _ -> false
+
+let balloon_in t gfn =
+  if not (P2m.in_range t.p2m gfn) then false
+  else
+    match P2m.get t.p2m gfn with
+    | P2m.Ballooned -> (
+        match Frame_alloc.alloc t.host.Host.alloc with
+        | Some ppn ->
+            P2m.set t.p2m gfn (P2m.Present { hpa_ppn = ppn; writable = true; cow = false });
+            t.balloon_pages <- t.balloon_pages - 1;
+            true
+        | None -> false)
+    | _ -> false
+
+(* ---- console ---- *)
+
+let console_put t c = Uart.write_reg t.uart Uart.reg_data (Int64.of_int (Char.code c))
+let console_output t = Uart.output t.uart
+
+let pp ppf t =
+  Format.fprintf ppf "vm%d(%s, %d vcpus, %d frames, %s)" t.id t.name
+    (Array.length t.vcpus) (mem_frames t)
+    (match t.paging with Shadow_paging -> "shadow" | Nested_paging -> "nested")

@@ -1,0 +1,168 @@
+(** A virtual machine: guest memory view, vCPUs, virtual devices and the
+    paging machinery that binds them to the host.
+
+    Guest-physical address space layout mirrors bare metal: RAM at zero,
+    the device window at {!Velum_machine.Bus.mmio_base} (the same guest
+    images boot natively and virtualized).  Each vCPU has its own TLB
+    (modelling one hardware context per virtual hart). *)
+
+open Velum_isa
+open Velum_machine
+open Velum_devices
+
+type paging_mode = Shadow_paging | Nested_paging
+
+type exec_mode =
+  | Trap_emulate
+      (** every sensitive event is a full world switch (the default) *)
+  | Binary_translation
+      (** a software translator rewrites sensitive instructions in
+          place: the first execution of each sensitive site pays a
+          translation cost, later executions emulate inline at a small
+          fraction of an exit.  Device accesses and hidden page faults
+          still require real exits.  Models VMware-style adaptive BT
+          (Adams & Agesen, ASPLOS'06); semantics are identical to
+          trap-and-emulate, only the cost accounting differs. *)
+
+type pv = {
+  pv_console : bool;  (** guest prints via hypercall, not UART MMIO *)
+  pv_pt : bool;  (** guest updates page tables via hypercall batches *)
+}
+
+val no_pv : pv
+val full_pv : pv
+
+type t = {
+  id : int;
+  name : string;
+  host : Host.t;
+  p2m : P2m.t;
+  vcpus : Vcpu.t array;
+  tlbs : Tlb.t array;  (** parallel to [vcpus] *)
+  paging : paging_mode;
+  mutable shadow : Shadow.t option;
+  mutable nested : Nested.t option;
+  bus : Bus.t;
+  uart : Uart.t;
+  mutable blk : Blockdev.t;
+  mutable vblk : Virtio_blk.t;
+  mutable nic : Nic.t option;
+  monitor : Monitor.t;
+  dirty : Bytes.t;  (** dirty bitmap, one bit per guest frame *)
+  mutable dirty_logging : bool;
+  mutable remote_fetch : (int64 -> Bytes.t option) option;
+      (** post-copy: pull a page from the migration source *)
+  mutable remote_fault_cycles : int;
+      (** latency charged per demand fetch *)
+  pv : pv;
+  mutable balloon_pages : int;  (** pages currently surrendered *)
+  exec_mode : exec_mode;
+  bt_cache : (int64, unit) Hashtbl.t;  (** translated sensitive sites *)
+  event_channels : (int64, t) Hashtbl.t;
+      (** event-channel ports → peer VM (managed by {!Event}) *)
+  mutable event_pending : bool;
+      (** an unacknowledged event raises the external-interrupt line *)
+}
+
+val create :
+  host:Host.t ->
+  id:int ->
+  name:string ->
+  mem_frames:int ->
+  ?vcpu_count:int ->
+  ?paging:paging_mode ->
+  ?pv:pv ->
+  ?blk_sectors:int ->
+  ?populate:bool ->
+  ?nic:Nic.link_binding ->
+  ?tlb_size:int ->
+  ?exec_mode:exec_mode ->
+  entry:int64 ->
+  unit ->
+  t
+(** Allocates all guest frames eagerly (Present, writable) unless
+    [populate = false], in which case every entry starts [Absent]
+    (post-copy migration fills them as [Remote]).
+
+    @raise Failure when the host is out of frames (everything allocated
+    so far is returned first). *)
+
+val destroy : t -> unit
+(** Release every host frame the VM holds (guest memory, shadow tables).
+    The VM must not be used afterwards. *)
+
+val load_image : t -> Asm.image -> unit
+(** Copy an assembled image into guest-physical memory. *)
+
+val mem_frames : t -> int
+val halted : t -> bool
+(** All vCPUs halted. *)
+
+val guest_cycles : t -> int64
+val vmm_cycles : t -> int64
+
+(** {1 Dirty-page tracking (live migration)} *)
+
+val mark_dirty : t -> int64 -> unit
+val is_dirty : t -> int64 -> bool
+val dirty_count : t -> int
+val collect_dirty : t -> clear:bool -> int64 list
+val start_dirty_logging : t -> unit
+val stop_dirty_logging : t -> unit
+
+(** {1 Guest-physical memory access (host side)}
+
+    Used by virtual-device DMA, hypercall buffers and migration.  Writes
+    resolve copy-on-write and dirty logging exactly as guest stores do. *)
+
+val resolve_read : t -> int64 -> int64 option
+(** [resolve_read vm gfn] — machine frame backing [gfn] for reading
+    (performs swap-in / remote fetch); [None] if unbacked. *)
+
+val resolve_write : t -> int64 -> int64 option
+
+val read_gpa_u64 : t -> int64 -> int64 option
+val write_gpa_u64 : t -> int64 -> int64 -> bool
+val read_gpa_bytes : t -> int64 -> int -> Bytes.t option
+val write_gpa_bytes : t -> int64 -> Bytes.t -> bool
+
+val guest_mem : t -> Virtio_ring.guest_mem
+val guest_dma : t -> Blockdev.dma
+
+(** {1 Guest-virtual access (instruction emulation)} *)
+
+val read_guest_va : t -> vcpu_idx:int -> int64 -> int64 option
+(** Software walk of the guest's own tables (no side effects), then a
+    physical read; [None] on any fault. *)
+
+(** {1 Translation} *)
+
+val translate :
+  t ->
+  vcpu_idx:int ->
+  access:Arch.access ->
+  user:bool ->
+  int64 ->
+  (Cpu.xlate, Cpu.xlate_fault) result
+(** The translate function installed in the deprivileged hart's context;
+    dispatches on paging mode and the vCPU's virtual [satp]. *)
+
+val flush_vcpu_tlb : t -> vcpu_idx:int -> unit
+val flush_all_tlbs : t -> unit
+
+(** {1 Ballooning} *)
+
+val balloon_out : t -> int64 -> bool
+(** [balloon_out vm gfn] — the guest surrendered [gfn]; frees the backing
+    frame.  False if the gfn is not present. *)
+
+val balloon_in : t -> int64 -> bool
+(** [balloon_in vm gfn] — give the page back (zeroed).  False if not
+    ballooned or the host is out of memory. *)
+
+(** {1 Console} *)
+
+val console_put : t -> char -> unit
+val console_output : t -> string
+
+val pp : Format.formatter -> t -> unit

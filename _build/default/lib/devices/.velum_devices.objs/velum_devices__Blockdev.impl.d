@@ -1,0 +1,1 @@
+lib/devices/blockdev.ml: Bytes Int64 String Velum_machine

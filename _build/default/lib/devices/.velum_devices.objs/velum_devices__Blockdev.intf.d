@@ -1,0 +1,1 @@
+lib/devices/blockdev.mli: Bytes Velum_machine

@@ -1,0 +1,1 @@
+lib/devices/link.ml: Int64 List String

@@ -1,0 +1,1 @@
+lib/devices/nic.ml: Blockdev Bytes Int64 Link List Ring String Velum_machine Velum_util

@@ -1,0 +1,1 @@
+lib/devices/nic.mli: Blockdev Link Velum_machine

@@ -1,0 +1,1 @@
+lib/devices/platform.ml: Arch Array Asm Blockdev Bus Bytes Char Cost_model Cpu Fun Instr Int64 List Mmu Nic Option Phys_mem Tlb Uart Velum_isa Velum_machine Virtio_blk Virtio_ring

@@ -1,0 +1,1 @@
+lib/devices/platform.mli: Asm Blockdev Bus Cost_model Cpu Link Mmu Nic Phys_mem Tlb Uart Velum_isa Velum_machine Virtio_blk Virtio_ring

@@ -1,0 +1,1 @@
+lib/devices/uart.ml: Buffer Char Int64 Ring String Velum_machine Velum_util

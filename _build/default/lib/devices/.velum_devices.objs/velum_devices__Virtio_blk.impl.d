@@ -1,0 +1,1 @@
+lib/devices/virtio_blk.ml: Blockdev Bytes Int64 List String Velum_machine Virtio_ring

@@ -1,0 +1,1 @@
+lib/devices/virtio_blk.mli: Velum_machine Virtio_ring

@@ -1,0 +1,1 @@
+lib/devices/virtio_ring.ml: Bytes Fun Int64 List Option

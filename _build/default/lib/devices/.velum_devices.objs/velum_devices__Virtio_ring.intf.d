@@ -1,0 +1,1 @@
+lib/devices/virtio_ring.mli: Bytes

@@ -1,0 +1,58 @@
+type endpoint = [ `A | `B ]
+
+let peer = function `A -> `B | `B -> `A
+
+type direction = {
+  mutable line_free : int64; (* cycle when the sender's line frees up *)
+  mutable queue : (int64 * string) list; (* arrival-sorted, oldest first *)
+}
+
+type t = {
+  bpc : float;
+  latency : int;
+  a_to_b : direction;
+  b_to_a : direction;
+  mutable total_bytes : int;
+}
+
+let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
+  if bytes_per_cycle <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
+  if latency_cycles < 0 then invalid_arg "Link.create: negative latency";
+  {
+    bpc = bytes_per_cycle;
+    latency = latency_cycles;
+    a_to_b = { line_free = 0L; queue = [] };
+    b_to_a = { line_free = 0L; queue = [] };
+    total_bytes = 0;
+  }
+
+let bytes_per_cycle t = t.bpc
+let latency_cycles t = t.latency
+
+let serialization t bytes = int_of_float (ceil (float_of_int bytes /. t.bpc))
+
+let transfer_cycles t ~bytes = serialization t bytes + t.latency
+
+let dir t from = match from with `A -> t.a_to_b | `B -> t.b_to_a
+
+let send t ~from ~now ~payload =
+  let d = dir t from in
+  let start = if Int64.unsigned_compare now d.line_free > 0 then now else d.line_free in
+  let ser = Int64.of_int (serialization t (String.length payload)) in
+  d.line_free <- Int64.add start ser;
+  let arrival = Int64.add d.line_free (Int64.of_int t.latency) in
+  d.queue <- d.queue @ [ (arrival, payload) ];
+  t.total_bytes <- t.total_bytes + String.length payload;
+  arrival
+
+let poll t ~at ~now =
+  let d = dir t (peer at) in
+  let arrived, still = List.partition (fun (when_, _) -> Int64.unsigned_compare when_ now <= 0) d.queue in
+  d.queue <- still;
+  List.map snd arrived
+
+let next_arrival t ~at =
+  match (dir t (peer at)).queue with [] -> None | (when_, _) :: _ -> Some when_
+
+let in_flight t = List.length t.a_to_b.queue + List.length t.b_to_a.queue
+let bytes_sent t = t.total_bytes

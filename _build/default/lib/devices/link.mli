@@ -1,0 +1,46 @@
+(** Point-to-point network link with bandwidth, latency and serialization.
+
+    Connects two endpoints ([`A] and [`B]).  A frame sent at cycle [t]
+    arrives at the peer at
+    [max(t, line_free) + bytes/bandwidth + latency]; the line then stays
+    busy for the frame's serialization time, so back-to-back senders see
+    queueing.  Live migration charges its transfer times through this
+    model; NICs carry guest frames over it. *)
+
+type endpoint = [ `A | `B ]
+
+val peer : endpoint -> endpoint
+
+type t
+
+val create : ?bytes_per_cycle:float -> ?latency_cycles:int -> unit -> t
+(** Defaults: 1.25 bytes/cycle and 2000 cycles of latency — with a
+    nominal 1 GHz cycle this models a 10 Gb/s link with 2 µs one-way
+    delay.
+
+    @raise Invalid_argument on non-positive bandwidth or negative
+    latency. *)
+
+val bytes_per_cycle : t -> float
+val latency_cycles : t -> int
+
+val transfer_cycles : t -> bytes:int -> int
+(** [transfer_cycles t ~bytes] is the unloaded one-way time for a
+    transfer of [bytes]: serialization + latency. *)
+
+val send : t -> from:endpoint -> now:int64 -> payload:string -> int64
+(** [send t ~from ~now ~payload] enqueues a frame toward the peer and
+    returns its arrival time. *)
+
+val poll : t -> at:endpoint -> now:int64 -> string list
+(** [poll t ~at ~now] removes and returns the frames that have arrived at
+    [at] by [now], in arrival order. *)
+
+val next_arrival : t -> at:endpoint -> int64 option
+(** Earliest pending arrival time at [at]. *)
+
+val in_flight : t -> int
+(** Total queued frames in both directions. *)
+
+val bytes_sent : t -> int
+(** Total payload bytes ever sent (both directions). *)

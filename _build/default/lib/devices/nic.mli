@@ -1,0 +1,45 @@
+(** Network interface with a register/DMA ("fully emulated") front end.
+
+    Each NIC is bound to one endpoint of a {!Link}.  Transmit: the guest
+    writes the frame's guest-physical address and length, then the TX
+    doorbell; the device DMAs the frame out and puts it on the wire.
+    Receive: arrived frames queue in the device; the guest reads RX_LEN
+    (0 = nothing pending), writes a buffer address to RX_DMA and the RX
+    doorbell; the device DMAs the frame in.  The interrupt line is up
+    while the receive queue is non-empty.
+
+    Register layout (offsets from base):
+    - [0x00] TX_ADDR, [0x08] TX_LEN, [0x10] TX_CMD (doorbell)
+    - [0x18] RX_LEN (read), [0x20] RX_DMA, [0x28] RX_CMD (doorbell)
+    - [0x30] FRAMES_SENT (read), [0x38] FRAMES_RECEIVED (read) *)
+
+val reg_tx_addr : int64
+val reg_tx_len : int64
+val reg_tx_cmd : int64
+val reg_rx_len : int64
+val reg_rx_dma : int64
+val reg_rx_cmd : int64
+val reg_frames_sent : int64
+val reg_frames_received : int64
+
+val mmio_base : int64
+(** Conventional base address ([0x4000_1000]). *)
+
+val max_frame : int
+
+type link_binding = Link.t * Link.endpoint
+(** Which link and which end of it a NIC is plugged into. *)
+
+type t
+
+val create :
+  link:Link.t -> endpoint:Link.endpoint -> dma:Blockdev.dma -> ?rx_capacity:int -> unit -> t
+
+val device : ?base:int64 -> t -> Velum_machine.Bus.device
+
+val frames_sent : t -> int
+val frames_received : t -> int
+val rx_queue_length : t -> int
+
+val next_arrival : t -> int64 option
+(** Earliest cycle at which a frame will arrive from the wire. *)

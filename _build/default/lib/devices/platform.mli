@@ -1,0 +1,61 @@
+(** A complete bare-metal VR64 machine: one hart, RAM, MMU, and a device
+    complement (UART console, emulated block device, paravirtual block
+    device, NIC) on the MMIO bus.
+
+    This is the {e native} baseline every virtualization experiment
+    compares against — the same guest images boot here and under the
+    hypervisor. *)
+
+open Velum_isa
+open Velum_machine
+
+type t = {
+  mem : Phys_mem.t;
+  bus : Bus.t;
+  uart : Uart.t;
+  blk : Blockdev.t;
+  vblk : Virtio_blk.t;
+  nic : Nic.t option;
+  cpu : Cpu.state;
+  tlb : Tlb.t;
+  mmu : Mmu.t;
+  cost : Cost_model.t;
+  mutable clock : int64;
+}
+
+val identity_dma : Phys_mem.t -> Blockdev.dma
+(** DMA callbacks that treat device addresses as raw physical addresses
+    (native: guest-physical = machine-physical). *)
+
+val identity_guest_mem : Phys_mem.t -> Virtio_ring.guest_mem
+
+val create :
+  ?frames:int ->
+  ?cost:Cost_model.t ->
+  ?blk_sectors:int ->
+  ?tlb_size:int ->
+  ?nic:Link.t * Link.endpoint ->
+  unit ->
+  t
+(** [create ()] builds a machine with 4096 frames (16 MiB) by default.
+    Passing [~nic:(link, endpoint)] attaches a NIC bound to that link. *)
+
+val load_image : t -> Asm.image -> unit
+(** Copy an assembled image into RAM at its origin. *)
+
+val boot : t -> entry:int64 -> unit
+(** Reset the hart: [pc := entry], supervisor mode, registers cleared. *)
+
+type outcome =
+  | Halted  (** the guest executed [halt] *)
+  | Out_of_budget
+  | Deadlock  (** [wfi] with no event that could ever wake the hart *)
+
+val run : ?budget:int64 -> t -> outcome
+(** [run ?budget t] executes until halt, budget exhaustion (default 500M
+    cycles) or deadlock, advancing the cycle clock and ticking devices.
+    [wfi] fast-forwards the clock to the next timer or device event. *)
+
+val console_output : t -> string
+val cycles : t -> int64
+val instructions_retired : t -> int64

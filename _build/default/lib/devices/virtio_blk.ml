@@ -1,0 +1,171 @@
+let reg_kick = 0x00L
+let reg_isr = 0x08L
+let reg_ring_base = 0x10L
+let reg_ring_size = 0x18L
+let kind_read = 1L
+let kind_write = 2L
+let mmio_base = 0x4000_3000L
+
+let sector_bytes = Blockdev.sector_bytes
+let seek_cycles = 2_000
+let cycles_per_byte = 2
+
+type batch = { finish_at : int64; completions : (int64 * bool) list (* status_gpa, ok *) }
+
+type t = {
+  store : Bytes.t;
+  nsectors : int;
+  mem : Virtio_ring.guest_mem;
+  mutable ring : Virtio_ring.t option;
+  mutable ring_base : int64;
+  mutable ring_size : int64;
+  mutable batches : batch list; (* oldest first *)
+  mutable irq : bool;
+  mutable ops : int;
+  mutable kick_count : int;
+  mutable now : int64;
+}
+
+let create ?(sectors = 8192) mem =
+  if sectors <= 0 then invalid_arg "Virtio_blk.create: sectors must be positive";
+  {
+    store = Bytes.make (sectors * sector_bytes) '\000';
+    nsectors = sectors;
+    mem;
+    ring = None;
+    ring_base = 0L;
+    ring_size = 0L;
+    batches = [];
+    irq = false;
+    ops = 0;
+    kick_count = 0;
+    now = 0L;
+  }
+
+let sectors t = t.nsectors
+
+let load t ~sector s =
+  let off = sector * sector_bytes in
+  if sector < 0 || off + String.length s > Bytes.length t.store then
+    invalid_arg "Virtio_blk.load: out of range";
+  Bytes.blit_string s 0 t.store off (String.length s)
+
+let read_back t ~sector ~count =
+  let off = sector * sector_bytes in
+  let len = count * sector_bytes in
+  if sector < 0 || count < 0 || off + len > Bytes.length t.store then
+    invalid_arg "Virtio_blk.read_back: out of range";
+  Bytes.sub_string t.store off len
+
+let setup_ring t =
+  match t.ring with
+  | Some r -> Some r
+  | None ->
+      let size = Int64.to_int t.ring_size in
+      if size > 0 && size land (size - 1) = 0 then begin
+        let r = Virtio_ring.create ~mem:t.mem ~base:t.ring_base ~size in
+        t.ring <- Some r;
+        Some r
+      end
+      else None
+
+(* Execute one descriptor against the backing store; data moves now,
+   completion (status byte + used index) is deferred to the batch's
+   finish time. *)
+let exec_desc t (d : Virtio_ring.desc) =
+  let sector = Int64.to_int d.arg in
+  let len = d.data_len in
+  let ok =
+    len > 0
+    && len mod sector_bytes = 0
+    && sector >= 0
+    && (sector * sector_bytes) + len <= Bytes.length t.store
+    &&
+    if d.kind = kind_read then
+      t.mem.write_bytes d.data_gpa (Bytes.sub t.store (sector * sector_bytes) len)
+    else if d.kind = kind_write then begin
+      match t.mem.read_bytes d.data_gpa len with
+      | Some b ->
+          Bytes.blit b 0 t.store (sector * sector_bytes) len;
+          true
+      | None -> false
+    end
+    else false
+  in
+  (d.status_gpa, ok, len)
+
+let kick t =
+  t.kick_count <- t.kick_count + 1;
+  match setup_ring t with
+  | None -> ()
+  | Some ring ->
+      let descs = Virtio_ring.pending ring in
+      if descs <> [] then begin
+        let results = List.map (exec_desc t) descs in
+        let total_bytes = List.fold_left (fun acc (_, _, len) -> acc + len) 0 results in
+        let latency = seek_cycles + (total_bytes * cycles_per_byte) in
+        let completions = List.map (fun (gpa, ok, _) -> (gpa, ok)) results in
+        t.batches <-
+          t.batches @ [ { finish_at = Int64.add t.now (Int64.of_int latency); completions } ]
+      end
+
+let finish_batch t b =
+  List.iter
+    (fun (status_gpa, ok) ->
+      ignore (t.mem.write_bytes status_gpa (Bytes.make 1 (if ok then '\000' else '\001'))))
+    b.completions;
+  (match t.ring with
+  | Some ring -> Virtio_ring.complete ring ~count:(List.length b.completions)
+  | None -> ());
+  t.ops <- t.ops + List.length b.completions;
+  t.irq <- true
+
+let tick t now =
+  if Int64.unsigned_compare now t.now > 0 then t.now <- now;
+  let rec drain () =
+    match t.batches with
+    | b :: rest when Int64.unsigned_compare t.now b.finish_at >= 0 ->
+        t.batches <- rest;
+        finish_batch t b;
+        drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let read_reg t off =
+  if off = reg_isr then begin
+    let v = if t.irq then 1L else 0L in
+    t.irq <- false;
+    v
+  end
+  else if off = reg_ring_base then t.ring_base
+  else if off = reg_ring_size then t.ring_size
+  else 0L
+
+let write_reg t off v =
+  if off = reg_kick then kick t
+  else if off = reg_ring_base then begin
+    t.ring_base <- v;
+    t.ring <- None
+  end
+  else if off = reg_ring_size then begin
+    t.ring_size <- v;
+    t.ring <- None
+  end
+
+let device ?(base = mmio_base) t =
+  {
+    Velum_machine.Bus.name = "virtio-blk";
+    base;
+    size = 0x100;
+    read = (fun off _w -> read_reg t off);
+    write = (fun off _w v -> write_reg t off v);
+    tick = (fun now -> tick t now);
+    pending_irq = (fun () -> t.irq);
+  }
+
+let completed_ops t = t.ops
+let kicks t = t.kick_count
+
+let next_completion t =
+  match t.batches with [] -> None | b :: _ -> Some b.finish_at

@@ -1,0 +1,80 @@
+(** Shared-memory descriptor ring (virtio-style paravirtual transport).
+
+    The ring lives in guest memory.  The guest publishes request
+    descriptors, bumps the available index, and {e kicks} the device once
+    per batch with a single doorbell write — one VM exit amortized over
+    the whole batch, versus one exit per register write on the emulated
+    path.  The device consumes descriptors up to the available index and
+    bumps the used index as it completes them.
+
+    Memory layout at the ring base (all fields 64-bit little-endian):
+    {v
+      0x00  avail_idx   free-running, written by the guest
+      0x08  used_idx    free-running, written by the device
+      0x10  desc[size]  40-byte descriptors:
+              +0   data buffer guest-physical address
+              +8   data length in bytes
+              +16  request kind (device-specific)
+              +24  argument (device-specific, e.g. sector)
+              +32  status byte guest-physical address
+    v} *)
+
+type guest_mem = {
+  read_u64 : int64 -> int64 option;
+  write_u64 : int64 -> int64 -> bool;
+  read_bytes : int64 -> int -> Bytes.t option;
+  write_bytes : int64 -> Bytes.t -> bool;
+}
+(** Guest-physical memory accessors ([None]/[false] = bad address). *)
+
+type desc = {
+  data_gpa : int64;
+  data_len : int;
+  kind : int64;
+  arg : int64;
+  status_gpa : int64;
+}
+
+val desc_stride : int
+val header_bytes : int
+
+val ring_bytes : size:int -> int
+(** Total guest memory the ring occupies. *)
+
+type t
+
+val create : mem:guest_mem -> base:int64 -> size:int -> t
+(** [create ~mem ~base ~size] — [size] descriptors; the guest must have
+    zeroed the header.
+
+    @raise Invalid_argument if [size] is not a positive power of two. *)
+
+val size : t -> int
+val base : t -> int64
+
+val avail_idx : t -> int64
+(** Current available index as published by the guest ([0] on a DMA
+    error). *)
+
+val used_idx : t -> int64
+
+val pending : t -> desc list
+(** [pending t] reads the descriptors in slots [used_idx, avail_idx);
+    malformed slots (bad addresses) are skipped. *)
+
+val complete : t -> count:int -> unit
+(** [complete t ~count] advances the used index by [count]. *)
+
+(** {1 Guest-side helpers}
+
+    These run with host visibility (no simulated cycles) and exist for
+    the host-side of tests and for building guest images; guest code
+    performs the same writes with ordinary stores. *)
+
+val guest_push : t -> desc -> bool
+(** [guest_push t d] writes the next descriptor slot and bumps
+    [avail_idx]; [false] when the ring is full. *)
+
+val slot_addr : t -> int64 -> int64
+(** [slot_addr t idx] is the guest-physical address of the descriptor
+    slot for (free-running) index [idx]. *)

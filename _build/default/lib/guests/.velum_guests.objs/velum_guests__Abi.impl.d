@@ -1,0 +1,1 @@
+lib/guests/abi.ml: Int64 Velum_isa

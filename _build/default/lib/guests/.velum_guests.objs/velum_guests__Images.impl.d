@@ -1,0 +1,1 @@
+lib/guests/images.ml: Abi Asm Bytes Kernel Velum_devices Velum_isa Velum_vmm

@@ -1,0 +1,1 @@
+lib/guests/images.mli: Asm Kernel Velum_devices Velum_isa Velum_vmm

@@ -1,0 +1,1 @@
+lib/guests/kernel.ml: Abi Arch Asm Bytes Char Int64 List Printf Velum_devices Velum_isa Velum_machine Velum_vmm

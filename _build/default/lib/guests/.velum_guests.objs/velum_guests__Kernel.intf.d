@@ -1,0 +1,1 @@
+lib/guests/kernel.mli: Velum_isa

@@ -1,0 +1,1 @@
+lib/guests/workloads.ml: Abi Arch Asm Char Int64 List String Velum_isa

@@ -1,0 +1,1 @@
+lib/guests/workloads.mli: Asm Velum_isa

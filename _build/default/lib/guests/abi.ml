@@ -1,0 +1,34 @@
+let kernel_base = 0x1000L
+let kernel_stack_top = 0x0008_0000L
+let kernel_region_end = 0x0010_0000L
+let pt_arena_base = 0x0008_0000L
+let ring_page = 0x000F_0000L
+let user_base = 0x0010_0000L
+let user_stack_base = 0x0014_0000L
+let user_stack_pages = 4
+let scratch_page = 0x0015_0000L
+let heap_base = 0x0020_0000L
+
+let sys_exit = 0L
+let sys_putchar = 1L
+let sys_gettime = 2L
+let sys_yield = 3L
+let sys_nop = 4L
+let sys_map = 5L
+let sys_unmap = 6L
+let sys_blk_read = 7L
+let sys_vblk_read = 8L
+let sys_tick_count = 9L
+let sys_getchar = 10L
+let sys_net_send = 11L
+let sys_net_recv = 12L
+
+let min_frames ~user_image_bytes ~heap_pages =
+  let page = Velum_isa.Arch.page_size in
+  let user_end = Int64.to_int user_base + user_image_bytes in
+  let scratch_end = Int64.to_int scratch_page + page in
+  let heap_end =
+    if heap_pages > 0 then Int64.to_int heap_base + (heap_pages * page) else 0
+  in
+  let top = max (max user_end scratch_end) (max heap_end (Int64.to_int kernel_region_end)) in
+  ((top + page - 1) / page) + 8

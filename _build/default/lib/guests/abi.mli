@@ -1,0 +1,62 @@
+(** Guest software ABI: memory layout and system-call numbers shared by
+    the kernel, the user workloads, and the host-side harness.
+
+    Guest-physical layout (all regions identity-mapped once paging is
+    on):
+    {v
+      0x0000_1000  kernel code + data          (supervisor rwx)
+      0x0008_0000  kernel stack top            (grows down)
+      0x0008_0000  page-table arena (bump)     (supervisor rw)
+      0x000F_0000  virtio ring page            (supervisor rw)
+      0x0010_0000  user program                (user rwx)
+      0x0014_0000  user stack (4 pages)        (user rw)
+      0x0015_0000  scratch frame for sys_map   (user rw when mapped)
+      0x0020_0000  user heap                   (user rw, cfg pages)
+      0x4000_0000  device window               (supervisor rw)
+    v} *)
+
+val kernel_base : int64
+val kernel_stack_top : int64
+val kernel_region_end : int64
+(** Identity-mapped supervisor region covers
+    [0, kernel_region_end). *)
+
+val pt_arena_base : int64
+val ring_page : int64
+val user_base : int64
+val user_stack_base : int64
+val user_stack_pages : int
+val scratch_page : int64
+val heap_base : int64
+
+(** {1 System calls} — number in r1, args in r2.., result in r1.
+
+    - [sys_map]: r2 = page-aligned va → maps it to the scratch frame
+    - [sys_unmap]: r2 = va
+    - [sys_blk_read] (emulated block device): r2 = sector, r3 = count,
+      r4 = buffer va
+    - [sys_vblk_read] (paravirtual block device): same arguments;
+      [count] one-sector requests batched as one ring kick
+    - [sys_tick_count]: timer interrupts seen so far
+    - [sys_getchar]: pop one byte from the console input (0 if empty)
+    - [sys_net_send]: r2 = frame buffer va, r3 = length
+    - [sys_net_recv]: r2 = buffer va; returns the frame length in r1, or
+      -1 when nothing is pending *)
+
+val sys_exit : int64
+
+val sys_putchar : int64
+val sys_gettime : int64
+val sys_yield : int64
+val sys_nop : int64
+val sys_map : int64
+val sys_unmap : int64
+val sys_blk_read : int64
+val sys_vblk_read : int64
+val sys_tick_count : int64
+val sys_getchar : int64
+val sys_net_send : int64
+val sys_net_recv : int64
+
+val min_frames : user_image_bytes:int -> heap_pages:int -> int
+(** Guest frames needed for the layout above. *)

@@ -1,0 +1,43 @@
+open Velum_isa
+
+type setup = {
+  kernel : Asm.image;
+  user : Asm.image;
+  config : Kernel.config;
+  frames : int;
+}
+
+let entry = Abi.kernel_base
+
+let plan ?(pv_console = false) ?(pv_pt = false) ?hcall_ok ?(heap_pages = 0)
+    ?(heap_superpages = false) ?(timer_interval = 0L) ~user () =
+  let hcall_ok =
+    match hcall_ok with Some v -> v | None -> pv_console || pv_pt
+  in
+  let base =
+    {
+      Kernel.default with
+      pv_console;
+      pv_pt;
+      hcall_ok;
+      heap_pages;
+      heap_superpages;
+      timer_interval;
+    }
+  in
+  let config = Kernel.for_user ~config:base user in
+  let kernel = Kernel.build config in
+  let frames =
+    Abi.min_frames ~user_image_bytes:(Bytes.length user.Asm.code)
+      ~heap_pages
+  in
+  { kernel; user; config; frames }
+
+let load_native platform setup =
+  Velum_devices.Platform.load_image platform setup.kernel;
+  Velum_devices.Platform.load_image platform setup.user;
+  Velum_devices.Platform.boot platform ~entry
+
+let load_vm vm setup =
+  Velum_vmm.Vm.load_image vm setup.kernel;
+  Velum_vmm.Vm.load_image vm setup.user

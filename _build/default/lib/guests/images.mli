@@ -1,0 +1,37 @@
+(** Bootable guest images: pair a configured kernel with a user workload
+    and load the result onto bare metal or into a VM. *)
+
+open Velum_isa
+
+type setup = {
+  kernel : Asm.image;
+  user : Asm.image;
+  config : Kernel.config;
+  frames : int;  (** guest frames the layout needs *)
+}
+
+val plan :
+  ?pv_console:bool ->
+  ?pv_pt:bool ->
+  ?hcall_ok:bool ->
+  ?heap_pages:int ->
+  ?heap_superpages:bool ->
+  ?timer_interval:int64 ->
+  user:Asm.image ->
+  unit ->
+  setup
+(** Build the kernel to fit [user] with the given features and compute
+    the memory requirement. *)
+
+val entry : int64
+(** Boot entry point ({!Abi.kernel_base}). *)
+
+val load_native : Velum_devices.Platform.t -> setup -> unit
+(** Load both images and point the hart at the kernel entry (the
+    platform must have at least [setup.frames] frames). *)
+
+val load_vm : Velum_vmm.Vm.t -> setup -> unit
+(** Load both images into guest memory; the VM's vCPU 0 must have been
+    created with [entry] as its boot PC (which
+    {!Velum_vmm.Hypervisor.create_vm} callers do by passing
+    [~entry:Images.entry]). *)

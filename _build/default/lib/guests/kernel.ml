@@ -1,0 +1,576 @@
+open Velum_isa
+open Asm
+
+type config = {
+  pv_console : bool;
+  pv_pt : bool;
+  hcall_ok : bool;
+  user_pages : int;
+  heap_pages : int;
+  heap_superpages : bool;
+  timer_interval : int64;
+}
+
+let default =
+  {
+    pv_console = false;
+    pv_pt = false;
+    hcall_ok = false;
+    user_pages = 16;
+    heap_pages = 0;
+    heap_superpages = false;
+    timer_interval = 0L;
+  }
+
+let for_user ?(config = default) (img : Asm.image) =
+  let pages = (Bytes.length img.Asm.code + Arch.page_size - 1) / Arch.page_size in
+  { config with user_pages = max 1 pages }
+
+(* PTE permission bit masks (without the valid bit, which k_map_page
+   adds). *)
+let perm_s_rwx = 0b0_1110L (* r w x *)
+let perm_s_rw = 0b0_0110L
+let perm_u_rwx = 0b1_1110L
+let perm_u_rw = 0b1_0110L
+
+let mmio_pages = 4
+let nic_base = 0x4000_1000L
+let blk_base = 0x4000_2000L
+let vblk_base = 0x4000_3000L
+let vblk_ring_size = 64L
+let vblk_status_area = Int64.add Abi.ring_page 0xE00L
+
+(* sie control bits (see Cpu): 63 = GIE, 62 = SPIE, 0 = timer enable,
+   1 = external enable.  The external line stays masked: every driver in
+   this kernel polls, and the UART/NIC "receive ready" lines are
+   level-triggered, so unmasking them without consuming the data would
+   storm. *)
+let sie_user_value ~timer =
+  let v = Int64.shift_left 1L 62 (* SPIE: user runs with interrupts on *) in
+  if timer then Int64.logor v 0b1L else v
+
+(* Map the identity range [start, end) with [perms]; [tag] uniquifies the
+   loop labels. *)
+let bootmap ~tag ~start ~end_ ~perms =
+  [
+    li r12 start;
+    li r13 end_;
+    label ("k_bm_" ^ tag);
+    bge r12 r13 ("k_bm_done_" ^ tag);
+    mv r2 r12;
+    mv r3 r12;
+    li r4 perms;
+    call "k_map_page";
+    addi r12 r12 4096L;
+    jmp ("k_bm_" ^ tag);
+    label ("k_bm_done_" ^ tag);
+  ]
+
+(* Per-hart trap state, addressed through r13 — the kernel thread
+   pointer, set up at boot and owned by the kernel thereafter (user code
+   must treat r13 as reserved).  Layout per hart (stride 136 bytes):
+   slot 0 = kernel stack top, slots 1..15 = saved r1..r15 (slot 13
+   unused: r13 is never clobbered by the handler). *)
+let max_harts = 8
+let save_stride = 136
+
+let saveable = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 14; 15 ]
+
+let save_all_regs = List.map (fun i -> sd i r13 (Int64.of_int (8 * i))) saveable
+
+let restore_and_sret =
+  [ label "k_restore" ]
+  @ List.map (fun i -> ld i r13 (Int64.of_int (8 * i))) (List.rev saveable)
+  @ [ sret ]
+
+(* Per-syscall dispatch: compare r1 against each number. *)
+let dispatch_entry (number, target) = [ li r6 number; beq r1 r6 target ]
+
+let build (cfg : config) =
+  let user_end =
+    Int64.add Abi.user_base (Int64.of_int (max 1 cfg.user_pages * Arch.page_size))
+  in
+  let ustack_end =
+    Int64.add Abi.user_stack_base (Int64.of_int (Abi.user_stack_pages * Arch.page_size))
+  in
+  let heap_end =
+    Int64.add Abi.heap_base (Int64.of_int (cfg.heap_pages * Arch.page_size))
+  in
+  let mmio_end =
+    Int64.add Velum_machine.Bus.mmio_base (Int64.of_int (mmio_pages * Arch.page_size))
+  in
+  let satp_value = Arch.satp_make ~root_ppn:(Int64.shift_right_logical Abi.pt_arena_base 12) in
+
+  let boot =
+    [
+      label "k_entry";
+      li r14 Abi.kernel_stack_top;
+      la r2 "k_trap";
+      csrw Arch.Stvec r2;
+      (* secondaries skip table construction and wait for hart 0 *)
+      csrr r6 Arch.Hartid;
+      bne r6 r0 "k_secondary";
+    ]
+    @ bootmap ~tag:"kern" ~start:0L ~end_:Abi.kernel_region_end ~perms:perm_s_rwx
+    @ bootmap ~tag:"mmio" ~start:Velum_machine.Bus.mmio_base ~end_:mmio_end
+        ~perms:perm_s_rw
+    @ bootmap ~tag:"user" ~start:Abi.user_base ~end_:user_end ~perms:perm_u_rwx
+    @ bootmap ~tag:"ustk" ~start:Abi.user_stack_base ~end_:ustack_end ~perms:perm_u_rw
+    @ (if cfg.heap_pages > 0 then
+         if cfg.heap_superpages then
+           (* cover the heap with 2 MiB mappings (the base is 2 MiB
+              aligned; the tail rounds up) *)
+           let two_mb = Int64.of_int (Arch.page_size lsl Arch.vpn_bits) in
+           let end_2m =
+             Int64.mul (Int64.div (Int64.add heap_end (Int64.sub two_mb 1L)) two_mb) two_mb
+           in
+           [
+             li r12 Abi.heap_base;
+             li r13 end_2m;
+             label "k_bm_heap2m";
+             bge r12 r13 "k_bm_done_heap2m";
+             mv r2 r12;
+             mv r3 r12;
+             li r4 perm_u_rw;
+             call "k_map_page_2m";
+             li r7 two_mb;
+             add r12 r12 r7;
+             jmp "k_bm_heap2m";
+             label "k_bm_done_heap2m";
+           ]
+         else bootmap ~tag:"heap" ~start:Abi.heap_base ~end_:heap_end ~perms:perm_u_rw
+       else [])
+    @ [
+        li r2 1L;
+        sdl r2 "k_paging_on";
+        sdl r2 "k_smp_go" (* release the secondaries *);
+        jmp "k_hart_common";
+        label "k_secondary";
+        ldl r2 "k_smp_go";
+        beq r2 r0 "k_secondary";
+        label "k_hart_common";
+        (* per-hart kernel thread pointer and kernel stack *)
+        csrr r6 Arch.Hartid;
+        li r7 (Int64.of_int save_stride);
+        mul r7 r7 r6;
+        la r5 "k_save_harts";
+        add r13 r5 r7;
+        li r7 0x2000L;
+        mul r7 r7 r6;
+        li r5 Abi.kernel_stack_top;
+        sub r5 r5 r7;
+        sd r5 r13 0L (* this hart's kernel stack top *);
+        mv r14 r5;
+        (* Enable paging (hart 0 built the shared tables). *)
+        li r2 satp_value;
+        csrw Arch.Satp r2;
+      ]
+    @ (if cfg.timer_interval > 0L then
+         [
+           csrr r2 Arch.Time;
+           li r3 cfg.timer_interval;
+           add r2 r2 r3;
+           csrw Arch.Stimecmp r2;
+         ]
+       else [])
+    @ [
+        (* Drop to the user program; r10 carries the hart id so user
+           code can carve per-hart stacks and data. *)
+        csrr r10 Arch.Hartid;
+        li r2 Abi.user_base;
+        csrw Arch.Sepc r2;
+        li r2 (sie_user_value ~timer:(cfg.timer_interval > 0L));
+        csrw Arch.Sie r2;
+        sret;
+      ]
+  in
+
+  let trap_entry =
+    [ label "k_trap" ]
+    @ save_all_regs
+    @ [
+        csrr r1 Arch.Scause;
+        srli r2 r1 63L;
+        bne r2 r0 "k_irq";
+        bne r1 r0 "k_panic";
+        (* --- system call --- *)
+        ld r14 r13 0L (* this hart's kernel stack *);
+        ld r1 r13 8L;
+        ld r2 r13 16L;
+        ld r3 r13 24L;
+        ld r4 r13 32L;
+        ld r5 r13 40L;
+      ]
+    @ List.concat_map dispatch_entry
+        [
+          (Abi.sys_exit, "k_sys_exit");
+          (Abi.sys_putchar, "k_sys_putchar");
+          (Abi.sys_gettime, "k_sys_gettime");
+          (Abi.sys_yield, "k_sys_yield");
+          (Abi.sys_nop, "k_sys_nop");
+          (Abi.sys_map, "k_sys_map");
+          (Abi.sys_unmap, "k_sys_unmap");
+          (Abi.sys_blk_read, "k_sys_blk_read");
+          (Abi.sys_vblk_read, "k_sys_vblk_read");
+          (Abi.sys_tick_count, "k_sys_ticks");
+          (Abi.sys_getchar, "k_sys_getchar");
+          (Abi.sys_net_send, "k_sys_net_send");
+          (Abi.sys_net_recv, "k_sys_net_recv");
+        ]
+    @ [ li r1 (-1L); jmp "k_sys_done" ]
+  in
+
+  let sys_done =
+    [
+      label "k_sys_done";
+      sd r1 r13 8L;
+      csrr r2 Arch.Sepc;
+      addi r2 r2 8L;
+      csrw Arch.Sepc r2;
+      jmp "k_restore";
+    ]
+  in
+
+  let syscalls =
+    [ label "k_sys_exit"; halt ]
+    @ [ label "k_sys_putchar" ]
+    @ (if cfg.pv_console && cfg.hcall_ok then
+         [ li r1 Velum_vmm.Hypercall.hc_console_putc; hcall ]
+       else [ outp Velum_devices.Uart.data_port r2 ])
+    @ [ li r1 0L; jmp "k_sys_done" ]
+    @ [ label "k_sys_gettime"; csrr r1 Arch.Time; jmp "k_sys_done" ]
+    @ [ label "k_sys_yield" ]
+    @ (if cfg.hcall_ok then [ li r1 Velum_vmm.Hypercall.hc_yield; hcall ] else [])
+    @ [ li r1 0L; jmp "k_sys_done" ]
+    @ [ label "k_sys_nop"; li r1 0L; jmp "k_sys_done" ]
+    @ [
+        (* map r3 pages starting at va r2, all onto the scratch frame;
+           one sfence for the whole batch *)
+        label "k_sys_map";
+        mv r12 r3;
+        label "k_map_loop";
+        beq r12 r0 "k_map_done";
+        li r3 Abi.scratch_page;
+        li r4 perm_u_rw;
+        call "k_map_page";
+        addi r2 r2 4096L;
+        addi r12 r12 (-1L);
+        jmp "k_map_loop";
+        label "k_map_done";
+        sfence;
+        li r1 0L;
+        jmp "k_sys_done";
+      ]
+    @ [
+        label "k_sys_unmap";
+        mv r12 r3;
+        label "k_unmap_loop";
+        beq r12 r0 "k_unmap_done";
+        call "k_unmap_page";
+        addi r2 r2 4096L;
+        addi r12 r12 (-1L);
+        jmp "k_unmap_loop";
+        label "k_unmap_done";
+        sfence;
+        li r1 0L;
+        jmp "k_sys_done";
+      ]
+    @ [ label "k_sys_ticks"; ldl r1 "k_ticks"; jmp "k_sys_done" ]
+    @ [ label "k_sys_getchar"; inp r1 Velum_devices.Uart.data_port; jmp "k_sys_done" ]
+    @ [
+        (* transmit a frame: r2 = buffer (identity va = gpa), r3 = len *)
+        label "k_sys_net_send";
+        li r5 nic_base;
+        sd r2 r5 0x00L (* tx addr *);
+        sd r3 r5 0x08L (* tx len *);
+        li r6 1L;
+        sd r6 r5 0x10L (* tx doorbell *);
+        li r1 0L;
+        jmp "k_sys_done";
+      ]
+    @ [
+        (* receive: r2 = buffer; returns length or -1 when idle *)
+        label "k_sys_net_recv";
+        li r5 nic_base;
+        ld r6 r5 0x18L (* rx len *);
+        beq r6 r0 "k_net_empty";
+        sd r2 r5 0x20L (* rx dma *);
+        li r7 1L;
+        sd r7 r5 0x28L (* rx doorbell *);
+        mv r1 r6;
+        jmp "k_sys_done";
+        label "k_net_empty";
+        li r1 (-1L);
+        jmp "k_sys_done";
+      ]
+  in
+
+  (* Emulated block read: program the registers (five device touches),
+     then poll STATUS until the operation completes. *)
+  let sys_blk_read =
+    [
+      label "k_sys_blk_read";
+      li r5 blk_base;
+      sd r2 r5 0x08L (* sector *);
+      sd r3 r5 0x10L (* count *);
+      sd r4 r5 0x18L (* dma address *);
+      li r6 1L;
+      sd r6 r5 0x00L (* command: read *);
+      label "k_blk_wait";
+      (* backoff so polling does not dominate the device latency *)
+      li r12 1000L;
+      label "k_blk_backoff";
+      addi r12 r12 (-1L);
+      bne r12 r0 "k_blk_backoff";
+      ld r6 r5 0x20L (* status *);
+      li r7 2L;
+      beq r6 r7 "k_blk_done";
+      li r7 3L;
+      beq r6 r7 "k_blk_err";
+      jmp "k_blk_wait";
+      label "k_blk_done";
+      li r1 0L;
+      jmp "k_sys_done";
+      label "k_blk_err";
+      li r1 (-1L);
+      jmp "k_sys_done";
+    ]
+  in
+
+  (* Paravirtual block read: [r3] one-sector requests published to the
+     ring, a single kick, then wait for the used index to catch up. *)
+  let sys_vblk_read =
+    [
+      label "k_sys_vblk_read";
+      li r5 vblk_base;
+      (* one-time ring registration *)
+      ldl r6 "k_vblk_init";
+      bne r6 r0 "k_vb_inited";
+      li r6 Abi.ring_page;
+      sd r6 r5 0x10L;
+      li r6 vblk_ring_size;
+      sd r6 r5 0x18L;
+      li r6 1L;
+      sdl r6 "k_vblk_init";
+      label "k_vb_inited";
+      li r8 Abi.ring_page;
+      ld r9 r8 0L (* avail *);
+      ld r10 r8 8L (* used *);
+      add r11 r10 r3 (* target used = used + count *);
+      li r7 0L (* i *);
+      label "k_vb_push";
+      bge r7 r3 "k_vb_kick";
+      (* slot address = ring + 16 + (avail % size) * 40 *)
+      li r12 vblk_ring_size;
+      rem r12 r9 r12;
+      li r6 40L;
+      mul r12 r12 r6;
+      add r12 r12 r8;
+      addi r12 r12 16L;
+      (* data buffer = r4 + i*512 *)
+      li r6 512L;
+      mul r6 r6 r7;
+      add r6 r6 r4;
+      sd r6 r12 0L;
+      li r6 512L;
+      sd r6 r12 8L (* len *);
+      li r6 1L;
+      sd r6 r12 16L (* kind: read *);
+      add r6 r2 r7;
+      sd r6 r12 24L (* sector *);
+      (* status byte address = status area + i*8 *)
+      li r6 8L;
+      mul r6 r6 r7;
+      li r1 vblk_status_area;
+      add r6 r6 r1;
+      sd r6 r12 32L;
+      addi r9 r9 1L;
+      sd r9 r8 0L (* publish avail *);
+      addi r7 r7 1L;
+      jmp "k_vb_push";
+      label "k_vb_kick";
+      sd r0 r5 0x00L (* the one exit for the whole batch *);
+      label "k_vb_wait";
+      li r12 1000L;
+      label "k_vb_backoff";
+      addi r12 r12 (-1L);
+      bne r12 r0 "k_vb_backoff";
+      ld r6 r5 0x08L (* ISR read: acks and lets the device model tick *);
+      ld r10 r8 8L (* used *);
+      blt r10 r11 "k_vb_wait";
+      li r1 0L;
+      jmp "k_sys_done";
+    ]
+  in
+
+  let irq_handlers =
+    [
+      label "k_irq";
+      andi r2 r1 1L;
+      bne r2 r0 "k_irq_ext";
+      (* timer: count the tick and re-arm *)
+      ldl r2 "k_ticks";
+      addi r2 r2 1L;
+      sdl r2 "k_ticks";
+      csrr r2 Arch.Time;
+      li r3 (if cfg.timer_interval > 0L then cfg.timer_interval else 1_000_000L);
+      add r2 r2 r3;
+      csrw Arch.Stimecmp r2;
+      jmp "k_restore";
+      label "k_irq_ext";
+      (* acknowledge both block devices *)
+      li r3 (Int64.add blk_base 0x20L);
+      ld r2 r3 0L;
+      li r3 (Int64.add vblk_base 0x08L);
+      ld r2 r3 0L;
+      jmp "k_restore";
+    ]
+  in
+
+  let panic =
+    [
+      label "k_panic";
+      li r2 (Int64.of_int (Char.code '!'));
+      outp Velum_devices.Uart.data_port r2;
+      halt;
+    ]
+  in
+
+  (* map_page{,_2m}(va=r2, pa=r3, perms=r4): walk/build the identity
+     tables, installing the leaf at level [stop] (0 = 4 KiB, 1 = 2 MiB).
+     Clobbers r5-r11; preserves the arguments. *)
+  let map_page_routine ~suffix ~stop =
+    let l tag = Printf.sprintf "k_mp%s_%s" suffix tag in
+    [
+      label ("k_map_page" ^ suffix);
+      addi r14 r14 (-8L);
+      sd r15 r14 0L;
+      ldl r5 "k_pt_root_v";
+      li r6 2L;
+      label (l "level");
+      li r7 9L;
+      mul r7 r7 r6;
+      addi r7 r7 12L;
+      srl r8 r2 r7;
+      andi r8 r8 0x1FFL;
+      slli r8 r8 3L;
+      add r8 r8 r5;
+      li r7 (Int64.of_int stop);
+      beq r6 r7 (l "leaf");
+      ld r9 r8 0L;
+      andi r10 r9 1L;
+      bne r10 r0 (l "child");
+      (* allocate a fresh (zeroed) table page from the bump arena *)
+      ldl r10 "k_pt_bump";
+      mv r11 r10;
+      addi r10 r10 4096L;
+      sdl r10 "k_pt_bump";
+      srli r9 r11 12L;
+      slli r9 r9 10L;
+      ori r9 r9 1L;
+      call "k_pt_store";
+      mv r5 r11;
+      jmp (l "next");
+      label (l "child");
+      srli r5 r9 10L;
+      slli r5 r5 12L;
+      label (l "next");
+      addi r6 r6 (-1L);
+      jmp (l "level");
+      label (l "leaf");
+      srli r9 r3 12L;
+      slli r9 r9 10L;
+      or_ r9 r9 r4;
+      ori r9 r9 1L;
+      call "k_pt_store";
+      ld r15 r14 0L;
+      addi r14 r14 8L;
+      ret;
+    ]
+  in
+  let map_page = map_page_routine ~suffix:"" ~stop:0 in
+  let map_page_2m = map_page_routine ~suffix:"_2m" ~stop:1 in
+
+  let unmap_page =
+    [
+      label "k_unmap_page";
+      addi r14 r14 (-8L);
+      sd r15 r14 0L;
+      ldl r5 "k_pt_root_v";
+      li r6 2L;
+      label "k_up_level";
+      li r7 9L;
+      mul r7 r7 r6;
+      addi r7 r7 12L;
+      srl r8 r2 r7;
+      andi r8 r8 0x1FFL;
+      slli r8 r8 3L;
+      add r8 r8 r5;
+      beq r6 r0 "k_up_leaf";
+      ld r9 r8 0L;
+      andi r10 r9 1L;
+      beq r10 r0 "k_up_done";
+      srli r5 r9 10L;
+      slli r5 r5 12L;
+      addi r6 r6 (-1L);
+      jmp "k_up_level";
+      label "k_up_leaf";
+      li r9 0L;
+      call "k_pt_store";
+      label "k_up_done";
+      ld r15 r14 0L;
+      addi r14 r14 8L;
+      ret;
+    ]
+  in
+
+  (* pt_store(addr=r8, value=r9): direct store, or a pt-update hypercall
+     once paging is live in a paravirtualized guest. *)
+  let pt_store =
+    [ label "k_pt_store" ]
+    @ (if cfg.pv_pt && cfg.hcall_ok then
+         [
+           ldl r10 "k_paging_on";
+           beq r10 r0 "k_ps_direct";
+           addi r14 r14 (-24L);
+           sd r1 r14 0L;
+           sd r2 r14 8L;
+           sd r3 r14 16L;
+           li r1 Velum_vmm.Hypercall.hc_pt_update;
+           mv r2 r8;
+           mv r3 r9;
+           hcall;
+           ld r1 r14 0L;
+           ld r2 r14 8L;
+           ld r3 r14 16L;
+           addi r14 r14 24L;
+           ret;
+         ]
+       else [])
+    @ [ label "k_ps_direct"; sd r9 r8 0L; ret ]
+  in
+
+  let data =
+    [
+      Align 8;
+      label "k_pt_root_v";
+      Dword Abi.pt_arena_base;
+      label "k_pt_bump";
+      Dword (Int64.add Abi.pt_arena_base 4096L);
+      label "k_paging_on";
+      Dword 0L;
+      label "k_ticks";
+      Dword 0L;
+      label "k_vblk_init";
+      Dword 0L;
+    ]
+    @ [ label "k_smp_go"; Dword 0L; label "k_save_harts";
+        Space (save_stride * max_harts) ]
+  in
+
+  let items =
+    boot @ trap_entry @ sys_done @ syscalls @ sys_blk_read @ sys_vblk_read
+    @ irq_handlers @ panic @ map_page @ map_page_2m @ unmap_page @ pt_store
+    @ restore_and_sret @ data
+  in
+  Asm.assemble ~origin:Abi.kernel_base items

@@ -1,0 +1,39 @@
+(** The guest operating system: a tiny supervisor-mode kernel written in
+    VR64 assembly (via the {!Velum_isa.Asm} DSL).
+
+    At boot it builds identity page tables for the layout in {!Abi},
+    installs a trap handler, enables paging, optionally arms the periodic
+    timer, and drops to the user program at {!Abi.user_base}.  The trap
+    handler dispatches system calls (console, timing, page-table
+    manipulation, block I/O on both the emulated and the paravirtual
+    device), services timer ticks, and acknowledges device interrupts.
+
+    The same image boots on bare metal ({!Velum_devices.Platform}) and
+    under the hypervisor; the paravirtual configuration flags switch the
+    console, scheduler-yield and page-table paths to hypercalls. *)
+
+type config = {
+  pv_console : bool;  (** console output via hypercall *)
+  pv_pt : bool;  (** runtime page-table updates via hypercall *)
+  hcall_ok : bool;  (** hypercalls permitted at all (false on bare
+                        metal, where [hcall] is illegal) *)
+  user_pages : int;  (** pages to map user-executable at
+                         {!Abi.user_base} *)
+  heap_pages : int;  (** pages to map user-writable at
+                         {!Abi.heap_base} *)
+  heap_superpages : bool;
+      (** map the heap with 2 MiB superpage leaves instead of 4 KiB
+          pages (rounded up to cover [heap_pages]) *)
+  timer_interval : int64;  (** periodic timer in cycles; 0 disables *)
+}
+
+val default : config
+(** No paravirtualization, 16 user pages, no heap, no timer. *)
+
+val for_user : ?config:config -> Velum_isa.Asm.image -> config
+(** [for_user ~config img] adjusts [user_pages] to cover the given user
+    image. *)
+
+val build : config -> Velum_isa.Asm.image
+(** Assemble the kernel at {!Abi.kernel_base}; the boot entry point is
+    the image origin. *)

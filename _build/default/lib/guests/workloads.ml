@@ -1,0 +1,359 @@
+open Velum_isa
+open Asm
+
+let user_stack_top =
+  Int64.add Abi.user_stack_base
+    (Int64.of_int (Abi.user_stack_pages * Arch.page_size))
+
+(* The kernel enters user mode with the hart id in r10: each hart gets
+   a private 1 KiB slice of the user stack region.  r13 is the kernel's
+   thread pointer and must never be touched. *)
+let prologue =
+  [
+    label "u_entry";
+    li r14 user_stack_top;
+    li r9 1024L;
+    mul r9 r9 r10;
+    sub r14 r14 r9;
+  ]
+
+let exit_ = [ li r1 Abi.sys_exit; ecall ]
+
+let build items = Asm.assemble ~origin:Abi.user_base items
+
+let cpu_spin ~iters =
+  build
+    (prologue
+    @ [
+        li r2 iters;
+        li r3 0x1234_5678L;
+        label "u_loop";
+        (* a small mix of ALU work per iteration *)
+        xori r3 r3 0x5AL;
+        slli r4 r3 7L;
+        add r3 r3 r4;
+        addi r2 r2 (-1L);
+        bne r2 r0 "u_loop";
+      ]
+    @ exit_)
+
+let syscall_stress ~num ~count =
+  build
+    (prologue
+    @ [
+        li r6 count;
+        label "u_loop";
+        li r1 num;
+        li r2 0L;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+let syscall_loop ~count = syscall_stress ~num:Abi.sys_nop ~count
+
+let memwalk ~pages ~iters ~write =
+  let touch =
+    if write then [ ld r9 r7 0L; addi r9 r9 1L; sd r9 r7 0L ] else [ ld r9 r7 0L ]
+  in
+  build
+    (prologue
+    @ [
+        li r5 (Int64.of_int pages);
+        li r6 (Int64.of_int iters);
+        label "u_outer";
+        li r7 Abi.heap_base;
+        li r8 0L;
+        label "u_inner";
+      ]
+    @ touch
+    @ [
+        addi r7 r7 4096L;
+        addi r8 r8 1L;
+        blt r8 r5 "u_inner";
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_outer";
+      ]
+    @ exit_)
+
+let pt_churn ?(batch = 1) ~count () =
+  let va = 0x0200_0000L in
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int count);
+        label "u_loop";
+        (* map a batch of pages in one syscall ... *)
+        li r1 Abi.sys_map;
+        li r2 va;
+        li r3 (Int64.of_int batch);
+        ecall;
+        (* ... touch each so the mappings are really used ... *)
+        li r7 va;
+        li r8 (Int64.of_int batch);
+        label "u_touch";
+        sd r8 r7 0L;
+        addi r7 r7 4096L;
+        addi r8 r8 (-1L);
+        bne r8 r0 "u_touch";
+        (* ... and unmap the batch in one syscall. *)
+        li r1 Abi.sys_unmap;
+        li r2 va;
+        li r3 (Int64.of_int batch);
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+let blk_read ~sector ~count ~reps =
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int reps);
+        label "u_loop";
+        li r1 Abi.sys_blk_read;
+        li r2 (Int64.of_int sector);
+        li r3 (Int64.of_int count);
+        li r4 Abi.heap_base;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+let vblk_read ~sector ~count ~reps =
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int reps);
+        label "u_loop";
+        li r1 Abi.sys_vblk_read;
+        li r2 (Int64.of_int sector);
+        li r3 (Int64.of_int count);
+        li r4 Abi.heap_base;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+let dirty_loop ~pages ~delay =
+  build
+    (prologue
+    @ [
+        li r5 (Int64.of_int pages);
+        li r10 0L (* write counter: also the value stored *);
+        label "u_outer";
+        li r7 Abi.heap_base;
+        li r8 0L;
+        label "u_inner";
+        addi r10 r10 1L;
+        sd r10 r7 0L;
+        (* inter-write delay: tunes the dirty rate *)
+        li r9 (Int64.of_int delay);
+        label "u_delay";
+        beq r9 r0 "u_delay_done";
+        addi r9 r9 (-1L);
+        jmp "u_delay";
+        label "u_delay_done";
+        addi r7 r7 4096L;
+        addi r8 r8 1L;
+        blt r8 r5 "u_inner";
+        jmp "u_outer";
+      ])
+
+let echo ~count =
+  build
+    (prologue
+    @ [
+        li r6 count;
+        label "u_loop";
+        (* poll the console until a byte arrives *)
+        label "u_poll";
+        li r1 Abi.sys_getchar;
+        ecall;
+        beq r1 r0 "u_poll";
+        mv r2 r1;
+        li r1 Abi.sys_putchar;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+let tick_watch ~ticks =
+  build
+    (prologue
+    @ [
+        li r6 ticks;
+        label "u_loop";
+        li r1 Abi.sys_tick_count;
+        ecall;
+        blt r1 r6 "u_loop";
+      ]
+    @ exit_)
+
+(* Store [msg] into the heap with byte stores, then run [body]. *)
+let with_heap_message msg body =
+  let stores =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           [ li r9 (Int64.of_int (Char.code c)); sb r9 r8 (Int64.of_int i) ])
+         (List.init (String.length msg) (String.get msg)))
+  in
+  prologue @ [ li r8 Abi.heap_base ] @ stores @ body
+
+let net_ping ~message =
+  let len = Int64.of_int (String.length message) in
+  build
+    (with_heap_message message
+       ([
+          (* send the message *)
+          li r1 Abi.sys_net_send;
+          li r2 Abi.heap_base;
+          li r3 len;
+          ecall;
+          (* wait for the echo *)
+          label "u_wait";
+          li r1 Abi.sys_net_recv;
+          li r2 0x0020_1000L (* second heap page *);
+          ecall;
+          li r6 (-1L);
+          beq r1 r6 "u_wait";
+          (* print what came back *)
+          mv r6 r1 (* length *);
+          li r7 0x0020_1000L;
+          label "u_print";
+          beq r6 r0 "u_done";
+          lb r2 r7 0L;
+          li r1 Abi.sys_putchar;
+          ecall;
+          addi r7 r7 1L;
+          addi r6 r6 (-1L);
+          jmp "u_print";
+          label "u_done";
+        ]
+       @ exit_))
+
+let net_echo ~frames =
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int frames);
+        label "u_loop";
+        label "u_wait";
+        li r1 Abi.sys_net_recv;
+        li r2 Abi.heap_base;
+        ecall;
+        li r7 (-1L);
+        beq r1 r7 "u_wait";
+        (* bounce it straight back *)
+        mv r3 r1;
+        li r1 Abi.sys_net_send;
+        li r2 Abi.heap_base;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_loop";
+      ]
+    @ exit_)
+
+(* Request/response pair for the application-level benchmark: the
+   client sends a sector number, the server reads that sector from its
+   block device and returns the first 8 bytes. *)
+let net_client ~requests ~virtio_server:_ =
+  build
+    (prologue
+    @ [
+        li r6 0L (* request counter *);
+        li r5 (Int64.of_int requests);
+        label "u_req";
+        (* request payload: the sector number *)
+        li r8 Abi.heap_base;
+        sd r6 r8 0L;
+        li r1 Abi.sys_net_send;
+        li r2 Abi.heap_base;
+        li r3 8L;
+        ecall;
+        (* await the reply, yielding the CPU while the wire is quiet *)
+        label "u_wait";
+        li r1 Abi.sys_net_recv;
+        li r2 0x0020_1000L;
+        ecall;
+        li r7 (-1L);
+        bne r1 r7 "u_got";
+        li r1 Abi.sys_yield;
+        ecall;
+        jmp "u_wait";
+        label "u_got";
+        addi r6 r6 1L;
+        blt r6 r5 "u_req";
+        (* signal completion on the console *)
+        li r1 Abi.sys_putchar;
+        li r2 68L (* 'D' *);
+        ecall;
+      ]
+    @ exit_)
+
+let net_server ~requests ~virtio =
+  let read_call = if virtio then Abi.sys_vblk_read else Abi.sys_blk_read in
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int requests);
+        label "u_serve";
+        (* wait for a request, yielding while idle *)
+        label "u_wait";
+        li r1 Abi.sys_net_recv;
+        li r2 Abi.heap_base;
+        ecall;
+        li r7 (-1L);
+        bne r1 r7 "u_got";
+        li r1 Abi.sys_yield;
+        ecall;
+        jmp "u_wait";
+        label "u_got";
+        (* fetch the requested sector *)
+        li r8 Abi.heap_base;
+        ld r2 r8 0L (* sector *);
+        li r1 read_call;
+        li r3 1L;
+        li r4 0x0020_1000L;
+        ecall;
+        (* reply with the first 8 bytes *)
+        li r1 Abi.sys_net_send;
+        li r2 0x0020_1000L;
+        li r3 8L;
+        ecall;
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_serve";
+      ]
+    @ exit_)
+
+(* Each hart stamps (hartid + 1) * 0x101 into its own heap slot — the
+   SMP smoke test reads the slots from the host side. *)
+let smp_probe =
+  build
+    (prologue
+    @ [
+        li r7 Abi.heap_base;
+        slli r8 r10 3L;
+        add r7 r7 r8;
+        addi r9 r10 1L;
+        li r6 0x101L;
+        mul r9 r9 r6;
+        sd r9 r7 0L;
+      ]
+    @ exit_)
+
+let hello ?(message = "hello from velum guest\n") () =
+  let putc c =
+    [
+      li r1 Abi.sys_putchar;
+      li r2 (Int64.of_int (Char.code c));
+      ecall;
+    ]
+  in
+  build (prologue @ List.concat_map putc (List.init (String.length message) (String.get message)) @ exit_)

@@ -1,0 +1,1 @@
+lib/isa/arch.ml: Format Int64 List Velum_util

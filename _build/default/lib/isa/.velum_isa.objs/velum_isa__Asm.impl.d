@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Arch Bytes Format Hashtbl Instr Int64 List Printf String

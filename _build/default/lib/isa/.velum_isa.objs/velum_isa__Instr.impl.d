@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Arch Bitops Format Int64 List Velum_util

@@ -1,0 +1,1 @@
+lib/isa/pte.ml: Arch Bitops Format Velum_util

@@ -1,0 +1,1 @@
+lib/isa/pte.mli: Arch Format

@@ -1,0 +1,90 @@
+(** VR64 instruction set: abstract syntax, 8-byte binary encoding, decoding
+    and disassembly.
+
+    Encoding layout (one 64-bit little-endian word per instruction):
+    {v
+      bits  0-7   opcode
+      bits  8-11  rd
+      bits 12-15  rs1
+      bits 16-19  rs2
+      bits 20-27  aux   (ALU sub-op, branch sub-op, width, CSR index)
+      bits 28-31  zero
+      bits 32-63  imm   (32 bits; sign- or zero-extended per instruction)
+    v} *)
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** signed; division by zero yields -1 (no trap) *)
+  | Rem  (** signed; remainder by zero yields the dividend *)
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt  (** signed set-less-than *)
+  | Sltu  (** unsigned set-less-than *)
+
+type branch_op = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type width = W8 | W16 | W32 | W64
+
+val width_bytes : width -> int
+
+type t =
+  | Nop
+  | Alu of alu_op * Arch.reg * Arch.reg * Arch.reg
+      (** [Alu (op, rd, rs1, rs2)] *)
+  | Alui of alu_op * Arch.reg * Arch.reg * int64
+      (** [Alui (op, rd, rs1, imm)].  Arithmetic/compare ops sign-extend
+          the immediate; bitwise and shift ops zero-extend it.  Only
+          [Add], [And], [Or], [Xor], [Sll], [Srl], [Sra], [Slt], [Sltu]
+          are valid immediates. *)
+  | Lui of Arch.reg * int64
+      (** [Lui (rd, imm)]: [rd := imm << 32] (imm treated as unsigned
+          32-bit); combined with a bitwise-or immediate this builds any
+          64-bit constant in two instructions. *)
+  | Load of { rd : Arch.reg; base : Arch.reg; off : int64; width : width }
+      (** Zero-extending load of [width] bytes from [base + off]. *)
+  | Store of { src : Arch.reg; base : Arch.reg; off : int64; width : width }
+  | Branch of branch_op * Arch.reg * Arch.reg * int64
+      (** PC-relative byte offset (from the branch's own address). *)
+  | Jal of Arch.reg * int64
+      (** [rd := pc + 8]; [pc := pc + off]. *)
+  | Jalr of Arch.reg * Arch.reg * int64
+      (** [rd := pc + 8]; [pc := rs1 + imm]. *)
+  | Ecall  (** environment call (system call from user mode) *)
+  | Ebreak
+  | Csrr of Arch.reg * Arch.csr  (** privileged: [rd := csr] *)
+  | Csrw of Arch.csr * Arch.reg  (** privileged: [csr := rs1] *)
+  | Sret  (** privileged: return from trap *)
+  | Sfence  (** privileged: flush the TLB *)
+  | Wfi  (** privileged: wait for interrupt *)
+  | In of Arch.reg * int  (** privileged: port input, port in imm *)
+  | Out of int * Arch.reg  (** privileged: port output *)
+  | Hcall  (** hypercall; illegal when running on bare metal *)
+  | Halt  (** privileged: stop the hart *)
+
+val is_privileged : t -> bool
+(** [is_privileged i] — true for the instructions that trap with
+    [Illegal_instruction] when executed in user mode.  VR64 satisfies the
+    Popek-Goldberg criterion: this set contains every sensitive
+    instruction. *)
+
+val encode : t -> int64
+(** [encode i] is the binary form.
+
+    @raise Invalid_argument if a register, immediate or offset is out of
+    encodable range (immediates must fit in 32 bits; register fields in
+    0-15). *)
+
+val decode : int64 -> t option
+(** [decode w] is the instruction encoded by [w], or [None] if [w] is not
+    a valid encoding. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly, e.g. [add r1, r2, r3] or [ld.w64 r1, 16(r2)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/machine/bus.ml: Instr Int64 List Printf Velum_isa

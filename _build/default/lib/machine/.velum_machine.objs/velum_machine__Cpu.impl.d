@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Arch Array Bitops Cost_model Format Instr Int64 List Velum_isa Velum_util

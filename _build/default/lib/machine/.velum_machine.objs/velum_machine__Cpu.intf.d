@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Arch Cost_model Format Instr Velum_isa

@@ -1,0 +1,1 @@
+lib/machine/mmu.ml: Arch Bus Cost_model Cpu Instr Int64 Page_table Phys_mem Pte Tlb Velum_isa Velum_util

@@ -1,0 +1,1 @@
+lib/machine/mmu.mli: Arch Cost_model Cpu Phys_mem Tlb Velum_isa

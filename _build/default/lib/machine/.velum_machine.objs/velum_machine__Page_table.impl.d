@@ -1,0 +1,1 @@
+lib/machine/page_table.ml: Arch Bitops Int64 List Pte Velum_isa Velum_util

@@ -1,0 +1,1 @@
+lib/machine/phys_mem.ml: Arch Bytes Char Instr Int64 Printf Velum_isa Velum_util

@@ -1,0 +1,1 @@
+lib/machine/tlb.ml: Arch Array Hashtbl Int64 List Pte Velum_isa

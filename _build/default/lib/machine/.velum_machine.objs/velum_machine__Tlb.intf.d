@@ -1,0 +1,1 @@
+lib/machine/tlb.mli: Pte Velum_isa

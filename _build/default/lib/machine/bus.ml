@@ -1,0 +1,55 @@
+open Velum_isa
+
+let mmio_base = 0x4000_0000L
+let mmio_limit = 0x5000_0000L
+
+let is_mmio pa = pa >= mmio_base && pa < mmio_limit
+
+type device = {
+  name : string;
+  base : int64;
+  size : int;
+  read : int64 -> Instr.width -> int64;
+  write : int64 -> Instr.width -> int64 -> unit;
+  tick : int64 -> unit;
+  pending_irq : unit -> bool;
+}
+
+type t = { mutable devs : device list }
+
+let create () = { devs = [] }
+
+let dev_end d = Int64.add d.base (Int64.of_int d.size)
+
+let overlaps a b = a.base < dev_end b && b.base < dev_end a
+
+let attach t d =
+  if not (is_mmio d.base) || dev_end d > mmio_limit then
+    invalid_arg (Printf.sprintf "Bus.attach: %s outside the MMIO window" d.name);
+  List.iter
+    (fun existing ->
+      if overlaps existing d then
+        invalid_arg
+          (Printf.sprintf "Bus.attach: %s overlaps %s" d.name existing.name))
+    t.devs;
+  t.devs <- d :: t.devs
+
+let devices t = List.rev t.devs
+
+let find t pa =
+  List.find_map
+    (fun d -> if pa >= d.base && pa < dev_end d then Some (d, Int64.sub pa d.base) else None)
+    t.devs
+
+let read t pa w =
+  match find t pa with Some (d, off) -> Some (d.read off w) | None -> None
+
+let write t pa w v =
+  match find t pa with
+  | Some (d, off) ->
+      d.write off w v;
+      true
+  | None -> false
+
+let tick t now = List.iter (fun d -> d.tick now) t.devs
+let pending_irq t = List.exists (fun d -> d.pending_irq ()) t.devs

@@ -1,0 +1,148 @@
+(** VR64 CPU interpreter.
+
+    One interpreter serves two uses:
+
+    - {b Native}: the hart executes privileged instructions directly,
+      takes its own traps into [stvec], and talks to devices through the
+      bus.  This is the bare-metal baseline for every experiment.
+    - {b Deprivileged}: the hart belongs to a virtual machine.  Every
+      privileged instruction, trap condition, MMIO touch and hypercall
+      suspends execution and returns a {!vmexit} to the embedding
+      hypervisor, which emulates against the vCPU's virtual state and
+      resumes.  This is classic trap-and-emulate; VR64 traps on all
+      sensitive instructions, so the construction is complete.
+
+    {b Interrupt-control register.}  The [sie] CSR doubles as a status
+    register: bit 63 is the global interrupt enable (GIE), bit 62 the
+    previous GIE (SPIE), bit 61 the previous privilege mode (SPP,
+    1 = supervisor); bits {!Velum_isa.Arch.irq_timer} and
+    {!Velum_isa.Arch.irq_external} enable the two interrupt sources.
+    Trap entry saves GIE→SPIE and mode→SPP and clears GIE; [sret]
+    restores both.  [stimecmp] = 0 disarms the timer. *)
+
+open Velum_isa
+
+(** {1 Architectural state} *)
+
+type state = {
+  regs : int64 array;  (** 16 registers; keep index 0 zero via {!set_reg} *)
+  mutable pc : int64;
+  mutable mode : Arch.mode;
+  csrs : int64 array;  (** indexed by {!Arch.csr_index} *)
+  mutable halted : bool;
+  mutable waiting : bool;  (** parked in [wfi] *)
+  mutable instret : int64;  (** retired instruction count *)
+}
+
+val create_state : ?pc:int64 -> ?mode:Arch.mode -> unit -> state
+(** Fresh state: zero registers and CSRs (mode defaults to
+    [Supervisor]). *)
+
+val copy_state : state -> state
+
+val get_reg : state -> Arch.reg -> int64
+val set_reg : state -> Arch.reg -> int64 -> unit
+(** [set_reg s 0 v] is a no-op (r0 is hardwired to zero). *)
+
+val get_csr : state -> Arch.csr -> int64
+val set_csr : state -> Arch.csr -> int64 -> unit
+(** Raw CSR cell access; no legality checks (the VMM uses this to edit
+    virtual state). *)
+
+(** {1 Status-register bit helpers} *)
+
+val gie : state -> bool
+val set_gie : state -> bool -> unit
+
+val deliver_trap : state -> cause:Arch.cause -> tval:int64 -> unit
+(** [deliver_trap s ~cause ~tval] performs architectural trap entry on
+    [s]: saves [pc] to [sepc], writes [scause]/[stval], saves GIE/mode
+    into SPIE/SPP, clears GIE, enters supervisor mode and jumps to
+    [stvec].  Used natively by the interpreter and by the hypervisor to
+    reflect faults and inject interrupts into a guest. *)
+
+val apply_sret : state -> unit
+(** [apply_sret s] performs the architectural [sret]: restores mode from
+    SPP, GIE from SPIE, and jumps to [sepc]. *)
+
+val timer_pending : state -> now:int64 -> bool
+(** [timer_pending s ~now] — the timer comparator is armed and expired. *)
+
+val interrupt_pending : state -> now:int64 -> ext_irq:bool -> Arch.cause option
+(** [interrupt_pending s ~now ~ext_irq] is the highest-priority
+    deliverable interrupt (external before timer), honouring GIE and the
+    per-source enables. *)
+
+val csr_read_native : state -> now:int64 -> ext_irq:bool -> Arch.csr -> int64
+(** CSR read semantics on bare metal: [Time] returns [now], [Sip]
+    synthesises pending bits, everything else reads the cell. *)
+
+(** {1 Execution environment} *)
+
+type xlate = {
+  pa : int64;  (** machine physical address *)
+  mmio : bool;  (** address belongs to the device window *)
+  xlate_cycles : int;  (** cycles charged for translation (walks) *)
+}
+
+type xlate_fault = [ `Page | `Access ]
+
+type env =
+  | Native of {
+      mmio_read : int64 -> Instr.width -> int64 option;
+      mmio_write : int64 -> Instr.width -> int64 -> bool;
+      port_in : int -> int64 option;
+      port_out : int -> int64 -> bool;
+    }  (** devices reachable directly *)
+  | Deprivileged  (** all sensitive events exit to the hypervisor *)
+
+type ctx = {
+  translate : access:Arch.access -> user:bool -> int64 -> (xlate, xlate_fault) result;
+  read_ram : int64 -> Instr.width -> int64;
+  write_ram : int64 -> Instr.width -> int64 -> unit;
+  flush_tlb : unit -> unit;
+      (** invoked on native [sfence] and [satp] writes *)
+  now : unit -> int64;  (** global cycle clock (drives [Time] and the
+                            timer) *)
+  ext_irq : unit -> bool;
+  cost : Cost_model.t;
+  env : env;
+}
+
+(** {1 VM exits} *)
+
+type vmexit =
+  | X_privileged of Instr.t
+      (** a privileged instruction; PC has {e not} advanced *)
+  | X_trap of { cause : Arch.cause; tval : int64 }
+      (** a guest-level trap condition (ecall, ebreak, illegal,
+          misaligned); the hypervisor normally reflects it with
+          {!deliver_trap} *)
+  | X_page_fault of { access : Arch.access; va : int64 }
+      (** translation failed; the hypervisor classifies it (shadow miss,
+          dirty tracking, ballooned page, or a real guest fault) *)
+  | X_mmio_load of { rd : Arch.reg; pa : int64; width : Instr.width }
+  | X_mmio_store of { pa : int64; width : Instr.width; value : int64 }
+  | X_hypercall  (** arguments in r1-r5 per the ABI in {!Asm} *)
+
+val pp_vmexit : Format.formatter -> vmexit -> unit
+
+val advance_pc : state -> unit
+(** [advance_pc s] skips the current instruction (+8); the hypervisor
+    calls it after emulating an exiting instruction. *)
+
+(** {1 Running} *)
+
+type stop =
+  | Budget  (** cycle budget exhausted (preemption point) *)
+  | Halted  (** [halt] executed (native) or state already halted *)
+  | Waiting  (** [wfi] with nothing pending (native); the embedder should
+                 advance time *)
+  | Exit of vmexit  (** deprivileged only *)
+
+val run : state -> ctx -> budget:int -> int * stop
+(** [run s ctx ~budget] executes instructions until the budget is
+    consumed or something stops the hart; returns cycles consumed and the
+    reason.  Interrupts are checked between instructions (native mode
+    only — a hypervisor injects interrupts with {!deliver_trap} before
+    resuming). *)

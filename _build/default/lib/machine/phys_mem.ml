@@ -1,0 +1,75 @@
+open Velum_isa
+
+type t = { data : Bytes.t; frames : int }
+
+let page = Arch.page_size
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  { data = Bytes.make (frames * page) '\000'; frames }
+
+let frames t = t.frames
+let size_bytes t = t.frames * page
+
+let in_range t ~pa ~bytes =
+  pa >= 0L && Int64.add pa (Int64.of_int bytes) <= Int64.of_int (size_bytes t)
+
+let check t pa bytes =
+  if not (in_range t ~pa ~bytes) then
+    invalid_arg (Printf.sprintf "Phys_mem: access 0x%Lx+%d out of range" pa bytes)
+
+let read t pa w =
+  let bytes = Instr.width_bytes w in
+  check t pa bytes;
+  let off = Int64.to_int pa in
+  match w with
+  | Instr.W8 -> Int64.of_int (Char.code (Bytes.get t.data off))
+  | Instr.W16 -> Int64.of_int (Bytes.get_uint16_le t.data off)
+  | Instr.W32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data off)) 0xFFFF_FFFFL
+  | Instr.W64 -> Bytes.get_int64_le t.data off
+
+let write t pa w v =
+  let bytes = Instr.width_bytes w in
+  check t pa bytes;
+  let off = Int64.to_int pa in
+  match w with
+  | Instr.W8 -> Bytes.set t.data off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | Instr.W16 -> Bytes.set_uint16_le t.data off (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Instr.W32 -> Bytes.set_int32_le t.data off (Int64.to_int32 v)
+  | Instr.W64 -> Bytes.set_int64_le t.data off v
+
+let load_bytes t ~pa b =
+  check t pa (Bytes.length b);
+  Bytes.blit b 0 t.data (Int64.to_int pa) (Bytes.length b)
+
+let frame_off t ppn =
+  let i = Int64.to_int ppn in
+  if i < 0 || i >= t.frames then
+    invalid_arg (Printf.sprintf "Phys_mem: frame %Ld out of range" ppn);
+  i * page
+
+let frame_copy t ~src_ppn ~dst_ppn =
+  Bytes.blit t.data (frame_off t src_ppn) t.data (frame_off t dst_ppn) page
+
+let frame_fill t ~ppn c = Bytes.fill t.data (frame_off t ppn) page c
+
+let frame_read t ~ppn = Bytes.sub t.data (frame_off t ppn) page
+
+let frame_write t ~ppn b =
+  if Bytes.length b <> page then invalid_arg "Phys_mem.frame_write: bad length";
+  Bytes.blit b 0 t.data (frame_off t ppn) page
+
+let frame_hash t ~ppn = Velum_util.Fnv.hash_bytes ~pos:(frame_off t ppn) ~len:page t.data
+
+let frame_is_zero t ~ppn =
+  let off = frame_off t ppn in
+  let rec go i = i >= page || (Bytes.get t.data (off + i) = '\000' && go (i + 1)) in
+  go 0
+
+let frame_equal t a b =
+  let oa = frame_off t a and ob = frame_off t b in
+  let rec go i = i >= page || (Bytes.get t.data (oa + i) = Bytes.get t.data (ob + i) && go (i + 1)) in
+  go 0
+
+let blit_between ~src ~src_ppn ~dst ~dst_ppn =
+  Bytes.blit src.data (frame_off src src_ppn) dst.data (frame_off dst dst_ppn) page

@@ -1,0 +1,59 @@
+(** Simulated physical (machine) memory.
+
+    A flat byte array divided into 4 KiB frames.  On a hypervisor host
+    this is the machine memory that the VMM's frame allocator hands out to
+    guests; on a native machine it is simply RAM.  Addresses are byte
+    physical addresses starting at zero. *)
+
+type t
+
+val create : frames:int -> t
+(** [create ~frames] allocates [frames] zeroed 4 KiB frames.
+
+    @raise Invalid_argument if [frames <= 0]. *)
+
+val frames : t -> int
+val size_bytes : t -> int
+
+val in_range : t -> pa:int64 -> bytes:int -> bool
+(** [in_range t ~pa ~bytes] — the access lies entirely inside RAM. *)
+
+val read : t -> int64 -> Velum_isa.Instr.width -> int64
+(** [read t pa w] reads little-endian, zero-extended.
+
+    @raise Invalid_argument if out of range. *)
+
+val write : t -> int64 -> Velum_isa.Instr.width -> int64 -> unit
+(** [write t pa w v] writes the low bytes of [v] little-endian. *)
+
+val load_bytes : t -> pa:int64 -> Bytes.t -> unit
+(** [load_bytes t ~pa b] copies [b] into memory at [pa] (used to load
+    boot images). *)
+
+val frame_copy : t -> src_ppn:int64 -> dst_ppn:int64 -> unit
+(** [frame_copy t ~src_ppn ~dst_ppn] copies one whole frame. *)
+
+val frame_fill : t -> ppn:int64 -> char -> unit
+(** [frame_fill t ~ppn c] fills a frame with byte [c]. *)
+
+val frame_read : t -> ppn:int64 -> Bytes.t
+(** [frame_read t ~ppn] is a fresh copy of the frame's 4096 bytes. *)
+
+val frame_write : t -> ppn:int64 -> Bytes.t -> unit
+(** [frame_write t ~ppn b] overwrites the frame with [b] (must be exactly
+    4096 bytes). *)
+
+val frame_hash : t -> ppn:int64 -> int64
+(** [frame_hash t ~ppn] is the FNV-1a digest of the frame contents; used
+    by content-based page sharing. *)
+
+val frame_is_zero : t -> ppn:int64 -> bool
+(** [frame_is_zero t ~ppn] — every byte of the frame is zero (zero-page
+    detection for migration compression). *)
+
+val frame_equal : t -> int64 -> int64 -> bool
+(** [frame_equal t a b] compares two frames byte for byte. *)
+
+val blit_between : src:t -> src_ppn:int64 -> dst:t -> dst_ppn:int64 -> unit
+(** [blit_between ~src ~src_ppn ~dst ~dst_ppn] copies a frame across two
+    memories (live migration between hosts). *)

@@ -1,0 +1,50 @@
+(** Translation lookaside buffer.
+
+    Caches virtual-page → machine-frame translations with permission and
+    dirty state.  Fully associative with round-robin replacement, so
+    behaviour is deterministic.  A store through an entry installed
+    without the dirty bit misses, forcing a re-walk that sets the page
+    dirty — matching how hardware keeps D bits precise. *)
+
+open Velum_isa
+
+type entry = {
+  vpn : int64;  (** virtual page number (4 KiB granule); for a superpage
+                    entry this is the first vpn the superpage covers *)
+  ppn : int64;  (** machine frame (host physical in a VM context); for a
+                    superpage entry, the 512-aligned base frame *)
+  perms : Pte.perms;  (** effective permissions *)
+  dirty_ok : bool;  (** stores may hit without a re-walk *)
+  mmio : bool;  (** translation targets an MMIO page; ppn is then the
+                    guest-physical page number of the device page *)
+  superpage : bool;  (** one entry covers a whole 2 MiB region — the TLB
+                         reach benefit of large pages *)
+}
+
+type t
+
+val create : size:int -> t
+(** @raise Invalid_argument if [size <= 0]. *)
+
+val size : t -> int
+
+val lookup : t -> vpn:int64 -> entry option
+(** [lookup t ~vpn] — 4 KiB entries are consulted first, then superpage
+    entries covering [vpn].  A hit does not inspect permissions; the CPU
+    checks them against the access. *)
+
+val insert : t -> entry -> unit
+(** [insert t e] fills an entry, evicting round-robin when full and
+    replacing any existing entry for the same VPN. *)
+
+val flush : t -> unit
+val flush_vpn : t -> int64 -> unit
+
+val hits : t -> int
+val misses : t -> int
+(** Callers report hits/misses via {!note_hit} / {!note_miss}; the TLB
+    itself cannot tell a permission-upgrade re-walk from a cold miss. *)
+
+val note_hit : t -> unit
+val note_miss : t -> unit
+val reset_stats : t -> unit

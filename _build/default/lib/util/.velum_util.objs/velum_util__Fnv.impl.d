@@ -1,0 +1,1 @@
+lib/util/fnv.ml: Bytes Char Int64 String

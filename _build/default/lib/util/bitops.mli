@@ -1,0 +1,39 @@
+(** Bit-field extraction and insertion over [int64] machine words. *)
+
+val extract : int64 -> lo:int -> width:int -> int64
+(** [extract v ~lo ~width] is bits [lo .. lo+width-1] of [v], right
+    aligned.
+
+    @raise Invalid_argument if the field does not fit in 64 bits. *)
+
+val insert : int64 -> lo:int -> width:int -> int64 -> int64
+(** [insert v ~lo ~width field] replaces bits [lo .. lo+width-1] of [v]
+    with the low [width] bits of [field]. *)
+
+val test_bit : int64 -> int -> bool
+(** [test_bit v i] is bit [i] of [v]. *)
+
+val set_bit : int64 -> int -> bool -> int64
+(** [set_bit v i b] sets bit [i] of [v] to [b]. *)
+
+val sign_extend : int64 -> width:int -> int64
+(** [sign_extend v ~width] treats the low [width] bits of [v] as a signed
+    [width]-bit value and widens it to 64 bits. *)
+
+val mask : int -> int64
+(** [mask n] is an [int64] with the low [n] bits set ([0 <= n <= 64]). *)
+
+val align_down : int64 -> int -> int64
+(** [align_down v a] rounds [v] down to a multiple of [a] ([a] a power of
+    two). *)
+
+val align_up : int64 -> int -> int64
+(** [align_up v a] rounds [v] up to a multiple of [a] ([a] a power of
+    two). *)
+
+val is_aligned : int64 -> int -> bool
+(** [is_aligned v a] tests whether [v] is a multiple of power-of-two
+    [a]. *)
+
+val popcount : int64 -> int
+(** [popcount v] counts set bits. *)

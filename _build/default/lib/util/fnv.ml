@@ -1,0 +1,27 @@
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let step h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) prime
+
+let hash_bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Fnv.hash_bytes: range out of bounds";
+  let h = ref offset_basis in
+  for i = pos to pos + len - 1 do
+    h := step !h (Char.code (Bytes.unsafe_get b i))
+  done;
+  !h
+
+let hash_string s =
+  let h = ref offset_basis in
+  String.iter (fun c -> h := step !h (Char.code c)) s;
+  !h
+
+let combine h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := step !h (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !h

@@ -1,0 +1,37 @@
+(** Bounded FIFO ring buffer.
+
+    Used for device queues (UART receive buffer, NIC frames in flight) and
+    scheduler run queues where a fixed capacity models real hardware
+    limits. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    elements.
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x]; returns [false] (dropping [x]) when full. *)
+
+val push_force : 'a t -> 'a -> unit
+(** [push_force t x] appends [x], evicting the oldest element if full. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the oldest element. *)
+
+val peek : 'a t -> 'a option
+(** [peek t] returns the oldest element without removing it. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] oldest-first without consuming. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is the contents oldest-first. *)

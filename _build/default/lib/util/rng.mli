@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that every
+    experiment is exactly reproducible from its seed.  The generator is
+    splitmix64, which is fast, has a 64-bit state, and passes BigCrush. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next t] draws a uniformly distributed 64-bit value and advances the
+    state. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].  [bound] must be
+    positive.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** [float t] draws a uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** [bool t] draws a fair coin flip. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] draws the number of failures before the first success
+    in Bernoulli(p) trials.  Used for e.g. randomized page-touch strides.
+
+    @raise Invalid_argument if [p] is outside (0, 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher-Yates). *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    parent's subsequent draws.  Useful to give each VM its own stream. *)

@@ -1,0 +1,76 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int n)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.0
+
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+type running = {
+  mutable count : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let running_create () =
+  { count = 0; mean_acc = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let running_add r x =
+  r.count <- r.count + 1;
+  let delta = x -. r.mean_acc in
+  r.mean_acc <- r.mean_acc +. (delta /. float_of_int r.count);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mean_acc));
+  if x < r.min_v then r.min_v <- x;
+  if x > r.max_v then r.max_v <- x
+
+let running_count r = r.count
+let running_mean r = if r.count = 0 then 0.0 else r.mean_acc
+
+let running_stddev r =
+  if r.count < 2 then 0.0 else sqrt (r.m2 /. float_of_int r.count)
+
+let running_min r = if r.count = 0 then 0.0 else r.min_v
+let running_max r = if r.count = 0 then 0.0 else r.max_v

@@ -1,0 +1,39 @@
+(** Summary statistics for experiment reporting. *)
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean; 0 on an empty array. *)
+
+val stddev : float array -> float
+(** [stddev xs] is the population standard deviation; 0 for fewer than two
+    samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile (0..100) by linear
+    interpolation over the sorted samples.
+
+    @raise Invalid_argument on an empty array or [p] outside [0,100]. *)
+
+val median : float array -> float
+(** [median xs] is [percentile xs 50.0]. *)
+
+val jain_fairness : float array -> float
+(** [jain_fairness xs] is Jain's fairness index
+    [(sum xs)^2 / (n * sum (x^2))]: 1.0 means perfectly even allocation,
+    [1/n] maximal unfairness.  Returns 1.0 for empty input. *)
+
+val geometric_mean : float array -> float
+(** [geometric_mean xs] for strictly positive samples; 0 on empty input.
+
+    @raise Invalid_argument if any sample is non-positive. *)
+
+type running
+(** Online accumulator (Welford) for mean/variance without storing
+    samples. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stddev : running -> float
+val running_min : running -> float
+val running_max : running -> float

@@ -1,0 +1,34 @@
+(** ASCII table rendering for experiment output.
+
+    Every table and figure the bench harness regenerates is printed through
+    this module so the output format is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ?title columns] starts a table with the given column headers
+    and alignments. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.
+
+    @raise Invalid_argument if the arity differs from the header. *)
+
+val add_separator : t -> unit
+(** [add_separator t] inserts a horizontal rule between rows. *)
+
+val render : t -> string
+(** [render t] lays the table out with padded, aligned columns. *)
+
+val print : t -> unit
+(** [print t] renders to stdout followed by a blank line. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** [cell_f x] formats a float for a table cell (default 2 decimals). *)
+
+val cell_i : int -> string
+(** [cell_i n] formats an integer with thousands separators
+    (e.g. ["12_345"] prints as ["12,345"]). *)

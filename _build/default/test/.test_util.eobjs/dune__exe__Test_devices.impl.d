@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Arch Blockdev Bus Bytes Char Instr Int64 Link List Nic Option Phys_mem Platform Printf String Uart Velum_devices Velum_isa Velum_machine Virtio_blk Virtio_ring

@@ -1,0 +1,1 @@
+test/test_differential.ml: Abi Alcotest Array Asm Host Hypervisor Images Instr Int64 List Platform QCheck2 QCheck_alcotest String Velum_devices Velum_guests Velum_isa Velum_vmm Vm

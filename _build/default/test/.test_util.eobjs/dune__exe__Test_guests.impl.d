@@ -1,0 +1,1 @@
+test/test_guests.ml: Abi Alcotest Asm Bytes Images Instr Int64 Kernel List Printf Velum_guests Velum_isa Workloads

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Arch Array Asm Event Frame_alloc Host Hypercall Hypervisor Int64 List Monitor Printf Vcpu Velum_isa Velum_machine Velum_util Velum_vmm Vm

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Arch Asm Bytes Instr Int64 List Option Pte QCheck2 QCheck_alcotest String Velum_isa

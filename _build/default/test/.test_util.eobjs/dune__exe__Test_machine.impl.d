@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Arch Asm Bus Bytes Char Cost_model Cpu Format Instr Int64 List Mmu Page_table Phys_mem Pte QCheck2 QCheck_alcotest Tlb Velum_isa Velum_machine

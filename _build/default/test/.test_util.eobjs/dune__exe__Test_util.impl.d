@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Bytes Fnv Fun Int64 List QCheck2 QCheck_alcotest Queue Ring Rng Stats String Tablefmt Velum_util

@@ -1,0 +1,446 @@
+(* Unit tests for velum_devices: bus dispatch, UART, block device,
+   virtio ring/block, network link and NIC, and the native platform. *)
+
+open Velum_isa
+open Velum_machine
+open Velum_devices
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+let checks = Alcotest.(check string)
+
+(* ---------------- Bus ---------------- *)
+
+let dummy_device name base size =
+  let last = ref 0L in
+  {
+    Bus.name;
+    base;
+    size;
+    read = (fun off _ -> Int64.add off 100L);
+    write = (fun _ _ v -> last := v);
+    tick = (fun _ -> ());
+    pending_irq = (fun () -> false);
+  }
+
+let test_bus_dispatch () =
+  let bus = Bus.create () in
+  Bus.attach bus (dummy_device "a" 0x4000_0000L 0x100);
+  Bus.attach bus (dummy_device "b" 0x4000_1000L 0x100);
+  (match Bus.read bus 0x4000_0010L Instr.W64 with
+  | Some v -> check64 "offset-relative" 116L v
+  | None -> Alcotest.fail "no device");
+  checkb "write claimed" true (Bus.write bus 0x4000_1000L Instr.W64 7L);
+  checkb "hole" true (Bus.read bus 0x4000_2000L Instr.W64 = None)
+
+let test_bus_overlap_rejected () =
+  let bus = Bus.create () in
+  Bus.attach bus (dummy_device "a" 0x4000_0000L 0x200);
+  Alcotest.check_raises "overlap" (Invalid_argument "Bus.attach: b overlaps a")
+    (fun () -> Bus.attach bus (dummy_device "b" 0x4000_0100L 0x100))
+
+let test_bus_window () =
+  checkb "below" false (Bus.is_mmio 0x3FFF_FFFFL);
+  checkb "base" true (Bus.is_mmio 0x4000_0000L);
+  checkb "top" false (Bus.is_mmio 0x5000_0000L);
+  let bus = Bus.create () in
+  Alcotest.check_raises "outside window"
+    (Invalid_argument "Bus.attach: x outside the MMIO window") (fun () ->
+      Bus.attach bus (dummy_device "x" 0x1000L 0x100))
+
+(* ---------------- Uart ---------------- *)
+
+let test_uart_tx () =
+  let u = Uart.create () in
+  Uart.write_reg u Uart.reg_data 0x68L (* h *);
+  Uart.write_reg u Uart.reg_data 0x69L (* i *);
+  checks "output" "hi" (Uart.output u);
+  checki "length" 2 (Uart.output_length u);
+  Uart.clear_output u;
+  checks "cleared" "" (Uart.output u)
+
+let test_uart_rx () =
+  let u = Uart.create () in
+  checkb "no rx" false (Uart.rx_pending u);
+  check64 "empty read" 0L (Uart.read_reg u Uart.reg_data);
+  Uart.feed_input u "ab";
+  checkb "rx pending" true (Uart.rx_pending u);
+  check64 "status rx bit" 3L (Uart.read_reg u Uart.reg_status);
+  check64 "pop a" (Int64.of_int (Char.code 'a')) (Uart.read_reg u Uart.reg_data);
+  check64 "pop b" (Int64.of_int (Char.code 'b')) (Uart.read_reg u Uart.reg_data);
+  check64 "status tx only" 2L (Uart.read_reg u Uart.reg_status)
+
+let test_uart_device_irq () =
+  let u = Uart.create () in
+  let d = Uart.device u in
+  checkb "idle" false (d.Bus.pending_irq ());
+  Uart.feed_input u "x";
+  checkb "irq on rx" true (d.Bus.pending_irq ())
+
+(* ---------------- Blockdev ---------------- *)
+
+let make_blk () =
+  let backing = Bytes.make 65536 '\000' in
+  let dma =
+    {
+      Blockdev.dma_read =
+        (fun pa len ->
+          let off = Int64.to_int pa in
+          if off + len <= Bytes.length backing then Some (Bytes.sub backing off len)
+          else None);
+      dma_write =
+        (fun pa b ->
+          let off = Int64.to_int pa in
+          if off + Bytes.length b <= Bytes.length backing then begin
+            Bytes.blit b 0 backing off (Bytes.length b);
+            true
+          end
+          else false);
+    }
+  in
+  (Blockdev.create ~sectors:64 dma, backing)
+
+let test_blk_read () =
+  let blk, backing = make_blk () in
+  Blockdev.load blk ~sector:2 "hello-disk";
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 2L;
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_dma Instr.W64 0x100L;
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  check64 "busy" Blockdev.status_busy (d.Bus.read Blockdev.reg_status Instr.W64);
+  checkb "has deadline" true (Blockdev.next_completion blk <> None);
+  d.Bus.tick 10_000_000L;
+  checkb "irq raised" true (d.Bus.pending_irq ());
+  check64 "done" Blockdev.status_done (d.Bus.read Blockdev.reg_status Instr.W64);
+  checkb "irq acked" false (d.Bus.pending_irq ());
+  check64 "idle after ack" Blockdev.status_idle (d.Bus.read Blockdev.reg_status Instr.W64);
+  checks "dma payload" "hello-disk" (Bytes.sub_string backing 0x100 10);
+  checki "ops" 1 (Blockdev.completed_ops blk)
+
+let test_blk_write () =
+  let blk, backing = make_blk () in
+  Bytes.blit_string "write-me!" 0 backing 0x200 9;
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 5L;
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_dma Instr.W64 0x200L;
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_write;
+  d.Bus.tick 10_000_000L;
+  check64 "done" Blockdev.status_done (d.Bus.read Blockdev.reg_status Instr.W64);
+  checks "stored" "write-me!" (String.sub (Blockdev.read_back blk ~sector:5 ~count:1) 0 9)
+
+let test_blk_bad_range () =
+  let blk, _ = make_blk () in
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 1000L (* beyond 64 sectors *);
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  check64 "error" Blockdev.status_error (d.Bus.read Blockdev.reg_status Instr.W64)
+
+let test_blk_bad_dma () =
+  let blk, _ = make_blk () in
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 0L;
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_dma Instr.W64 0xFFFF_0000L (* outside backing *);
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  d.Bus.tick 10_000_000L;
+  check64 "error surfaced at completion" Blockdev.status_error
+    (d.Bus.read Blockdev.reg_status Instr.W64)
+
+(* ---------------- Virtio ring ---------------- *)
+
+let make_guest_mem () =
+  let mem = Phys_mem.create ~frames:16 in
+  Platform.identity_guest_mem mem
+
+let test_ring_push_pending () =
+  let gm = make_guest_mem () in
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:4 in
+  check64 "avail 0" 0L (Virtio_ring.avail_idx ring);
+  let d =
+    { Virtio_ring.data_gpa = 0x2000L; data_len = 512; kind = 1L; arg = 7L; status_gpa = 0x3000L }
+  in
+  checkb "push" true (Virtio_ring.guest_push ring d);
+  check64 "avail 1" 1L (Virtio_ring.avail_idx ring);
+  (match Virtio_ring.pending ring with
+  | [ got ] ->
+      check64 "gpa" 0x2000L got.Virtio_ring.data_gpa;
+      checki "len" 512 got.Virtio_ring.data_len;
+      check64 "arg" 7L got.Virtio_ring.arg
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 pending, got %d" (List.length l)));
+  Virtio_ring.complete ring ~count:1;
+  checkb "drained" true (Virtio_ring.pending ring = [])
+
+let test_ring_full_and_wrap () =
+  let gm = make_guest_mem () in
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:2 in
+  let d i =
+    { Virtio_ring.data_gpa = Int64.of_int (0x2000 + i); data_len = 8; kind = 1L;
+      arg = Int64.of_int i; status_gpa = 0x3000L }
+  in
+  checkb "p0" true (Virtio_ring.guest_push ring (d 0));
+  checkb "p1" true (Virtio_ring.guest_push ring (d 1));
+  checkb "full" false (Virtio_ring.guest_push ring (d 2));
+  Virtio_ring.complete ring ~count:2;
+  (* free-running indices wrap around the slot array *)
+  checkb "p2 after complete" true (Virtio_ring.guest_push ring (d 2));
+  match Virtio_ring.pending ring with
+  | [ got ] -> check64 "wrapped slot" 2L got.Virtio_ring.arg
+  | _ -> Alcotest.fail "expected one pending"
+
+let test_ring_bad_size () =
+  let gm = make_guest_mem () in
+  Alcotest.check_raises "not power of two"
+    (Invalid_argument "Virtio_ring.create: size must be a positive power of two")
+    (fun () -> ignore (Virtio_ring.create ~mem:gm ~base:0L ~size:3))
+
+(* ---------------- Virtio blk ---------------- *)
+
+let test_vblk_batch () =
+  let mem = Phys_mem.create ~frames:32 in
+  let gm = Platform.identity_guest_mem mem in
+  let vblk = Virtio_blk.create ~sectors:64 gm in
+  Virtio_blk.load vblk ~sector:0 "sector-zero";
+  Virtio_blk.load vblk ~sector:1 "sector-one!";
+  let d = Virtio_blk.device vblk in
+  d.Bus.write Virtio_blk.reg_ring_base Instr.W64 0x1000L;
+  d.Bus.write Virtio_blk.reg_ring_size Instr.W64 4L;
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:4 in
+  let push sector buf st =
+    ignore
+      (Virtio_ring.guest_push ring
+         { Virtio_ring.data_gpa = buf; data_len = 512; kind = Virtio_blk.kind_read;
+           arg = sector; status_gpa = st })
+  in
+  push 0L 0x4000L 0x3000L;
+  push 1L 0x5000L 0x3008L;
+  d.Bus.write Virtio_blk.reg_kick Instr.W64 0L;
+  checki "one kick" 1 (Virtio_blk.kicks vblk);
+  checkb "deadline" true (Virtio_blk.next_completion vblk <> None);
+  d.Bus.tick 10_000_000L;
+  check64 "used advanced" 2L (Virtio_ring.used_idx ring);
+  checki "ops" 2 (Virtio_blk.completed_ops vblk);
+  check64 "isr" 1L (d.Bus.read Virtio_blk.reg_isr Instr.W64);
+  check64 "isr acked" 0L (d.Bus.read Virtio_blk.reg_isr Instr.W64);
+  checks "payload 0" "sector-zero"
+    (String.sub (Bytes.to_string (Option.get (gm.Virtio_ring.read_bytes 0x4000L 11))) 0 11);
+  checks "payload 1" "sector-one!"
+    (String.sub (Bytes.to_string (Option.get (gm.Virtio_ring.read_bytes 0x5000L 11))) 0 11);
+  check64 "status ok" 0L
+    (Int64.of_int (Char.code (Bytes.get (Option.get (gm.Virtio_ring.read_bytes 0x3000L 1)) 0)))
+
+let test_vblk_error_status () =
+  let mem = Phys_mem.create ~frames:32 in
+  let gm = Platform.identity_guest_mem mem in
+  let vblk = Virtio_blk.create ~sectors:4 gm in
+  let d = Virtio_blk.device vblk in
+  d.Bus.write Virtio_blk.reg_ring_base Instr.W64 0x1000L;
+  d.Bus.write Virtio_blk.reg_ring_size Instr.W64 4L;
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:4 in
+  ignore
+    (Virtio_ring.guest_push ring
+       { Virtio_ring.data_gpa = 0x4000L; data_len = 512; kind = Virtio_blk.kind_read;
+         arg = 100L (* out of range *); status_gpa = 0x3000L });
+  d.Bus.write Virtio_blk.reg_kick Instr.W64 0L;
+  d.Bus.tick 10_000_000L;
+  check64 "status error" 1L
+    (Int64.of_int (Char.code (Bytes.get (Option.get (gm.Virtio_ring.read_bytes 0x3000L 1)) 0)))
+
+(* ---------------- Link ---------------- *)
+
+let test_link_transfer_model () =
+  let l = Link.create ~bytes_per_cycle:2.0 ~latency_cycles:100 () in
+  checki "transfer cycles" (100 + 500) (Link.transfer_cycles l ~bytes:1000);
+  let arrival = Link.send l ~from:`A ~now:0L ~payload:(String.make 1000 'x') in
+  check64 "arrival" 600L arrival;
+  (* second frame queues behind the first on the line *)
+  let arrival2 = Link.send l ~from:`A ~now:0L ~payload:(String.make 1000 'y') in
+  check64 "serialized" 1100L arrival2;
+  checki "in flight" 2 (Link.in_flight l);
+  checki "bytes" 2000 (Link.bytes_sent l)
+
+let test_link_poll () =
+  let l = Link.create ~bytes_per_cycle:1.0 ~latency_cycles:10 () in
+  ignore (Link.send l ~from:`A ~now:0L ~payload:"one");
+  ignore (Link.send l ~from:`A ~now:0L ~payload:"two");
+  Alcotest.(check (list string)) "nothing yet" [] (Link.poll l ~at:`B ~now:5L);
+  Alcotest.(check (list string)) "both in order" [ "one"; "two" ]
+    (Link.poll l ~at:`B ~now:1000L);
+  Alcotest.(check (list string)) "drained" [] (Link.poll l ~at:`B ~now:2000L)
+
+let test_link_directions_independent () =
+  let l = Link.create () in
+  ignore (Link.send l ~from:`A ~now:0L ~payload:"to-b");
+  ignore (Link.send l ~from:`B ~now:0L ~payload:"to-a");
+  Alcotest.(check (list string)) "b gets" [ "to-b" ] (Link.poll l ~at:`B ~now:100_000L);
+  Alcotest.(check (list string)) "a gets" [ "to-a" ] (Link.poll l ~at:`A ~now:100_000L)
+
+(* ---------------- Nic ---------------- *)
+
+let test_nic_loopback () =
+  let link = Link.create ~bytes_per_cycle:10.0 ~latency_cycles:50 () in
+  let mem_a = Phys_mem.create ~frames:4 and mem_b = Phys_mem.create ~frames:4 in
+  let nic_a = Nic.create ~link ~endpoint:`A ~dma:(Platform.identity_dma mem_a) () in
+  let nic_b = Nic.create ~link ~endpoint:`B ~dma:(Platform.identity_dma mem_b) () in
+  let da = Nic.device nic_a and db = Nic.device nic_b in
+  (* put a frame in A's memory and transmit *)
+  Phys_mem.write mem_a 0x100L Instr.W64 0x11223344L;
+  da.Bus.write Nic.reg_tx_addr Instr.W64 0x100L;
+  da.Bus.write Nic.reg_tx_len Instr.W64 8L;
+  da.Bus.write Nic.reg_tx_cmd Instr.W64 1L;
+  checki "sent" 1 (Nic.frames_sent nic_a);
+  (* before latency elapses nothing is pending at B *)
+  db.Bus.tick 10L;
+  check64 "rx empty" 0L (db.Bus.read Nic.reg_rx_len Instr.W64);
+  db.Bus.tick 10_000L;
+  checkb "irq" true (db.Bus.pending_irq ());
+  check64 "rx len" 8L (db.Bus.read Nic.reg_rx_len Instr.W64);
+  db.Bus.write Nic.reg_rx_dma Instr.W64 0x200L;
+  db.Bus.write Nic.reg_rx_cmd Instr.W64 1L;
+  checki "received" 1 (Nic.frames_received nic_b);
+  check64 "payload" 0x11223344L (Phys_mem.read mem_b 0x200L Instr.W64)
+
+let test_uart_rx_overflow () =
+  let u = Uart.create ~rx_capacity:4 () in
+  Uart.feed_input u "abcdef" (* e, f dropped *);
+  let drained = ref "" in
+  for _ = 1 to 6 do
+    let v = Uart.read_reg u Uart.reg_data in
+    if v <> 0L then drained := !drained ^ String.make 1 (Char.chr (Int64.to_int v))
+  done;
+  checks "capacity bounds input" "abcd" !drained
+
+let test_nic_oversized_frame_dropped () =
+  let link = Link.create () in
+  let mem = Phys_mem.create ~frames:8 in
+  let nic = Nic.create ~link ~endpoint:`A ~dma:(Platform.identity_dma mem) () in
+  let d = Nic.device nic in
+  d.Bus.write Nic.reg_tx_addr Instr.W64 0L;
+  d.Bus.write Nic.reg_tx_len Instr.W64 (Int64.of_int (Nic.max_frame + 1));
+  d.Bus.write Nic.reg_tx_cmd Instr.W64 1L;
+  checki "not sent" 0 (Nic.frames_sent nic);
+  checki "nothing on the wire" 0 (Link.in_flight link)
+
+let test_device_tick_monotonic () =
+  let blk, _ = make_blk () in
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 0L;
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_dma Instr.W64 0x100L;
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  d.Bus.tick 10_000_000L;
+  check64 "completed" Blockdev.status_done (d.Bus.read Blockdev.reg_status Instr.W64);
+  (* a lagging pCPU ticks with an older timestamp: the device clock must
+     not rewind, so the new command is still in flight... *)
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  d.Bus.tick 5L;
+  check64 "no spurious completion from a stale tick" Blockdev.status_busy
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  (* ...and completes once time genuinely advances *)
+  d.Bus.tick 30_000_000L;
+  check64 "completes later" Blockdev.status_done
+    (d.Bus.read Blockdev.reg_status Instr.W64)
+
+(* ---------------- Platform ---------------- *)
+
+let test_platform_deadlock_detection () =
+  (* a guest that wfi's with interrupts disabled can never wake *)
+  let platform = Platform.create ~frames:64 () in
+  let img = Velum_isa.Asm.assemble ~origin:0x0L Velum_isa.Asm.[ wfi; halt ] in
+  Platform.load_image platform img;
+  Platform.boot platform ~entry:0L;
+  checkb "deadlock detected" true (Platform.run platform = Platform.Deadlock)
+
+let test_platform_timer_wakeup () =
+  let platform = Platform.create ~frames:64 () in
+  let open Velum_isa.Asm in
+  let img =
+    Velum_isa.Asm.assemble ~origin:0x0L
+      [
+        la r2 "handler";
+        csrw Arch.Stvec r2;
+        csrr r2 Arch.Time;
+        addi r2 r2 50_000L;
+        csrw Arch.Stimecmp r2;
+        (* GIE | timer enable *)
+        li r2 1L; slli r3 r2 63L; ori r3 r3 1L; csrw Arch.Sie r3;
+        wfi;
+        halt (* unreachable: handler halts *);
+        label "handler";
+        halt;
+      ]
+  in
+  Platform.load_image platform img;
+  Platform.boot platform ~entry:0L;
+  checkb "halted via handler" true (Platform.run platform = Platform.Halted);
+  checkb "time advanced past timer" true (Platform.cycles platform >= 50_000L)
+
+let test_platform_budget () =
+  let platform = Platform.create ~frames:64 () in
+  let img =
+    Velum_isa.Asm.assemble ~origin:0x0L
+      Velum_isa.Asm.[ label "spin"; jmp "spin" ]
+  in
+  Platform.load_image platform img;
+  Platform.boot platform ~entry:0L;
+  checkb "budget" true (Platform.run ~budget:10_000L platform = Platform.Out_of_budget)
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "bus",
+        [
+          Alcotest.test_case "dispatch" `Quick test_bus_dispatch;
+          Alcotest.test_case "overlap rejected" `Quick test_bus_overlap_rejected;
+          Alcotest.test_case "window" `Quick test_bus_window;
+        ] );
+      ( "uart",
+        [
+          Alcotest.test_case "tx" `Quick test_uart_tx;
+          Alcotest.test_case "rx" `Quick test_uart_rx;
+          Alcotest.test_case "irq" `Quick test_uart_device_irq;
+        ] );
+      ( "blockdev",
+        [
+          Alcotest.test_case "read flow" `Quick test_blk_read;
+          Alcotest.test_case "write flow" `Quick test_blk_write;
+          Alcotest.test_case "bad range" `Quick test_blk_bad_range;
+          Alcotest.test_case "bad dma" `Quick test_blk_bad_dma;
+        ] );
+      ( "virtio_ring",
+        [
+          Alcotest.test_case "push/pending/complete" `Quick test_ring_push_pending;
+          Alcotest.test_case "full and wrap" `Quick test_ring_full_and_wrap;
+          Alcotest.test_case "bad size" `Quick test_ring_bad_size;
+        ] );
+      ( "virtio_blk",
+        [
+          Alcotest.test_case "batch" `Quick test_vblk_batch;
+          Alcotest.test_case "error status" `Quick test_vblk_error_status;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "transfer model" `Quick test_link_transfer_model;
+          Alcotest.test_case "poll" `Quick test_link_poll;
+          Alcotest.test_case "directions" `Quick test_link_directions_independent;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "loopback" `Quick test_nic_loopback;
+          Alcotest.test_case "oversized frame" `Quick test_nic_oversized_frame_dropped;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "uart rx overflow" `Quick test_uart_rx_overflow;
+          Alcotest.test_case "tick monotonic" `Quick test_device_tick_monotonic;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "deadlock detection" `Quick test_platform_deadlock_detection;
+          Alcotest.test_case "timer wakeup" `Quick test_platform_timer_wakeup;
+          Alcotest.test_case "budget" `Quick test_platform_budget;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Differential testing: generate random guest user programs, run each
+   on bare metal and under the hypervisor in every configuration
+   (shadow/nested paging, paravirtual, binary translation, 4 KiB and
+   2 MiB heap mappings), and require byte-identical console output.
+
+   Each program seeds registers with random constants, applies a random
+   sequence of ALU and heap load/store operations, folds the registers
+   into a digest, and prints the digest as 16 letters.  Any divergence
+   between the native hart and the deprivileged hart — in instruction
+   semantics, trap reflection, address translation, A/D handling, or
+   device emulation — shows up as different output. *)
+
+open Velum_isa
+open Velum_devices
+open Velum_vmm
+open Velum_guests
+open Asm
+
+(* ---------------- program generator ---------------- *)
+
+type op =
+  | Alu3 of Instr.alu_op * int * int * int  (* rd, rs1, rs2 in 2..11 *)
+  | Alui of Instr.alu_op * int * int * int64
+  | Store of int * int64  (* src reg, aligned heap offset *)
+  | Load of int * int64  (* rd, aligned heap offset *)
+
+let gen_reg = QCheck2.Gen.int_range 2 11
+
+let gen_alu3_op =
+  QCheck2.Gen.oneofl
+    [ Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Or; Instr.Xor;
+      Instr.Sll; Instr.Srl; Instr.Sra; Instr.Slt; Instr.Sltu; Instr.Div; Instr.Rem ]
+
+let gen_alui_op =
+  QCheck2.Gen.oneofl
+    [ Instr.Add; Instr.And; Instr.Or; Instr.Xor; Instr.Sll; Instr.Srl; Instr.Sra;
+      Instr.Slt; Instr.Sltu ]
+
+let gen_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (5, map (fun ((o, a), (b, c)) -> Alu3 (o, a, b, c))
+           (pair (pair gen_alu3_op gen_reg) (pair gen_reg gen_reg)));
+      (3, map (fun ((o, a), (b, i)) -> Alui (o, a, b, Int64.of_int i))
+           (pair (pair gen_alui_op gen_reg) (pair gen_reg (int_range (-100000) 100000))));
+      (1, map (fun (r, slot) -> Store (r, Int64.of_int (slot * 8)))
+           (pair gen_reg (int_range 0 63)));
+      (1, map (fun (r, slot) -> Load (r, Int64.of_int (slot * 8)))
+           (pair gen_reg (int_range 0 63)));
+    ]
+
+let gen_program =
+  let open QCheck2.Gen in
+  pair (array_size (return 10) (map Int64.of_int int)) (list_size (int_range 5 60) gen_op)
+
+let compile (seeds, ops) =
+  let seed_items =
+    List.concat (List.mapi (fun i v -> [ li (i + 2) v ]) (Array.to_list seeds))
+  in
+  let op_item = function
+    | Alu3 (o, rd, rs1, rs2) -> Insn (Instr.Alu (o, rd, rs1, rs2))
+    | Alui (o, rd, rs1, imm) -> Insn (Instr.Alui (o, rd, rs1, imm))
+    | Store (src, off) -> Insn (Instr.Store { src; base = 15; off; width = Instr.W64 })
+    | Load (rd, off) -> Insn (Instr.Load { rd; base = 15; off; width = Instr.W64 })
+  in
+  let fold =
+    (* digest = xor of r2..r11 *)
+    [ mv r12 r2 ]
+    @ List.concat (List.map (fun r -> [ xor r12 r12 r ]) [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ])
+  in
+  let print_digest =
+    [
+      li r6 16L;
+      label "d_loop";
+      srli r7 r12 60L;
+      andi r7 r7 15L;
+      addi r2 r7 97L (* 'a' + nibble *);
+      li r1 Abi.sys_putchar;
+      ecall;
+      slli r12 r12 4L;
+      addi r6 r6 (-1L);
+      bne r6 r0 "d_loop";
+    ]
+  in
+  Asm.assemble ~origin:Abi.user_base
+    ([ label "u_entry"; li r14 0x0014_4000L; li r15 Abi.heap_base ]
+    @ seed_items
+    @ List.map op_item ops
+    @ fold @ print_digest
+    @ [ li r1 Abi.sys_exit; ecall ])
+
+(* ---------------- execution under each configuration ---------------- *)
+
+let run_native setup =
+  let platform = Platform.create ~frames:(setup.Images.frames + 16) () in
+  Images.load_native platform setup;
+  match Platform.run ~budget:100_000_000L platform with
+  | Platform.Halted -> Platform.console_output platform
+  | _ -> "<native did not halt>"
+
+let run_virt ?exec_mode ~paging ~pv setup =
+  let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+  let hyp = Hypervisor.create ~host () in
+  let vm =
+    Hypervisor.create_vm hyp ~name:"diff" ~mem_frames:setup.Images.frames ~paging
+      ~pv:(if pv then Vm.full_pv else Vm.no_pv)
+      ?exec_mode ~entry:Images.entry ()
+  in
+  Images.load_vm vm setup;
+  match Hypervisor.run hyp ~budget:500_000_000L with
+  | Hypervisor.All_halted -> Vm.console_output vm
+  | _ -> "<vm did not halt>"
+
+let differential_prop =
+  QCheck2.Test.make ~count:40 ~name:"native = shadow = nested = pv for random programs"
+    gen_program
+    (fun prog ->
+      let user = compile prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let pv_setup = Images.plan ~pv_console:true ~pv_pt:true ~heap_pages:1 ~user () in
+      let sp_setup = Images.plan ~heap_pages:1 ~heap_superpages:true ~user () in
+      let native = run_native setup in
+      String.length native = 16
+      && native = run_virt ~paging:Vm.Shadow_paging ~pv:false setup
+      && native = run_virt ~paging:Vm.Nested_paging ~pv:false setup
+      && native = run_virt ~paging:Vm.Shadow_paging ~pv:true pv_setup
+      && native
+         = run_virt ~exec_mode:Vm.Binary_translation ~paging:Vm.Nested_paging ~pv:false
+             setup
+      && native = run_native sp_setup
+      && native = run_virt ~paging:Vm.Nested_paging ~pv:false sp_setup
+      && native = run_virt ~paging:Vm.Shadow_paging ~pv:false sp_setup)
+
+(* A fixed regression corpus in addition to the random sweep: division
+   edges, shift masking, unsigned compares, load/store interleaving. *)
+let fixed_corpus () =
+  let cases =
+    [
+      ([| 5L; 0L; Int64.min_int; -1L; 7L; 3L; 0L; 0L; 0L; 0L |],
+       [ Alu3 (Instr.Div, 2, 2, 3); Alu3 (Instr.Rem, 4, 4, 5);
+         Alu3 (Instr.Div, 6, 6, 7); Alu3 (Instr.Sltu, 8, 4, 5) ]);
+      ([| -8L; 65L; 1L; 0L; 0L; 0L; 0L; 0L; 0L; 0L |],
+       [ Alu3 (Instr.Sll, 4, 2, 3); Alu3 (Instr.Srl, 5, 2, 3);
+         Alu3 (Instr.Sra, 6, 2, 3) ]);
+      ([| 0x1234L; 0x5678L; 0L; 0L; 0L; 0L; 0L; 0L; 0L; 0L |],
+       [ Store (2, 0L); Store (3, 8L); Load (4, 0L); Load (5, 8L);
+         Alu3 (Instr.Add, 6, 4, 5); Store (6, 16L); Load (7, 16L) ]);
+    ]
+  in
+  List.iter
+    (fun prog ->
+      let user = compile prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let native = run_native setup in
+      Alcotest.(check string) "shadow" native
+        (run_virt ~paging:Vm.Shadow_paging ~pv:false setup);
+      Alcotest.(check string) "nested" native
+        (run_virt ~paging:Vm.Nested_paging ~pv:false setup))
+    cases
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "fixed corpus" `Quick fixed_corpus;
+          QCheck_alcotest.to_alcotest differential_prop;
+        ] );
+    ]

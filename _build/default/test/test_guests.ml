@@ -1,0 +1,202 @@
+(* Unit tests for velum_guests: the ABI layout, kernel image
+   construction across configurations, workload builders, and the image
+   planner. *)
+
+open Velum_isa
+open Velum_guests
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------- Abi ---------------- *)
+
+let test_layout_ordering () =
+  let ordered =
+    [ Abi.kernel_base; Abi.kernel_stack_top; Abi.ring_page; Abi.user_base;
+      Abi.user_stack_base; Abi.scratch_page; Abi.heap_base ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  checkb "regions ordered and disjoint" true (monotone ordered);
+  checkb "pt arena inside kernel region" true
+    (Abi.pt_arena_base >= Abi.kernel_stack_top
+    && Abi.pt_arena_base < Abi.kernel_region_end);
+  checkb "user outside kernel region" true (Abi.user_base >= Abi.kernel_region_end)
+
+let test_layout_page_aligned () =
+  List.iter
+    (fun (name, a) ->
+      checkb (name ^ " aligned") true (Int64.rem a 4096L = 0L))
+    [
+      ("stack top", Abi.kernel_stack_top); ("region end", Abi.kernel_region_end);
+      ("pt arena", Abi.pt_arena_base); ("ring", Abi.ring_page);
+      ("user", Abi.user_base); ("user stack", Abi.user_stack_base);
+      ("scratch", Abi.scratch_page); ("heap", Abi.heap_base);
+    ]
+
+let test_min_frames () =
+  let base = Abi.min_frames ~user_image_bytes:100 ~heap_pages:0 in
+  (* must cover the scratch page plus slack *)
+  checkb "covers scratch" true
+    (base >= Int64.to_int (Int64.shift_right_logical Abi.scratch_page 12));
+  let with_heap = Abi.min_frames ~user_image_bytes:100 ~heap_pages:64 in
+  checki "heap adds pages" 64
+    (with_heap - Int64.to_int (Int64.shift_right_logical Abi.heap_base 12) - 8);
+  checkb "syscall numbers distinct" true
+    (let l =
+       [ Abi.sys_exit; Abi.sys_putchar; Abi.sys_gettime; Abi.sys_yield; Abi.sys_nop;
+         Abi.sys_map; Abi.sys_unmap; Abi.sys_blk_read; Abi.sys_vblk_read;
+         Abi.sys_tick_count; Abi.sys_getchar; Abi.sys_net_send; Abi.sys_net_recv ]
+     in
+     List.length (List.sort_uniq compare l) = List.length l)
+
+(* ---------------- Kernel ---------------- *)
+
+let kernel_symbols cfg =
+  let img = Kernel.build cfg in
+  List.map fst img.Asm.symbols
+
+let test_kernel_builds_all_configs () =
+  List.iter
+    (fun cfg ->
+      let img = Kernel.build cfg in
+      checkb "origin" true (img.Asm.origin = Abi.kernel_base);
+      checkb "nonempty" true (Bytes.length img.Asm.code > 512);
+      (* every 8-byte word before the data section decodes or is data *)
+      checkb "has entry trap and syscalls" true
+        (let syms = List.map fst img.Asm.symbols in
+         List.for_all
+           (fun s -> List.mem s syms)
+           [ "k_entry"; "k_trap"; "k_sys_done"; "k_map_page"; "k_pt_store"; "k_restore" ]))
+    [
+      Kernel.default;
+      { Kernel.default with pv_console = true; hcall_ok = true };
+      { Kernel.default with pv_pt = true; hcall_ok = true };
+      { Kernel.default with timer_interval = 10_000L };
+      { Kernel.default with heap_pages = 256 };
+      Kernel.{ pv_console = true; pv_pt = true; hcall_ok = true; user_pages = 4;
+               heap_pages = 32; heap_superpages = false; timer_interval = 5_000L };
+      { Kernel.default with heap_pages = 600; heap_superpages = true };
+    ]
+
+let test_kernel_entry_is_origin () =
+  let img = Kernel.build Kernel.default in
+  checkb "entry at origin" true (Asm.symbol img "k_entry" = img.Asm.origin)
+
+let test_kernel_pv_variants_differ () =
+  let plain = Kernel.build Kernel.default in
+  let pv =
+    Kernel.build { Kernel.default with pv_console = true; pv_pt = true; hcall_ok = true }
+  in
+  checkb "different code" true (not (Bytes.equal plain.Asm.code pv.Asm.code))
+
+let test_for_user_sizes () =
+  let small = Workloads.hello () in
+  let cfg = Kernel.for_user small in
+  checkb "at least one page" true (cfg.Kernel.user_pages >= 1);
+  checki "covers the image" ((Bytes.length small.Asm.code + 4095) / 4096)
+    cfg.Kernel.user_pages
+
+(* ---------------- Workloads ---------------- *)
+
+let all_workloads =
+  [
+    ("hello", Workloads.hello ());
+    ("cpu_spin", Workloads.cpu_spin ~iters:10L);
+    ("syscall_loop", Workloads.syscall_loop ~count:5L);
+    ("syscall_stress", Workloads.syscall_stress ~num:Abi.sys_gettime ~count:5L);
+    ("memwalk", Workloads.memwalk ~pages:4 ~iters:2 ~write:true);
+    ("memwalk ro", Workloads.memwalk ~pages:4 ~iters:2 ~write:false);
+    ("pt_churn", Workloads.pt_churn ~batch:4 ~count:2 ());
+    ("blk_read", Workloads.blk_read ~sector:0 ~count:1 ~reps:1);
+    ("vblk_read", Workloads.vblk_read ~sector:0 ~count:1 ~reps:1);
+    ("dirty_loop", Workloads.dirty_loop ~pages:2 ~delay:5);
+    ("echo", Workloads.echo ~count:1L);
+    ("tick_watch", Workloads.tick_watch ~ticks:1L);
+    ("net_ping", Workloads.net_ping ~message:"x");
+    ("net_echo", Workloads.net_echo ~frames:1);
+  ]
+
+let test_workloads_assemble_and_decode () =
+  List.iter
+    (fun (name, img) ->
+      checkb (name ^ " at user base") true (img.Asm.origin = Abi.user_base);
+      checkb (name ^ " nonempty") true (Bytes.length img.Asm.code > 0);
+      (* all words must decode: workloads contain no data sections *)
+      let words = Bytes.length img.Asm.code / 8 in
+      for i = 0 to words - 1 do
+        match Instr.decode (Bytes.get_int64_le img.Asm.code (i * 8)) with
+        | Some _ -> ()
+        | None -> Alcotest.fail (Printf.sprintf "%s: word %d does not decode" name i)
+      done)
+    all_workloads
+
+let test_workloads_end_in_exit_or_loop () =
+  (* every terminating workload's last instruction is the ecall of
+     sys_exit *)
+  List.iter
+    (fun (name, img) ->
+      let words = Bytes.length img.Asm.code / 8 in
+      let last = Instr.decode (Bytes.get_int64_le img.Asm.code ((words - 1) * 8)) in
+      if name <> "dirty_loop" then
+        checkb (name ^ " ends with ecall") true (last = Some Instr.Ecall))
+    all_workloads
+
+(* ---------------- Images ---------------- *)
+
+let test_plan_consistency () =
+  let user = Workloads.memwalk ~pages:16 ~iters:1 ~write:false in
+  let setup = Images.plan ~heap_pages:16 ~user () in
+  checkb "kernel heap config" true (setup.Images.config.Kernel.heap_pages = 16);
+  checkb "frames cover heap" true
+    (setup.Images.frames
+    > Int64.to_int (Int64.shift_right_logical Abi.heap_base 12) + 15);
+  checkb "entry" true (Images.entry = Abi.kernel_base)
+
+let test_plan_pv_defaults () =
+  let user = Workloads.hello () in
+  let s1 = Images.plan ~pv_console:true ~user () in
+  checkb "pv console implies hcall" true s1.Images.config.Kernel.hcall_ok;
+  let s2 = Images.plan ~user () in
+  checkb "no pv, no hcall" false s2.Images.config.Kernel.hcall_ok;
+  let s3 = Images.plan ~hcall_ok:true ~user () in
+  checkb "explicit hcall" true s3.Images.config.Kernel.hcall_ok
+
+let test_kernel_symbol_stability () =
+  (* the data labels the kernel reads with absolute loads must exist *)
+  let syms = kernel_symbols Kernel.default in
+  List.iter
+    (fun s -> checkb (s ^ " present") true (List.mem s syms))
+    [ "k_pt_root_v"; "k_pt_bump"; "k_paging_on"; "k_ticks"; "k_vblk_init";
+      "k_save_harts"; "k_smp_go" ]
+
+let () =
+  Alcotest.run "guests"
+    [
+      ( "abi",
+        [
+          Alcotest.test_case "layout ordering" `Quick test_layout_ordering;
+          Alcotest.test_case "page alignment" `Quick test_layout_page_aligned;
+          Alcotest.test_case "min frames" `Quick test_min_frames;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "builds all configs" `Quick test_kernel_builds_all_configs;
+          Alcotest.test_case "entry at origin" `Quick test_kernel_entry_is_origin;
+          Alcotest.test_case "pv variants differ" `Quick test_kernel_pv_variants_differ;
+          Alcotest.test_case "for_user sizes" `Quick test_for_user_sizes;
+          Alcotest.test_case "symbol stability" `Quick test_kernel_symbol_stability;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "assemble and decode" `Quick test_workloads_assemble_and_decode;
+          Alcotest.test_case "terminators" `Quick test_workloads_end_in_exit_or_loop;
+        ] );
+      ( "images",
+        [
+          Alcotest.test_case "plan consistency" `Quick test_plan_consistency;
+          Alcotest.test_case "pv defaults" `Quick test_plan_pv_defaults;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* Unit tests for the hypervisor run loop using tiny "unikernel" guests:
+   bare assembled programs that run in virtual supervisor mode with
+   paging off, so each test controls exactly which exits occur. *)
+
+open Velum_isa
+open Velum_vmm
+open Asm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let make_hyp ?(frames = 2048) () = Hypervisor.create ~host:(Host.create ~frames ()) ()
+
+(* Create a VM whose vCPU starts at gpa 0 executing [prog]. *)
+let unikernel hyp ?(vcpu_count = 1) ?(weight = 256) ?(mem_frames = 16) name prog =
+  let vm =
+    Hypervisor.create_vm hyp ~name ~mem_frames ~vcpu_count ~weight ~entry:0L ()
+  in
+  let img = Asm.assemble ~origin:0L prog in
+  Vm.load_image vm img;
+  vm
+
+let spin_forever = [ label "spin"; jmp "spin" ]
+let halt_now = [ halt ]
+
+let spin_n_then_halt n =
+  [ li r2 (Int64.of_int n); label "spin"; addi r2 r2 (-1L); bne r2 r0 "spin"; halt ]
+
+(* Arm the timer, enable it, and wait; the handler halts. *)
+let wfi_until_timer ~delta =
+  [
+    la r2 "handler";
+    csrw Arch.Stvec r2;
+    csrr r3 Arch.Time;
+    addi r3 r3 delta;
+    csrw Arch.Stimecmp r3;
+    li r2 1L;
+    slli r4 r2 63L;
+    ori r4 r4 1L (* GIE | timer *);
+    csrw Arch.Sie r4;
+    label "wait";
+    wfi;
+    jmp "wait";
+    label "handler";
+    halt;
+  ]
+
+let yield_forever = [ label "y"; li r1 Hypercall.hc_yield; hcall; jmp "y" ]
+
+(* ---------------- outcomes ---------------- *)
+
+let test_all_halted () =
+  let hyp = make_hyp () in
+  let _a = unikernel hyp "a" (spin_n_then_halt 100) in
+  let _b = unikernel hyp "b" halt_now in
+  checkb "all halted" true (Hypervisor.run hyp = Hypervisor.All_halted)
+
+let test_out_of_budget () =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "spin" spin_forever in
+  checkb "budget" true (Hypervisor.run hyp ~budget:1_000_000L = Hypervisor.Out_of_budget);
+  checkb "clock advanced" true (Hypervisor.now hyp >= 1_000_000L);
+  checkb "guest consumed it" true (Vm.guest_cycles vm > 500_000L)
+
+let test_idle_deadlock () =
+  let hyp = make_hyp () in
+  (* wfi with interrupts fully masked: nothing can ever wake it *)
+  let _vm = unikernel hyp "stuck" [ wfi; halt ] in
+  checkb "deadlock" true (Hypervisor.run hyp = Hypervisor.Idle_deadlock)
+
+let test_until_predicate () =
+  let hyp = make_hyp () in
+  let _vm = unikernel hyp "spin" spin_forever in
+  let outcome = Hypervisor.run hyp ~until:(fun t -> Hypervisor.now t > 200_000L) in
+  checkb "until" true (outcome = Hypervisor.Until_satisfied)
+
+(* ---------------- timer wake / idle fast-forward ---------------- *)
+
+let test_timer_wakes_blocked_vcpu () =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "sleeper" (wfi_until_timer ~delta:500_000L) in
+  checkb "halted via handler" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  checkb "time advanced past deadline" true (Hypervisor.now hyp >= 500_000L);
+  checkb "idle fast-forward happened" true (hyp.Hypervisor.idle_cycles > 100_000L);
+  checkb "irq injected" true (Monitor.irq_injections vm.Vm.monitor >= 1)
+
+let test_two_sleepers_wake_in_order () =
+  let hyp = make_hyp () in
+  let _early = unikernel hyp "early" (wfi_until_timer ~delta:100_000L) in
+  let _late = unikernel hyp "late" (wfi_until_timer ~delta:900_000L) in
+  checkb "both halt" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  checkb "clock past the later deadline" true (Hypervisor.now hyp >= 900_000L)
+
+(* ---------------- scheduling ---------------- *)
+
+let test_interleaving_fair () =
+  let hyp = make_hyp () in
+  let a = unikernel hyp "a" spin_forever in
+  let b = unikernel hyp "b" spin_forever in
+  ignore (Hypervisor.run hyp ~budget:10_000_000L);
+  let ca = Int64.to_float (Vm.guest_cycles a) in
+  let cb = Int64.to_float (Vm.guest_cycles b) in
+  checkb "both ran" true (ca > 0.0 && cb > 0.0);
+  checkb "roughly equal (equal weights)" true (ca /. cb > 0.8 && ca /. cb < 1.25);
+  checkb "many decisions" true (hyp.Hypervisor.sched_decisions > 20)
+
+let test_yield_reschedules () =
+  let hyp = make_hyp () in
+  let y = unikernel hyp "yielder" yield_forever in
+  let _s = unikernel hyp "spinner" spin_forever in
+  ignore (Hypervisor.run hyp ~budget:5_000_000L);
+  let yields = Monitor.count y.Vm.monitor Monitor.E_hypercall in
+  checkb "yield hypercalls happened" true (yields > 10);
+  (* a yielder gives up its slice, so it burns far fewer guest cycles
+     than a spinner with the same weight *)
+  checkb "yielder used less cpu" true (Vm.guest_cycles y < Vm.guest_cycles (_s : Vm.t))
+
+let test_weights_respected_between_vms () =
+  let hyp = make_hyp () in
+  let light = unikernel hyp ~weight:256 "light" spin_forever in
+  let heavy = unikernel hyp ~weight:1024 "heavy" spin_forever in
+  ignore (Hypervisor.run hyp ~budget:40_000_000L);
+  let ratio =
+    Int64.to_float (Vm.guest_cycles heavy) /. Int64.to_float (Vm.guest_cycles light)
+  in
+  checkb (Printf.sprintf "heavy/light ratio %.2f in [3,5]" ratio) true
+    (ratio > 3.0 && ratio < 5.0)
+
+let test_multi_vcpu_vm () =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp ~vcpu_count:3 "smp" (spin_n_then_halt 1000) in
+  checkb "all vcpus halt" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  Array.iter
+    (fun vcpu -> checkb "vcpu ran" true (vcpu.Vcpu.guest_cycles > 0L))
+    vm.Vm.vcpus
+
+(* ---------------- event channels ---------------- *)
+
+let test_event_channel_send_wake () =
+  let hyp = make_hyp () in
+  (* receiver: enable external interrupts, wfi; the handler acks the
+     event and halts *)
+  let receiver_prog =
+    [
+      la r2 "handler";
+      csrw Arch.Stvec r2;
+      li r2 1L;
+      slli r3 r2 63L;
+      ori r3 r3 2L (* GIE | external *);
+      csrw Arch.Sie r3;
+      label "wait";
+      wfi;
+      jmp "wait";
+      label "handler";
+      li r1 Hypercall.hc_evt_ack;
+      hcall;
+      halt;
+    ]
+  in
+  (* sender: signal port 1, then halt *)
+  let sender_prog =
+    [ li r1 Hypercall.hc_evt_send; li r2 1L; hcall; mv r4 r1; halt ]
+  in
+  let receiver = unikernel hyp "receiver" receiver_prog in
+  let sender = unikernel hyp "sender" sender_prog in
+  (match Event.connect ~a:sender ~b:receiver ~port_a:1L ~port_b:1L with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "both halt" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  Alcotest.(check int64) "send succeeded" 0L
+    (Velum_machine.Cpu.get_reg sender.Vm.vcpus.(0).Vcpu.state 4);
+  checkb "event acked" false (Event.pending receiver)
+
+let test_event_channel_errors () =
+  let hyp = make_hyp () in
+  let a = unikernel hyp "a" halt_now in
+  let b = unikernel hyp "b" halt_now in
+  checkb "self connect" true (Event.connect ~a ~b:a ~port_a:1L ~port_b:2L <> Ok ());
+  (match Event.connect ~a ~b ~port_a:1L ~port_b:1L with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "port busy" true (Event.connect ~a ~b ~port_a:1L ~port_b:2L <> Ok ());
+  checkb "unknown port send fails" false (Event.send ~vm:a ~port:9L);
+  Alcotest.(check (list int64)) "ports" [ 1L ] (Event.ports a);
+  checkb "disconnect" true (Event.disconnect ~vm:a ~port:1L);
+  Alcotest.(check (list int64)) "peer end dropped" [] (Event.ports b);
+  checkb "send after disconnect fails" false (Event.send ~vm:a ~port:1L)
+
+(* ---------------- CPU caps ---------------- *)
+
+let test_cap_limits_solo_vm () =
+  (* A 25%-capped spinner alone on the host gets ~25% of wall time even
+     though the host is otherwise idle — caps are non-work-conserving. *)
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "capped" spin_forever in
+  vm.Vm.vcpus.(0).Vcpu.cap <- 25;
+  ignore (Hypervisor.run hyp ~budget:30_000_000L);
+  let share =
+    Int64.to_float (Vm.guest_cycles vm) /. Int64.to_float (Hypervisor.now hyp)
+  in
+  checkb (Printf.sprintf "share %.3f near 0.25" share) true
+    (share > 0.20 && share < 0.30);
+  checkb "host idled the rest" true
+    (Int64.to_float hyp.Hypervisor.idle_cycles
+    > 0.5 *. Int64.to_float (Hypervisor.now hyp))
+
+let test_cap_vs_uncapped () =
+  let hyp = make_hyp () in
+  let capped = unikernel hyp "capped" spin_forever in
+  capped.Vm.vcpus.(0).Vcpu.cap <- 20;
+  let free = unikernel hyp "free" spin_forever in
+  ignore (Hypervisor.run hyp ~budget:30_000_000L);
+  let c = Int64.to_float (Vm.guest_cycles capped) in
+  let f = Int64.to_float (Vm.guest_cycles free) in
+  let total = Int64.to_float (Hypervisor.now hyp) in
+  checkb (Printf.sprintf "capped share %.3f <= 0.25" (c /. total)) true
+    (c /. total <= 0.25);
+  (* the uncapped VM absorbs the slack *)
+  checkb (Printf.sprintf "free share %.3f >= 0.6" (f /. total)) true
+    (f /. total >= 0.6)
+
+(* ---------------- hypercall privilege and guest-driven balloon ------ *)
+
+let test_hypercall_from_user_rejected () =
+  let hyp = make_hyp () in
+  (* drop to user mode, then hcall: the guest kernel must receive an
+     illegal-instruction trap, whose handler stores scause and halts *)
+  let prog =
+    [
+      la r2 "handler";
+      csrw Arch.Stvec r2;
+      la r2 "user";
+      csrw Arch.Sepc r2;
+      li r2 0L;
+      csrw Arch.Sie r2;
+      sret;
+      label "user";
+      li r1 Hypercall.hc_balloon_give;
+      li r2 3L;
+      hcall;
+      label "spin";
+      jmp "spin";
+      label "handler";
+      csrr r3 Arch.Scause;
+      halt;
+    ]
+  in
+  let vm = unikernel hyp "sneaky" prog in
+  checkb "halts via handler" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  Alcotest.(check int64) "illegal instruction reflected"
+    (Arch.cause_code Arch.Illegal_instruction)
+    (Velum_machine.Cpu.get_reg vm.Vm.vcpus.(0).Vcpu.state 3);
+  Alcotest.(check int) "no balloon happened" 0 vm.Vm.balloon_pages
+
+let test_guest_driven_balloon () =
+  let hyp = make_hyp () in
+  (* a supervisor-mode guest balloons out its own gfns 8..11 *)
+  let prog =
+    [
+      li r5 8L;
+      label "loop";
+      li r1 Hypercall.hc_balloon_give;
+      mv r2 r5;
+      hcall;
+      addi r5 r5 1L;
+      li r6 12L;
+      blt r5 r6 "loop";
+      halt;
+    ]
+  in
+  let vm = unikernel hyp "balloonist" prog in
+  let free0 = Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc in
+  checkb "halts" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  Alcotest.(check int) "4 pages surrendered" 4 vm.Vm.balloon_pages;
+  Alcotest.(check int) "frames back to the host" (free0 + 4)
+    (Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc)
+
+(* ---------------- multiprocessor hosts ---------------- *)
+
+let make_smp_hyp ~pcpus = Hypervisor.create ~host:(Host.create ~frames:2048 ()) ~pcpus ()
+
+let makespan_for ~pcpus ~vms work =
+  let hyp = make_smp_hyp ~pcpus in
+  for i = 1 to vms do
+    ignore (unikernel hyp (Printf.sprintf "w%d" i) (spin_n_then_halt work))
+  done;
+  checkb "finished" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  Int64.to_float (Hypervisor.now hyp)
+
+let test_smp_speedup () =
+  let one = makespan_for ~pcpus:1 ~vms:4 200_000 in
+  let two = makespan_for ~pcpus:2 ~vms:4 200_000 in
+  let four = makespan_for ~pcpus:4 ~vms:4 200_000 in
+  let s2 = one /. two and s4 = one /. four in
+  checkb (Printf.sprintf "2 pcpus speedup %.2f in [1.7,2.1]" s2) true
+    (s2 > 1.7 && s2 <= 2.1);
+  checkb (Printf.sprintf "4 pcpus speedup %.2f in [3.2,4.2]" s4) true
+    (s4 > 3.2 && s4 <= 4.2)
+
+let test_smp_single_vm_no_slowdown () =
+  (* one runnable vCPU cannot use a second pCPU, but must not get slower *)
+  let one = makespan_for ~pcpus:1 ~vms:1 300_000 in
+  let two = makespan_for ~pcpus:2 ~vms:1 300_000 in
+  checkb "same makespan" true (abs_float (one -. two) /. one < 0.05)
+
+let test_smp_timer_wake () =
+  let hyp = make_smp_hyp ~pcpus:2 in
+  let _sleeper = unikernel hyp "sleeper" (wfi_until_timer ~delta:400_000L) in
+  let _worker = unikernel hyp "worker" (spin_n_then_halt 10_000) in
+  checkb "both halt" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  checkb "clock past the deadline" true (Hypervisor.now hyp >= 400_000L)
+
+let test_smp_fairness () =
+  let hyp = make_smp_hyp ~pcpus:2 in
+  let vms = List.init 4 (fun i -> unikernel hyp (Printf.sprintf "f%d" i) spin_forever) in
+  ignore (Hypervisor.run hyp ~budget:20_000_000L);
+  let shares = List.map (fun vm -> Int64.to_float (Vm.guest_cycles vm)) vms in
+  let jain = Velum_util.Stats.jain_fairness (Array.of_list shares) in
+  checkb (Printf.sprintf "jain %.3f near 1" jain) true (jain > 0.95)
+
+let test_smp_multi_vcpu_vm_parallelism () =
+  (* a 2-vCPU VM finishes its two independent spins in roughly half the
+     wall time on a 2-pCPU host *)
+  let run pcpus =
+    let hyp = make_smp_hyp ~pcpus in
+    let _vm = unikernel hyp ~vcpu_count:2 "smp-vm" (spin_n_then_halt 200_000) in
+    checkb "halts" true (Hypervisor.run hyp = Hypervisor.All_halted);
+    Int64.to_float (Hypervisor.now hyp)
+  in
+  let one = run 1 and two = run 2 in
+  checkb (Printf.sprintf "parallel speedup %.2f > 1.7" (one /. two)) true
+    (one /. two > 1.7)
+
+(* ---------------- VM lifecycle ---------------- *)
+
+let test_remove_vm_frees_and_continues () =
+  let hyp = make_hyp () in
+  let free0 = Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc in
+  let doomed = unikernel hyp "doomed" spin_forever in
+  let survivor = unikernel hyp "survivor" (spin_n_then_halt 5000) in
+  ignore (Hypervisor.run hyp ~budget:1_000_000L);
+  Hypervisor.remove_vm hyp doomed;
+  checkb "gone from list" true (Hypervisor.find_vm hyp ~vm_id:doomed.Vm.id = None);
+  checkb "survivor still listed" true
+    (Hypervisor.find_vm hyp ~vm_id:survivor.Vm.id <> None);
+  checkb "finishes" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  checki "frames returned (minus survivor's)"
+    (free0 - Vm.mem_frames survivor)
+    (Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc)
+
+let test_run_vm_isolates () =
+  let hyp = make_hyp () in
+  let target = unikernel hyp "target" spin_forever in
+  let other = unikernel hyp "other" spin_forever in
+  Hypervisor.run_vm hyp target ~cycles:500_000L;
+  checkb "target ran" true (Vm.guest_cycles target > 0L);
+  checkb "other did not" true (Vm.guest_cycles other = 0L);
+  checkb "clock advanced exactly" true (Hypervisor.now hyp >= 500_000L)
+
+let test_run_vm_halted_guest_advances_clock () =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "quick" halt_now in
+  ignore (Hypervisor.run hyp);
+  let before = Hypervisor.now hyp in
+  Hypervisor.run_vm hyp vm ~cycles:100_000L;
+  checkb "time still advances" true (Int64.sub (Hypervisor.now hyp) before >= 100_000L)
+
+let test_vcpu_index () =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp ~vcpu_count:2 "pair" halt_now in
+  checki "first" 0 (Hypervisor.vcpu_index vm vm.Vm.vcpus.(0));
+  checki "second" 1 (Hypervisor.vcpu_index vm vm.Vm.vcpus.(1));
+  let other = unikernel hyp "other" halt_now in
+  checkb "foreign vcpu rejected" true
+    (try
+       ignore (Hypervisor.vcpu_index vm other.Vm.vcpus.(0));
+       false
+     with Not_found -> true)
+
+let test_until_immediate () =
+  let hyp = make_hyp () in
+  let _vm = unikernel hyp "spin" spin_forever in
+  checkb "until true at entry" true
+    (Hypervisor.run hyp ~until:(fun _ -> true) = Hypervisor.Until_satisfied);
+  checkb "no time passed" true (Hypervisor.now hyp = 0L)
+
+let test_empty_host_runs_nothing () =
+  let hyp = make_hyp () in
+  (* no VMs: not "all halted" (vacuous), just deadlocks immediately *)
+  checkb "idle deadlock" true (Hypervisor.run hyp = Hypervisor.Idle_deadlock)
+
+(* ---------------- accounting ---------------- *)
+
+let test_cycle_accounting_consistent () =
+  let hyp = make_hyp () in
+  let _a = unikernel hyp "a" (spin_n_then_halt 20_000) in
+  let _b = unikernel hyp "b" (spin_n_then_halt 20_000) in
+  ignore (Hypervisor.run hyp);
+  let guest = Hypervisor.guest_cycles hyp and vmm = Hypervisor.vmm_cycles hyp in
+  let accounted = Int64.add guest (Int64.add vmm hyp.Hypervisor.idle_cycles) in
+  (* clock = guest + vmm + idle + context switches; switches are the
+     only remainder and are bounded by decisions * ctx_switch *)
+  let slack = Int64.sub (Hypervisor.now hyp) accounted in
+  checkb "remainder is context-switch overhead" true
+    (slack >= 0L
+    && slack
+       <= Int64.of_int
+            ((hyp.Hypervisor.sched_decisions + 1)
+            * hyp.Hypervisor.host.Host.cost.Velum_machine.Cost_model.ctx_switch))
+
+let () =
+  Alcotest.run "hypervisor"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "all halted" `Quick test_all_halted;
+          Alcotest.test_case "out of budget" `Quick test_out_of_budget;
+          Alcotest.test_case "idle deadlock" `Quick test_idle_deadlock;
+          Alcotest.test_case "until predicate" `Quick test_until_predicate;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "timer wakes blocked vcpu" `Quick test_timer_wakes_blocked_vcpu;
+          Alcotest.test_case "two sleepers" `Quick test_two_sleepers_wake_in_order;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "interleaving fair" `Quick test_interleaving_fair;
+          Alcotest.test_case "yield reschedules" `Quick test_yield_reschedules;
+          Alcotest.test_case "weights between vms" `Quick test_weights_respected_between_vms;
+          Alcotest.test_case "multi-vcpu vm" `Quick test_multi_vcpu_vm;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "send wakes receiver" `Quick test_event_channel_send_wake;
+          Alcotest.test_case "error paths" `Quick test_event_channel_errors;
+        ] );
+      ( "caps",
+        [
+          Alcotest.test_case "cap limits a solo vm" `Quick test_cap_limits_solo_vm;
+          Alcotest.test_case "cap vs uncapped" `Quick test_cap_vs_uncapped;
+        ] );
+      ( "privilege",
+        [
+          Alcotest.test_case "hypercall from user rejected" `Quick
+            test_hypercall_from_user_rejected;
+          Alcotest.test_case "guest-driven balloon" `Quick test_guest_driven_balloon;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "speedup" `Quick test_smp_speedup;
+          Alcotest.test_case "single vm no slowdown" `Quick test_smp_single_vm_no_slowdown;
+          Alcotest.test_case "timer wake" `Quick test_smp_timer_wake;
+          Alcotest.test_case "fairness" `Quick test_smp_fairness;
+          Alcotest.test_case "multi-vcpu parallelism" `Quick
+            test_smp_multi_vcpu_vm_parallelism;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "remove vm" `Quick test_remove_vm_frees_and_continues;
+          Alcotest.test_case "run_vm isolates" `Quick test_run_vm_isolates;
+          Alcotest.test_case "run_vm on halted vm" `Quick test_run_vm_halted_guest_advances_clock;
+          Alcotest.test_case "vcpu index" `Quick test_vcpu_index;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "until immediate" `Quick test_until_immediate;
+          Alcotest.test_case "empty host" `Quick test_empty_host_runs_nothing;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "cycles add up" `Quick test_cycle_accounting_consistent ] );
+    ]

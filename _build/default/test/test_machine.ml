@@ -1,0 +1,858 @@
+(* Unit tests for velum_machine: physical memory, page-table walking and
+   construction, the TLB, the native MMU, and the CPU interpreter in
+   both native and deprivileged modes. *)
+
+open Velum_isa
+open Velum_machine
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let cost = Cost_model.default
+
+(* ---------------- Phys_mem ---------------- *)
+
+let test_mem_widths () =
+  let mem = Phys_mem.create ~frames:2 in
+  Phys_mem.write mem 0x100L Instr.W64 0x1122_3344_5566_7788L;
+  check64 "w64" 0x1122_3344_5566_7788L (Phys_mem.read mem 0x100L Instr.W64);
+  check64 "w32 low" 0x5566_7788L (Phys_mem.read mem 0x100L Instr.W32);
+  check64 "w16" 0x7788L (Phys_mem.read mem 0x100L Instr.W16);
+  check64 "w8" 0x88L (Phys_mem.read mem 0x100L Instr.W8);
+  Phys_mem.write mem 0x108L Instr.W8 0xFFAAL;
+  check64 "w8 truncates" 0xAAL (Phys_mem.read mem 0x108L Instr.W8)
+
+let test_mem_bounds () =
+  let mem = Phys_mem.create ~frames:1 in
+  checkb "in range" true (Phys_mem.in_range mem ~pa:4088L ~bytes:8);
+  checkb "spills" false (Phys_mem.in_range mem ~pa:4089L ~bytes:8);
+  Alcotest.check_raises "oob read"
+    (Invalid_argument "Phys_mem: access 0x1000+8 out of range") (fun () ->
+      ignore (Phys_mem.read mem 0x1000L Instr.W64))
+
+let test_mem_frames () =
+  let mem = Phys_mem.create ~frames:4 in
+  Phys_mem.frame_fill mem ~ppn:1L 'x';
+  Phys_mem.frame_copy mem ~src_ppn:1L ~dst_ppn:2L;
+  checkb "frames equal" true (Phys_mem.frame_equal mem 1L 2L);
+  checkb "hash equal" true (Phys_mem.frame_hash mem ~ppn:1L = Phys_mem.frame_hash mem ~ppn:2L);
+  Phys_mem.write mem (Int64.of_int (2 * 4096)) Instr.W8 1L;
+  checkb "diverged" false (Phys_mem.frame_equal mem 1L 2L);
+  let b = Phys_mem.frame_read mem ~ppn:1L in
+  checki "frame size" 4096 (Bytes.length b);
+  Phys_mem.frame_write mem ~ppn:3L b;
+  checkb "write back" true (Phys_mem.frame_equal mem 1L 3L)
+
+let test_mem_blit_between () =
+  let a = Phys_mem.create ~frames:2 and b = Phys_mem.create ~frames:2 in
+  Phys_mem.frame_fill a ~ppn:1L 'z';
+  Phys_mem.blit_between ~src:a ~src_ppn:1L ~dst:b ~dst_ppn:0L;
+  check64 "copied" (Int64.of_int (Char.code 'z')) (Phys_mem.read b 0L Instr.W8)
+
+let prop_mem_roundtrip =
+  QCheck2.Test.make ~name:"phys_mem write/read round-trips"
+    QCheck2.Gen.(pair (int_range 0 500) ui64)
+    (fun (word_idx, v) ->
+      let mem = Phys_mem.create ~frames:1 in
+      let pa = Int64.of_int (word_idx * 8) in
+      Phys_mem.write mem pa Instr.W64 v;
+      Phys_mem.read mem pa Instr.W64 = v)
+
+(* ---------------- Page_table ---------------- *)
+
+let make_pt_world () =
+  let mem = Phys_mem.create ~frames:64 in
+  let next = ref 1L in
+  let alloc () =
+    let p = !next in
+    next := Int64.add p 1L;
+    p
+  in
+  let acc =
+    {
+      Page_table.read_pte = (fun pa -> Phys_mem.read mem pa Instr.W64);
+      write_pte = (fun pa v -> Phys_mem.write mem pa Instr.W64 v);
+    }
+  in
+  (mem, acc, alloc)
+
+let rwxu = { Pte.r = true; w = true; x = true; u = true }
+
+let test_pt_map_walk () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  let va = 0x12_3456_7000L in
+  Page_table.map acc ~alloc ~root_ppn:root ~va (Pte.leaf ~ppn:33L rwxu);
+  match Page_table.walk acc ~root_ppn:root va with
+  | Ok { pte; refs; table_ppns; _ } ->
+      check64 "target" 33L (Pte.ppn pte);
+      checki "refs" 3 refs;
+      checki "tables visited" 3 (List.length table_ppns)
+  | Error _ -> Alcotest.fail "walk failed"
+
+let test_pt_walk_not_mapped () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  (match Page_table.walk acc ~root_ppn:root 0x5000L with
+  | Error { fault_level = 2; bad_pte = false; _ } -> ()
+  | _ -> Alcotest.fail "expected level-2 miss");
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x5000L (Pte.leaf ~ppn:5L rwxu);
+  match Page_table.walk acc ~root_ppn:root 0x6000L with
+  | Error { fault_level = 0; bad_pte = false; _ } -> ()
+  | _ -> Alcotest.fail "expected level-0 miss"
+
+let test_pt_non_canonical () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  match Page_table.walk acc ~root_ppn:root 0x80_0000_0000L with
+  | Error { bad_pte = true; _ } -> ()
+  | _ -> Alcotest.fail "expected canonical fault"
+
+let test_pt_unmap_update () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  let va = 0x7000L in
+  Page_table.map acc ~alloc ~root_ppn:root ~va (Pte.leaf ~ppn:9L rwxu);
+  checkb "update" true
+    (Page_table.update_leaf acc ~root_ppn:root ~va ~f:Pte.set_dirty);
+  (match Page_table.walk acc ~root_ppn:root va with
+  | Ok { pte; _ } -> checkb "dirty set" true (Pte.dirty pte)
+  | Error _ -> Alcotest.fail "walk failed");
+  checkb "unmap" true (Page_table.unmap acc ~root_ppn:root ~va);
+  checkb "unmap again" false (Page_table.unmap acc ~root_ppn:root ~va);
+  match Page_table.walk acc ~root_ppn:root va with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "still mapped"
+
+let test_pt_iter_count () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  let vas = [ 0x1000L; 0x2000L; 0x40_0000L; 0x12_3456_7000L ] in
+  List.iteri
+    (fun i va ->
+      Page_table.map acc ~alloc ~root_ppn:root ~va (Pte.leaf ~ppn:(Int64.of_int (100 + i)) rwxu))
+    vas;
+  let seen = ref [] in
+  Page_table.iter_leaves acc ~root_ppn:root ~f:(fun ~va ~pte_addr:_ _ -> seen := va :: !seen);
+  Alcotest.(check (list int64)) "all leaves" (List.sort compare vas)
+    (List.sort compare !seen);
+  (* root; one L1 for the first GB shared by 0x1000/0x2000/0x400000;
+     a leaf table for 0x1000/0x2000 and another for 0x400000; the huge
+     address gets its own L1 and leaf table: 6 table pages in all *)
+  checki "table pages" 6 (Page_table.count_table_pages acc ~root_ppn:root)
+
+let prop_pt_map_then_walk =
+  QCheck2.Test.make ~count:200 ~name:"map/walk round-trips over random VAs"
+    QCheck2.Gen.(list_size (int_range 1 12) (int_range 0 ((1 lsl 27) - 1)))
+    (fun pages ->
+      let _, acc, alloc = make_pt_world () in
+      let root = alloc () in
+      let vas = List.sort_uniq compare pages in
+      List.iteri
+        (fun i page ->
+          let va = Int64.shift_left (Int64.of_int page) 12 in
+          Page_table.map acc ~alloc ~root_ppn:root ~va
+            (Pte.leaf ~ppn:(Int64.of_int (200 + i)) rwxu))
+        vas;
+      List.for_all
+        (fun page ->
+          let va = Int64.shift_left (Int64.of_int page) 12 in
+          match Page_table.walk acc ~root_ppn:root va with
+          | Ok { pte; _ } -> Pte.ppn pte >= 200L
+          | Error _ -> false)
+        vas)
+
+let test_pt_superpage () =
+  let _, acc, alloc = make_pt_world () in
+  let root = alloc () in
+  (* a 2 MiB leaf at level 1: base frame 512-aligned *)
+  Page_table.map ~level:1 acc ~alloc ~root_ppn:root ~va:0x20_0000L
+    (Pte.leaf ~ppn:512L rwxu);
+  (match Page_table.walk acc ~root_ppn:root 0x21_2345L with
+  | Ok { pte; level = 1; refs = 2; _ } ->
+      check64 "pa composes superpage offset" 0x21_2345L
+        (Page_table.leaf_pa ~pte ~level:1 ~va:0x21_2345L)
+      (* base ppn 512 = pa 0x200000, so identity here *)
+  | Ok _ -> Alcotest.fail "expected a level-1 leaf with 2 refs"
+  | Error _ -> Alcotest.fail "superpage walk failed");
+  (* a misaligned superpage base is malformed *)
+  Page_table.map ~level:1 acc ~alloc ~root_ppn:root ~va:0x40_0000L
+    (Pte.leaf ~ppn:513L rwxu);
+  (match Page_table.walk acc ~root_ppn:root 0x40_0000L with
+  | Error { bad_pte = true; _ } -> ()
+  | _ -> Alcotest.fail "misaligned superpage should be malformed");
+  (* iter_leaves reports the superpage once *)
+  let supers = ref 0 in
+  Page_table.iter_leaves acc ~root_ppn:root ~f:(fun ~va:_ ~pte_addr:_ _ -> incr supers);
+  checki "leaves seen" 2 !supers
+
+let test_tlb_superpage_entry () =
+  let tlb = Tlb.create ~size:4 in
+  Tlb.insert tlb
+    { Tlb.vpn = 512L; ppn = 1024L; perms = rwxu; dirty_ok = true; mmio = false;
+      superpage = true };
+  (* any vpn within the same 2 MiB region hits *)
+  (match Tlb.lookup tlb ~vpn:700L with
+  | Some e -> checkb "superpage hit" true e.Tlb.superpage
+  | None -> Alcotest.fail "expected superpage hit");
+  checkb "outside misses" true (Tlb.lookup tlb ~vpn:1200L = None);
+  (* 4K entries take precedence *)
+  Tlb.insert tlb
+    { Tlb.vpn = 700L; ppn = 9L; perms = rwxu; dirty_ok = true; mmio = false;
+      superpage = false };
+  (match Tlb.lookup tlb ~vpn:700L with
+  | Some e -> check64 "4k entry wins" 9L e.Tlb.ppn
+  | None -> Alcotest.fail "miss");
+  Tlb.flush_vpn tlb 700L;
+  checkb "flush_vpn drops both granularities" true (Tlb.lookup tlb ~vpn:700L = None)
+
+(* ---------------- Tlb ---------------- *)
+
+let entry vpn ppn =
+  { Tlb.vpn; ppn; perms = rwxu; dirty_ok = true; mmio = false; superpage = false }
+
+let test_tlb_insert_lookup () =
+  let tlb = Tlb.create ~size:2 in
+  Tlb.insert tlb (entry 1L 10L);
+  Tlb.insert tlb (entry 2L 20L);
+  (match Tlb.lookup tlb ~vpn:1L with
+  | Some e -> check64 "hit" 10L e.Tlb.ppn
+  | None -> Alcotest.fail "miss");
+  (* round-robin eviction: inserting a third evicts the first slot *)
+  Tlb.insert tlb (entry 3L 30L);
+  checkb "evicted" true (Tlb.lookup tlb ~vpn:1L = None);
+  checkb "kept" true (Tlb.lookup tlb ~vpn:2L <> None)
+
+let test_tlb_replace_same_vpn () =
+  let tlb = Tlb.create ~size:4 in
+  Tlb.insert tlb (entry 5L 50L);
+  Tlb.insert tlb (entry 5L 51L);
+  match Tlb.lookup tlb ~vpn:5L with
+  | Some e -> check64 "updated" 51L e.Tlb.ppn
+  | None -> Alcotest.fail "miss"
+
+let test_tlb_flush () =
+  let tlb = Tlb.create ~size:4 in
+  Tlb.insert tlb (entry 1L 1L);
+  Tlb.insert tlb (entry 2L 2L);
+  Tlb.flush_vpn tlb 1L;
+  checkb "vpn flushed" true (Tlb.lookup tlb ~vpn:1L = None);
+  checkb "other kept" true (Tlb.lookup tlb ~vpn:2L <> None);
+  Tlb.flush tlb;
+  checkb "all flushed" true (Tlb.lookup tlb ~vpn:2L = None)
+
+let test_tlb_stats () =
+  let tlb = Tlb.create ~size:4 in
+  Tlb.note_hit tlb;
+  Tlb.note_hit tlb;
+  Tlb.note_miss tlb;
+  checki "hits" 2 (Tlb.hits tlb);
+  checki "misses" 1 (Tlb.misses tlb);
+  Tlb.reset_stats tlb;
+  checki "reset" 0 (Tlb.hits tlb)
+
+(* ---------------- CPU harness ---------------- *)
+
+(* A bare one-frame machine with identity translation: assemble a
+   program at 0, run it, inspect state. *)
+let make_cpu ?(frames = 16) ?(env = `Native) () =
+  let mem = Phys_mem.create ~frames in
+  let state = Cpu.create_state () in
+  let ext = ref false in
+  let clock = ref 0L in
+  let ctx =
+    {
+      Cpu.translate =
+        (fun ~access:_ ~user:_ va ->
+          if Bus.is_mmio va then Ok { Cpu.pa = va; mmio = true; xlate_cycles = 0 }
+          else if Phys_mem.in_range mem ~pa:va ~bytes:1 then
+            Ok { Cpu.pa = va; mmio = false; xlate_cycles = 0 }
+          else Error `Access);
+      read_ram = (fun pa w -> Phys_mem.read mem pa w);
+      write_ram = (fun pa w v -> Phys_mem.write mem pa w v);
+      flush_tlb = (fun () -> ());
+      now = (fun () -> !clock);
+      ext_irq = (fun () -> !ext);
+      cost;
+      env =
+        (match env with
+        | `Native ->
+            Cpu.Native
+              {
+                mmio_read = (fun _ _ -> Some 0xAAL);
+                mmio_write = (fun _ _ _ -> true);
+                port_in = (fun p -> if p = 0x10 then Some 0x7FL else None);
+                port_out = (fun p _ -> p = 0x10);
+              }
+        | `Deprivileged -> Cpu.Deprivileged);
+    }
+  in
+  (mem, state, ctx, ext, clock)
+
+let load_program mem prog =
+  let img = Asm.assemble prog in
+  Phys_mem.load_bytes mem ~pa:0L img.Asm.code
+
+let run_steps state ctx n =
+  (* budget generous; n is just a safety bound on loop iterations *)
+  ignore n;
+  Cpu.run state ctx ~budget:100_000
+
+open Asm
+
+let test_cpu_alu () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      li r1 7L; li r2 3L;
+      add r3 r1 r2; sub r4 r1 r2; mul r5 r1 r2;
+      div r6 r1 r2; rem r7 r1 r2;
+      and_ r8 r1 r2; or_ r9 r1 r2; xor r10 r1 r2;
+      slt r11 r2 r1; halt;
+    ];
+  ignore (run_steps state ctx 20);
+  check64 "add" 10L (Cpu.get_reg state 3);
+  check64 "sub" 4L (Cpu.get_reg state 4);
+  check64 "mul" 21L (Cpu.get_reg state 5);
+  check64 "div" 2L (Cpu.get_reg state 6);
+  check64 "rem" 1L (Cpu.get_reg state 7);
+  check64 "and" 3L (Cpu.get_reg state 8);
+  check64 "or" 7L (Cpu.get_reg state 9);
+  check64 "xor" 4L (Cpu.get_reg state 10);
+  check64 "slt" 1L (Cpu.get_reg state 11)
+
+let test_cpu_div_edge_cases () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      li r1 5L; li r2 0L; div r3 r1 r2; rem r4 r1 r2;
+      li r5 Int64.min_int; li r6 (-1L); div r7 r5 r6; rem r8 r5 r6; halt;
+    ];
+  ignore (run_steps state ctx 20);
+  check64 "div by zero" (-1L) (Cpu.get_reg state 3);
+  check64 "rem by zero" 5L (Cpu.get_reg state 4);
+  check64 "min/-1 div" Int64.min_int (Cpu.get_reg state 7);
+  check64 "min/-1 rem" 0L (Cpu.get_reg state 8)
+
+let test_cpu_shifts () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      li r1 (-8L);
+      slli r2 r1 1L;
+      srli r3 r1 60L;
+      Insn (Instr.Alui (Instr.Sra, 4, 1, 1L));
+      li r5 1L;
+      li r6 65L;
+      sll r7 r5 r6 (* shift amount masked to 1 *);
+      Insn (Instr.Alui (Instr.Sltu, 8, 1, 1L)) (* unsigned: -8 > 1 → 0 *);
+      halt;
+    ];
+  ignore (run_steps state ctx 20);
+  check64 "sll" (-16L) (Cpu.get_reg state 2);
+  check64 "srl fills zero" 0xFL (Cpu.get_reg state 3);
+  check64 "sra keeps sign" (-4L) (Cpu.get_reg state 4);
+  check64 "shift masked" 2L (Cpu.get_reg state 7);
+  check64 "sltu" 0L (Cpu.get_reg state 8)
+
+let test_cpu_branches () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      li r1 1L; li r2 2L;
+      blt r1 r2 "taken";
+      li r3 99L (* skipped *);
+      label "taken";
+      bge r1 r2 "nottaken";
+      li r4 42L;
+      label "nottaken";
+      halt;
+    ];
+  ignore (run_steps state ctx 20);
+  check64 "skipped" 0L (Cpu.get_reg state 3);
+  check64 "fellthrough" 42L (Cpu.get_reg state 4)
+
+let test_cpu_jal_link () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ call "f"; halt; label "f"; li r3 5L; ret ];
+  ignore (run_steps state ctx 20);
+  check64 "function ran" 5L (Cpu.get_reg state 3);
+  checkb "halted" true state.Cpu.halted
+
+let test_cpu_memory_widths () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      li r1 0x1234_5678L;
+      li r2 0x8000L;
+      sd r1 r2 0L;
+      ld r3 r2 0L;
+      lb r4 r2 0L;
+      Insn (Instr.Load { rd = 5; base = 2; off = 0L; width = Instr.W16 });
+      Insn (Instr.Load { rd = 6; base = 2; off = 0L; width = Instr.W32 });
+      halt;
+    ];
+  ignore (run_steps state ctx 20);
+  check64 "w64" 0x1234_5678L (Cpu.get_reg state 3);
+  check64 "w8 zero-extends" 0x78L (Cpu.get_reg state 4);
+  check64 "w16" 0x5678L (Cpu.get_reg state 5);
+  check64 "w32" 0x1234_5678L (Cpu.get_reg state 6)
+
+let test_cpu_misaligned_trap () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  (* stvec = 0 → trap loops to pc 0; detect via scause *)
+  load_program mem [ la r2 "handler"; csrw Arch.Stvec r2; li r1 0x8001L; ld r3 r1 0L;
+                     label "handler"; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "cause" (Arch.cause_code Arch.Misaligned_load) (Cpu.get_csr state Arch.Scause);
+  check64 "tval" 0x8001L (Cpu.get_csr state Arch.Stval)
+
+let test_cpu_r0_hardwired () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ Insn (Instr.Alui (Instr.Add, 0, 0, 77L)); halt ];
+  ignore (run_steps state ctx 10);
+  check64 "r0 still zero" 0L (Cpu.get_reg state 0)
+
+let test_cpu_trap_and_sret () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      la r2 "handler";
+      csrw Arch.Stvec r2;
+      (* drop to user mode at "user" *)
+      la r2 "user";
+      csrw Arch.Sepc r2;
+      li r2 0L;
+      csrw Arch.Sie r2 (* SPP=0 → user *);
+      sret;
+      label "handler";
+      (* expect a syscall from user mode *)
+      csrr r3 Arch.Scause;
+      csrr r4 Arch.Sepc;
+      halt;
+      label "user";
+      nop;
+      ecall;
+    ];
+  ignore (run_steps state ctx 50);
+  check64 "cause syscall" (Arch.cause_code Arch.Syscall) (Cpu.get_reg state 3);
+  (* sepc points at the ecall itself *)
+  let img = Asm.assemble
+      [ la r2 "handler"; csrw Arch.Stvec r2; la r2 "user"; csrw Arch.Sepc r2;
+        li r2 0L; csrw Arch.Sie r2; sret; label "handler"; csrr r3 Arch.Scause;
+        csrr r4 Arch.Sepc; halt; label "user"; nop; ecall ] in
+  check64 "sepc" (Int64.add (Asm.symbol img "user") 8L) (Cpu.get_reg state 4);
+  checkb "back in supervisor" true (state.Cpu.mode = Arch.Supervisor)
+
+let test_cpu_illegal_in_user () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [
+      la r2 "handler"; csrw Arch.Stvec r2;
+      la r2 "user"; csrw Arch.Sepc r2;
+      li r2 0L; csrw Arch.Sie r2; sret;
+      label "handler"; csrr r3 Arch.Scause; halt;
+      label "user"; halt (* privileged in user mode *);
+    ];
+  ignore (run_steps state ctx 50);
+  check64 "illegal" (Arch.cause_code Arch.Illegal_instruction) (Cpu.get_reg state 3)
+
+let test_cpu_csr_readonly () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [ la r2 "handler"; csrw Arch.Stvec r2; csrw Arch.Time r1;
+      label "handler"; csrr r3 Arch.Scause; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "illegal write" (Arch.cause_code Arch.Illegal_instruction) (Cpu.get_reg state 3)
+
+let test_cpu_timer_interrupt () =
+  let mem, state, ctx, _, clock = make_cpu () in
+  clock := 0L;
+  load_program mem
+    [
+      la r2 "handler"; csrw Arch.Stvec r2;
+      (* arm timer at t=1 and enable GIE+timer *)
+      li r2 1L; csrw Arch.Stimecmp r2;
+      li r2 0L; Insn (Instr.Alui (Instr.Add, 2, 0, 1L));
+      (* sie = GIE | timer-enable *)
+      li r2 1L; slli r3 r2 63L; ori r3 r3 1L; csrw Arch.Sie r3;
+      label "spin"; jmp "spin";
+      label "handler"; csrr r4 Arch.Scause; halt;
+    ];
+  clock := 100L;
+  ignore (run_steps state ctx 50);
+  check64 "timer cause" (Arch.cause_code Arch.Timer_interrupt) (Cpu.get_reg state 4)
+
+let test_cpu_external_priority () =
+  let mem, state, ctx, ext, clock = make_cpu () in
+  load_program mem
+    [
+      la r2 "handler"; csrw Arch.Stvec r2;
+      li r2 1L; csrw Arch.Stimecmp r2;
+      li r2 1L; slli r3 r2 63L; ori r3 r3 3L (* GIE | timer | ext *); csrw Arch.Sie r3;
+      label "spin"; jmp "spin";
+      label "handler"; csrr r4 Arch.Scause; halt;
+    ];
+  ext := true;
+  clock := 100L;
+  ignore (run_steps state ctx 50);
+  check64 "external wins" (Arch.cause_code Arch.External_interrupt) (Cpu.get_reg state 4)
+
+let test_cpu_gie_masks () =
+  let mem, state, ctx, ext, _ = make_cpu () in
+  load_program mem [ li r1 1L; li r1 2L; li r1 3L; halt ];
+  ext := true;
+  (* GIE off: no delivery despite pending external *)
+  ignore (run_steps state ctx 20);
+  checkb "halted normally" true state.Cpu.halted;
+  check64 "no trap" 0L (Cpu.get_csr state Arch.Scause)
+
+let test_cpu_wfi_waits () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ wfi; halt ];
+  let _, stop = Cpu.run state ctx ~budget:10_000 in
+  checkb "waiting" true (stop = Cpu.Waiting);
+  checkb "flag" true state.Cpu.waiting
+
+let test_cpu_mmio_native () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [ li r2 0x4000_0000L; ld r3 r2 0L; sd r3 r2 8L; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "mmio read" 0xAAL (Cpu.get_reg state 3)
+
+let test_cpu_port_native () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ inp r3 0x10; outp 0x10 r3; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "port in" 0x7FL (Cpu.get_reg state 3);
+  checkb "halted" true state.Cpu.halted
+
+let test_cpu_lui_li64 () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [ Insn (Instr.Lui (2, 0xDEADL)); li r3 0xDEAD_BEEF_1234_5678L; halt ];
+  ignore (run_steps state ctx 10);
+  check64 "lui shifts 32" (Int64.shift_left 0xDEADL 32) (Cpu.get_reg state 2);
+  check64 "li 64-bit expansion" 0xDEAD_BEEF_1234_5678L (Cpu.get_reg state 3)
+
+let test_cpu_hcall_native_illegal () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [ la r2 "handler"; csrw Arch.Stvec r2; hcall; label "handler";
+      csrr r3 Arch.Scause; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "hcall illegal on bare metal" (Arch.cause_code Arch.Illegal_instruction)
+    (Cpu.get_reg state 3)
+
+let test_cpu_instret () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ nop; nop; nop; halt ];
+  ignore (run_steps state ctx 10);
+  (* the halt itself stops the hart before retiring *)
+  check64 "instret" 3L state.Cpu.instret
+
+let test_cpu_waiting_resumes_on_irq () =
+  let mem, state, ctx, _, clock = make_cpu () in
+  load_program mem
+    [
+      la r2 "handler"; csrw Arch.Stvec r2;
+      li r2 500L; csrw Arch.Stimecmp r2;
+      li r2 1L; slli r3 r2 63L; ori r3 r3 1L; csrw Arch.Sie r3;
+      wfi;
+      label "after"; jmp "after";
+      label "handler"; halt;
+    ];
+  (* first run parks in wfi *)
+  let _, stop = Cpu.run state ctx ~budget:100_000 in
+  checkb "waiting" true (stop = Cpu.Waiting);
+  (* time passes; the pending timer resumes and vectors to the handler *)
+  clock := 1_000L;
+  let _, stop = Cpu.run state ctx ~budget:100_000 in
+  checkb "halted via handler" true (stop = Cpu.Halted)
+
+let test_cpu_vmid_reads_zero_native () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem [ csrr r3 Arch.Vmid; halt ];
+  ignore (run_steps state ctx 10);
+  check64 "bare metal vmid" 0L (Cpu.get_reg state 3)
+
+(* ---------------- Deprivileged exits ---------------- *)
+
+let run_until_exit state ctx =
+  match Cpu.run state ctx ~budget:100_000 with
+  | _, Cpu.Exit e -> e
+  | _, _ -> Alcotest.fail "expected a VM exit"
+
+let test_exit_privileged () =
+  let mem, state, ctx, _, _ = make_cpu ~env:`Deprivileged () in
+  load_program mem [ csrr r1 Arch.Time ];
+  (match run_until_exit state ctx with
+  | Cpu.X_privileged (Instr.Csrr (1, Arch.Time)) -> ()
+  | e -> Alcotest.fail (Format.asprintf "unexpected exit %a" Cpu.pp_vmexit e));
+  check64 "pc not advanced" 0L state.Cpu.pc
+
+let test_exit_ecall () =
+  let mem, state, ctx, _, _ = make_cpu ~env:`Deprivileged () in
+  load_program mem [ ecall ];
+  match run_until_exit state ctx with
+  | Cpu.X_trap { cause = Arch.Syscall; _ } -> ()
+  | e -> Alcotest.fail (Format.asprintf "unexpected exit %a" Cpu.pp_vmexit e)
+
+let test_exit_hypercall () =
+  let mem, state, ctx, _, _ = make_cpu ~env:`Deprivileged () in
+  load_program mem [ hcall ];
+  checkb "hypercall exit" true (run_until_exit state ctx = Cpu.X_hypercall)
+
+let test_exit_mmio () =
+  let mem, state, ctx, _, _ = make_cpu ~env:`Deprivileged () in
+  load_program mem [ li r2 0x4000_0000L; ld r7 r2 16L ];
+  (match run_until_exit state ctx with
+  | Cpu.X_mmio_load { rd = 7; pa = 0x4000_0010L; width = Instr.W64 } -> ()
+  | e -> Alcotest.fail (Format.asprintf "unexpected exit %a" Cpu.pp_vmexit e));
+  (* after the VMM emulates, it advances the pc and resumes *)
+  Cpu.set_reg state 7 0x55L;
+  Cpu.advance_pc state;
+  let mem2 = mem in
+  ignore mem2;
+  load_program mem [ li r2 0x4000_0000L; ld r7 r2 16L; li r3 9L; sd r3 r2 24L ];
+  match run_until_exit state ctx with
+  | Cpu.X_mmio_store { pa = 0x4000_0018L; value = 9L; width = Instr.W64 } -> ()
+  | e -> Alcotest.fail (Format.asprintf "unexpected exit %a" Cpu.pp_vmexit e)
+
+let test_exit_page_fault () =
+  let mem = Phys_mem.create ~frames:4 in
+  let state = Cpu.create_state () in
+  let ctx =
+    {
+      Cpu.translate = (fun ~access:_ ~user:_ _ -> Error `Page);
+      read_ram = (fun pa w -> Phys_mem.read mem pa w);
+      write_ram = (fun pa w v -> Phys_mem.write mem pa w v);
+      flush_tlb = (fun () -> ());
+      now = (fun () -> 0L);
+      ext_irq = (fun () -> false);
+      cost;
+      env = Cpu.Deprivileged;
+    }
+  in
+  match Cpu.run state ctx ~budget:1000 with
+  | _, Cpu.Exit (Cpu.X_page_fault { access = Arch.Fetch; va = 0L }) -> ()
+  | _ -> Alcotest.fail "expected fetch page-fault exit"
+
+let test_exit_halted_budget () =
+  let mem, state, ctx, _, _ = make_cpu ~env:`Deprivileged () in
+  load_program mem [ label "spin"; jmp "spin" ];
+  let cycles, stop = Cpu.run state ctx ~budget:500 in
+  checkb "budget stop" true (stop = Cpu.Budget);
+  checkb "cycles counted" true (cycles >= 500)
+
+let test_cpu_jalr_misaligned_target () =
+  let mem, state, ctx, _, _ = make_cpu () in
+  load_program mem
+    [ la r2 "handler"; csrw Arch.Stvec r2; li r3 0x1001L; jalr r0 r3 0L;
+      label "handler"; csrr r4 Arch.Scause; halt ];
+  ignore (run_steps state ctx 20);
+  check64 "misaligned fetch" (Arch.cause_code Arch.Misaligned_fetch) (Cpu.get_reg state 4)
+
+(* ---------------- Native MMU ---------------- *)
+
+let make_mmu_world () =
+  let mem = Phys_mem.create ~frames:64 in
+  let tlb = Tlb.create ~size:8 in
+  let satp = ref 0L in
+  let mmu = Mmu.create ~mem ~tlb ~cost ~get_satp:(fun () -> !satp) in
+  let next = ref 1L in
+  let alloc () =
+    let p = !next in
+    next := Int64.add p 1L;
+    p
+  in
+  let acc =
+    {
+      Page_table.read_pte = (fun pa -> Phys_mem.read mem pa Instr.W64);
+      write_pte = (fun pa v -> Phys_mem.write mem pa Instr.W64 v);
+    }
+  in
+  (mem, tlb, satp, mmu, acc, alloc)
+
+let test_mmu_bare () =
+  let _, _, _, mmu, _, _ = make_mmu_world () in
+  (match Mmu.translate mmu ~access:Arch.Load ~user:false 0x123L with
+  | Ok { Cpu.pa = 0x123L; mmio = false; _ } -> ()
+  | _ -> Alcotest.fail "identity expected");
+  (match Mmu.translate mmu ~access:Arch.Load ~user:false 0x4000_0008L with
+  | Ok { Cpu.mmio = true; _ } -> ()
+  | _ -> Alcotest.fail "mmio expected");
+  match Mmu.translate mmu ~access:Arch.Load ~user:false 0x9000_0000L with
+  | Error `Access -> ()
+  | _ -> Alcotest.fail "access fault expected"
+
+let test_mmu_walk_and_tlb () =
+  let _, tlb, satp, mmu, acc, alloc = make_mmu_world () in
+  let root = alloc () in
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x4000L
+    (Pte.leaf ~ppn:10L { Pte.r = true; w = true; x = false; u = false });
+  satp := Arch.satp_make ~root_ppn:root;
+  (* first access walks *)
+  (match Mmu.translate mmu ~access:Arch.Load ~user:false 0x4008L with
+  | Ok { Cpu.pa; xlate_cycles; _ } ->
+      check64 "translated" 0xA008L pa;
+      checkb "walk charged" true (xlate_cycles > 0)
+  | _ -> Alcotest.fail "walk failed");
+  checki "one walk" 1 (Mmu.walk_count mmu);
+  (* second access hits the TLB *)
+  (match Mmu.translate mmu ~access:Arch.Load ~user:false 0x4010L with
+  | Ok { Cpu.xlate_cycles = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected TLB hit");
+  checki "still one walk" 1 (Mmu.walk_count mmu);
+  checki "tlb hit" 1 (Tlb.hits tlb)
+
+let test_mmu_ad_bits () =
+  let _, _, satp, mmu, acc, alloc = make_mmu_world () in
+  let root = alloc () in
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x4000L
+    (Pte.leaf ~ppn:10L { Pte.r = true; w = true; x = false; u = false });
+  satp := Arch.satp_make ~root_ppn:root;
+  ignore (Mmu.translate mmu ~access:Arch.Load ~user:false 0x4000L);
+  (match Page_table.walk acc ~root_ppn:root 0x4000L with
+  | Ok { pte; _ } ->
+      checkb "A set" true (Pte.accessed pte);
+      checkb "D clear" false (Pte.dirty pte)
+  | Error _ -> Alcotest.fail "walk");
+  (* store through a load-installed entry re-walks to set D *)
+  ignore (Mmu.translate mmu ~access:Arch.Store ~user:false 0x4000L);
+  (match Page_table.walk acc ~root_ppn:root 0x4000L with
+  | Ok { pte; _ } -> checkb "D set" true (Pte.dirty pte)
+  | Error _ -> Alcotest.fail "walk");
+  checki "two walks" 2 (Mmu.walk_count mmu)
+
+let test_mmu_permissions () =
+  let _, _, satp, mmu, acc, alloc = make_mmu_world () in
+  let root = alloc () in
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x4000L
+    (Pte.leaf ~ppn:10L { Pte.r = true; w = false; x = false; u = true });
+  satp := Arch.satp_make ~root_ppn:root;
+  (match Mmu.translate mmu ~access:Arch.Store ~user:true 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "store should fault");
+  (match Mmu.translate mmu ~access:Arch.Fetch ~user:true 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "fetch should fault");
+  match Mmu.translate mmu ~access:Arch.Load ~user:true 0x4000L with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "load should succeed"
+
+let test_mmu_flush () =
+  let _, tlb, satp, mmu, acc, alloc = make_mmu_world () in
+  let root = alloc () in
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x4000L (Pte.leaf ~ppn:10L rwxu);
+  satp := Arch.satp_make ~root_ppn:root;
+  ignore (Mmu.translate mmu ~access:Arch.Load ~user:false 0x4000L);
+  Mmu.flush mmu;
+  checkb "tlb empty" true (Tlb.lookup tlb ~vpn:4L = None);
+  ignore (Mmu.translate mmu ~access:Arch.Load ~user:false 0x4000L);
+  checki "re-walked" 2 (Mmu.walk_count mmu)
+
+let test_mmu_write_protected_store_faults () =
+  let _, _, satp, mmu, acc, alloc = make_mmu_world () in
+  let root = alloc () in
+  Page_table.map acc ~alloc ~root_ppn:root ~va:0x4000L
+    (Pte.leaf ~ppn:10L { Pte.r = true; w = false; x = false; u = false });
+  satp := Arch.satp_make ~root_ppn:root;
+  (match Mmu.translate mmu ~access:Arch.Load ~user:false 0x4000L with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "read-only load should pass");
+  match Mmu.translate mmu ~access:Arch.Store ~user:false 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "store to read-only page must fault"
+
+(* ---------------- Cost model ---------------- *)
+
+let test_cost_model_shape () =
+  checkb "exit >> trap" true (cost.Cost_model.vmexit > 5 * cost.Cost_model.trap_enter);
+  checkb "hypercall << exit" true (cost.Cost_model.hypercall * 3 < cost.Cost_model.vmexit);
+  checki "1d refs" 3 Cost_model.walk_refs_1d;
+  checki "2d refs" 15 Cost_model.walk_refs_2d;
+  checkb "2d >> 1d" true
+    (Cost_model.walk_cycles_2d cost > 4 * Cost_model.walk_cycles_1d cost)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "widths" `Quick test_mem_widths;
+          Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "frames" `Quick test_mem_frames;
+          Alcotest.test_case "blit between" `Quick test_mem_blit_between;
+        ]
+        @ qsuite [ prop_mem_roundtrip ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "map/walk" `Quick test_pt_map_walk;
+          Alcotest.test_case "not mapped" `Quick test_pt_walk_not_mapped;
+          Alcotest.test_case "non-canonical" `Quick test_pt_non_canonical;
+          Alcotest.test_case "unmap/update" `Quick test_pt_unmap_update;
+          Alcotest.test_case "iter/count" `Quick test_pt_iter_count;
+          Alcotest.test_case "superpages" `Quick test_pt_superpage;
+        ]
+        @ qsuite [ prop_pt_map_then_walk ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "insert/lookup/evict" `Quick test_tlb_insert_lookup;
+          Alcotest.test_case "same vpn replace" `Quick test_tlb_replace_same_vpn;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "stats" `Quick test_tlb_stats;
+          Alcotest.test_case "superpage entries" `Quick test_tlb_superpage_entry;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "alu" `Quick test_cpu_alu;
+          Alcotest.test_case "div edges" `Quick test_cpu_div_edge_cases;
+          Alcotest.test_case "shifts" `Quick test_cpu_shifts;
+          Alcotest.test_case "branches" `Quick test_cpu_branches;
+          Alcotest.test_case "jal link" `Quick test_cpu_jal_link;
+          Alcotest.test_case "memory widths" `Quick test_cpu_memory_widths;
+          Alcotest.test_case "misaligned trap" `Quick test_cpu_misaligned_trap;
+          Alcotest.test_case "r0 hardwired" `Quick test_cpu_r0_hardwired;
+          Alcotest.test_case "trap and sret" `Quick test_cpu_trap_and_sret;
+          Alcotest.test_case "illegal in user" `Quick test_cpu_illegal_in_user;
+          Alcotest.test_case "read-only csr" `Quick test_cpu_csr_readonly;
+          Alcotest.test_case "timer interrupt" `Quick test_cpu_timer_interrupt;
+          Alcotest.test_case "external priority" `Quick test_cpu_external_priority;
+          Alcotest.test_case "gie masks" `Quick test_cpu_gie_masks;
+          Alcotest.test_case "wfi waits" `Quick test_cpu_wfi_waits;
+          Alcotest.test_case "mmio native" `Quick test_cpu_mmio_native;
+          Alcotest.test_case "port native" `Quick test_cpu_port_native;
+          Alcotest.test_case "lui and 64-bit li" `Quick test_cpu_lui_li64;
+          Alcotest.test_case "hcall illegal natively" `Quick test_cpu_hcall_native_illegal;
+          Alcotest.test_case "instret" `Quick test_cpu_instret;
+          Alcotest.test_case "waiting resumes" `Quick test_cpu_waiting_resumes_on_irq;
+          Alcotest.test_case "vmid native" `Quick test_cpu_vmid_reads_zero_native;
+          Alcotest.test_case "jalr misaligned" `Quick test_cpu_jalr_misaligned_target;
+        ] );
+      ( "exits",
+        [
+          Alcotest.test_case "privileged" `Quick test_exit_privileged;
+          Alcotest.test_case "ecall" `Quick test_exit_ecall;
+          Alcotest.test_case "hypercall" `Quick test_exit_hypercall;
+          Alcotest.test_case "mmio" `Quick test_exit_mmio;
+          Alcotest.test_case "page fault" `Quick test_exit_page_fault;
+          Alcotest.test_case "budget" `Quick test_exit_halted_budget;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "bare mode" `Quick test_mmu_bare;
+          Alcotest.test_case "walk and tlb" `Quick test_mmu_walk_and_tlb;
+          Alcotest.test_case "a/d bits" `Quick test_mmu_ad_bits;
+          Alcotest.test_case "permissions" `Quick test_mmu_permissions;
+          Alcotest.test_case "flush" `Quick test_mmu_flush;
+          Alcotest.test_case "write-protected store" `Quick
+            test_mmu_write_protected_store_faults;
+        ] );
+      ( "cost_model",
+        [ Alcotest.test_case "relative magnitudes" `Quick test_cost_model_shape ] );
+    ]

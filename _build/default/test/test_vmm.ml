@@ -1,0 +1,949 @@
+(* Unit tests for velum_vmm: frame allocator, p2m, host swap, monitor,
+   vCPUs, the shadow pager, nested-walk classification, hypercalls,
+   schedulers, memory management, placement and snapshots. *)
+
+open Velum_isa
+open Velum_machine
+open Velum_vmm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+(* ---------------- Frame_alloc ---------------- *)
+
+let test_alloc_basics () =
+  let mem = Phys_mem.create ~frames:32 in
+  let fa = Frame_alloc.create ~mem ~reserved:4 () in
+  checki "total" 28 (Frame_alloc.total fa);
+  checki "free" 28 (Frame_alloc.free_count fa);
+  let p = Frame_alloc.alloc_exn fa in
+  checkb "not reserved" true (p >= 4L);
+  checki "refcount" 1 (Frame_alloc.refcount fa p);
+  checki "used" 1 (Frame_alloc.used_count fa);
+  checkb "freed" true (Frame_alloc.decr_ref fa p);
+  checki "free again" 28 (Frame_alloc.free_count fa)
+
+let test_alloc_zeroed () =
+  let mem = Phys_mem.create ~frames:8 in
+  let fa = Frame_alloc.create ~mem ~reserved:0 () in
+  let p = Frame_alloc.alloc_exn fa in
+  Phys_mem.frame_fill mem ~ppn:p 'x';
+  ignore (Frame_alloc.decr_ref fa p);
+  (* the same frame comes back zeroed *)
+  let p2 = Frame_alloc.alloc_exn fa in
+  checkb "zeroed" true (Phys_mem.read mem (Int64.shift_left p2 12) Instr.W64 = 0L)
+
+let test_alloc_refcounting () =
+  let mem = Phys_mem.create ~frames:8 in
+  let fa = Frame_alloc.create ~mem ~reserved:0 () in
+  let p = Frame_alloc.alloc_exn fa in
+  Frame_alloc.incr_ref fa p;
+  checki "rc 2" 2 (Frame_alloc.refcount fa p);
+  checkb "not freed" false (Frame_alloc.decr_ref fa p);
+  checkb "freed" true (Frame_alloc.decr_ref fa p);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Frame_alloc.decr_ref: frame is free") (fun () ->
+      ignore (Frame_alloc.decr_ref fa p))
+
+let test_alloc_exhaustion () =
+  let mem = Phys_mem.create ~frames:4 in
+  let fa = Frame_alloc.create ~mem ~reserved:2 () in
+  ignore (Frame_alloc.alloc_exn fa);
+  ignore (Frame_alloc.alloc_exn fa);
+  checkb "exhausted" true (Frame_alloc.alloc fa = None)
+
+(* Model-based property: the allocator's refcounts and free counts match
+   a reference map under random alloc/incr/decr sequences. *)
+let prop_alloc_model =
+  QCheck2.Test.make ~count:300 ~name:"frame_alloc matches reference model"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 2))
+    (fun ops ->
+      let mem = Phys_mem.create ~frames:24 in
+      let fa = Frame_alloc.create ~mem ~reserved:2 () in
+      let model : (int64, int) Hashtbl.t = Hashtbl.create 16 in
+      let held () = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 -> (
+              match Frame_alloc.alloc fa with
+              | Some p ->
+                  if Hashtbl.mem model p then ok := false;
+                  Hashtbl.replace model p 1
+              | None -> if Hashtbl.length model < Frame_alloc.total fa then ok := false)
+          | 1 -> (
+              match held () with
+              | [] -> ()
+              | l ->
+                  let p = List.nth l (i mod List.length l) in
+                  Frame_alloc.incr_ref fa p;
+                  Hashtbl.replace model p (Hashtbl.find model p + 1))
+          | _ -> (
+              match held () with
+              | [] -> ()
+              | l ->
+                  let p = List.nth l (i mod List.length l) in
+                  let rc = Hashtbl.find model p in
+                  let freed = Frame_alloc.decr_ref fa p in
+                  if rc = 1 then begin
+                    if not freed then ok := false;
+                    Hashtbl.remove model p
+                  end
+                  else begin
+                    if freed then ok := false;
+                    Hashtbl.replace model p (rc - 1)
+                  end))
+        ops;
+      !ok
+      && Hashtbl.fold (fun p rc acc -> acc && Frame_alloc.refcount fa p = rc) model true
+      && Frame_alloc.used_count fa = Hashtbl.length model)
+
+(* ---------------- P2m ---------------- *)
+
+let test_p2m_basics () =
+  let p2m = P2m.create ~gframes:8 in
+  checki "gframes" 8 (P2m.gframes p2m);
+  checkb "absent" true (P2m.get p2m 3L = P2m.Absent);
+  P2m.set p2m 3L (P2m.Present { hpa_ppn = 99L; writable = true; cow = false });
+  checki "one present" 1 (P2m.present_count p2m);
+  checkb "range" true (P2m.in_range p2m 7L);
+  checkb "out of range" false (P2m.in_range p2m 8L);
+  Alcotest.check_raises "get oob" (Invalid_argument "P2m: gfn 8 out of range") (fun () ->
+      ignore (P2m.get p2m 8L))
+
+let test_p2m_clear_writable () =
+  let p2m = P2m.create ~gframes:4 in
+  P2m.set p2m 0L (P2m.Present { hpa_ppn = 1L; writable = true; cow = false });
+  P2m.set p2m 1L (P2m.Present { hpa_ppn = 2L; writable = false; cow = false });
+  P2m.set p2m 2L P2m.Ballooned;
+  checki "changed" 1 (P2m.clear_writable_all p2m);
+  (match P2m.get p2m 0L with
+  | P2m.Present { writable = false; _ } -> ()
+  | _ -> Alcotest.fail "not protected");
+  checki "fold present" 2
+    (P2m.fold_present p2m ~init:0 ~f:(fun acc ~gfn:_ ~hpa_ppn:_ -> acc + 1))
+
+(* ---------------- Host swap ---------------- *)
+
+let test_host_swap_roundtrip () =
+  let host = Host.create ~frames:64 ~swap_slots:4 () in
+  let p = Frame_alloc.alloc_exn host.Host.alloc in
+  Phys_mem.frame_fill host.Host.mem ~ppn:p 'q';
+  let slot = Host.swap_out host ~ppn:p in
+  Phys_mem.frame_fill host.Host.mem ~ppn:p '\000';
+  Host.swap_in host ~slot ~ppn:p;
+  check64 "restored" (Int64.of_int (Char.code 'q'))
+    (Phys_mem.read host.Host.mem (Int64.shift_left p 12) Instr.W8);
+  checki "slot freed" 4 (Host.free_swap_slots host);
+  Alcotest.check_raises "empty slot" (Invalid_argument "Host.swap_in: empty slot")
+    (fun () -> Host.swap_in host ~slot ~ppn:p)
+
+(* ---------------- Monitor ---------------- *)
+
+let test_monitor_counts () =
+  let m = Monitor.create () in
+  Monitor.bump m Monitor.E_mmio;
+  Monitor.bump m Monitor.E_mmio;
+  Monitor.add_cycles m Monitor.E_mmio 100;
+  checki "count" 2 (Monitor.count m Monitor.E_mmio);
+  check64 "cycles" 100L (Monitor.cycles m Monitor.E_mmio);
+  checki "total" 2 (Monitor.total_exits m);
+  Monitor.irq_injected m;
+  checki "irqs" 1 (Monitor.irq_injections m);
+  Monitor.reset m;
+  checki "reset" 0 (Monitor.total_exits m)
+
+(* ---------------- Vcpu ---------------- *)
+
+let test_vcpu_lifecycle () =
+  let v = Vcpu.create ~id:1 ~vm_id:0 ~entry:0x1000L () in
+  checkb "runnable" true (Vcpu.is_runnable v);
+  check64 "entry" 0x1000L v.Vcpu.state.Cpu.pc;
+  Vcpu.block v;
+  checkb "blocked" false (Vcpu.is_runnable v);
+  Vcpu.wake v ~boost:true;
+  checkb "woken" true (Vcpu.is_runnable v);
+  checkb "boosted" true v.Vcpu.boosted;
+  v.Vcpu.runstate <- Vcpu.Halted;
+  Vcpu.wake v ~boost:false;
+  checkb "halted stays halted" false (Vcpu.is_runnable v)
+
+(* ---------------- VM-level memory paths ---------------- *)
+
+let make_vm ?(paging = Vm.Shadow_paging) ?(mem_frames = 64) () =
+  let host = Host.create ~frames:512 () in
+  let vm =
+    Vm.create ~host ~id:0 ~name:"unit" ~mem_frames ~paging ~entry:0L ()
+  in
+  (host, vm)
+
+let test_vm_gpa_accessors () =
+  let _, vm = make_vm () in
+  checkb "write" true (Vm.write_gpa_u64 vm 0x1008L 0xDEADL);
+  Alcotest.(check (option int64)) "read back" (Some 0xDEADL) (Vm.read_gpa_u64 vm 0x1008L);
+  Alcotest.(check (option int64)) "misaligned" None (Vm.read_gpa_u64 vm 0x1001L);
+  (* cross-page byte string *)
+  let s = Bytes.of_string (String.make 6000 'r') in
+  checkb "bytes write" true (Vm.write_gpa_bytes vm 0x0FFCL s);
+  (match Vm.read_gpa_bytes vm 0x0FFCL 6000 with
+  | Some b -> checkb "bytes read" true (Bytes.equal b s)
+  | None -> Alcotest.fail "read failed");
+  checkb "oob" true (Vm.read_gpa_u64 vm 0x40_0000L = None)
+
+let test_vm_dirty_logging () =
+  let _, vm = make_vm () in
+  Vm.start_dirty_logging vm;
+  checki "clean" 0 (Vm.dirty_count vm);
+  ignore (Vm.write_gpa_u64 vm 0x3000L 1L);
+  checkb "marked" true (Vm.is_dirty vm 3L);
+  checki "one page" 1 (Vm.dirty_count vm);
+  Alcotest.(check (list int64)) "collect" [ 3L ] (Vm.collect_dirty vm ~clear:true);
+  checki "cleared" 0 (Vm.dirty_count vm);
+  Vm.stop_dirty_logging vm;
+  ignore (Vm.write_gpa_u64 vm 0x4000L 1L);
+  checki "not logging" 0 (Vm.dirty_count vm)
+
+let test_vm_balloon () =
+  let host, vm = make_vm () in
+  let free0 = Frame_alloc.free_count host.Host.alloc in
+  checkb "balloon out" true (Vm.balloon_out vm 10L);
+  checki "freed to host" (free0 + 1) (Frame_alloc.free_count host.Host.alloc);
+  checkb "read fails" true (Vm.read_gpa_u64 vm (Int64.shift_left 10L 12) = None);
+  checkb "balloon out twice fails" false (Vm.balloon_out vm 10L);
+  checkb "balloon in" true (Vm.balloon_in vm 10L);
+  Alcotest.(check (option int64)) "zeroed page back" (Some 0L)
+    (Vm.read_gpa_u64 vm (Int64.shift_left 10L 12))
+
+let test_vm_destroy_returns_frames () =
+  let host = Host.create ~frames:512 () in
+  let free0 = Frame_alloc.free_count host.Host.alloc in
+  let vm = Vm.create ~host ~id:1 ~name:"tmp" ~mem_frames:64 ~entry:0L () in
+  checkb "frames taken" true (Frame_alloc.free_count host.Host.alloc = free0 - 64);
+  Vm.destroy vm;
+  checki "frames back" free0 (Frame_alloc.free_count host.Host.alloc)
+
+(* ---------------- Shadow pager (synthetic guest tables) ---------------- *)
+
+(* Build guest page tables by hand inside the VM's memory, point a vCPU's
+   virtual satp at them, and drive Shadow.handle_fault/translate. *)
+let make_shadow_world () =
+  let host, vm = make_vm ~paging:Vm.Shadow_paging ~mem_frames:64 () in
+  let shadow = Option.get vm.Vm.shadow in
+  (* guest PT root at gfn 8; map GVA 0x4000 -> gfn 5 (user rw) *)
+  let root_gfn = 8L in
+  let gpt_alloc = ref 9L in
+  let alloc () =
+    let g = !gpt_alloc in
+    gpt_alloc := Int64.add g 1L;
+    g
+  in
+  let acc =
+    {
+      Page_table.read_pte = (fun gpa -> Option.value (Vm.read_gpa_u64 vm gpa) ~default:0L);
+      write_pte = (fun gpa v -> ignore (Vm.write_gpa_u64 vm gpa v));
+    }
+  in
+  (host, vm, shadow, root_gfn, acc, alloc)
+
+let user_rw = { Pte.r = true; w = true; x = false; u = true }
+
+let test_shadow_fill_and_translate () =
+  let _, vm, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  (* fault-fill a load *)
+  (match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4008L with
+  | Shadow.Filled _ -> ()
+  | _ -> Alcotest.fail "expected fill");
+  checki "fills" 1 (Shadow.fills shadow);
+  checkb "root paired" true (Shadow.shadow_root shadow ~root_gfn <> None);
+  checkb "pt pages protected" true (Shadow.is_pt_gfn shadow root_gfn);
+  (* the shadow now translates loads without faults *)
+  let tlb = Tlb.create ~size:8 in
+  (match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Load ~user:true 0x4008L with
+  | Ok { Cpu.pa; _ } ->
+      (* pa must land in the host frame backing gfn 5 *)
+      let hpa = Option.get (Vm.resolve_read vm 5L) in
+      check64 "host frame" hpa (Int64.shift_right_logical pa 12)
+  | Error _ -> Alcotest.fail "translate failed");
+  (* stores still fault (guest D bit not yet set)… *)
+  (match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Store ~user:true 0x4008L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "store should fault for D-bit");
+  (* …until the pager upgrades them *)
+  (match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Store ~user:true ~va:0x4008L with
+  | Shadow.Filled _ -> ()
+  | _ -> Alcotest.fail "store fill");
+  (match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Store ~user:true 0x4008L with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "store should now hit");
+  (* and the guest leaf has A+D set *)
+  match Page_table.walk acc ~root_ppn:root_gfn 0x4000L with
+  | Ok { pte; _ } ->
+      checkb "A" true (Pte.accessed pte);
+      checkb "D" true (Pte.dirty pte)
+  | Error _ -> Alcotest.fail "guest walk"
+
+let test_shadow_guest_fault () =
+  let _, _, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  (* unmapped VA *)
+  (match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x9000L with
+  | Shadow.Guest_fault -> ()
+  | _ -> Alcotest.fail "expected guest fault");
+  (* supervisor-only page touched from user *)
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x5000L
+    (Pte.leaf ~ppn:6L { Pte.r = true; w = true; x = false; u = false });
+  match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x5000L with
+  | Shadow.Guest_fault -> ()
+  | _ -> Alcotest.fail "expected permission fault"
+
+let test_shadow_pt_write_detection () =
+  let _, _, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  ignore (Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4008L);
+  (* map the leaf-table gfn itself into the guest address space and store
+     to it: the pager must flag a PT write rather than filling *)
+  let leaf_table_gfn = 9L (* first gpt_alloc after root: level-1 table *) in
+  ignore leaf_table_gfn;
+  (* find a gfn that is a pt page (not the root, any) *)
+  let pt_gfn = ref None in
+  for g = 8 to 12 do
+    if Shadow.is_pt_gfn shadow (Int64.of_int g) then pt_gfn := Some (Int64.of_int g)
+  done;
+  let pt_gfn = Option.get !pt_gfn in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x8000L (Pte.leaf ~ppn:pt_gfn user_rw);
+  match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Store ~user:true ~va:0x8010L with
+  | Shadow.Pt_write { gpa } ->
+      check64 "gpa in that frame" pt_gfn (Int64.shift_right_logical gpa 12)
+  | _ -> Alcotest.fail "expected Pt_write"
+
+let test_shadow_emulate_pt_write_invalidates () =
+  let _, vm, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  ignore (Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4000L);
+  let tlb = Tlb.create ~size:8 in
+  (match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "should hit");
+  (* locate the guest leaf PTE and remap the VA to gfn 6 via the pager *)
+  (match Page_table.walk acc ~root_ppn:root_gfn 0x4000L with
+  | Ok { pte_addr; _ } ->
+      checkb "applied" true
+        (Shadow.emulate_pt_write shadow ~gpa:pte_addr ~value:(Pte.leaf ~ppn:6L user_rw))
+  | Error _ -> Alcotest.fail "guest walk");
+  ignore (Shadow.take_tlb_flush shadow);
+  Tlb.flush tlb;
+  (* the old shadow entry is gone: next access faults, then refills to
+     the new frame *)
+  (match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "stale shadow entry survived");
+  ignore (Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4000L);
+  match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Ok { Cpu.pa; _ } ->
+      let hpa6 = Option.get (Vm.resolve_read vm 6L) in
+      check64 "remapped" hpa6 (Int64.shift_right_logical pa 12)
+  | Error _ -> Alcotest.fail "refill failed"
+
+let test_shadow_invalidate_gfn () =
+  let _, _, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  ignore (Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4000L);
+  Shadow.invalidate_gfn shadow 5L;
+  let tlb = Tlb.create ~size:8 in
+  match Shadow.translate shadow ~root_gfn ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "mapping should be revoked"
+
+let test_shadow_mmio_detection () =
+  let _, _, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  (* guest maps the UART page *)
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x6000L
+    (Pte.leaf ~ppn:(Int64.shift_right_logical 0x4000_0000L 12) user_rw);
+  match Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x6008L with
+  | Shadow.Target_mmio { gpa } -> check64 "device gpa" 0x4000_0008L gpa
+  | _ -> Alcotest.fail "expected mmio"
+
+let test_shadow_flush_all_frees () =
+  let host, _, shadow, root_gfn, acc, alloc = make_shadow_world () in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  ignore (Shadow.handle_fault shadow ~root_gfn ~access:Arch.Load ~user:true ~va:0x4000L);
+  let used = Frame_alloc.used_count host.Host.alloc in
+  let tables = Shadow.table_frames shadow in
+  checkb "has tables" true (tables > 0);
+  Shadow.flush_all shadow;
+  checki "frames released" (used - tables) (Frame_alloc.used_count host.Host.alloc);
+  checki "no tables" 0 (Shadow.table_frames shadow)
+
+(* ---------------- Nested classification ---------------- *)
+
+let make_nested_world () =
+  let host, vm = make_vm ~paging:Vm.Nested_paging ~mem_frames:64 () in
+  let nested = Option.get vm.Vm.nested in
+  let acc =
+    {
+      Page_table.read_pte = (fun gpa -> Option.value (Vm.read_gpa_u64 vm gpa) ~default:0L);
+      write_pte = (fun gpa v -> ignore (Vm.write_gpa_u64 vm gpa v));
+    }
+  in
+  let gpt_alloc = ref 9L in
+  let alloc () =
+    let g = !gpt_alloc in
+    gpt_alloc := Int64.add g 1L;
+    g
+  in
+  (host, vm, nested, acc, alloc)
+
+let test_nested_translate_and_ad () =
+  let _, vm, nested, acc, alloc = make_nested_world () in
+  let root_gfn = 8L in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  let satp = Arch.satp_make ~root_ppn:root_gfn in
+  let tlb = Tlb.create ~size:8 in
+  (match Nested.translate nested ~guest_satp:satp ~tlb ~access:Arch.Store ~user:true 0x4010L with
+  | Ok { Cpu.pa; xlate_cycles; _ } ->
+      let hpa = Option.get (Vm.resolve_read vm 5L) in
+      check64 "frame" hpa (Int64.shift_right_logical pa 12);
+      (* 2-D walk: (3+1)*3 + 3 = 15 refs *)
+      checkb "2d cost" true (xlate_cycles >= 15 * Cost_model.default.Cost_model.pt_ref)
+  | Error _ -> Alcotest.fail "translate failed");
+  (* A/D set in the guest tables by the walker *)
+  (match Page_table.walk acc ~root_ppn:root_gfn 0x4000L with
+  | Ok { pte; _ } ->
+      checkb "A" true (Pte.accessed pte);
+      checkb "D" true (Pte.dirty pte)
+  | Error _ -> Alcotest.fail "guest walk");
+  (* TLB hit on retry *)
+  match Nested.translate nested ~guest_satp:satp ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Ok { Cpu.xlate_cycles = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected TLB hit"
+
+let test_nested_classify () =
+  let _, vm, nested, acc, alloc = make_nested_world () in
+  let root_gfn = 8L in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  let satp = Arch.satp_make ~root_ppn:root_gfn in
+  (* guest-level: unmapped va *)
+  (match Nested.classify_fault nested ~guest_satp:satp ~access:Arch.Load ~user:true ~va:0x9000L with
+  | Nested.Guest_level -> ()
+  | _ -> Alcotest.fail "expected guest level");
+  (* host-level: balloon the data frame out *)
+  ignore (Vm.balloon_out vm 5L);
+  (* ballooned = unbacked: the data page target is now gone *)
+  (match Nested.classify_fault nested ~guest_satp:satp ~access:Arch.Load ~user:true ~va:0x4000L with
+  | Nested.Host_level { gfn = 5L } -> ()
+  | _ -> Alcotest.fail "expected host level on ballooned frame");
+  (* mmio *)
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x6000L
+    (Pte.leaf ~ppn:(Int64.shift_right_logical 0x4000_0000L 12) user_rw);
+  (match Nested.classify_fault nested ~guest_satp:satp ~access:Arch.Load ~user:true ~va:0x6000L with
+  | Nested.Mmio { gpa = 0x4000_0000L } -> ()
+  | _ -> Alcotest.fail "expected mmio");
+  (* bad gpa: guest maps beyond its memory *)
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x7000L (Pte.leaf ~ppn:1000L user_rw);
+  match Nested.classify_fault nested ~guest_satp:satp ~access:Arch.Load ~user:true ~va:0x7000L with
+  | Nested.Bad _ -> ()
+  | _ -> Alcotest.fail "expected bad gpa"
+
+let test_nested_write_protection () =
+  let _, vm, nested, acc, alloc = make_nested_world () in
+  let root_gfn = 8L in
+  Page_table.map acc ~alloc ~root_ppn:root_gfn ~va:0x4000L (Pte.leaf ~ppn:5L user_rw);
+  let satp = Arch.satp_make ~root_ppn:root_gfn in
+  let tlb = Tlb.create ~size:8 in
+  Vm.start_dirty_logging vm;
+  (* loads fine, stores host-fault *)
+  (match Nested.translate nested ~guest_satp:satp ~tlb ~access:Arch.Load ~user:true 0x4000L with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "load should pass");
+  match Nested.translate nested ~guest_satp:satp ~tlb ~access:Arch.Store ~user:true 0x4000L with
+  | Error `Page -> ()
+  | _ -> Alcotest.fail "store should host-fault under logging"
+
+(* ---------------- Schedulers ---------------- *)
+
+let drive_scheduler sched vcpus ~rounds =
+  (* simulate pick/charge cycles; every vcpu always runnable *)
+  let shares = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace shares v.Vcpu.id 0) vcpus;
+  List.iter (fun v -> sched.Scheduler.enqueue v) vcpus;
+  let now = ref 0L in
+  for _ = 1 to rounds do
+    match sched.Scheduler.pick ~now:!now with
+    | Some (v, slice) ->
+        now := Int64.add !now (Int64.of_int slice);
+        sched.Scheduler.charge v ~used:slice ~now:!now;
+        Hashtbl.replace shares v.Vcpu.id (Hashtbl.find shares v.Vcpu.id + slice);
+        sched.Scheduler.requeue v
+    | None -> Alcotest.fail "scheduler went idle with runnable vcpus"
+  done;
+  List.map (fun v -> Hashtbl.find shares v.Vcpu.id) vcpus
+
+let test_rr_equal_shares () =
+  let vcpus = List.init 3 (fun i -> Vcpu.create ~id:i ~vm_id:i ~entry:0L ()) in
+  let shares = drive_scheduler (Round_robin.create ()) vcpus ~rounds:300 in
+  match shares with
+  | [ a; b; c ] ->
+      checkb "equal" true (a = b && b = c)
+  | _ -> Alcotest.fail "expected 3"
+
+let test_credit_weighted_shares () =
+  let vcpus = List.init 3 (fun i -> Vcpu.create ~id:i ~vm_id:i ~entry:0L ()) in
+  List.iteri (fun i v -> v.Vcpu.weight <- 256 * (i + 1)) vcpus;
+  let shares = drive_scheduler (Credit.create ()) vcpus ~rounds:3000 in
+  (match shares with
+  | [ a; b; c ] ->
+      let fa = float_of_int a and fb = float_of_int b and fc = float_of_int c in
+      checkb "monotone in weight" true (fa < fb && fb < fc);
+      checkb "ratio roughly 1:2:3" true
+        (fb /. fa > 1.5 && fb /. fa < 2.5 && fc /. fa > 2.2 && fc /. fa < 3.8)
+  | _ -> Alcotest.fail "expected 3")
+
+let test_credit_boost_priority () =
+  let sched = Credit.create () in
+  let a = Vcpu.create ~id:0 ~vm_id:0 ~entry:0L () in
+  let b = Vcpu.create ~id:1 ~vm_id:1 ~entry:0L () in
+  sched.Scheduler.enqueue a;
+  (* b wakes from I/O with boost *)
+  b.Vcpu.runstate <- Vcpu.Blocked;
+  Vcpu.wake b ~boost:true;
+  sched.Scheduler.wake b;
+  (match sched.Scheduler.pick ~now:0L with
+  | Some (v, _) -> checki "boosted first" 1 v.Vcpu.id
+  | None -> Alcotest.fail "no pick");
+  checkb "boost consumed" false b.Vcpu.boosted
+
+let test_bvt_min_vruntime_first () =
+  let sched = Bvt.create () in
+  let a = Vcpu.create ~id:0 ~vm_id:0 ~entry:0L () in
+  let b = Vcpu.create ~id:1 ~vm_id:1 ~entry:0L () in
+  a.Vcpu.vruntime <- 100.0;
+  b.Vcpu.vruntime <- 50.0;
+  sched.Scheduler.enqueue a;
+  sched.Scheduler.enqueue b;
+  (match sched.Scheduler.pick ~now:0L with
+  | Some (v, _) -> checki "min vruntime" 1 v.Vcpu.id
+  | None -> Alcotest.fail "no pick");
+  (* waker clamped to min *)
+  let c = Vcpu.create ~id:2 ~vm_id:2 ~entry:0L () in
+  c.Vcpu.vruntime <- 0.0;
+  c.Vcpu.runstate <- Vcpu.Blocked;
+  Vcpu.wake c ~boost:false;
+  sched.Scheduler.wake c;
+  checkb "clamped" true (c.Vcpu.vruntime >= 50.0)
+
+let test_scheduler_remove () =
+  let sched = Round_robin.create () in
+  let a = Vcpu.create ~id:0 ~vm_id:0 ~entry:0L () in
+  sched.Scheduler.enqueue a;
+  sched.Scheduler.remove a;
+  checkb "empty after remove" true (sched.Scheduler.pick ~now:0L = None)
+
+(* ---------------- Mem_mgr ---------------- *)
+
+let test_share_pass_merges_and_preserves () =
+  let host = Host.create ~frames:512 () in
+  let vm_a = Vm.create ~host ~id:0 ~name:"a" ~mem_frames:16 ~entry:0L () in
+  let vm_b = Vm.create ~host ~id:1 ~name:"b" ~mem_frames:16 ~entry:0L () in
+  (* identical content in both VMs at gfn 3, distinct at gfn 4 *)
+  ignore (Vm.write_gpa_u64 vm_a 0x3000L 0xAAAAL);
+  ignore (Vm.write_gpa_u64 vm_b 0x3000L 0xAAAAL);
+  ignore (Vm.write_gpa_u64 vm_a 0x4000L 0x1111L);
+  ignore (Vm.write_gpa_u64 vm_b 0x4000L 0x2222L);
+  let stats = Mem_mgr.share_pass [ vm_a; vm_b ] in
+  checkb "something shared" true (stats.Mem_mgr.shared > 0);
+  checkb "frames freed" true (stats.Mem_mgr.freed > 0);
+  (* both VMs still read their own values *)
+  Alcotest.(check (option int64)) "a keeps shared" (Some 0xAAAAL) (Vm.read_gpa_u64 vm_a 0x3000L);
+  Alcotest.(check (option int64)) "b keeps shared" (Some 0xAAAAL) (Vm.read_gpa_u64 vm_b 0x3000L);
+  Alcotest.(check (option int64)) "a keeps private" (Some 0x1111L) (Vm.read_gpa_u64 vm_a 0x4000L);
+  Alcotest.(check (option int64)) "b keeps private" (Some 0x2222L) (Vm.read_gpa_u64 vm_b 0x4000L);
+  (* COW break: writing through one VM must not affect the other *)
+  ignore (Vm.write_gpa_u64 vm_a 0x3000L 0xBBBBL);
+  Alcotest.(check (option int64)) "a updated" (Some 0xBBBBL) (Vm.read_gpa_u64 vm_a 0x3000L);
+  Alcotest.(check (option int64)) "b unchanged" (Some 0xAAAAL) (Vm.read_gpa_u64 vm_b 0x3000L);
+  checkb "cow break counted" true (Monitor.count vm_a.Vm.monitor Monitor.E_cow_break > 0)
+
+let test_share_pass_idempotent () =
+  let host = Host.create ~frames:512 () in
+  let vm_a = Vm.create ~host ~id:0 ~name:"a" ~mem_frames:8 ~entry:0L () in
+  let vm_b = Vm.create ~host ~id:1 ~name:"b" ~mem_frames:8 ~entry:0L () in
+  let s1 = Mem_mgr.share_pass [ vm_a; vm_b ] in
+  let used = Frame_alloc.used_count host.Host.alloc in
+  let s2 = Mem_mgr.share_pass [ vm_a; vm_b ] in
+  checkb "first pass shares" true (s1.Mem_mgr.freed > 0);
+  checki "second pass is a no-op" 0 s2.Mem_mgr.freed;
+  checki "usage stable" used (Frame_alloc.used_count host.Host.alloc)
+
+let test_saved_frames_accounting () =
+  let host = Host.create ~frames:512 () in
+  let vms =
+    List.init 3 (fun i -> Vm.create ~host ~id:i ~name:"z" ~mem_frames:4 ~entry:0L ())
+  in
+  ignore (Mem_mgr.share_pass vms);
+  (* 12 identical zero frames collapse to 1: 11 saved *)
+  checki "saved" 11 (Mem_mgr.saved_frames vms);
+  checki "shared entries" 12 (Mem_mgr.shared_frames vms)
+
+let test_evict_and_fault_back () =
+  let host = Host.create ~frames:512 () in
+  let vm = Vm.create ~host ~id:0 ~name:"e" ~mem_frames:8 ~entry:0L () in
+  ignore (Vm.write_gpa_u64 vm 0x2000L 0x77L);
+  let evicted = Mem_mgr.evict vm ~n:3 in
+  checki "evicted" 3 evicted;
+  checkb "some swapped" true
+    (P2m.count vm.Vm.p2m ~f:(function P2m.Swapped _ -> true | _ -> false) = 3);
+  (* reads transparently swap back in *)
+  Alcotest.(check (option int64)) "content preserved" (Some 0x77L)
+    (Vm.read_gpa_u64 vm 0x2000L)
+
+(* ---------------- Grant tables ---------------- *)
+
+let make_grant_world () =
+  let host = Host.create ~frames:512 () in
+  let a = Vm.create ~host ~id:0 ~name:"grantor" ~mem_frames:16 ~entry:0L () in
+  let b = Vm.create ~host ~id:1 ~name:"grantee" ~mem_frames:16 ~entry:0L () in
+  (* carve a free slot in b *)
+  ignore (Vm.balloon_out b 8L);
+  (host, a, b, Grant.create ())
+
+let ok_or_fail = function Ok v -> v | Error m -> Alcotest.fail m
+
+let test_grant_share_and_write () =
+  let host, a, b, g = make_grant_world () in
+  ignore (Vm.write_gpa_u64 a 0x3000L 0xFEEDL);
+  let r = ok_or_fail (Grant.offer g ~from_vm:a ~gfn:3L ~writable:true) in
+  ok_or_fail (Grant.map g ~grant:r ~into_vm:b ~at_gfn:8L);
+  (* the grantee reads the grantor's data through its own gfn *)
+  Alcotest.(check (option int64)) "b sees a's data" (Some 0xFEEDL)
+    (Vm.read_gpa_u64 b 0x8000L);
+  (* writes are visible both ways (read-write grant) *)
+  ignore (Vm.write_gpa_u64 b 0x8008L 0xBEEFL);
+  Alcotest.(check (option int64)) "a sees b's write" (Some 0xBEEFL)
+    (Vm.read_gpa_u64 a 0x3008L);
+  (* refcount protects the frame *)
+  (match P2m.get a.Vm.p2m 3L with
+  | P2m.Present { hpa_ppn; _ } ->
+      checki "rc 2 while mapped" 2 (Frame_alloc.refcount host.Host.alloc hpa_ppn)
+  | _ -> Alcotest.fail "grantor lost the frame");
+  ok_or_fail (Grant.unmap g ~grant:r);
+  ok_or_fail (Grant.revoke g ~grant:r);
+  checki "table drained" 0 (Grant.active_grants g)
+
+let test_grant_readonly_blocks_stores () =
+  let _, a, b, g = make_grant_world () in
+  let r = ok_or_fail (Grant.offer g ~from_vm:a ~gfn:3L ~writable:false) in
+  ok_or_fail (Grant.map g ~grant:r ~into_vm:b ~at_gfn:8L);
+  (* host-side writes resolve_write: on a read-only grant the p2m entry
+     is non-writable, non-cow — resolve_write would upgrade it, so check
+     the p2m state the hardware enforces against guest stores instead *)
+  (match P2m.get b.Vm.p2m 8L with
+  | P2m.Present { writable = false; cow = false; _ } -> ()
+  | _ -> Alcotest.fail "expected a write-protected mapping");
+  ok_or_fail (Grant.unmap g ~grant:r)
+
+let test_grant_error_paths () =
+  let _, a, b, g = make_grant_world () in
+  let r = ok_or_fail (Grant.offer g ~from_vm:a ~gfn:3L ~writable:true) in
+  checkb "double offer rejected" true
+    (Grant.offer g ~from_vm:a ~gfn:3L ~writable:false = Error "gfn already offered");
+  checkb "self map rejected" true
+    (Grant.map g ~grant:r ~into_vm:a ~at_gfn:8L
+    = Error "cannot map a grant into its owner");
+  checkb "occupied slot rejected" true
+    (Grant.map g ~grant:r ~into_vm:b ~at_gfn:2L = Error "slot not free");
+  ok_or_fail (Grant.map g ~grant:r ~into_vm:b ~at_gfn:8L);
+  checkb "revoke while mapped rejected" true
+    (Grant.revoke g ~grant:r = Error "grant still mapped");
+  checkb "mapped" true (Grant.is_mapped g ~grant:r);
+  ok_or_fail (Grant.unmap g ~grant:r);
+  ok_or_fail (Grant.revoke g ~grant:r)
+
+let test_grant_survives_grantor_destroy () =
+  let host, a, b, g = make_grant_world () in
+  ignore (Vm.write_gpa_u64 a 0x3000L 0x1234L);
+  let r = ok_or_fail (Grant.offer g ~from_vm:a ~gfn:3L ~writable:true) in
+  ok_or_fail (Grant.map g ~grant:r ~into_vm:b ~at_gfn:8L);
+  Vm.destroy a;
+  (* the grantee's mapping still works: the refcount kept the frame *)
+  Alcotest.(check (option int64)) "data survives" (Some 0x1234L)
+    (Vm.read_gpa_u64 b 0x8000L);
+  ignore host
+
+let test_grant_excluded_from_sharing () =
+  let _, a, b, g = make_grant_world () in
+  ignore (Vm.write_gpa_u64 a 0x3000L 0x77L);
+  ignore (Vm.write_gpa_u64 b 0x2000L 0x77L) (* same content elsewhere *);
+  let r = ok_or_fail (Grant.offer g ~from_vm:a ~gfn:3L ~writable:true) in
+  ok_or_fail (Grant.map g ~grant:r ~into_vm:b ~at_gfn:8L);
+  ignore (Mem_mgr.share_pass [ a; b ]);
+  (* the granted frame stayed plain (not COW) in both p2ms *)
+  (match (P2m.get a.Vm.p2m 3L, P2m.get b.Vm.p2m 8L) with
+  | P2m.Present { cow = false; _ }, P2m.Present { cow = false; _ } -> ()
+  | _ -> Alcotest.fail "granted frame was merged");
+  (* writes still propagate *)
+  ignore (Vm.write_gpa_u64 a 0x3010L 0x99L);
+  Alcotest.(check (option int64)) "still shared" (Some 0x99L)
+    (Vm.read_gpa_u64 b 0x8010L)
+
+(* ---------------- Placement ---------------- *)
+
+let test_ffd_packs () =
+  let spec = Placement.default_host in
+  let reqs =
+    List.init 8 (fun i ->
+        { Placement.vm_name = Printf.sprintf "vm%d" i; cpu_units = 200; mem_mb = 4096 })
+  in
+  let plan = Placement.first_fit_decreasing spec reqs in
+  (* 8 cores*100/200 = 4 cpu-fit; 16384/4096 = 4 mem-fit → 4 VMs/host *)
+  checki "hosts" 2 plan.Placement.hosts_used;
+  checkb "ratio" true (abs_float (Placement.consolidation_ratio plan -. 4.0) < 0.01);
+  checki "all placed" 8 (List.length plan.Placement.assignments)
+
+let test_ffd_rejects_oversized () =
+  let spec = Placement.default_host in
+  Alcotest.check_raises "too big" (Invalid_argument "Placement: whale exceeds a whole host")
+    (fun () ->
+      ignore
+        (Placement.first_fit_decreasing spec
+           [ { Placement.vm_name = "whale"; cpu_units = 10_000; mem_mb = 100 } ]))
+
+let test_cost_savings_positive () =
+  let spec = Placement.default_host in
+  let reqs =
+    List.init 10 (fun i ->
+        { Placement.vm_name = Printf.sprintf "s%d" i; cpu_units = 100; mem_mb = 2048 })
+  in
+  let plan = Placement.first_fit_decreasing spec reqs in
+  let r = Placement.cost_savings spec reqs plan () in
+  checkb "hosts reduced" true (r.Placement.consolidated_hosts < r.Placement.unconsolidated_hosts);
+  checkb "power reduced" true (r.Placement.watts_after < r.Placement.watts_before);
+  checkb "euros saved" true (r.Placement.annual_euro_saved > 0.0);
+  checkb "per-server band" true
+    (r.Placement.euro_saved_per_displaced_server > 100.0
+    && r.Placement.euro_saved_per_displaced_server < 500.0)
+
+(* ---------------- Snapshot error paths ---------------- *)
+
+let test_snapshot_bad_magic () =
+  let host = Host.create ~frames:512 () in
+  let hyp = Hypervisor.create ~host () in
+  Alcotest.check_raises "bad magic" (Failure "Snapshot: bad magic") (fun () ->
+      ignore (Snapshot.restore hyp (Bytes.make 64 '\000')))
+
+let test_snapshot_truncated () =
+  let host = Host.create ~frames:512 () in
+  let hyp = Hypervisor.create ~host () in
+  let vm =
+    Hypervisor.create_vm hyp ~name:"s" ~mem_frames:8 ~entry:0L ()
+  in
+  let img = Snapshot.capture vm in
+  let cut = Bytes.sub img 0 (Bytes.length img / 2) in
+  checkb "raises on truncation" true
+    (try
+       ignore (Snapshot.restore hyp cut);
+       false
+     with Failure _ -> true)
+
+let test_live_snapshot_release () =
+  let host = Host.create ~frames:512 () in
+  let hyp = Hypervisor.create ~host () in
+  let vm = Hypervisor.create_vm hyp ~name:"l" ~mem_frames:8 ~entry:0L () in
+  ignore vm;
+  let snap = Snapshot.capture_live vm in
+  checki "pages" 8 (Snapshot.live_pages snap);
+  Snapshot.release_live snap;
+  checkb "restore after release fails" true
+    (try
+       ignore (Snapshot.restore_live hyp snap);
+       false
+     with Failure _ -> true)
+
+(* Snapshot round-trip property: random guest memory contents survive
+   capture/restore byte for byte. *)
+let prop_snapshot_roundtrip =
+  QCheck2.Test.make ~count:30 ~name:"snapshot preserves random memory"
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (int_range 0 15) ui64))
+    (fun writes ->
+      let host = Host.create ~frames:512 () in
+      let hyp = Hypervisor.create ~host () in
+      let vm = Hypervisor.create_vm hyp ~name:"prop" ~mem_frames:16 ~entry:0L () in
+      List.iter
+        (fun (gfn, v) ->
+          ignore (Vm.write_gpa_u64 vm (Int64.shift_left (Int64.of_int gfn) 12) v))
+        writes;
+      let image = Snapshot.capture vm in
+      let restored = Snapshot.restore hyp image in
+      List.for_all
+        (fun (gfn, _) ->
+          let gpa = Int64.shift_left (Int64.of_int gfn) 12 in
+          Vm.read_gpa_u64 vm gpa = Vm.read_gpa_u64 restored gpa)
+        writes)
+
+let test_snapshot_with_balloon_and_swap () =
+  let host = Host.create ~frames:512 () in
+  let hyp = Hypervisor.create ~host () in
+  let vm = Hypervisor.create_vm hyp ~name:"mix" ~mem_frames:16 ~entry:0L () in
+  ignore (Vm.write_gpa_u64 vm 0x2000L 0xCAFEL);
+  ignore (Vm.balloon_out vm 9L);
+  ignore (Mem_mgr.evict vm ~n:4);
+  let image = Snapshot.capture vm in
+  let restored = Snapshot.restore hyp image in
+  Alcotest.(check (option int64)) "data preserved" (Some 0xCAFEL)
+    (Vm.read_gpa_u64 restored 0x2000L);
+  checkb "balloon preserved" true
+    (match P2m.get restored.Vm.p2m 9L with P2m.Ballooned -> true | _ -> false);
+  (* swapped pages were pulled in and serialized as data *)
+  checki "no swapped entries in the restore" 0
+    (P2m.count restored.Vm.p2m ~f:(function P2m.Swapped _ -> true | _ -> false))
+
+let test_snapshot_restore_out_of_frames () =
+  let host = Host.create ~frames:128 () in
+  let hyp = Hypervisor.create ~host () in
+  let vm = Hypervisor.create_vm hyp ~name:"big" ~mem_frames:80 ~entry:0L () in
+  let image = Snapshot.capture vm in
+  (* not enough room for a second copy *)
+  checkb "restore fails cleanly" true
+    (try
+       ignore (Snapshot.restore hyp image);
+       false
+     with Failure _ -> true)
+
+(* ---------------- Hypercall dispatch (via a real VM) ---------------- *)
+
+let test_hypercall_console_and_ids () =
+  let host = Host.create ~frames:512 () in
+  let vm = Vm.create ~host ~id:7 ~name:"hc" ~mem_frames:16 ~pv:Vm.full_pv ~entry:0L () in
+  let s = vm.Vm.vcpus.(0).Vcpu.state in
+  Cpu.set_reg s 1 Hypercall.hc_console_putc;
+  Cpu.set_reg s 2 (Int64.of_int (Char.code 'Z'));
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  Alcotest.(check string) "console" "Z" (Vm.console_output vm);
+  check64 "success" 0L (Cpu.get_reg s 1);
+  check64 "pc advanced" 8L s.Cpu.pc;
+  Cpu.set_reg s 1 Hypercall.hc_vm_id;
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  check64 "vm id" 7L (Cpu.get_reg s 1);
+  Cpu.set_reg s 1 999L;
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  check64 "unknown errors" (-1L) (Cpu.get_reg s 1)
+
+let test_hypercall_console_write () =
+  let host = Host.create ~frames:512 () in
+  let vm = Vm.create ~host ~id:0 ~name:"hc" ~mem_frames:16 ~pv:Vm.full_pv ~entry:0L () in
+  ignore (Vm.write_gpa_bytes vm 0x2000L (Bytes.of_string "ping"));
+  let s = vm.Vm.vcpus.(0).Vcpu.state in
+  Cpu.set_reg s 1 Hypercall.hc_console_write;
+  Cpu.set_reg s 2 0x2000L;
+  Cpu.set_reg s 3 4L;
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  Alcotest.(check string) "console" "ping" (Vm.console_output vm)
+
+let test_hypercall_balloon () =
+  let host = Host.create ~frames:512 () in
+  let vm = Vm.create ~host ~id:0 ~name:"hc" ~mem_frames:16 ~pv:Vm.full_pv ~entry:0L () in
+  let s = vm.Vm.vcpus.(0).Vcpu.state in
+  Cpu.set_reg s 1 Hypercall.hc_balloon_give;
+  Cpu.set_reg s 2 5L;
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  check64 "ok" 0L (Cpu.get_reg s 1);
+  checki "ballooned" 1 vm.Vm.balloon_pages;
+  Cpu.set_reg s 1 Hypercall.hc_balloon_want;
+  Cpu.set_reg s 2 5L;
+  ignore (Hypercall.dispatch vm ~vcpu_idx:0 ~now:0L);
+  checki "returned" 0 vm.Vm.balloon_pages
+
+let () =
+  Alcotest.run "vmm"
+    [
+      ( "frame_alloc",
+        [
+          Alcotest.test_case "basics" `Quick test_alloc_basics;
+          Alcotest.test_case "zeroed" `Quick test_alloc_zeroed;
+          Alcotest.test_case "refcounting" `Quick test_alloc_refcounting;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          QCheck_alcotest.to_alcotest prop_alloc_model;
+        ] );
+      ( "p2m",
+        [
+          Alcotest.test_case "basics" `Quick test_p2m_basics;
+          Alcotest.test_case "clear writable" `Quick test_p2m_clear_writable;
+        ] );
+      ("host", [ Alcotest.test_case "swap roundtrip" `Quick test_host_swap_roundtrip ]);
+      ("monitor", [ Alcotest.test_case "counts" `Quick test_monitor_counts ]);
+      ("vcpu", [ Alcotest.test_case "lifecycle" `Quick test_vcpu_lifecycle ]);
+      ( "vm",
+        [
+          Alcotest.test_case "gpa accessors" `Quick test_vm_gpa_accessors;
+          Alcotest.test_case "dirty logging" `Quick test_vm_dirty_logging;
+          Alcotest.test_case "balloon" `Quick test_vm_balloon;
+          Alcotest.test_case "destroy returns frames" `Quick test_vm_destroy_returns_frames;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "fill and translate" `Quick test_shadow_fill_and_translate;
+          Alcotest.test_case "guest fault" `Quick test_shadow_guest_fault;
+          Alcotest.test_case "pt write detection" `Quick test_shadow_pt_write_detection;
+          Alcotest.test_case "pt write invalidates" `Quick
+            test_shadow_emulate_pt_write_invalidates;
+          Alcotest.test_case "invalidate gfn" `Quick test_shadow_invalidate_gfn;
+          Alcotest.test_case "mmio detection" `Quick test_shadow_mmio_detection;
+          Alcotest.test_case "flush all frees" `Quick test_shadow_flush_all_frees;
+        ] );
+      ( "nested",
+        [
+          Alcotest.test_case "translate and a/d" `Quick test_nested_translate_and_ad;
+          Alcotest.test_case "classify" `Quick test_nested_classify;
+          Alcotest.test_case "write protection" `Quick test_nested_write_protection;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "rr equal shares" `Quick test_rr_equal_shares;
+          Alcotest.test_case "credit weighted" `Quick test_credit_weighted_shares;
+          Alcotest.test_case "credit boost" `Quick test_credit_boost_priority;
+          Alcotest.test_case "bvt ordering" `Quick test_bvt_min_vruntime_first;
+          Alcotest.test_case "remove" `Quick test_scheduler_remove;
+        ] );
+      ( "mem_mgr",
+        [
+          Alcotest.test_case "share merges and preserves" `Quick
+            test_share_pass_merges_and_preserves;
+          Alcotest.test_case "share idempotent" `Quick test_share_pass_idempotent;
+          Alcotest.test_case "saved accounting" `Quick test_saved_frames_accounting;
+          Alcotest.test_case "evict and fault back" `Quick test_evict_and_fault_back;
+        ] );
+      ( "grant",
+        [
+          Alcotest.test_case "share and write" `Quick test_grant_share_and_write;
+          Alcotest.test_case "readonly" `Quick test_grant_readonly_blocks_stores;
+          Alcotest.test_case "error paths" `Quick test_grant_error_paths;
+          Alcotest.test_case "survives grantor destroy" `Quick
+            test_grant_survives_grantor_destroy;
+          Alcotest.test_case "excluded from sharing" `Quick
+            test_grant_excluded_from_sharing;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "ffd packs" `Quick test_ffd_packs;
+          Alcotest.test_case "rejects oversized" `Quick test_ffd_rejects_oversized;
+          Alcotest.test_case "cost savings" `Quick test_cost_savings_positive;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "bad magic" `Quick test_snapshot_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_snapshot_truncated;
+          Alcotest.test_case "live release" `Quick test_live_snapshot_release;
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+          Alcotest.test_case "balloon+swap state" `Quick test_snapshot_with_balloon_and_swap;
+          Alcotest.test_case "restore out of frames" `Quick
+            test_snapshot_restore_out_of_frames;
+        ] );
+      ( "hypercall",
+        [
+          Alcotest.test_case "console and ids" `Quick test_hypercall_console_and_ids;
+          Alcotest.test_case "console write" `Quick test_hypercall_console_write;
+          Alcotest.test_case "balloon" `Quick test_hypercall_balloon;
+        ] );
+    ]
