@@ -39,7 +39,8 @@ let run_native setup =
   | Platform.Deadlock -> failwith "native run: deadlock");
   (platform, Platform.cycles platform)
 
-let run_vm ?(paging = Vm.Nested_paging) ?(pv = Vm.no_pv) ?host_frames ?exec_mode setup =
+let run_vm ?(paging = Vm.Nested_paging) ?(pv = Vm.no_pv) ?host_frames ?exec_mode ?engine
+    setup =
   let frames =
     match host_frames with Some f -> f | None -> setup.Images.frames + 1024
   in
@@ -47,7 +48,7 @@ let run_vm ?(paging = Vm.Nested_paging) ?(pv = Vm.no_pv) ?host_frames ?exec_mode
   let hyp = Hypervisor.create ~host () in
   let vm =
     Hypervisor.create_vm hyp ~name:"bench" ~mem_frames:setup.Images.frames ~paging ~pv
-      ?exec_mode ~entry:Images.entry ()
+      ?exec_mode ?engine ~entry:Images.entry ()
   in
   Images.load_vm vm setup;
   (match Hypervisor.run hyp ~budget:20_000_000_000L with
@@ -1169,6 +1170,86 @@ let a5 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* ENGINE — execution engines: interp vs block wall clock              *)
+(* ------------------------------------------------------------------ *)
+
+(* The block engine is a pure mechanism change: simulated cycles must be
+   bit-identical to the interpreter on every workload (asserted here),
+   while host wall-clock time drops because straight-line runs skip
+   per-instruction fetch translation and decode.  Results also land in
+   BENCH_engine.json for the CI trendline. *)
+
+let engine_bench () =
+  if section "ENGINE" "Execution engines: interp vs block (equal simulated cycles)" then begin
+    let scale l q = if !quick then q else l in
+    let cases =
+      [
+        ( "cpu-spin",
+          Images.plan ~user:(Workloads.cpu_spin ~iters:(scale 1_000_000L 100_000L)) () );
+        ( "null-syscall",
+          Images.plan ~user:(Workloads.syscall_loop ~count:(scale 4_000L 400L)) () );
+        ( "pgtable-churn",
+          Images.plan
+            ~user:(Workloads.pt_churn ~batch:16 ~count:(scale 1_500 150) ())
+            () );
+      ]
+    in
+    let time_engine ~engine setup =
+      let reps = if !quick then 1 else 3 in
+      let best = ref infinity in
+      let cycles = ref 0L in
+      for _ = 1 to reps do
+        let t0 = Sys.time () in
+        let vm, total = run_vm ~engine setup in
+        let dt = Sys.time () -. t0 in
+        ignore vm;
+        cycles := total;
+        if dt < !best then best := dt
+      done;
+      (!best, !cycles)
+    in
+    let t =
+      Tablefmt.create
+        [ ("workload", Tablefmt.Left); ("interp s", Tablefmt.Right);
+          ("block s", Tablefmt.Right); ("speedup", Tablefmt.Right);
+          ("sim cycles", Tablefmt.Right) ]
+    in
+    let results =
+      List.map
+        (fun (name, setup) ->
+          let si, ci = time_engine ~engine:Velum_machine.Engine.Interp setup in
+          let sb, cb = time_engine ~engine:Velum_machine.Engine.Block setup in
+          if ci <> cb then
+            failwith
+              (Printf.sprintf
+                 "ENGINE %s: simulated cycles diverged (interp %Ld, block %Ld)" name ci
+                 cb);
+          let speedup = si /. sb in
+          Tablefmt.add_row t
+            [ name; Tablefmt.cell_f ~decimals:3 si; Tablefmt.cell_f ~decimals:3 sb;
+              Tablefmt.cell_f ~decimals:2 speedup; Int64.to_string ci ];
+          (name, si, sb, speedup, ci))
+        cases
+    in
+    Tablefmt.print t;
+    let oc = open_out "BENCH_engine.json" in
+    output_string oc "{\n  \"benchmarks\": [\n";
+    List.iteri
+      (fun i (name, si, sb, speedup, cycles) ->
+        Printf.fprintf oc
+          "    {\"name\": \"engine/%s\", \"interp_s\": %.6f, \"block_s\": %.6f, \
+           \"speedup\": %.3f, \"sim_cycles\": %Ld}%s\n"
+          name si sb speedup cycles
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf
+      "\nSimulated cycles are identical by construction (asserted above); the\n\
+       speedup is pure host wall clock.  Written to BENCH_engine.json.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock microbenchmarks of the simulator itself        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1301,5 +1382,6 @@ let () =
   a3 ();
   a4 ();
   a5 ();
+  engine_bench ();
   bechamel_suite ();
   Printf.printf "\nDone.\n"

@@ -74,13 +74,29 @@ let run_cmd =
           Vm.Trap_emulate
       & info [ "exec" ] ~doc:"CPU virtualization technique: trap or bt.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("interp", Velum_machine.Engine.Interp);
+               ("block", Velum_machine.Engine.Block);
+             ])
+          Velum_machine.Engine.Interp
+      & info [ "engine" ]
+          ~doc:
+            "Execution engine: interp (reference interpreter) or block \
+             (decoded-block translation cache; same simulated cycles, faster \
+             wall clock).")
+  in
   let budget =
     Arg.(value & opt int64 2_000_000_000L & info [ "budget" ] ~doc:"Cycle budget.")
   in
-  let action workload size native paging pv exec_mode budget =
+  let action workload size native paging pv exec_mode engine budget =
     let setup = build_setup workload ~size ~pv in
     if native then begin
-      let platform = Platform.create ~frames:(setup.Images.frames + 16) () in
+      let platform = Platform.create ~frames:(setup.Images.frames + 16) ~engine () in
       Images.load_native platform setup;
       let outcome = Platform.run ~budget platform in
       print_string (Platform.console_output platform);
@@ -98,7 +114,7 @@ let run_cmd =
       let vm =
         Hypervisor.create_vm hyp ~name:"cli" ~mem_frames:setup.Images.frames ~paging
           ~pv:(if pv then Vm.full_pv else Vm.no_pv)
-          ~exec_mode ~entry:Images.entry ()
+          ~exec_mode ~engine ~entry:Images.entry ()
       in
       Images.load_vm vm setup;
       let outcome = Hypervisor.run hyp ~budget in
@@ -115,7 +131,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Boot a guest workload natively or under the hypervisor.")
-    Term.(const action $ workload $ size $ native $ paging $ pv $ exec_mode $ budget)
+    Term.(
+      const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget)
 
 (* ---------------- migrate ---------------- *)
 

@@ -4,6 +4,7 @@ type t = {
   mem : Phys_mem.t;
   alloc : Frame_alloc.t;
   cost : Cost_model.t;
+  default_engine : Engine.kind;
   mutable swap : Bytes.t option array;
   mutable swap_ins : int;
   mutable swap_outs : int;
@@ -11,12 +12,14 @@ type t = {
 
 let swap_cost_cycles = 2_000_000
 
-let create ?(frames = 16384) ?(cost = Cost_model.default) ?(swap_slots = 4096) () =
+let create ?(frames = 16384) ?(cost = Cost_model.default) ?(swap_slots = 4096)
+    ?(engine = Engine.Interp) () =
   let mem = Phys_mem.create ~frames in
   {
     mem;
     alloc = Frame_alloc.create ~mem ();
     cost;
+    default_engine = engine;
     swap = Array.make swap_slots None;
     swap_ins = 0;
     swap_outs = 0;

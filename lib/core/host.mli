@@ -13,13 +13,18 @@ type t = {
   mem : Phys_mem.t;
   alloc : Frame_alloc.t;
   cost : Cost_model.t;
+  default_engine : Engine.kind;
+      (** execution engine VMs on this host use unless overridden at
+          {!Hypervisor.create_vm} time *)
   mutable swap : Bytes.t option array;  (** slot → parked frame image *)
   mutable swap_ins : int;
   mutable swap_outs : int;
 }
 
-val create : ?frames:int -> ?cost:Cost_model.t -> ?swap_slots:int -> unit -> t
-(** Default: 16384 frames (64 MiB) and 4096 swap slots. *)
+val create :
+  ?frames:int -> ?cost:Cost_model.t -> ?swap_slots:int -> ?engine:Engine.kind -> unit -> t
+(** Default: 16384 frames (64 MiB), 4096 swap slots, interpreter
+    engine. *)
 
 val swap_cost_cycles : int
 (** Cycles charged per swap transfer (~a disk access). *)

@@ -62,13 +62,13 @@ let next_peer_clock t p =
     None t.pcpus
 
 let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
-    ?(pv = Vm.no_pv) ?(weight = 256) ?(populate = true) ?nic ?tlb_size ?exec_mode ~entry
-    () =
+    ?(pv = Vm.no_pv) ?(weight = 256) ?(populate = true) ?nic ?tlb_size ?exec_mode ?engine
+    ~entry () =
   let id = t.next_vm_id in
   t.next_vm_id <- id + 1;
   let vm =
     Vm.create ~host:t.host ~id ~name ~mem_frames ~vcpu_count ~paging ~pv ~populate ?nic
-      ?tlb_size ?exec_mode ~entry ()
+      ?tlb_size ?exec_mode ?engine ~entry ()
   in
   Array.iter
     (fun vcpu ->
@@ -143,7 +143,7 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
           if until <= 0L then remaining
           else min remaining (max 200 (Int64.to_int (min until 1_000_000L)))
       in
-      let consumed, stop = Cpu.run state ctx ~budget:chunk in
+      let consumed, stop = vm.Vm.engine.Engine.step_n state ctx ~fuel:chunk in
       used := !used + consumed;
       vcpu.Vcpu.guest_cycles <- Int64.add vcpu.Vcpu.guest_cycles (Int64.of_int consumed);
       match stop with

@@ -47,11 +47,13 @@ val create_vm :
   ?nic:Velum_devices.Nic.link_binding ->
   ?tlb_size:int ->
   ?exec_mode:Vm.exec_mode ->
+  ?engine:Velum_machine.Engine.kind ->
   entry:int64 ->
   unit ->
   Vm.t
 (** Create a VM, register its vCPUs with the scheduler and return it.
-    Load a boot image with {!Vm.load_image} before running. *)
+    Load a boot image with {!Vm.load_image} before running.  [engine]
+    overrides the host's default execution engine for this VM. *)
 
 val remove_vm : t -> Vm.t -> unit
 (** Deschedule and destroy the VM, returning its frames to the host. *)

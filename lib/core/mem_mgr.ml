@@ -51,6 +51,7 @@ let share_pass vms =
                       canon.cow_applied <- true
                     end;
                     Frame_alloc.incr_ref host.Host.alloc canon.hpa;
+                    Vm.revoke_exec_frame vm ~ppn:hpa_ppn;
                     if Frame_alloc.decr_ref host.Host.alloc hpa_ppn then incr freed;
                     make_cow vm gfn canon.hpa;
                     incr shared
@@ -102,6 +103,7 @@ let evict (vm : Vm.t) ~n =
         match P2m.get vm.Vm.p2m gfn with
         | P2m.Present { hpa_ppn; cow = false; _ } ->
             let slot = Host.swap_out host ~ppn:hpa_ppn in
+            Vm.revoke_exec_frame vm ~ppn:hpa_ppn;
             ignore (Frame_alloc.decr_ref host.Host.alloc hpa_ppn);
             P2m.set vm.Vm.p2m gfn (P2m.Swapped { slot });
             (match vm.Vm.shadow with Some s -> Shadow.invalidate_gfn s gfn | None -> ());

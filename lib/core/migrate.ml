@@ -46,7 +46,7 @@ let copy_vcpu_state ~(src : Vcpu.t) ~(dst : Vcpu.t) =
 let make_twin ~(dst : Hypervisor.t) ~(vm : Vm.t) =
   Hypervisor.create_vm dst ~name:vm.Vm.name ~mem_frames:(Vm.mem_frames vm)
     ~vcpu_count:(Array.length vm.Vm.vcpus) ~paging:vm.Vm.paging ~pv:vm.Vm.pv
-    ~exec_mode:vm.Vm.exec_mode ~populate:false ~entry:0L ()
+    ~exec_mode:vm.Vm.exec_mode ~engine:(Vm.engine_kind vm) ~populate:false ~entry:0L ()
 
 (* Copy one page's current contents source→destination memory. *)
 let copy_page ~(vm : Vm.t) ~(twin : Vm.t) gfn =

@@ -73,8 +73,8 @@ let start ~primary ~backup ~vm ~link =
     Hypervisor.create_vm backup ~name:(vm.Vm.name ^ "-backup")
       ~mem_frames:(Vm.mem_frames vm)
       ~vcpu_count:(Array.length vm.Vm.vcpus)
-      ~paging:vm.Vm.paging ~pv:vm.Vm.pv ~exec_mode:vm.Vm.exec_mode ~populate:false
-      ~entry:0L ()
+      ~paging:vm.Vm.paging ~pv:vm.Vm.pv ~exec_mode:vm.Vm.exec_mode
+      ~engine:(Vm.engine_kind vm) ~populate:false ~entry:0L ()
   in
   (* the backup must not run until failover *)
   Array.iter (fun v -> Vcpu.block v) twin.Vm.vcpus;

@@ -36,9 +36,28 @@ type t = {
   exec_mode : exec_mode;
   bt_cache : (int64, unit) Hashtbl.t;
       (* guest PCs whose sensitive instruction has been translated *)
+  engine : Engine.t;
+  mem_listener : int option;
+      (* write-listener handle on host memory (block engine only) *)
   event_channels : (int64, t) Hashtbl.t;  (* local port -> peer VM *)
   mutable event_pending : bool;
 }
+
+let engine_kind t = t.engine.Engine.kind
+
+(* Drop cached decoded blocks for a machine frame the VM is about to
+   lose (ballooning, sharing, hypervisor swap).  Content-change
+   invalidation is already guaranteed by the Phys_mem write listener;
+   these revocation hooks drop blocks for frames that leave the VM with
+   their bytes intact, so the cache never pins work for pages the guest
+   no longer owns. *)
+let revoke_exec_frame t ~ppn =
+  match t.engine.Engine.cache with
+  | Some c -> Trans_cache.invalidate_frame c ~ppn
+  | None -> ()
+
+let note_tlb_flush t =
+  match t.engine.Engine.cache with Some c -> Trans_cache.note_flush c | None -> ()
 
 let page = Arch.page_size
 let frame_base ppn = Int64.shift_left ppn Arch.page_shift
@@ -115,7 +134,8 @@ let resolve_read t gfn =
 
 let invalidate_mapping t gfn =
   (match t.shadow with Some s -> Shadow.invalidate_gfn s gfn | None -> ());
-  Array.iter Tlb.flush t.tlbs
+  Array.iter Tlb.flush t.tlbs;
+  note_tlb_flush t
 
 let resolve_write t gfn =
   match resolve_read t gfn with
@@ -129,6 +149,7 @@ let resolve_write t gfn =
               let fresh = Frame_alloc.alloc_exn t.host.Host.alloc in
               Phys_mem.blit_between ~src:t.host.Host.mem ~src_ppn:cur
                 ~dst:t.host.Host.mem ~dst_ppn:fresh;
+              revoke_exec_frame t ~ppn:cur;
               ignore (Frame_alloc.decr_ref t.host.Host.alloc cur);
               P2m.set t.p2m gfn (P2m.Present { hpa_ppn = fresh; writable = true; cow = false });
               Monitor.bump t.monitor Monitor.E_cow_break;
@@ -230,7 +251,21 @@ let guest_dma t =
 
 let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_paging)
     ?(pv = no_pv) ?(blk_sectors = 2048) ?(populate = true) ?nic ?(tlb_size = 64)
-    ?(exec_mode = Trap_emulate) ~entry () =
+    ?(exec_mode = Trap_emulate) ?engine ~entry () =
+  let engine =
+    Engine.of_kind
+      (match engine with Some k -> k | None -> host.Host.default_engine)
+  in
+  (* Blocks are keyed by machine frame, so content coherence (including
+     guest self-modifying code) hangs off the host memory's write
+     listeners; registered here, dropped in {!destroy}. *)
+  let mem_listener =
+    Option.map
+      (fun cache ->
+        Phys_mem.add_write_listener host.Host.mem (fun ~ppn ~lo ~hi ->
+            Trans_cache.invalidate_range cache ~ppn ~lo ~hi))
+      engine.Engine.cache
+  in
   let p2m = P2m.create ~gframes:mem_frames in
   (* Populate guest memory eagerly; on failure return what we took. *)
   let allocated = ref [] in
@@ -279,6 +314,8 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
       balloon_pages = 0;
       exec_mode;
       bt_cache = Hashtbl.create 64;
+      engine;
+      mem_listener;
       event_channels = Hashtbl.create 4;
       event_pending = false;
     }
@@ -327,6 +364,8 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
   t
 
 let destroy t =
+  Option.iter (Phys_mem.remove_write_listener t.host.Host.mem) t.mem_listener;
+  (match t.engine.Engine.cache with Some c -> Trans_cache.flush c | None -> ());
   (match t.shadow with Some s -> Shadow.flush_all s | None -> ());
   P2m.iter t.p2m ~f:(fun ~gfn entry ->
       match entry with
@@ -351,8 +390,13 @@ let vmm_cycles t =
 
 (* ---- dirty logging epochs ---- *)
 
-let flush_all_tlbs t = Array.iter Tlb.flush t.tlbs
-let flush_vcpu_tlb t ~vcpu_idx = Tlb.flush t.tlbs.(vcpu_idx)
+let flush_all_tlbs t =
+  Array.iter Tlb.flush t.tlbs;
+  note_tlb_flush t
+
+let flush_vcpu_tlb t ~vcpu_idx =
+  Tlb.flush t.tlbs.(vcpu_idx);
+  note_tlb_flush t
 
 let start_dirty_logging t =
   t.dirty_logging <- true;
@@ -468,6 +512,7 @@ let balloon_out t gfn =
   else
     match P2m.get t.p2m gfn with
     | P2m.Present { hpa_ppn; _ } ->
+        revoke_exec_frame t ~ppn:hpa_ppn;
         ignore (Frame_alloc.decr_ref t.host.Host.alloc hpa_ppn);
         P2m.set t.p2m gfn P2m.Ballooned;
         t.balloon_pages <- t.balloon_pages + 1;

@@ -58,6 +58,14 @@ type t = {
   mutable balloon_pages : int;  (** pages currently surrendered *)
   exec_mode : exec_mode;
   bt_cache : (int64, unit) Hashtbl.t;  (** translated sensitive sites *)
+  engine : Engine.t;
+      (** execution engine driving this VM's vCPUs; [exec_mode] above is
+          the {e cost-model} abstraction (what an exit costs), the engine
+          is the {e mechanism} (how instructions are dispatched) — the
+          two compose freely *)
+  mem_listener : int option;
+      (** host-memory write-listener handle keeping the engine's
+          translation cache coherent (block engine only) *)
   event_channels : (int64, t) Hashtbl.t;
       (** event-channel ports → peer VM (managed by {!Event}) *)
   mutable event_pending : bool;
@@ -77,6 +85,7 @@ val create :
   ?nic:Nic.link_binding ->
   ?tlb_size:int ->
   ?exec_mode:exec_mode ->
+  ?engine:Engine.kind ->
   entry:int64 ->
   unit ->
   t
@@ -149,6 +158,18 @@ val translate :
 
 val flush_vcpu_tlb : t -> vcpu_idx:int -> unit
 val flush_all_tlbs : t -> unit
+
+(** {1 Execution engine} *)
+
+val engine_kind : t -> Engine.kind
+
+val revoke_exec_frame : t -> ppn:int64 -> unit
+(** Drop any decoded blocks cached for machine frame [ppn].  Called when
+    a frame leaves the VM with its bytes intact — ballooning, COW
+    sharing, hypervisor swap-out — so the translation cache never pins
+    work for pages the guest no longer owns.  Content {e changes} need no
+    call: the cache subscribes to {!Velum_machine.Phys_mem} write
+    listeners.  No-op on the interpreter engine. *)
 
 (** {1 Ballooning} *)
 

@@ -12,6 +12,7 @@ type t = {
   tlb : Tlb.t;
   mmu : Mmu.t;
   cost : Cost_model.t;
+  engine : Engine.t;
   mutable clock : int64;
 }
 
@@ -63,7 +64,7 @@ let identity_guest_mem mem =
   }
 
 let create ?(frames = 4096) ?(cost = Cost_model.default) ?(blk_sectors = 8192)
-    ?(tlb_size = 64) ?nic () =
+    ?(tlb_size = 64) ?nic ?(engine = Engine.Interp) () =
   let mem = Phys_mem.create ~frames in
   let bus = Bus.create () in
   let uart = Uart.create () in
@@ -83,7 +84,17 @@ let create ?(frames = 4096) ?(cost = Cost_model.default) ?(blk_sectors = 8192)
   let cpu = Cpu.create_state () in
   let tlb = Tlb.create ~size:tlb_size in
   let mmu = Mmu.create ~mem ~tlb ~cost ~get_satp:(fun () -> Cpu.get_csr cpu Arch.Satp) in
-  { mem; bus; uart; blk; vblk; nic; cpu; tlb; mmu; cost; clock = 0L }
+  let engine = Engine.of_kind engine in
+  (* Bare metal has no frame revocation, so the write listener is the
+     only coherence hook a block engine needs here (covers stores, DMA
+     and load_image alike). *)
+  Option.iter
+    (fun cache ->
+      ignore
+        (Phys_mem.add_write_listener mem (fun ~ppn ~lo ~hi ->
+             Trans_cache.invalidate_range cache ~ppn ~lo ~hi)))
+    engine.Engine.cache;
+  { mem; bus; uart; blk; vblk; nic; cpu; tlb; mmu; cost; engine; clock = 0L }
 
 let load_image t (img : Asm.image) = Phys_mem.load_bytes t.mem ~pa:img.origin img.code
 
@@ -102,7 +113,12 @@ let make_ctx t =
     Cpu.translate = (fun ~access ~user va -> Mmu.translate t.mmu ~access ~user va);
     read_ram = (fun pa w -> Phys_mem.read t.mem pa w);
     write_ram = (fun pa w v -> Phys_mem.write t.mem pa w v);
-    flush_tlb = (fun () -> Mmu.flush t.mmu);
+    flush_tlb =
+      (fun () ->
+        Mmu.flush t.mmu;
+        match t.engine.Engine.cache with
+        | Some c -> Trans_cache.note_flush c
+        | None -> ());
     now = (fun () -> t.clock);
     ext_irq = (fun () -> Bus.pending_irq t.bus);
     cost = t.cost;
@@ -151,7 +167,7 @@ let run ?(budget = 500_000_000L) t =
   let rec loop () =
     if Int64.unsigned_compare t.clock deadline >= 0 then Out_of_budget
     else begin
-      let consumed, stop = Cpu.run t.cpu ctx ~budget:chunk in
+      let consumed, stop = t.engine.Engine.step_n t.cpu ctx ~fuel:chunk in
       t.clock <- Int64.add t.clock (Int64.of_int consumed);
       Bus.tick t.bus t.clock;
       match stop with

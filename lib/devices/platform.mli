@@ -20,6 +20,7 @@ type t = {
   tlb : Tlb.t;
   mmu : Mmu.t;
   cost : Cost_model.t;
+  engine : Engine.t;  (** execution engine driving the hart *)
   mutable clock : int64;
 }
 
@@ -35,10 +36,14 @@ val create :
   ?blk_sectors:int ->
   ?tlb_size:int ->
   ?nic:Link.t * Link.endpoint ->
+  ?engine:Engine.kind ->
   unit ->
   t
 (** [create ()] builds a machine with 4096 frames (16 MiB) by default.
-    Passing [~nic:(link, endpoint)] attaches a NIC bound to that link. *)
+    Passing [~nic:(link, endpoint)] attaches a NIC bound to that link.
+    [engine] picks the execution engine (default interpreter); the block
+    engine's cache is kept coherent with RAM via write listeners, so DMA
+    and self-modifying code behave identically on both. *)
 
 val load_image : t -> Asm.image -> unit
 (** Copy an assembled image into RAM at its origin. *)

@@ -1,0 +1,50 @@
+(** Straight-line block decoding for the translation-caching execution
+    engine.
+
+    A {e block} is a maximal run of instructions starting at some byte
+    offset that an engine may execute without re-consulting memory:
+    decoding stops at (and includes) the first {e terminator} — any
+    control transfer (branch, jump), trap-raising instruction (ecall,
+    ebreak, hypercall) or sensitive/privileged instruction (CSR access,
+    [sret], [sfence], [wfi], port I/O, [halt]) — because after such an
+    instruction the PC, privilege mode or translation regime may have
+    changed.  Blocks never cross a page-frame boundary, so every
+    instruction of a block shares one fetch translation. *)
+
+type cls =
+  | Fast  (** pure register/ALU/memory work: no mode, PC-discontinuity or
+              translation side effects beyond the access itself *)
+  | Slow  (** traps, hypercalls and sensitive instructions: emulation or
+              a world switch may be required *)
+
+val classify : Instr.t -> cls
+
+val is_terminator : Instr.t -> bool
+(** Ends a straight-line block (the terminator itself is still part of
+    the block).  Every [Slow] instruction terminates; so do the [Fast]
+    control transfers ([Branch], [Jal], [Jalr]). *)
+
+val preserves_translation : Instr.t -> bool
+(** [preserves_translation i] — executing [i] cannot change the outcome
+    of any address translation: it touches no memory (so it cannot evict
+    or fill TLB entries), cannot trap (so the privilege mode is
+    unchanged) and cannot write [satp] or flush.  True exactly for
+    [Nop], [Alu], [Alui], [Lui], [Branch], [Jal] and [Jalr].  Engines
+    use this to reuse a fetch translation across consecutive
+    instructions without diverging from the reference interpreter's
+    cycle accounting. *)
+
+type decoded = {
+  insns : Instr.t array;
+  classes : cls array;  (** parallel to [insns] *)
+  terminated : bool;
+      (** the last instruction is a terminator (as opposed to the span
+          ending at an undecodable word or the read limit) *)
+}
+
+val decode_span : read_word:(int -> int64) -> max_instrs:int -> decoded
+(** [decode_span ~read_word ~max_instrs] decodes instruction words
+    [read_word 0], [read_word 1], … into a straight-line block: decoding
+    stops after the first terminator, before the first word that fails
+    to decode, or after [max_instrs] instructions, whichever comes
+    first.  The result may be empty (first word undecodable). *)

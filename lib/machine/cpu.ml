@@ -185,198 +185,207 @@ let eval_branch op a b =
   | Instr.Bltu -> Int64.unsigned_compare a b < 0
   | Instr.Bgeu -> Int64.unsigned_compare a b >= 0
 
+let is_deprivileged ctx = match ctx.env with Deprivileged -> true | Native _ -> false
+
+let trap_or_exit s ctx cause tval cycles =
+  if is_deprivileged ctx then Stop_exec (Exit (X_trap { cause; tval }), cycles)
+  else begin
+    deliver_trap s ~cause ~tval;
+    Retired (cycles + ctx.cost.Cost_model.trap_enter)
+  end
+
+(* Data access: translate, then dispatch to RAM, a device, or an exit.
+   [mmio_rd] is the destination register when this is a load (used in
+   the MMIO-load exit payload); [store_value] distinguishes stores. *)
+let data_access s ctx access va width ~mmio_rd ~store_value
+    ~(k_load : int64 -> int -> step) =
+  let cost = ctx.cost in
+  let bytes = Instr.width_bytes width in
+  if Int64.rem va (Int64.of_int bytes) <> 0L then
+    trap_or_exit s ctx (Arch.fault_cause access `Misaligned) va cost.base_instr
+  else
+    let user = s.mode = Arch.User in
+    match ctx.translate ~access ~user va with
+    | Error `Page ->
+        if is_deprivileged ctx then
+          Stop_exec (Exit (X_page_fault { access; va }), cost.base_instr)
+        else trap_or_exit s ctx (Arch.fault_cause access `Page) va cost.base_instr
+    | Error `Access -> trap_or_exit s ctx (Arch.fault_cause access `Access) va cost.base_instr
+    | Ok { pa; mmio; xlate_cycles } -> (
+        let cyc = cost.base_instr + cost.mem_access + xlate_cycles in
+        if mmio then
+          match ctx.env with
+          | Deprivileged -> (
+              match store_value with
+              | None ->
+                  Stop_exec
+                    (Exit (X_mmio_load { rd = mmio_rd; pa; width }), cost.base_instr)
+              | Some value ->
+                  Stop_exec (Exit (X_mmio_store { pa; width; value }), cost.base_instr))
+          | Native { mmio_read; mmio_write; _ } -> (
+              match store_value with
+              | None -> (
+                  match mmio_read pa width with
+                  | Some v -> k_load v (cyc + cost.mmio_device)
+                  | None -> trap_or_exit s ctx (Arch.fault_cause access `Access) va cost.base_instr)
+              | Some v ->
+                  if mmio_write pa width v then begin
+                    advance_pc s;
+                    Retired (cyc + cost.mmio_device)
+                  end
+                  else trap_or_exit s ctx (Arch.fault_cause access `Access) va cost.base_instr)
+        else
+          match store_value with
+          | None -> k_load (ctx.read_ram pa width) cyc
+          | Some v ->
+              ctx.write_ram pa width v;
+              advance_pc s;
+              Retired cyc)
+
+(* Reached only on a native hart in supervisor mode. *)
+let exec_privileged s ctx insn =
+  let cost = ctx.cost in
+  let ok cycles =
+    advance_pc s;
+    Retired cycles
+  in
+  match (insn, ctx.env) with
+  | _, Deprivileged -> assert false
+  | Instr.Csrr (rd, csr), _ ->
+      set_reg s rd (csr_read_native s ~now:(ctx.now ()) ~ext_irq:(ctx.ext_irq ()) csr);
+      ok cost.base_instr
+  | Instr.Csrw (csr, rs1), _ ->
+      if Arch.csr_read_only csr then
+        trap_or_exit s ctx Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
+      else begin
+        set_csr s csr (get_reg s rs1);
+        if csr = Arch.Satp then ctx.flush_tlb ();
+        ok cost.base_instr
+      end
+  | Instr.Sret, _ ->
+      apply_sret s;
+      Retired (cost.base_instr + cost.trap_enter)
+  | Instr.Sfence, _ ->
+      ctx.flush_tlb ();
+      ok (cost.base_instr + cost.tlb_fill)
+  | Instr.Wfi, _ ->
+      if interrupt_pending s ~now:(ctx.now ()) ~ext_irq:(ctx.ext_irq ()) <> None then
+        ok cost.base_instr
+      else begin
+        s.waiting <- true;
+        advance_pc s;
+        Stop_exec (Waiting, cost.base_instr)
+      end
+  | Instr.In (rd, port), Native { port_in; _ } -> (
+      match port_in port with
+      | Some v ->
+          set_reg s rd v;
+          ok (cost.base_instr + cost.port_io)
+      | None -> trap_or_exit s ctx Arch.Load_access_fault (Int64.of_int port) cost.base_instr)
+  | Instr.Out (port, rs1), Native { port_out; _ } ->
+      if port_out port (get_reg s rs1) then ok (cost.base_instr + cost.port_io)
+      else trap_or_exit s ctx Arch.Store_access_fault (Int64.of_int port) cost.base_instr
+  | Instr.Halt, _ ->
+      s.halted <- true;
+      Stop_exec (Halted, cost.base_instr)
+  | _ -> assert false
+
+let exec_insn s ctx insn =
+  let cost = ctx.cost in
+  let deprivileged = is_deprivileged ctx in
+  match insn with
+  | Instr.Nop ->
+      advance_pc s;
+      Retired cost.base_instr
+  | Instr.Alu (op, rd, rs1, rs2) ->
+      set_reg s rd (eval_alu op (get_reg s rs1) (get_reg s rs2));
+      advance_pc s;
+      Retired (cost.base_instr + alu_cycles cost op)
+  | Instr.Alui (op, rd, rs1, imm) ->
+      set_reg s rd (eval_alu op (get_reg s rs1) (alui_imm op imm));
+      advance_pc s;
+      Retired (cost.base_instr + alu_cycles cost op)
+  | Instr.Lui (rd, imm) ->
+      set_reg s rd (Int64.shift_left imm 32);
+      advance_pc s;
+      Retired cost.base_instr
+  | Instr.Load { rd; base; off; width } ->
+      let va = Int64.add (get_reg s base) off in
+      data_access s ctx Arch.Load va width ~mmio_rd:rd ~store_value:None
+        ~k_load:(fun v cyc ->
+          set_reg s rd v;
+          advance_pc s;
+          Retired cyc)
+  | Instr.Store { src; base; off; width } ->
+      let va = Int64.add (get_reg s base) off in
+      data_access s ctx Arch.Store va width ~mmio_rd:0
+        ~store_value:(Some (get_reg s src))
+        ~k_load:(fun _ _ -> assert false)
+  | Instr.Branch (op, rs1, rs2, off) ->
+      if eval_branch op (get_reg s rs1) (get_reg s rs2) then
+        s.pc <- Int64.add s.pc off
+      else advance_pc s;
+      Retired cost.base_instr
+  | Instr.Jal (rd, off) ->
+      set_reg s rd (Int64.add s.pc (Int64.of_int Arch.instr_bytes));
+      s.pc <- Int64.add s.pc off;
+      Retired cost.base_instr
+  | Instr.Jalr (rd, rs1, imm) ->
+      let target = Int64.add (get_reg s rs1) imm in
+      set_reg s rd (Int64.add s.pc (Int64.of_int Arch.instr_bytes));
+      s.pc <- target;
+      Retired cost.base_instr
+  | Instr.Ecall ->
+      if deprivileged then
+        Stop_exec (Exit (X_trap { cause = Arch.Syscall; tval = 0L }), cost.base_instr)
+      else trap_or_exit s ctx Arch.Syscall 0L cost.base_instr
+  | Instr.Ebreak -> trap_or_exit s ctx Arch.Breakpoint 0L cost.base_instr
+  | Instr.Hcall ->
+      if deprivileged then Stop_exec (Exit X_hypercall, cost.base_instr)
+      else trap_or_exit s ctx Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
+  | Instr.Csrr _ | Instr.Csrw _ | Instr.Sret | Instr.Sfence | Instr.Wfi
+  | Instr.In _ | Instr.Out _ | Instr.Halt ->
+      if deprivileged then Stop_exec (Exit (X_privileged insn), cost.base_instr)
+      else if s.mode = Arch.User then
+        trap_or_exit s ctx Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
+      else exec_privileged s ctx insn
+
+let fetch_prelude s ctx =
+  let cost = ctx.cost in
+  let pc = s.pc in
+  if Int64.rem pc (Int64.of_int Arch.instr_bytes) <> 0L then
+    Error (trap_or_exit s ctx Arch.Misaligned_fetch pc cost.base_instr)
+  else
+    let user = s.mode = Arch.User in
+    match ctx.translate ~access:Arch.Fetch ~user pc with
+    | Error `Page ->
+        if is_deprivileged ctx then
+          Error
+            (Stop_exec (Exit (X_page_fault { access = Arch.Fetch; va = pc }), cost.base_instr))
+        else Error (trap_or_exit s ctx Arch.Fetch_page_fault pc cost.base_instr)
+    | Error `Access -> Error (trap_or_exit s ctx Arch.Fetch_access_fault pc cost.base_instr)
+    | Ok x ->
+        if x.mmio then Error (trap_or_exit s ctx Arch.Fetch_access_fault pc cost.base_instr)
+        else Ok x
+
+let step_one s ctx =
+  let cost = ctx.cost in
+  match fetch_prelude s ctx with
+  | Error step -> step
+  | Ok { pa; mmio = _; xlate_cycles } -> (
+      let word = ctx.read_ram pa Instr.W64 in
+      match Instr.decode word with
+      | None -> trap_or_exit s ctx Arch.Illegal_instruction word cost.base_instr
+      | Some insn -> (
+          match exec_insn s ctx insn with
+          | Retired c ->
+              s.instret <- Int64.add s.instret 1L;
+              Retired (c + xlate_cycles)
+          | Stop_exec (reason, c) -> Stop_exec (reason, c + xlate_cycles)))
+
 let run s ctx ~budget =
   let cost = ctx.cost in
-  let deprivileged = match ctx.env with Deprivileged -> true | Native _ -> false in
-
-  let guest_trap cause tval cycles =
-    if deprivileged then Stop_exec (Exit (X_trap { cause; tval }), cycles)
-    else begin
-      deliver_trap s ~cause ~tval;
-      Retired (cycles + cost.trap_enter)
-    end
-  in
-
-  (* Data access: translate, then dispatch to RAM, a device, or an exit.
-     [mmio_rd] is the destination register when this is a load (used in
-     the MMIO-load exit payload); [store_value] distinguishes stores. *)
-  let data_access access va width ~mmio_rd ~store_value ~(k_load : int64 -> int -> step) =
-    let bytes = Instr.width_bytes width in
-    if Int64.rem va (Int64.of_int bytes) <> 0L then
-      guest_trap (Arch.fault_cause access `Misaligned) va cost.base_instr
-    else
-      let user = s.mode = Arch.User in
-      match ctx.translate ~access ~user va with
-      | Error `Page ->
-          if deprivileged then
-            Stop_exec (Exit (X_page_fault { access; va }), cost.base_instr)
-          else guest_trap (Arch.fault_cause access `Page) va cost.base_instr
-      | Error `Access -> guest_trap (Arch.fault_cause access `Access) va cost.base_instr
-      | Ok { pa; mmio; xlate_cycles } -> (
-          let cyc = cost.base_instr + cost.mem_access + xlate_cycles in
-          if mmio then
-            match ctx.env with
-            | Deprivileged -> (
-                match store_value with
-                | None ->
-                    Stop_exec
-                      (Exit (X_mmio_load { rd = mmio_rd; pa; width }), cost.base_instr)
-                | Some value ->
-                    Stop_exec (Exit (X_mmio_store { pa; width; value }), cost.base_instr))
-            | Native { mmio_read; mmio_write; _ } -> (
-                match store_value with
-                | None -> (
-                    match mmio_read pa width with
-                    | Some v -> k_load v (cyc + cost.mmio_device)
-                    | None -> guest_trap (Arch.fault_cause access `Access) va cost.base_instr)
-                | Some v ->
-                    if mmio_write pa width v then begin
-                      advance_pc s;
-                      Retired (cyc + cost.mmio_device)
-                    end
-                    else guest_trap (Arch.fault_cause access `Access) va cost.base_instr)
-          else
-            match store_value with
-            | None -> k_load (ctx.read_ram pa width) cyc
-            | Some v ->
-                ctx.write_ram pa width v;
-                advance_pc s;
-                Retired cyc)
-  in
-
-  (* Reached only on a native hart in supervisor mode. *)
-  let exec_privileged insn =
-    let ok cycles =
-      advance_pc s;
-      Retired cycles
-    in
-    match (insn, ctx.env) with
-    | _, Deprivileged -> assert false
-    | Instr.Csrr (rd, csr), _ ->
-        set_reg s rd (csr_read_native s ~now:(ctx.now ()) ~ext_irq:(ctx.ext_irq ()) csr);
-        ok cost.base_instr
-    | Instr.Csrw (csr, rs1), _ ->
-        if Arch.csr_read_only csr then
-          guest_trap Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
-        else begin
-          set_csr s csr (get_reg s rs1);
-          if csr = Arch.Satp then ctx.flush_tlb ();
-          ok cost.base_instr
-        end
-    | Instr.Sret, _ ->
-        apply_sret s;
-        Retired (cost.base_instr + cost.trap_enter)
-    | Instr.Sfence, _ ->
-        ctx.flush_tlb ();
-        ok (cost.base_instr + cost.tlb_fill)
-    | Instr.Wfi, _ ->
-        if interrupt_pending s ~now:(ctx.now ()) ~ext_irq:(ctx.ext_irq ()) <> None then
-          ok cost.base_instr
-        else begin
-          s.waiting <- true;
-          advance_pc s;
-          Stop_exec (Waiting, cost.base_instr)
-        end
-    | Instr.In (rd, port), Native { port_in; _ } -> (
-        match port_in port with
-        | Some v ->
-            set_reg s rd v;
-            ok (cost.base_instr + cost.port_io)
-        | None -> guest_trap Arch.Load_access_fault (Int64.of_int port) cost.base_instr)
-    | Instr.Out (port, rs1), Native { port_out; _ } ->
-        if port_out port (get_reg s rs1) then ok (cost.base_instr + cost.port_io)
-        else guest_trap Arch.Store_access_fault (Int64.of_int port) cost.base_instr
-    | Instr.Halt, _ ->
-        s.halted <- true;
-        Stop_exec (Halted, cost.base_instr)
-    | _ -> assert false
-  in
-
-  let exec insn =
-    match insn with
-    | Instr.Nop ->
-        advance_pc s;
-        Retired cost.base_instr
-    | Instr.Alu (op, rd, rs1, rs2) ->
-        set_reg s rd (eval_alu op (get_reg s rs1) (get_reg s rs2));
-        advance_pc s;
-        Retired (cost.base_instr + alu_cycles cost op)
-    | Instr.Alui (op, rd, rs1, imm) ->
-        set_reg s rd (eval_alu op (get_reg s rs1) (alui_imm op imm));
-        advance_pc s;
-        Retired (cost.base_instr + alu_cycles cost op)
-    | Instr.Lui (rd, imm) ->
-        set_reg s rd (Int64.shift_left imm 32);
-        advance_pc s;
-        Retired cost.base_instr
-    | Instr.Load { rd; base; off; width } ->
-        let va = Int64.add (get_reg s base) off in
-        data_access Arch.Load va width ~mmio_rd:rd ~store_value:None
-          ~k_load:(fun v cyc ->
-            set_reg s rd v;
-            advance_pc s;
-            Retired cyc)
-    | Instr.Store { src; base; off; width } ->
-        let va = Int64.add (get_reg s base) off in
-        data_access Arch.Store va width ~mmio_rd:0
-          ~store_value:(Some (get_reg s src))
-          ~k_load:(fun _ _ -> assert false)
-    | Instr.Branch (op, rs1, rs2, off) ->
-        if eval_branch op (get_reg s rs1) (get_reg s rs2) then
-          s.pc <- Int64.add s.pc off
-        else advance_pc s;
-        Retired cost.base_instr
-    | Instr.Jal (rd, off) ->
-        set_reg s rd (Int64.add s.pc (Int64.of_int Arch.instr_bytes));
-        s.pc <- Int64.add s.pc off;
-        Retired cost.base_instr
-    | Instr.Jalr (rd, rs1, imm) ->
-        let target = Int64.add (get_reg s rs1) imm in
-        set_reg s rd (Int64.add s.pc (Int64.of_int Arch.instr_bytes));
-        s.pc <- target;
-        Retired cost.base_instr
-    | Instr.Ecall ->
-        if deprivileged then
-          Stop_exec (Exit (X_trap { cause = Arch.Syscall; tval = 0L }), cost.base_instr)
-        else guest_trap Arch.Syscall 0L cost.base_instr
-    | Instr.Ebreak -> guest_trap Arch.Breakpoint 0L cost.base_instr
-    | Instr.Hcall ->
-        if deprivileged then Stop_exec (Exit X_hypercall, cost.base_instr)
-        else guest_trap Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
-    | Instr.Csrr _ | Instr.Csrw _ | Instr.Sret | Instr.Sfence | Instr.Wfi
-    | Instr.In _ | Instr.Out _ | Instr.Halt ->
-        if deprivileged then Stop_exec (Exit (X_privileged insn), cost.base_instr)
-        else if s.mode = Arch.User then
-          guest_trap Arch.Illegal_instruction (Instr.encode insn) cost.base_instr
-        else exec_privileged insn
-  in
-
-  let fetch_and_exec () =
-    let pc = s.pc in
-    if Int64.rem pc (Int64.of_int Arch.instr_bytes) <> 0L then
-      guest_trap Arch.Misaligned_fetch pc cost.base_instr
-    else
-      let user = s.mode = Arch.User in
-      match ctx.translate ~access:Arch.Fetch ~user pc with
-      | Error `Page ->
-          if deprivileged then
-            Stop_exec (Exit (X_page_fault { access = Arch.Fetch; va = pc }), cost.base_instr)
-          else guest_trap Arch.Fetch_page_fault pc cost.base_instr
-      | Error `Access -> guest_trap Arch.Fetch_access_fault pc cost.base_instr
-      | Ok { pa; mmio; xlate_cycles } ->
-          if mmio then guest_trap Arch.Fetch_access_fault pc cost.base_instr
-          else
-            let word = ctx.read_ram pa Instr.W64 in
-            (match Instr.decode word with
-            | None -> guest_trap Arch.Illegal_instruction word cost.base_instr
-            | Some insn -> (
-                match exec insn with
-                | Retired c ->
-                    s.instret <- Int64.add s.instret 1L;
-                    Retired (c + xlate_cycles)
-                | Stop_exec (reason, c) -> Stop_exec (reason, c + xlate_cycles)))
-  in
-
+  let deprivileged = is_deprivileged ctx in
   if s.halted then (0, Halted)
   else begin
     let consumed = ref 0 in
@@ -393,7 +402,7 @@ let run s ctx ~budget =
            | None -> ());
         if s.waiting then result := Some Waiting
         else
-          match fetch_and_exec () with
+          match step_one s ctx with
           | Retired c -> consumed := !consumed + c
           | Stop_exec (reason, c) ->
               consumed := !consumed + c;

@@ -39,6 +39,13 @@ val create_state : ?pc:int64 -> ?mode:Arch.mode -> unit -> state
     [Supervisor]). *)
 
 val copy_state : state -> state
+(** Deep copy of the {e architectural} state — registers, PC, mode,
+    CSRs, halt/wait flags and [instret].  This is, by construction, the
+    complete engine-visible state: decoded blocks held by a translation
+    cache ({!Trans_cache}) are a pure acceleration structure rebuilt on
+    demand from memory, so they are never copied, snapshotted or
+    migrated.  Snapshot/migration/replication consumers may rely on
+    [copy_state] capturing everything an execution engine can observe. *)
 
 val get_reg : state -> Arch.reg -> int64
 val set_reg : state -> Arch.reg -> int64 -> unit
@@ -140,9 +147,46 @@ type stop =
                  advance time *)
   | Exit of vmexit  (** deprivileged only *)
 
+(** Outcome of one instruction: cycles consumed, and whether the hart
+    must stop.  Native traps are folded into [Retired] (the trap has
+    been delivered and execution continues at [stvec]). *)
+type step = Retired of int | Stop_exec of stop * int
+
 val run : state -> ctx -> budget:int -> int * stop
 (** [run s ctx ~budget] executes instructions until the budget is
     consumed or something stops the hart; returns cycles consumed and the
     reason.  Interrupts are checked between instructions (native mode
     only — a hypervisor injects interrupts with {!deliver_trap} before
-    resuming). *)
+    resuming).  This is the reference interpreter; {!Engine.interp}
+    wraps it, and every other engine must be observationally equivalent
+    to it (state, exits, [instret] {e and} simulated cycles). *)
+
+(** {1 Engine building blocks}
+
+    The pieces [run] is made of, exported so alternative execution
+    engines ({!Engine}) reproduce the reference semantics exactly
+    instead of approximating them. *)
+
+val is_deprivileged : ctx -> bool
+
+val trap_or_exit : state -> ctx -> Arch.cause -> int64 -> int -> step
+(** [trap_or_exit s ctx cause tval cycles] — deliver a guest-level trap:
+    natively via {!deliver_trap} (folded into [Retired], adding
+    [trap_enter]); deprivileged as a [X_trap] exit. *)
+
+val exec_insn : state -> ctx -> Instr.t -> step
+(** Execute one already-decoded instruction at the current PC.  Does
+    {e not} bump [instret] (the driver loop owns that) and charges no
+    fetch-translation cycles. *)
+
+val fetch_prelude : state -> ctx -> (xlate, step) result
+(** The fetch-side checks preceding decode: PC alignment, instruction
+    translation, and the MMIO-fetch rejection.  [Error step] is the
+    already-delivered trap/exit outcome; [Ok x] charges nothing — the
+    caller adds [x.xlate_cycles] to the executed instruction's cost
+    exactly as the interpreter does. *)
+
+val step_one : state -> ctx -> step
+(** One full fetch/decode/execute step (including the [instret] bump on
+    retirement) — the body of [run]'s loop, and the single-instruction
+    fallback for block engines. *)

@@ -1,0 +1,180 @@
+open Velum_isa
+
+type kind = Interp | Block
+
+let kind_of_string = function
+  | "interp" -> Some Interp
+  | "block" -> Some Block
+  | _ -> None
+
+let kind_name = function Interp -> "interp" | Block -> "block"
+
+type t = {
+  kind : kind;
+  step_n : Cpu.state -> Cpu.ctx -> fuel:int -> int * Cpu.stop;
+  cache : Trans_cache.t option;
+}
+
+let interp =
+  { kind = Interp; step_n = (fun s ctx ~fuel -> Cpu.run s ctx ~budget:fuel); cache = None }
+
+let page_mask = Int64.of_int (Arch.page_size - 1)
+let align_mask = Int64.of_int (Arch.instr_bytes - 1)
+
+(* The block engine's driver loop.  It mirrors [Cpu.run] stop for stop
+   and cycle for cycle; the only liberty it takes is {e skipping} fetch
+   translations the interpreter would perform as guaranteed zero-cycle
+   TLB hits.  The reuse window argument: after a fetch translation of
+   page [vpn] succeeds, as long as every retired instruction since
+   satisfies [Block.preserves_translation] (no memory access, no trap,
+   no CSR/satp/flush side effect) and no interrupt was delivered (mode
+   change), neither the TLB contents nor the inputs to translation can
+   have changed — so a subsequent fetch from [vpn] would hit and charge
+   nothing.  Anything else collapses the window and the next
+   instruction pays a real [fetch_prelude], exactly like the
+   interpreter. *)
+let block_step cache s ctx ~fuel =
+  let cost = ctx.Cpu.cost in
+  let deprivileged = Cpu.is_deprivileged ctx in
+  if s.Cpu.halted then (0, Cpu.Halted)
+  else begin
+    let consumed = ref 0 in
+    let result = ref None in
+    let fresh = ref false in
+    let cur_vpn = ref 0L in
+    let cur_frame = ref 0L in
+    let cur_block : Trans_cache.block option ref = ref None in
+    let collapse_window () =
+      fresh := false;
+      cur_block := None
+    in
+    let finish step =
+      match step with
+      | Cpu.Retired c -> consumed := !consumed + c
+      | Cpu.Stop_exec (r, c) ->
+          consumed := !consumed + c;
+          result := Some r
+    in
+    while !result = None do
+      if !consumed >= fuel then result := Some Cpu.Budget
+      else if s.Cpu.halted then result := Some Cpu.Halted
+      else begin
+        (if not deprivileged then
+           match
+             Cpu.interrupt_pending s ~now:(ctx.Cpu.now ()) ~ext_irq:(ctx.Cpu.ext_irq ())
+           with
+           | Some cause ->
+               Cpu.deliver_trap s ~cause ~tval:0L;
+               consumed := !consumed + cost.Cost_model.trap_enter;
+               collapse_window () (* trap entry changed the mode *)
+           | None -> ());
+        if s.Cpu.waiting then result := Some Cpu.Waiting
+        else begin
+          let pc = s.Cpu.pc in
+          (* 1. A fetch translation for [pc]: free inside the reuse
+             window, a real (interpreter-identical) prelude outside. *)
+          let xl =
+            if
+              !fresh
+              && Int64.shift_right_logical pc Arch.page_shift = !cur_vpn
+              && Int64.logand pc align_mask = 0L
+            then Some 0
+            else
+              match Cpu.fetch_prelude s ctx with
+              | Error step ->
+                  finish step;
+                  collapse_window ();
+                  None
+              | Ok { Cpu.pa; xlate_cycles; _ } ->
+                  cur_vpn := Int64.shift_right_logical pc Arch.page_shift;
+                  cur_frame := Int64.shift_right_logical pa Arch.page_shift;
+                  fresh := true;
+                  cur_block := None;
+                  Some xlate_cycles
+          in
+          match xl with
+          | None -> ()
+          | Some xl -> (
+              let off = Int64.to_int (Int64.logand pc page_mask) in
+              (* 2. A decoded block covering [off] in the code frame:
+                 the current block when the PC is still inside it
+                 (sequential flow and in-block branches), else a cache
+                 lookup, else decode-and-insert. *)
+              let blk =
+                match !cur_block with
+                | Some b
+                  when b.Trans_cache.valid
+                       && off >= b.Trans_cache.start_off
+                       && off
+                          < b.Trans_cache.start_off
+                            + (Arch.instr_bytes * Array.length b.Trans_cache.insns) ->
+                    Some b
+                | _ -> (
+                    let key =
+                      Trans_cache.key ~ppn:!cur_frame ~off
+                        ~user:(s.Cpu.mode = Arch.User)
+                        ~paging:(Arch.satp_enabled (Cpu.get_csr s Arch.Satp))
+                    in
+                    match Trans_cache.find cache key with
+                    | Some b ->
+                        cur_block := Some b;
+                        Some b
+                    | None -> (
+                        let base =
+                          Int64.logor
+                            (Int64.shift_left !cur_frame Arch.page_shift)
+                            (Int64.of_int off)
+                        in
+                        let read_word i =
+                          ctx.Cpu.read_ram
+                            (Int64.add base (Int64.of_int (i * Arch.instr_bytes)))
+                            Instr.W64
+                        in
+                        let max_instrs = (Arch.page_size - off) / Arch.instr_bytes in
+                        let d = Block.decode_span ~read_word ~max_instrs in
+                        match Array.length d.Block.insns with
+                        | 0 ->
+                            (* Undecodable first word: the interpreter's
+                               illegal-instruction outcome (which charges
+                               no translation cycles either). *)
+                            finish
+                              (Cpu.trap_or_exit s ctx Arch.Illegal_instruction
+                                 (read_word 0) cost.Cost_model.base_instr);
+                            collapse_window ();
+                            None
+                        | _ ->
+                            let b =
+                              Trans_cache.insert cache ~key ~ppn:!cur_frame
+                                ~insns:d.Block.insns ~classes:d.Block.classes
+                                ~start_off:off
+                            in
+                            cur_block := Some b;
+                            Some b))
+              in
+              match blk with
+              | None -> ()
+              | Some b -> (
+                  let idx = (off - b.Trans_cache.start_off) / Arch.instr_bytes in
+                  let insn = b.Trans_cache.insns.(idx) in
+                  match Cpu.exec_insn s ctx insn with
+                  | Cpu.Retired c ->
+                      s.Cpu.instret <- Int64.add s.Cpu.instret 1L;
+                      consumed := !consumed + c + xl;
+                      if not (Block.preserves_translation insn) then collapse_window ()
+                  | Cpu.Stop_exec (r, c) ->
+                      consumed := !consumed + c + xl;
+                      result := Some r))
+        end
+      end
+    done;
+    let stop = match !result with Some r -> r | None -> assert false in
+    (!consumed, stop)
+  end
+
+let block ?(cache_capacity = 1024) () =
+  let cache = Trans_cache.create ~capacity:cache_capacity () in
+  { kind = Block; step_n = block_step cache; cache = Some cache }
+
+let of_kind ?cache_capacity = function
+  | Interp -> interp
+  | Block -> block ?cache_capacity ()

@@ -57,3 +57,27 @@ val frame_equal : t -> int64 -> int64 -> bool
 val blit_between : src:t -> src_ppn:int64 -> dst:t -> dst_ppn:int64 -> unit
 (** [blit_between ~src ~src_ppn ~dst ~dst_ppn] copies a frame across two
     memories (live migration between hosts). *)
+
+(** {1 Write listeners}
+
+    Every mutation — CPU stores, image loads, frame copies/fills,
+    swap-ins, migration blits — reports the frames it touched to the
+    registered listeners, {e after} the bytes changed.  This is the
+    coherence backbone of the decoded-block translation cache: a
+    listener invalidates cached blocks overlapping any byte range whose
+    contents changed, which uniformly covers self-modifying code, DMA,
+    COW copies, hypervisor swap-in and restore paths.  With no listeners
+    registered the notification costs one list match on the store fast
+    path. *)
+
+val add_write_listener : t -> (ppn:int64 -> lo:int -> hi:int -> unit) -> int
+(** Returns a handle for {!remove_write_listener}.  The listener runs
+    synchronously on every write, once per touched frame, with the
+    written byte subrange [\[lo, hi)] of that frame (whole-frame
+    operations report [0, page_size)].  The range lets callers that
+    cache derived views of code skip invalidation when a write lands in
+    a disjoint part of the frame — e.g. a stack or data area sharing a
+    page with code.  The listener must be cheap and must not write
+    memory itself. *)
+
+val remove_write_listener : t -> int -> unit

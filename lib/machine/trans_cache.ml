@@ -1,0 +1,163 @@
+open Velum_isa
+
+type block = {
+  insns : Instr.t array;
+  classes : Block.cls array;
+  start_off : int;
+  mutable valid : bool;
+  mutable stamp : int;
+}
+
+type key = int
+
+(* Packed key: frame number, byte offset within the frame (multiple of
+   8, needs 12 bits) and two regime bits. *)
+let key ~ppn ~off ~user ~paging =
+  (Int64.to_int ppn lsl 14)
+  lor (off lsl 2)
+  lor (if user then 1 else 0)
+  lor (if paging then 2 else 0)
+
+let key_ppn k = k lsr 14
+
+(* Per-frame index: the blocks decoded from the frame plus the union of
+   their byte spans.  The span is a conservative bound (it never
+   shrinks while blocks remain) that lets a write notification for a
+   disjoint part of the frame — a stack slot or data word sharing a
+   page with code — return after two integer compares instead of
+   walking the block set. *)
+type frame_info = {
+  blocks : (key, block) Hashtbl.t;
+  mutable span_lo : int;
+  mutable span_hi : int;
+}
+
+type t = {
+  capacity : int;
+  table : (key, block) Hashtbl.t;
+  by_frame : (int, frame_info) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+  mutable tlb_flushes : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trans_cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 256);
+    by_frame = Hashtbl.create 64;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+    tlb_flushes = 0;
+  }
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some b when b.valid ->
+      t.tick <- t.tick + 1;
+      b.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some b
+  | _ ->
+      t.misses <- t.misses + 1;
+      None
+
+let unlink t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some b ->
+      b.valid <- false;
+      Hashtbl.remove t.table k;
+      let ppn = key_ppn k in
+      (match Hashtbl.find_opt t.by_frame ppn with
+      | Some info ->
+          Hashtbl.remove info.blocks k;
+          if Hashtbl.length info.blocks = 0 then Hashtbl.remove t.by_frame ppn
+      | None -> ())
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k b ->
+      match !victim with
+      | Some (_, stamp) when b.stamp >= stamp -> ()
+      | _ -> victim := Some (k, b.stamp))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      unlink t k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let insert t ~key:k ~ppn ~insns ~classes ~start_off =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  t.tick <- t.tick + 1;
+  let b = { insns; classes; start_off; valid = true; stamp = t.tick } in
+  (* Replacing a dead entry under the same key is possible after an
+     invalidation raced a decode; last write wins. *)
+  unlink t k;
+  Hashtbl.replace t.table k b;
+  let ppn_i = Int64.to_int ppn in
+  let info =
+    match Hashtbl.find_opt t.by_frame ppn_i with
+    | Some i -> i
+    | None ->
+        let i = { blocks = Hashtbl.create 4; span_lo = max_int; span_hi = 0 } in
+        Hashtbl.replace t.by_frame ppn_i i;
+        i
+  in
+  Hashtbl.replace info.blocks k b;
+  info.span_lo <- min info.span_lo start_off;
+  info.span_hi <- max info.span_hi (start_off + (Arch.instr_bytes * Array.length insns));
+  b
+
+(* Drop only the blocks whose decoded span overlaps the written byte
+   range [lo, hi) of the frame.  Precision matters: guest kernels keep
+   register-save areas and data words in the same pages as code, and
+   whole-frame invalidation would re-decode the trap handler on every
+   context save. *)
+let invalidate_range t ~ppn ~lo ~hi =
+  let ppn_i = Int64.to_int ppn in
+  match Hashtbl.find_opt t.by_frame ppn_i with
+  | None -> ()
+  | Some info ->
+      if hi > info.span_lo && lo < info.span_hi then begin
+        let keys =
+          Hashtbl.fold
+            (fun k b acc ->
+              if
+                b.start_off < hi
+                && b.start_off + (Arch.instr_bytes * Array.length b.insns) > lo
+              then k :: acc
+              else acc)
+            info.blocks []
+        in
+        List.iter
+          (fun k ->
+            unlink t k;
+            t.invalidations <- t.invalidations + 1)
+          keys
+      end
+
+let invalidate_frame t ~ppn = invalidate_range t ~ppn ~lo:0 ~hi:Arch.page_size
+
+let note_flush t = t.tlb_flushes <- t.tlb_flushes + 1
+
+let flush t =
+  Hashtbl.iter (fun _ b -> b.valid <- false) t.table;
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.by_frame
+
+let entries t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations
+let evictions t = t.evictions
+let tlb_flushes t = t.tlb_flushes

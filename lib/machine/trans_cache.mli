@@ -1,0 +1,82 @@
+(** Decoded-block translation cache.
+
+    The block execution engine ({!Engine}) avoids the per-instruction
+    fetch/decode work of the reference interpreter by caching decoded
+    straight-line blocks ({!Velum_isa.Block}).  Entries are keyed by
+    where the code {e physically} lives and the execution regime:
+
+    {v (physical frame, byte offset in frame, privilege mode, paging on) v}
+
+    Keying by machine frame (not virtual PC) makes the cache immune to
+    remapping: changing a translation never changes the bytes a frame
+    holds, so [satp] writes and TLB flushes need not drop entries — only
+    {e writes} to a cached frame do (self-modifying code, DMA, swap-in,
+    COW copies, migration restores).  The mode and paging bits are in
+    the key because future engines may specialise blocks per regime, and
+    because they make the key a faithful summary of everything fetch
+    depends on besides the bytes.
+
+    Eviction is LRU over a bounded number of blocks.  Invalidation marks
+    entries dead in place (so an engine holding a direct reference to a
+    block observes the invalidation mid-block) and unlinks them. *)
+
+open Velum_isa
+
+type block = {
+  insns : Instr.t array;
+  classes : Block.cls array;
+  start_off : int;  (** byte offset of [insns.(0)] within its frame *)
+  mutable valid : bool;
+      (** cleared by invalidation; engines must re-fetch when false *)
+  mutable stamp : int;  (** LRU clock *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of cached blocks (default 1024). *)
+
+type key
+
+val key : ppn:int64 -> off:int -> user:bool -> paging:bool -> key
+(** [off] is the byte offset of the block start within frame [ppn]. *)
+
+val find : t -> key -> block option
+(** Bumps the LRU stamp and the hit counter on success; counts a miss
+    otherwise. *)
+
+val insert : t -> key:key -> ppn:int64 -> insns:Instr.t array ->
+  classes:Block.cls array -> start_off:int -> block
+(** Caches a freshly decoded block, evicting the LRU entry when at
+    capacity.  Returns the interned block. *)
+
+val invalidate_range : t -> ppn:int64 -> lo:int -> hi:int -> unit
+(** Drop (and mark dead) every block of frame [ppn] whose decoded span
+    overlaps the byte range [\[lo, hi)] — called when exactly those
+    bytes changed.  Blocks in disjoint parts of the frame survive, so
+    data/stack writes into a page that also holds code do not throw the
+    code's blocks away. *)
+
+val invalidate_frame : t -> ppn:int64 -> unit
+(** [invalidate_range] over the whole frame — for events where the
+    changed range is unknown (frame replaced, revoked, or restored). *)
+
+val note_flush : t -> unit
+(** Record a TLB/[satp] flush event.  Because entries are keyed by
+    physical frame, a translation flush cannot stale them, so nothing is
+    dropped; the counter keeps the invalidation matrix observable. *)
+
+val flush : t -> unit
+(** Drop everything (e.g. on reset). *)
+
+(** {1 Counters} *)
+
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+(** Blocks dropped by {!invalidate_range}/{!invalidate_frame}. *)
+
+val evictions : t -> int
+val tlb_flushes : t -> int
+(** Flush events observed via {!note_flush}. *)

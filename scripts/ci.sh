@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, and (when ocamlformat is
+# available) formatting.  Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "CI gate passed."

@@ -11,6 +11,7 @@
    device emulation — shows up as different output. *)
 
 open Velum_isa
+open Velum_machine
 open Velum_devices
 open Velum_vmm
 open Velum_guests
@@ -92,20 +93,20 @@ let compile (seeds, ops) =
 
 (* ---------------- execution under each configuration ---------------- *)
 
-let run_native setup =
-  let platform = Platform.create ~frames:(setup.Images.frames + 16) () in
+let run_native ?engine setup =
+  let platform = Platform.create ~frames:(setup.Images.frames + 16) ?engine () in
   Images.load_native platform setup;
   match Platform.run ~budget:100_000_000L platform with
   | Platform.Halted -> Platform.console_output platform
   | _ -> "<native did not halt>"
 
-let run_virt ?exec_mode ~paging ~pv setup =
+let run_virt ?exec_mode ?engine ~paging ~pv setup =
   let host = Host.create ~frames:(setup.Images.frames + 1024) () in
   let hyp = Hypervisor.create ~host () in
   let vm =
     Hypervisor.create_vm hyp ~name:"diff" ~mem_frames:setup.Images.frames ~paging
       ~pv:(if pv then Vm.full_pv else Vm.no_pv)
-      ?exec_mode ~entry:Images.entry ()
+      ?exec_mode ?engine ~entry:Images.entry ()
   in
   Images.load_vm vm setup;
   match Hypervisor.run hyp ~budget:500_000_000L with
@@ -159,6 +160,322 @@ let fixed_corpus () =
         (run_virt ~paging:Vm.Nested_paging ~pv:false setup))
     cases
 
+(* ---------------- execution engines: lockstep equivalence ----------------
+
+   The block engine must be {e observationally identical} to the
+   reference interpreter: same console bytes, same final architectural
+   state on every vCPU, same per-kind exit counts and cycles, same
+   guest/VMM cycle totals, and the same literal exit sequence.  Anything
+   the embedding hypervisor can see must match. *)
+
+(* Render everything engine-visible about a finished VM into one string
+   so a mismatch shows exactly which observable diverged. *)
+let observe_vm (vm : Vm.t) outcome =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (outcome ^ "\n");
+  Buffer.add_string b (Vm.console_output vm);
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i v ->
+      let s = v.Vcpu.state in
+      Buffer.add_string b
+        (Printf.sprintf "vcpu%d pc=%Lx mode=%s instret=%Ld halted=%b waiting=%b\n" i
+           s.Cpu.pc
+           (match s.Cpu.mode with Arch.User -> "U" | Arch.Supervisor -> "S")
+           s.Cpu.instret s.Cpu.halted s.Cpu.waiting);
+      Array.iteri (fun j r -> Buffer.add_string b (Printf.sprintf " r%d=%Lx" j r)) s.Cpu.regs;
+      Buffer.add_char b '\n';
+      Array.iteri (fun j c -> Buffer.add_string b (Printf.sprintf " c%d=%Lx" j c)) s.Cpu.csrs;
+      Buffer.add_char b '\n')
+    vm.Vm.vcpus;
+  List.iter
+    (fun k ->
+      Buffer.add_string b
+        (Printf.sprintf "%s=%d/%Ld\n" (Monitor.exit_kind_name k)
+           (Monitor.count vm.Vm.monitor k)
+           (Monitor.cycles vm.Vm.monitor k)))
+    Monitor.all_exit_kinds;
+  Buffer.add_string b
+    (Printf.sprintf "guest=%Ld vmm=%Ld\n" (Vm.guest_cycles vm) (Vm.vmm_cycles vm));
+  Buffer.contents b
+
+let run_observed ~engine ~paging setup =
+  let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+  let hyp = Hypervisor.create ~host () in
+  let vm =
+    Hypervisor.create_vm hyp ~name:"eng" ~mem_frames:setup.Images.frames ~paging ~engine
+      ~entry:Images.entry ()
+  in
+  Images.load_vm vm setup;
+  let outcome =
+    match Hypervisor.run hyp ~budget:500_000_000L with
+    | Hypervisor.All_halted -> "halted"
+    | Hypervisor.Out_of_budget -> "budget"
+    | Hypervisor.Idle_deadlock -> "deadlock"
+    | Hypervisor.Until_satisfied -> "satisfied"
+  in
+  observe_vm vm outcome
+
+let workload_setups () =
+  List.map
+    (fun (name, user, heap) -> (name, Images.plan ~heap_pages:heap ~user ()))
+    [
+      ("hello", Workloads.hello (), 0);
+      ("cpu-spin", Workloads.cpu_spin ~iters:30_000L, 0);
+      ("syscalls", Workloads.syscall_loop ~count:48L, 0);
+      ("memwalk", Workloads.memwalk ~pages:24 ~iters:8 ~write:true, 24);
+      ("pt-churn", Workloads.pt_churn ~batch:16 ~count:24 (), 0);
+      ("blk", Workloads.blk_read ~sector:0 ~count:4 ~reps:8, 8);
+      ("vblk", Workloads.vblk_read ~sector:0 ~count:4 ~reps:8, 8);
+    ]
+
+let engine_lockstep () =
+  List.iter
+    (fun (name, setup) ->
+      List.iter
+        (fun (pname, paging) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s" name pname)
+            (run_observed ~engine:Engine.Interp ~paging setup)
+            (run_observed ~engine:Engine.Block ~paging setup))
+        [ ("nested", Vm.Nested_paging); ("shadow", Vm.Shadow_paging) ])
+    (workload_setups ())
+
+(* Literal exit sequences: a stripped-down copy of the hypervisor's
+   exec_vcpu loop that records every [Stop_exec] reason the engine
+   reports, in order.  Both engines must produce the same sequence. *)
+let record_exits ~engine setup =
+  let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+  let hyp = Hypervisor.create ~host () in
+  let vm =
+    Hypervisor.create_vm hyp ~name:"seq" ~mem_frames:setup.Images.frames ~engine
+      ~entry:Images.entry ()
+  in
+  Images.load_vm vm setup;
+  let state = vm.Vm.vcpus.(0).Vcpu.state in
+  let used = ref 0 in
+  let now_fn () = Int64.of_int !used in
+  let ctx =
+    {
+      Cpu.translate = (fun ~access ~user va -> Vm.translate vm ~vcpu_idx:0 ~access ~user va);
+      read_ram = (fun pa w -> Phys_mem.read host.Host.mem pa w);
+      write_ram = (fun pa w v -> Phys_mem.write host.Host.mem pa w v);
+      flush_tlb = (fun () -> Vm.flush_vcpu_tlb vm ~vcpu_idx:0);
+      now = now_fn;
+      ext_irq = (fun () -> false);
+      cost = host.Host.cost;
+      env = Cpu.Deprivileged;
+    }
+  in
+  let exits = ref [] in
+  let halted = ref false in
+  let rounds = ref 0 in
+  while (not !halted) && !rounds < 500_000 do
+    incr rounds;
+    ignore (Emulate.maybe_inject_irq vm ~vcpu_idx:0 ~now:(now_fn ()));
+    let consumed, stop = vm.Vm.engine.Engine.step_n state ctx ~fuel:1000 in
+    used := !used + consumed;
+    Bus.tick vm.Vm.bus (now_fn ());
+    match stop with
+    | Cpu.Budget -> ()
+    | Cpu.Halted -> halted := true
+    | Cpu.Waiting -> Alcotest.fail "exit-sequence harness hit wfi"
+    | Cpu.Exit e -> (
+        exits := Format.asprintf "%a" Cpu.pp_vmexit e :: !exits;
+        match Emulate.handle_exit vm ~vcpu_idx:0 ~now:(now_fn ()) e with
+        | Emulate.Resume | Emulate.Yielded -> ()
+        | Emulate.Became_blocked -> Alcotest.fail "exit-sequence harness blocked"
+        | Emulate.Vcpu_halted -> halted := true)
+  done;
+  if not !halted then Alcotest.fail "exit-sequence harness did not halt";
+  (List.rev !exits, state.Cpu.instret, !used)
+
+let exit_sequences () =
+  List.iter
+    (fun (name, setup) ->
+      let xs_i, ret_i, used_i = record_exits ~engine:Engine.Interp setup in
+      let xs_b, ret_b, used_b = record_exits ~engine:Engine.Block setup in
+      Alcotest.(check (list string)) (name ^ " exit sequence") xs_i xs_b;
+      Alcotest.(check int64) (name ^ " retired") ret_i ret_b;
+      Alcotest.(check int) (name ^ " cycles") used_i used_b)
+    (List.filter
+       (fun (n, _) -> List.mem n [ "hello"; "syscalls"; "pt-churn"; "memwalk" ])
+       (workload_setups ()))
+
+(* Deterministic supervisor-mode self-modifying code on bare metal: a
+   two-iteration loop patches its own body (same 4 KiB page, already
+   decoded and cached by the block engine) between iterations, so the
+   second pass must execute the {e new} bytes. *)
+let native_smc () =
+  let patched = Instr.Alui (Instr.Add, 2, 2, 1L) in
+  let prog =
+    Asm.assemble ~origin:0L
+      [
+        li r2 0L;
+        li r3 2L;
+        la r13 "patch";
+        li r1 (Instr.encode patched);
+        label "loop";
+        label "patch";
+        addi r2 r2 100L;
+        sd r1 r13 0L;
+        addi r3 r3 (-1L);
+        bne r3 r0 "loop";
+        (* r2 = 100 (first pass) + 1 (patched second pass) = 101 = 'e' *)
+        outp Uart.data_port r2;
+        halt;
+      ]
+  in
+  let run engine =
+    let p = Platform.create ~frames:64 ~engine () in
+    Platform.load_image p prog;
+    Platform.boot p ~entry:0L;
+    (match Platform.run p with
+    | Platform.Halted -> ()
+    | _ -> Alcotest.fail "native SMC did not halt");
+    (Platform.console_output p, Platform.cycles p, Platform.instructions_retired p, p)
+  in
+  let out_i, cyc_i, ret_i, _ = run Engine.Interp in
+  let out_b, cyc_b, ret_b, pb = run Engine.Block in
+  Alcotest.(check string) "patched output" "e" out_i;
+  Alcotest.(check string) "console" out_i out_b;
+  Alcotest.(check int64) "cycles" cyc_i cyc_b;
+  Alcotest.(check int64) "instret" ret_i ret_b;
+  match pb.Platform.engine.Engine.cache with
+  | None -> Alcotest.fail "block engine has no cache"
+  | Some c ->
+      (* the store lands in the code's own frame, so every iteration
+         drops the cached blocks and misses on re-fetch *)
+      Alcotest.(check bool) "SMC invalidated" true (Trans_cache.invalidations c > 0);
+      Alcotest.(check bool) "re-decoded after SMC" true (Trans_cache.misses c > 1)
+
+(* A loop with a slow (window-collapsing) instruction must be served
+   from the cache on re-entry: decoded once, hit on every later
+   iteration, cycle-identical.  (A loop of only fast instructions never
+   even consults the cache — the engine stays inside its current
+   block.) *)
+let native_cache_hits () =
+  let prog =
+    Asm.assemble ~origin:0L
+      [
+        li r2 0L;
+        li r3 500L;
+        label "loop";
+        addi r2 r2 3L;
+        csrr r4 Arch.Sscratch;
+        addi r3 r3 (-1L);
+        bne r3 r0 "loop";
+        halt;
+      ]
+  in
+  let run engine =
+    let p = Platform.create ~frames:64 ~engine () in
+    Platform.load_image p prog;
+    Platform.boot p ~entry:0L;
+    (match Platform.run p with
+    | Platform.Halted -> ()
+    | _ -> Alcotest.fail "loop did not halt");
+    (Platform.cycles p, Platform.instructions_retired p, p)
+  in
+  let cyc_i, ret_i, _ = run Engine.Interp in
+  let cyc_b, ret_b, pb = run Engine.Block in
+  Alcotest.(check int64) "cycles" cyc_i cyc_b;
+  Alcotest.(check int64) "instret" ret_i ret_b;
+  match pb.Platform.engine.Engine.cache with
+  | None -> Alcotest.fail "block engine has no cache"
+  | Some c ->
+      Alcotest.(check bool) "mostly hits" true
+        (Trans_cache.hits c > 100 && Trans_cache.hits c > 10 * Trans_cache.misses c)
+
+(* Random programs that also store encoded instructions over a patch
+   slab inside their own (RWX-mapped) code page, then fall through and
+   execute it — user-mode SMC under every engine/paging combination. *)
+type smc_op = Plain of op | Smc of int * int * int64  (* slot, rd, imm *)
+
+let gen_smc_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (4, map (fun o -> Plain o) gen_op);
+      ( 1,
+        map
+          (fun ((slot, rd), imm) -> Smc (slot, rd, Int64.of_int imm))
+          (pair (pair (int_range 0 7) gen_reg) (int_range (-64) 64)) );
+    ]
+
+let gen_smc_program =
+  let open QCheck2.Gen in
+  pair (array_size (return 10) (map Int64.of_int int)) (list_size (int_range 5 50) gen_smc_op)
+
+let compile_smc (seeds, ops) =
+  let seed_items = List.mapi (fun i v -> li (i + 2) v) (Array.to_list seeds) in
+  let op_items = function
+    | Plain (Alu3 (o, rd, rs1, rs2)) -> [ Insn (Instr.Alu (o, rd, rs1, rs2)) ]
+    | Plain (Alui (o, rd, rs1, imm)) -> [ Insn (Instr.Alui (o, rd, rs1, imm)) ]
+    | Plain (Store (src, off)) -> [ Insn (Instr.Store { src; base = 15; off; width = Instr.W64 }) ]
+    | Plain (Load (rd, off)) -> [ Insn (Instr.Load { rd; base = 15; off; width = Instr.W64 }) ]
+    | Smc (slot, rd, imm) ->
+        [
+          li r1 (Instr.encode (Instr.Alui (Instr.Add, rd, rd, imm)));
+          sd r1 r13 (Int64.of_int (slot * 8));
+        ]
+  in
+  let fold =
+    [ mv r12 r2 ]
+    @ List.concat (List.map (fun r -> [ xor r12 r12 r ]) [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ])
+  in
+  let print_digest =
+    [
+      li r6 16L;
+      label "d_loop";
+      srli r7 r12 60L;
+      andi r7 r7 15L;
+      addi r2 r7 97L;
+      li r1 Abi.sys_putchar;
+      ecall;
+      slli r12 r12 4L;
+      addi r6 r6 (-1L);
+      bne r6 r0 "d_loop";
+    ]
+  in
+  Asm.assemble ~origin:Abi.user_base
+    ([ label "u_entry"; li r14 0x0014_4000L; li r15 Abi.heap_base; la r13 "patch" ]
+    @ seed_items
+    @ List.concat_map op_items ops
+    (* the patch slab: nops the Smc ops overwrite, executed on the way
+       to the digest so patched instructions feed the output *)
+    @ [ label "patch" ]
+    @ List.init 8 (fun _ -> nop)
+    @ fold @ print_digest
+    @ [ li r1 Abi.sys_exit; ecall ])
+
+let engine_smc_prop =
+  QCheck2.Test.make ~count:30
+    ~name:"interp = block for random programs with self-modifying code" gen_smc_program
+    (fun prog ->
+      let user = compile_smc prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let native = run_native ~engine:Engine.Interp setup in
+      String.length native = 16
+      && native = run_native ~engine:Engine.Block setup
+      && run_observed ~engine:Engine.Interp ~paging:Vm.Nested_paging setup
+         = run_observed ~engine:Engine.Block ~paging:Vm.Nested_paging setup
+      && run_observed ~engine:Engine.Interp ~paging:Vm.Shadow_paging setup
+         = run_observed ~engine:Engine.Block ~paging:Vm.Shadow_paging setup)
+
+(* The random ALU/heap sweep, replayed on the block engine. *)
+let engine_differential_prop =
+  QCheck2.Test.make ~count:25 ~name:"block engine matches native/shadow/nested sweep"
+    gen_program
+    (fun prog ->
+      let user = compile prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let native = run_native setup in
+      String.length native = 16
+      && native = run_native ~engine:Engine.Block setup
+      && native = run_virt ~engine:Engine.Block ~paging:Vm.Shadow_paging ~pv:false setup
+      && native = run_virt ~engine:Engine.Block ~paging:Vm.Nested_paging ~pv:false setup)
+
 let () =
   Alcotest.run "differential"
     [
@@ -166,5 +483,14 @@ let () =
         [
           Alcotest.test_case "fixed corpus" `Quick fixed_corpus;
           QCheck_alcotest.to_alcotest differential_prop;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "lockstep on all workloads" `Quick engine_lockstep;
+          Alcotest.test_case "exit sequences identical" `Quick exit_sequences;
+          Alcotest.test_case "native self-modifying code" `Quick native_smc;
+          Alcotest.test_case "native cache hit path" `Quick native_cache_hits;
+          QCheck_alcotest.to_alcotest engine_smc_prop;
+          QCheck_alcotest.to_alcotest engine_differential_prop;
         ] );
     ]
