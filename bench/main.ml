@@ -731,7 +731,7 @@ let e12 () =
         let link = Link.create () in
         let epochs = Int64.to_int (Int64.div total epoch_cycles) in
         let _twin, st =
-          Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs
+          Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs ()
         in
         let per_epoch =
           float_of_int st.Replicate.pages_sent /. float_of_int (max 1 st.Replicate.epochs_completed)
@@ -1170,6 +1170,212 @@ let a5 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E16 — fault injection: migration and replication on a lossy link    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every number below is a simulated-cycle count or a counter driven by a
+   dedicated splitmix64 fault stream (seed 42), so two runs of E16 must
+   produce a byte-identical BENCH_fault.json — scripts/ci.sh asserts
+   exactly that.  The state-match column is the end-to-end correctness
+   check: a guest migrated over a lossy link, run to completion, must
+   retire the same instruction count and print the same output as the
+   fault-free baseline. *)
+
+let e16 () =
+  if section "E16" "Fault injection: migration and replication on a lossy link" then begin
+    let scale l q = if !quick then q else l in
+    let vm_instret vm =
+      Array.fold_left
+        (fun acc (v : Vcpu.t) ->
+          Int64.add acc v.Vcpu.state.Velum_machine.Cpu.instret)
+        0L vm.Vm.vcpus
+    in
+    (* --- pre-copy migration vs frame loss rate ----------------------- *)
+    let mig_case spec =
+      let setup =
+        Images.plan ~heap_pages:128
+          ~user:(Workloads.memwalk ~pages:96 ~iters:5000 ~write:true) ()
+      in
+      let host_a = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let host_b = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let src = Hypervisor.create ~host:host_a () in
+      let dst = Hypervisor.create ~host:host_b () in
+      let vm =
+        Hypervisor.create_vm src ~name:"mig" ~mem_frames:setup.Images.frames
+          ~entry:Images.entry ()
+      in
+      Images.load_vm vm setup;
+      ignore (Hypervisor.run src ~budget:3_000_000L);
+      let link = Link.create () in
+      let f = Fault.create ~seed:42L () in
+      (match spec with
+      | `Drop p -> Fault.set_prob f Fault.Drop p
+      | `Partition -> Fault.add_window f Fault.Partition ~lo:0L ~hi:Int64.max_int);
+      Link.set_faults link f;
+      let dst_used_before = Frame_alloc.used_count host_b.Host.alloc in
+      let survivor, r =
+        Migrate.precopy ~src ~dst ~vm ~link ~max_rounds:12 ~stop_threshold:8 ()
+      in
+      let reclaimed =
+        (not r.Migrate.aborted)
+        || Frame_alloc.used_count host_b.Host.alloc = dst_used_before
+      in
+      (* run the surviving copy to completion; a migrated (or rolled-back)
+         guest must finish with exactly the baseline's output and retired
+         instruction count, wherever the handoff happened *)
+      let hyp = if r.Migrate.aborted then src else dst in
+      (match Hypervisor.run hyp ~budget:20_000_000_000L with
+      | Hypervisor.All_halted -> ()
+      | _ -> failwith "E16: migrated guest did not halt");
+      let output =
+        if r.Migrate.aborted then Vm.console_output survivor
+        else Vm.console_output vm ^ Vm.console_output survivor
+      in
+      (r, output, vm_instret survivor, reclaimed)
+    in
+    let rates = scale [ 0.0; 0.01; 0.05; 0.10 ] [ 0.0; 0.05 ] in
+    let t =
+      Tablefmt.create
+        [ ("loss", Tablefmt.Right); ("total kcyc", Tablefmt.Right);
+          ("downtime kcyc", Tablefmt.Right); ("pages", Tablefmt.Right);
+          ("rounds", Tablefmt.Right); ("retransmits", Tablefmt.Right);
+          ("aborted", Tablefmt.Left); ("state match", Tablefmt.Left) ]
+    in
+    let base_r, base_out, base_instret, _ = mig_case (`Drop 0.0) in
+    let mig_rows =
+      List.map
+        (fun p ->
+          let r, out, instret, reclaimed =
+            if p = 0.0 then (base_r, base_out, base_instret, true)
+            else mig_case (`Drop p)
+          in
+          let state_match = out = base_out && instret = base_instret in
+          Tablefmt.add_row t
+            [ Printf.sprintf "%.0f%%" (p *. 100.0);
+              Tablefmt.cell_f ~decimals:1
+                (Int64.to_float r.Migrate.total_cycles /. 1000.0);
+              Tablefmt.cell_f ~decimals:1
+                (Int64.to_float r.Migrate.downtime_cycles /. 1000.0);
+              Tablefmt.cell_i r.Migrate.pages_sent;
+              string_of_int r.Migrate.rounds;
+              Tablefmt.cell_i r.Migrate.retransmits;
+              (if r.Migrate.aborted then "yes" else "no");
+              (if state_match then "yes" else "NO") ];
+          if p > 0.0 && r.Migrate.retransmits = 0 then
+            failwith "E16: lossy migration saw no retransmits";
+          if not state_match then failwith "E16: migrated state diverged";
+          ignore reclaimed;
+          (Printf.sprintf "drop-%.0f%%" (p *. 100.0), p, r, state_match, true))
+        rates
+    in
+    (* total partition: retries exhaust, migration rolls back, the source
+       resumes and still finishes identically; destination frames are
+       reclaimed *)
+    let ab_r, ab_out, ab_instret, ab_reclaimed = mig_case `Partition in
+    let ab_match = ab_out = base_out && ab_instret = base_instret in
+    Tablefmt.add_row t
+      [ "dead"; Tablefmt.cell_f ~decimals:1
+          (Int64.to_float ab_r.Migrate.total_cycles /. 1000.0);
+        "-"; Tablefmt.cell_i ab_r.Migrate.pages_sent;
+        string_of_int ab_r.Migrate.rounds; Tablefmt.cell_i ab_r.Migrate.retransmits;
+        (if ab_r.Migrate.aborted then "yes" else "no");
+        (if ab_match && ab_reclaimed then "yes" else "NO") ];
+    if not ab_r.Migrate.aborted then failwith "E16: dead link did not abort";
+    if not (ab_match && ab_reclaimed) then
+      failwith "E16: rollback left stale state";
+    Tablefmt.print t;
+    let mig_rows =
+      mig_rows @ [ ("partition", 1.0, ab_r, ab_match, ab_reclaimed) ]
+    in
+    (* --- checkpoint replication under the same fault plans ------------ *)
+    let rep_case spec =
+      let setup =
+        Images.plan ~heap_pages:64 ~user:(Workloads.dirty_loop ~pages:48 ~delay:500) ()
+      in
+      let host_a = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let host_b = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let primary = Hypervisor.create ~host:host_a () in
+      let backup = Hypervisor.create ~host:host_b () in
+      let vm =
+        Hypervisor.create_vm primary ~name:"ha" ~mem_frames:setup.Images.frames
+          ~entry:Images.entry ()
+      in
+      Images.load_vm vm setup;
+      ignore (Hypervisor.run primary ~budget:2_000_000L);
+      let link = Link.create () in
+      let f = Fault.create ~seed:42L () in
+      (match spec with
+      | `Drop p -> Fault.set_prob f Fault.Drop p
+      | `Partition lo -> Fault.add_window f Fault.Partition ~lo ~hi:Int64.max_int);
+      Link.set_faults link f;
+      let twin, st =
+        Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles:200_000L
+          ~epochs:6 ()
+      in
+      (* the backup must be runnable at the last completed checkpoint *)
+      let before = vm_instret twin in
+      ignore (Hypervisor.run backup ~budget:100_000L);
+      if vm_instret twin <= before then
+        failwith "E16: failed-over backup did not execute";
+      st
+    in
+    let t2 =
+      Tablefmt.create
+        [ ("fault plan", Tablefmt.Left); ("epochs done", Tablefmt.Right);
+          ("retransmits", Tablefmt.Right); ("link failed", Tablefmt.Left) ]
+    in
+    let rep_specs =
+      scale
+        [ ("drop-0%", `Drop 0.0); ("drop-2%", `Drop 0.02);
+          ("dead@3M", `Partition 3_000_000L) ]
+        [ ("drop-2%", `Drop 0.02); ("dead@3M", `Partition 3_000_000L) ]
+    in
+    let rep_rows =
+      List.map
+        (fun (name, spec) ->
+          let st = rep_case spec in
+          Tablefmt.add_row t2
+            [ name; string_of_int st.Replicate.epochs_completed;
+              Tablefmt.cell_i st.Replicate.retransmits;
+              (if st.Replicate.link_failed then "yes" else "no") ];
+          (name, st))
+        rep_specs
+    in
+    Tablefmt.print t2;
+    let oc = open_out "BENCH_fault.json" in
+    output_string oc "{\n  \"benchmarks\": [\n";
+    List.iter
+      (fun (name, loss, (r : Migrate.result), state_match, reclaimed) ->
+        Printf.fprintf oc
+          "    {\"name\": \"fault/migrate/%s\", \"loss\": %.2f, \"total_cycles\": \
+           %Ld, \"downtime_cycles\": %Ld, \"pages\": %d, \"rounds\": %d, \
+           \"retransmits\": %d, \"aborted\": %b, \"state_match\": %b, \
+           \"frames_reclaimed\": %b},\n"
+          name loss r.Migrate.total_cycles r.Migrate.downtime_cycles
+          r.Migrate.pages_sent r.Migrate.rounds r.Migrate.retransmits
+          r.Migrate.aborted state_match reclaimed)
+      mig_rows;
+    List.iteri
+      (fun i (name, (st : Replicate.stats)) ->
+        Printf.fprintf oc
+          "    {\"name\": \"fault/replicate/%s\", \"epochs_completed\": %d, \
+           \"retransmits\": %d, \"link_failed\": %b, \"paused_cycles\": %Ld}%s\n"
+          name st.Replicate.epochs_completed st.Replicate.retransmits
+          st.Replicate.link_failed st.Replicate.paused_cycles
+          (if i = List.length rep_rows - 1 then "" else ","))
+      rep_rows;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf
+      "\nExpected shape: retransmits grow with the loss rate while the migrated\n\
+       guest stays bit-identical to the fault-free baseline; a dead link aborts\n\
+       after bounded retries, the source resumes, and the destination frames are\n\
+       reclaimed.  Replication commits fewer epochs once the link dies, and the\n\
+       backup resumes from the last completed checkpoint.  Written to\n\
+       BENCH_fault.json (byte-identical across same-seed runs).\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* ENGINE — execution engines: interp vs block wall clock              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1377,6 +1583,7 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   a1 ();
   a2 ();
   a3 ();

@@ -51,6 +51,28 @@ let build_setup kind ~size ~pv =
 let paging_conv =
   Arg.enum [ ("shadow", Vm.Shadow_paging); ("nested", Vm.Nested_paging) ]
 
+(* ---------------- fault plan flag ---------------- *)
+
+let faults_conv =
+  let parse s =
+    match Fault.parse s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<fault-plan>")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ]
+        ~doc:
+          "Deterministic fault plan, e.g. \
+           'seed=42,drop=0.05,corrupt=0.01,blk=0.02,partition@10000-20000'. \
+           Clauses: seed=N, SITE=PROB, SITE@LO-HI (always-fire cycle \
+           window).  Sites: drop corrupt dup delay blk blkperm partition.")
+
+let print_faults f =
+  if Fault.active f then Format.printf "fault counters:@.%a@?" Fault.pp f
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
@@ -93,7 +115,23 @@ let run_cmd =
   let budget =
     Arg.(value & opt int64 2_000_000_000L & info [ "budget" ] ~doc:"Cycle budget.")
   in
-  let action workload size native paging pv exec_mode engine budget =
+  let watchdog =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "watchdog" ]
+          ~doc:"Progress watchdog: cycles without retired instructions before firing.")
+  in
+  let watchdog_policy =
+    Arg.(
+      value
+      & opt
+          (enum [ ("kill", Hypervisor.Wd_kill); ("notify", Hypervisor.Wd_notify) ])
+          Hypervisor.Wd_notify
+      & info [ "watchdog-policy" ] ~doc:"What the watchdog does: kill or notify.")
+  in
+  let action workload size native paging pv exec_mode engine budget faults watchdog
+      watchdog_policy =
     let setup = build_setup workload ~size ~pv in
     if native then begin
       let platform = Platform.create ~frames:(setup.Images.frames + 16) ~engine () in
@@ -117,6 +155,14 @@ let run_cmd =
           ~exec_mode ~engine ~entry:Images.entry ()
       in
       Images.load_vm vm setup;
+      (match faults with
+      | Some f ->
+          Blockdev.set_faults vm.Vm.blk f;
+          Virtio_blk.set_faults vm.Vm.vblk f
+      | None -> ());
+      (match watchdog with
+      | Some budget -> Hypervisor.set_watchdog hyp ~budget ~policy:watchdog_policy
+      | None -> ());
       let outcome = Hypervisor.run hyp ~budget in
       print_string (Vm.console_output vm);
       Printf.printf "[vm] outcome: %s, guest cycles: %Ld, vmm cycles: %Ld\n"
@@ -126,13 +172,22 @@ let run_cmd =
         | Hypervisor.Idle_deadlock -> "deadlock"
         | Hypervisor.Until_satisfied -> "condition met")
         (Vm.guest_cycles vm) (Vm.vmm_cycles vm);
-      Format.printf "%a@?" Monitor.pp vm.Vm.monitor
+      Format.printf "%a@?" Monitor.pp vm.Vm.monitor;
+      if Blockdev.error_count vm.Vm.blk > 0 || Virtio_blk.error_count vm.Vm.vblk > 0
+      then
+        Printf.printf "block errors: blk %d, vblk %d\n"
+          (Blockdev.error_count vm.Vm.blk)
+          (Virtio_blk.error_count vm.Vm.vblk);
+      if Hypervisor.watchdog_fired hyp > 0 then
+        Printf.printf "watchdog fired: %d\n" (Hypervisor.watchdog_fired hyp);
+      Option.iter print_faults faults
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Boot a guest workload natively or under the hypervisor.")
     Term.(
-      const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget)
+      const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget
+      $ faults_arg $ watchdog $ watchdog_policy)
 
 (* ---------------- migrate ---------------- *)
 
@@ -149,7 +204,7 @@ let migrate_cmd =
   let pages =
     Arg.(value & opt int 64 & info [ "pages" ] ~doc:"Guest dirty working set in pages.")
   in
-  let action strategy delay pages =
+  let action strategy delay pages faults =
     let setup =
       Images.plan ~heap_pages:(pages + 8) ~user:(Workloads.dirty_loop ~pages ~delay) ()
     in
@@ -162,23 +217,37 @@ let migrate_cmd =
     Images.load_vm vm setup;
     ignore (Hypervisor.run src ~budget:4_000_000L);
     let link = Link.create () in
+    Option.iter (Link.set_faults link) faults;
     let twin, r =
       match strategy with
       | `Stop -> Migrate.stop_and_copy ~src ~dst ~vm ~link ()
       | `Pre -> Migrate.precopy ~src ~dst ~vm ~link ~max_rounds:10 ~stop_threshold:8 ()
       | `Post -> Migrate.postcopy ~src ~dst ~vm ~link ()
     in
-    ignore (Hypervisor.run dst ~budget:2_000_000L);
-    Printf.printf
-      "migrated '%s': total %Ld cycles, downtime %Ld cycles, %d pages, %d rounds, %d demand faults\n"
-      twin.Vm.name r.Migrate.total_cycles r.Migrate.downtime_cycles r.Migrate.pages_sent
-      r.Migrate.rounds r.Migrate.remote_faults;
-    Printf.printf "twin is %s on the destination\n"
-      (if Vm.halted twin then "halted" else "running")
+    if r.Migrate.aborted then begin
+      Printf.printf
+        "migration ABORTED after %d retransmits; source '%s' resumed (round %d)\n"
+        r.Migrate.retransmits twin.Vm.name r.Migrate.rounds;
+      ignore (Hypervisor.run src ~budget:2_000_000L);
+      Printf.printf "source is %s after rollback\n"
+        (if Vm.halted twin then "halted" else "running")
+    end
+    else begin
+      ignore (Hypervisor.run dst ~budget:2_000_000L);
+      Printf.printf
+        "migrated '%s': total %Ld cycles, downtime %Ld cycles, %d pages, %d rounds, %d \
+         demand faults, %d retransmits\n"
+        twin.Vm.name r.Migrate.total_cycles r.Migrate.downtime_cycles
+        r.Migrate.pages_sent r.Migrate.rounds r.Migrate.remote_faults
+        r.Migrate.retransmits;
+      Printf.printf "twin is %s on the destination\n"
+        (if Vm.halted twin then "halted" else "running")
+    end;
+    Option.iter print_faults faults
   in
   Cmd.v
     (Cmd.info "migrate" ~doc:"Live-migrate a running guest between two hosts.")
-    Term.(const action $ strategy $ delay $ pages)
+    Term.(const action $ strategy $ delay $ pages $ faults_arg)
 
 (* ---------------- replicate ---------------- *)
 
@@ -187,7 +256,7 @@ let replicate_cmd =
     Arg.(value & opt int64 300_000L & info [ "epoch" ] ~doc:"Checkpoint epoch in cycles.")
   in
   let epochs = Arg.(value & opt int 8 & info [ "epochs" ] ~doc:"Epochs before failover.") in
-  let action epoch_cycles epochs =
+  let action epoch_cycles epochs faults =
     let setup =
       Images.plan ~heap_pages:64 ~user:(Workloads.dirty_loop ~pages:48 ~delay:500) ()
     in
@@ -204,20 +273,25 @@ let replicate_cmd =
     Images.load_vm vm setup;
     ignore (Hypervisor.run primary ~budget:3_000_000L);
     let link = Link.create () in
-    let twin, st = Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs in
+    Option.iter (Link.set_faults link) faults;
+    let twin, st = Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs () in
     Printf.printf
       "protected for %d epochs: %d pages shipped (+%d initial), paused %Ld cycles over %Ld run
 "
       st.Replicate.epochs_completed st.Replicate.pages_sent st.Replicate.initial_pages
       st.Replicate.paused_cycles st.Replicate.run_cycles;
+    if st.Replicate.retransmits > 0 || st.Replicate.link_failed then
+      Printf.printf "checkpoint retransmits: %d%s\n" st.Replicate.retransmits
+        (if st.Replicate.link_failed then " (link failed; early failover)" else "");
     ignore (Hypervisor.run backup ~budget:2_000_000L);
     Printf.printf "failover complete; '%s' is %s on the backup host
 " twin.Vm.name
-      (if Vm.halted twin then "halted" else "running")
+      (if Vm.halted twin then "halted" else "running");
+    Option.iter print_faults faults
   in
   Cmd.v
     (Cmd.info "replicate" ~doc:"Protect a guest with Remus-style checkpoints, then fail over.")
-    Term.(const action $ epoch $ epochs)
+    Term.(const action $ epoch $ epochs $ faults_arg)
 
 (* ---------------- snapshot ---------------- *)
 
@@ -320,7 +394,20 @@ let info_cmd =
       c.Velum_machine.Cost_model.vmexit c.Velum_machine.Cost_model.hypercall
       c.Velum_machine.Cost_model.trap_enter c.Velum_machine.Cost_model.pt_ref;
     Printf.printf "walk refs: 1-D %d, 2-D %d\n" Velum_machine.Cost_model.walk_refs_1d
-      Velum_machine.Cost_model.walk_refs_2d
+      Velum_machine.Cost_model.walk_refs_2d;
+    Printf.printf "\nmonitor exit counters (per VM):\n  %s\n"
+      (String.concat " "
+         (List.map Monitor.exit_kind_name Monitor.all_exit_kinds));
+    Printf.printf "fault-injection sites (--faults SPEC):\n  %s\n"
+      (String.concat " " (List.map Fault.site_name Fault.all_sites));
+    Printf.printf
+      "recovery: link frames carry seq + FNV-1a checksum (NACK/timeout \
+       retransmit,\n\
+      \  exponential backoff, bounded retries); migration aborts and rolls \
+       back on\n\
+      \  exhaustion; replication commits checkpoints atomically; guest block \
+       drivers\n\
+      \  retry 3 times; the hypervisor watchdog counts under 'watchdog'.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"Print architecture and cost-model summary.")
     Term.(const action $ const ())

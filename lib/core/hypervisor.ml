@@ -8,6 +8,17 @@ module Log = (val Logs.src_log log_src)
 
 type pcpu = { mutable pclock : int64 }
 
+type watchdog_policy = Wd_kill | Wd_notify
+
+type wd_mark = { mutable wd_instret : int64; mutable wd_window_start : int64 }
+
+type watchdog = {
+  wd_budget : int64;
+  wd_policy : watchdog_policy;
+  wd_marks : (int, wd_mark) Hashtbl.t; (* vm id -> progress mark *)
+  mutable wd_fired : int;
+}
+
 type t = {
   host : Host.t;
   sched : Scheduler.t;
@@ -17,6 +28,7 @@ type t = {
   mutable next_vm_id : int;
   mutable idle_cycles : int64;
   mutable sched_decisions : int;
+  mutable watchdog : watchdog option;
 }
 
 let create ?host ?sched ?(pcpus = 1) () =
@@ -32,7 +44,17 @@ let create ?host ?sched ?(pcpus = 1) () =
     next_vm_id = 0;
     idle_cycles = 0L;
     sched_decisions = 0;
+    watchdog = None;
   }
+
+let set_watchdog t ~budget ~policy =
+  if Int64.compare budget 0L <= 0 then
+    invalid_arg "Hypervisor.set_watchdog: budget must be positive";
+  t.watchdog <-
+    Some
+      { wd_budget = budget; wd_policy = policy; wd_marks = Hashtbl.create 7; wd_fired = 0 }
+
+let watchdog_fired t = match t.watchdog with None -> 0 | Some w -> w.wd_fired
 
 let now t = t.clock
 let pcpu_count t = Array.length t.pcpus
@@ -212,6 +234,59 @@ let next_event t =
 
 let all_halted t = t.vms <> [] && List.for_all Vm.halted t.vms
 
+(* ---- progress watchdog ---- *)
+
+let vm_instret vm =
+  Array.fold_left
+    (fun acc vcpu -> Int64.add acc vcpu.Vcpu.state.Cpu.instret)
+    0L vm.Vm.vcpus
+
+(* Fire when a VM retires no instructions for a whole cycle budget.
+   [Wd_notify] counts the event and restarts the window; [Wd_kill] halts
+   the VM's vCPUs (the VM stays registered so its state can be examined).
+   A no-op unless [set_watchdog] was called. *)
+let check_watchdog t =
+  match t.watchdog with
+  | None -> ()
+  | Some wd ->
+      List.iter
+        (fun vm ->
+          if not (Vm.halted vm) then begin
+            let instret = vm_instret vm in
+            match Hashtbl.find_opt wd.wd_marks vm.Vm.id with
+            | None ->
+                Hashtbl.replace wd.wd_marks vm.Vm.id
+                  { wd_instret = instret; wd_window_start = t.clock }
+            | Some m ->
+                if Int64.compare instret m.wd_instret <> 0 then begin
+                  m.wd_instret <- instret;
+                  m.wd_window_start <- t.clock
+                end
+                else if
+                  Int64.unsigned_compare (Int64.sub t.clock m.wd_window_start)
+                    wd.wd_budget
+                  >= 0
+                then begin
+                  wd.wd_fired <- wd.wd_fired + 1;
+                  Monitor.bump vm.Vm.monitor Monitor.E_watchdog;
+                  m.wd_window_start <- t.clock;
+                  match wd.wd_policy with
+                  | Wd_notify ->
+                      Log.warn (fun msg ->
+                          msg "watchdog: %s made no progress for %Ld cycles"
+                            vm.Vm.name wd.wd_budget)
+                  | Wd_kill ->
+                      Log.warn (fun msg ->
+                          msg "watchdog: killing stalled %s" vm.Vm.name);
+                      Array.iter
+                        (fun vcpu ->
+                          vcpu.Vcpu.runstate <- Vcpu.Halted;
+                          t.sched.Scheduler.remove vcpu)
+                        vm.Vm.vcpus
+                end
+          end)
+        t.vms
+
 (* ---- main run loop ---- *)
 
 type outcome = All_halted | Until_satisfied | Out_of_budget | Idle_deadlock
@@ -248,6 +323,7 @@ let run ?(budget = 2_000_000_000L) ?until t =
     else if all_halted t then All_halted
     else if Int64.unsigned_compare t.clock deadline >= 0 then Out_of_budget
     else begin
+      check_watchdog t;
       let p = min_pcpu t in
       wake_sleepers_at t ~now:p.pclock;
       match t.sched.Scheduler.pick ~now:p.pclock with

@@ -11,6 +11,12 @@
 
 type pcpu = { mutable pclock : int64 }
 
+type watchdog_policy =
+  | Wd_kill  (** halt the stalled VM's vCPUs *)
+  | Wd_notify  (** count the event and restart the window *)
+
+type watchdog
+
 type t = {
   host : Host.t;
   sched : Scheduler.t;
@@ -20,6 +26,7 @@ type t = {
   mutable next_vm_id : int;
   mutable idle_cycles : int64;
   mutable sched_decisions : int;
+  mutable watchdog : watchdog option;
 }
 
 val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
@@ -65,6 +72,17 @@ type outcome =
   | Until_satisfied
   | Out_of_budget
   | Idle_deadlock  (** every vCPU blocked with no wake event in sight *)
+
+val set_watchdog : t -> budget:int64 -> policy:watchdog_policy -> unit
+(** [set_watchdog t ~budget ~policy] arms a per-VM progress watchdog: if
+    a (non-halted) VM retires no instructions for [budget] consecutive
+    cycles of host time, the event is counted in the VM's {!Monitor}
+    under [E_watchdog] and the policy is applied.
+
+    @raise Invalid_argument if [budget <= 0]. *)
+
+val watchdog_fired : t -> int
+(** Total watchdog firings across all VMs (0 when unarmed). *)
 
 val run : ?budget:int64 -> ?until:(t -> bool) -> t -> outcome
 (** [run ?budget ?until t] — default budget 2G cycles. *)

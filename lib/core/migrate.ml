@@ -6,6 +6,9 @@ let log_src = Logs.Src.create "velum.migrate" ~doc:"live migration"
 
 module Log = (val Logs.src_log log_src)
 
+module Fault = Velum_util.Fault
+module Fnv = Velum_util.Fnv
+
 type result = {
   total_cycles : int64;
   downtime_cycles : int64;
@@ -13,6 +16,8 @@ type result = {
   bytes_sent : int;
   rounds : int;
   remote_faults : int;
+  retransmits : int;
+  aborted : bool;
 }
 
 let page_wire_bytes = Arch.page_size + 16
@@ -87,82 +92,325 @@ let finish ~src ~vm ~(twin : Vm.t) =
 let transfer_pages_cycles link n =
   Link.transfer_cycles link ~bytes:(n * page_wire_bytes)
 
-let stop_and_copy ?(compress = false) ~src ~dst ~vm ~link () =
+(* ---- reliable transfer (used when a fault plan is active) ----
+
+   Each page travels as one frame: [seq:8][body][fnv1a-checksum:8], the
+   checksum covering everything before it.  The receiver NACKs frames
+   whose checksum fails and dedups by sequence number (retransmits reuse
+   the page's seq, so a delayed original and its retransmit cannot both
+   apply).  The sender retries on timeout/NACK with exponential backoff,
+   bounded by [max_attempts]; exhaustion aborts the migration. *)
+
+exception Abort_migration of string
+
+type xfer = {
+  x_link : Link.t;
+  x_faults : Fault.t;
+  mutable x_clock : int64; (* cumulative wire time of this migration *)
+  mutable x_retx : int;
+  mutable x_bytes : int;
+  x_seen : (int, unit) Hashtbl.t; (* receiver-side dedup by seq *)
+  mutable x_next_seq : int;
+  x_max_attempts : int;
+}
+
+let make_xfer ~link ~faults =
+  {
+    x_link = link;
+    x_faults = faults;
+    x_clock = 0L;
+    x_retx = 0;
+    x_bytes = 0;
+    x_seen = Hashtbl.create 1024;
+    x_next_seq = 0;
+    x_max_attempts = 8;
+  }
+
+let frame_of ~seq body =
+  let n = Bytes.length body in
+  let b = Bytes.create (n + 16) in
+  Bytes.set_int64_le b 0 (Int64.of_int seq);
+  Bytes.blit body 0 b 8 n;
+  Bytes.set_int64_le b (n + 8) (Fnv.hash_bytes ~pos:0 ~len:(n + 8) b);
+  Bytes.to_string b
+
+(* [None] = corrupted (checksum mismatch); [Some seq] otherwise. *)
+let decode_frame s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n < 16 then None
+  else if Bytes.get_int64_le b (n - 8) <> Fnv.hash_bytes ~pos:0 ~len:(n - 8) b then
+    None
+  else Some (Int64.to_int (Bytes.get_int64_le b 0))
+
+let backoff_cycles x n =
+  let base = max 64 (Link.latency_cycles x.x_link / 2) in
+  min (base * (1 lsl min (n - 1) 8)) (base * 256)
+
+(* Push one body through the link until the receiver has it, advancing
+   the migration clock by the real wire time, ack latencies, and any
+   backoff waits.  @raise Abort_migration when attempts exhaust. *)
+let send_reliable x ~body =
+  let seq = x.x_next_seq in
+  x.x_next_seq <- seq + 1;
+  let frame = frame_of ~seq body in
+  let len = String.length frame in
+  let ack_lat = Int64.of_int (Link.latency_cycles x.x_link) in
+  let rec attempt n =
+    if n > x.x_max_attempts then
+      raise (Abort_migration (Printf.sprintf "page seq %d: retries exhausted" seq));
+    if n > 1 then x.x_retx <- x.x_retx + 1;
+    x.x_bytes <- x.x_bytes + len;
+    let t0 = x.x_clock in
+    ignore (Link.send x.x_link ~from:`A ~now:t0 ~payload:frame);
+    let expected =
+      Int64.add t0 (Int64.of_int (Link.transfer_cycles x.x_link ~bytes:len))
+    in
+    List.iter
+      (fun s ->
+        match decode_frame s with
+        | None -> Fault.observe x.x_faults Fault.Corrupt
+        | Some seq' ->
+            if Hashtbl.mem x.x_seen seq' then Fault.observe x.x_faults Fault.Duplicate
+            else Hashtbl.add x.x_seen seq' ())
+      (Link.poll x.x_link ~at:`B ~now:expected);
+    if Hashtbl.mem x.x_seen seq then x.x_clock <- Int64.add expected ack_lat
+    else begin
+      (* Timeout (drop/partition/late frame) or NACK (corruption): wait
+         out the ack window plus a growing backoff, then retransmit. *)
+      x.x_clock <-
+        Int64.add (Int64.add expected ack_lat)
+          (Int64.of_int (backoff_cycles x n));
+      attempt (n + 1)
+    end
+  in
+  attempt 1
+
+let send_page_reliable x ~vm ~twin gfn =
+  match Vm.resolve_read vm gfn with
+  | None -> ()
+  | Some ppn ->
+      send_reliable x ~body:(Phys_mem.frame_read vm.Vm.host.Host.mem ~ppn);
+      ignore (copy_page ~vm ~twin gfn)
+
+let send_vcpus_reliable x =
+  send_reliable x ~body:(Bytes.make (vcpu_state_bytes - 16) 'V')
+
+let rollback ~dst ~twin reason =
+  Log.warn (fun m ->
+      m "migration aborted (%s): rolling back, source resumes" reason);
+  Hypervisor.remove_vm dst twin
+
+let stop_and_copy ?(compress = false) ?faults ~src ~dst ~vm ~link () =
+  let faults = match faults with Some f -> f | None -> Link.faults link in
   let twin = make_twin ~dst ~vm in
   let gfns = present_gfns vm in
-  let bytes = wire_bytes ~compress vm gfns + vcpu_state_bytes in
-  List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) gfns;
-  Array.iteri
-    (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
-    vm.Vm.vcpus;
-  let pages = List.length gfns in
-  let cycles = Int64.of_int (Link.transfer_cycles link ~bytes) in
-  finish ~src ~vm ~twin;
-  ( twin,
-    {
-      total_cycles = cycles;
-      downtime_cycles = cycles;
-      pages_sent = pages;
-      bytes_sent = bytes;
-      rounds = 1;
-      remote_faults = 0;
-    } )
+  if not (Fault.active faults) then begin
+    let bytes = wire_bytes ~compress vm gfns + vcpu_state_bytes in
+    List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) gfns;
+    Array.iteri
+      (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+      vm.Vm.vcpus;
+    let pages = List.length gfns in
+    let cycles = Int64.of_int (Link.transfer_cycles link ~bytes) in
+    finish ~src ~vm ~twin;
+    ( twin,
+      {
+        total_cycles = cycles;
+        downtime_cycles = cycles;
+        pages_sent = pages;
+        bytes_sent = bytes;
+        rounds = 1;
+        remote_faults = 0;
+        retransmits = 0;
+        aborted = false;
+      } )
+  end
+  else begin
+    let x = make_xfer ~link ~faults in
+    let pages = ref 0 in
+    try
+      List.iter
+        (fun gfn ->
+          send_page_reliable x ~vm ~twin gfn;
+          incr pages)
+        gfns;
+      send_vcpus_reliable x;
+      Array.iteri
+        (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+        vm.Vm.vcpus;
+      finish ~src ~vm ~twin;
+      ( twin,
+        {
+          total_cycles = x.x_clock;
+          downtime_cycles = x.x_clock;
+          pages_sent = !pages;
+          bytes_sent = x.x_bytes;
+          rounds = 1;
+          remote_faults = 0;
+          retransmits = x.x_retx;
+          aborted = false;
+        } )
+    with Abort_migration reason ->
+      rollback ~dst ~twin reason;
+      ( vm,
+        {
+          total_cycles = x.x_clock;
+          downtime_cycles = 0L;
+          pages_sent = !pages;
+          bytes_sent = x.x_bytes;
+          rounds = 1;
+          remote_faults = 0;
+          retransmits = x.x_retx;
+          aborted = true;
+        } )
+  end
 
-let precopy ?(compress = false) ~src ~dst ~vm ~link ?(max_rounds = 8)
-    ?(stop_threshold = 64) () =
+let precopy ?(compress = false) ?faults ?watchdog_cycles ~src ~dst ~vm ~link
+    ?(max_rounds = 8) ?(stop_threshold = 64) () =
+  let faults = match faults with Some f -> f | None -> Link.faults link in
   let twin = make_twin ~dst ~vm in
-  Vm.start_dirty_logging vm;
-  let total = ref 0L in
-  let pages = ref 0 in
-  let bytes_total = ref 0 in
-  let rounds = ref 0 in
-  let rec round to_send prev_count =
-    incr rounds;
-    Log.debug (fun m ->
-        m "precopy %s: round %d, %d pages" vm.Vm.name !rounds (List.length to_send));
-    let round_bytes = wire_bytes ~compress vm to_send in
-    bytes_total := !bytes_total + round_bytes;
-    List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) to_send;
-    let n = List.length to_send in
-    pages := !pages + n;
-    let cycles = Link.transfer_cycles link ~bytes:round_bytes in
-    ignore (transfer_pages_cycles link n);
-    total := Int64.add !total (Int64.of_int cycles);
-    (* The guest executes on the source while this round is on the
-       wire, dirtying pages that the next round must re-send. *)
-    Hypervisor.run_vm src vm ~cycles:(Int64.of_int cycles);
-    let dirty = Vm.collect_dirty vm ~clear:false in
-    (* Re-arm write protection for the next epoch (clears the bitmap). *)
+  if not (Fault.active faults) then begin
     Vm.start_dirty_logging vm;
-    let count = List.length dirty in
-    if count = 0 then []
-    else if !rounds >= max_rounds || count <= stop_threshold || count >= prev_count then
-      dirty (* freeze and send the residue *)
-    else round dirty count
-  in
-  let residue = round (present_gfns vm) max_int in
-  (* Stop phase: guest frozen, send the residual dirty set + vCPU state. *)
-  let residue_bytes = wire_bytes ~compress vm residue + vcpu_state_bytes in
-  bytes_total := !bytes_total + residue_bytes;
-  List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) residue;
-  let n = List.length residue in
-  pages := !pages + n;
-  let downtime = Int64.of_int (Link.transfer_cycles link ~bytes:residue_bytes) in
-  total := Int64.add !total downtime;
-  Vm.stop_dirty_logging vm;
-  Array.iteri
-    (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
-    vm.Vm.vcpus;
-  finish ~src ~vm ~twin;
-  ( twin,
-    {
-      total_cycles = !total;
-      downtime_cycles = downtime;
-      pages_sent = !pages;
-      bytes_sent = !bytes_total;
-      rounds = !rounds;
-      remote_faults = 0;
-    } )
+    let total = ref 0L in
+    let pages = ref 0 in
+    let bytes_total = ref 0 in
+    let rounds = ref 0 in
+    let rec round to_send prev_count =
+      incr rounds;
+      Log.debug (fun m ->
+          m "precopy %s: round %d, %d pages" vm.Vm.name !rounds (List.length to_send));
+      let round_bytes = wire_bytes ~compress vm to_send in
+      bytes_total := !bytes_total + round_bytes;
+      List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) to_send;
+      let n = List.length to_send in
+      pages := !pages + n;
+      let cycles = Link.transfer_cycles link ~bytes:round_bytes in
+      ignore (transfer_pages_cycles link n);
+      total := Int64.add !total (Int64.of_int cycles);
+      (* The guest executes on the source while this round is on the
+         wire, dirtying pages that the next round must re-send. *)
+      Hypervisor.run_vm src vm ~cycles:(Int64.of_int cycles);
+      let dirty = Vm.collect_dirty vm ~clear:false in
+      (* Re-arm write protection for the next epoch (clears the bitmap). *)
+      Vm.start_dirty_logging vm;
+      let count = List.length dirty in
+      let over_budget =
+        match watchdog_cycles with
+        | Some w -> Int64.unsigned_compare !total w > 0
+        | None -> false
+      in
+      if count = 0 then []
+      else if
+        !rounds >= max_rounds || count <= stop_threshold || count >= prev_count
+        || over_budget
+      then dirty (* freeze and send the residue *)
+      else round dirty count
+    in
+    let residue = round (present_gfns vm) max_int in
+    (* Stop phase: guest frozen, send the residual dirty set + vCPU state. *)
+    let residue_bytes = wire_bytes ~compress vm residue + vcpu_state_bytes in
+    bytes_total := !bytes_total + residue_bytes;
+    List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) residue;
+    let n = List.length residue in
+    pages := !pages + n;
+    let downtime = Int64.of_int (Link.transfer_cycles link ~bytes:residue_bytes) in
+    total := Int64.add !total downtime;
+    Vm.stop_dirty_logging vm;
+    Array.iteri
+      (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+      vm.Vm.vcpus;
+    finish ~src ~vm ~twin;
+    ( twin,
+      {
+        total_cycles = !total;
+        downtime_cycles = downtime;
+        pages_sent = !pages;
+        bytes_sent = !bytes_total;
+        rounds = !rounds;
+        remote_faults = 0;
+        retransmits = 0;
+        aborted = false;
+      } )
+  end
+  else begin
+    (* Lossy link: page transfer goes through the reliable layer.  Round
+       wire time — retransmits and backoff included — is exactly the time
+       the guest keeps executing (and dirtying) on the source, so loss
+       directly degrades convergence.  Zero-page compression is skipped:
+       every frame carries its full body so checksums protect real
+       content. *)
+    let x = make_xfer ~link ~faults in
+    Vm.start_dirty_logging vm;
+    let pages = ref 0 in
+    let rounds = ref 0 in
+    try
+      let rec round to_send prev_count =
+        incr rounds;
+        Log.debug (fun m ->
+            m "precopy %s (lossy): round %d, %d pages" vm.Vm.name !rounds
+              (List.length to_send));
+        let t_before = x.x_clock in
+        List.iter (fun gfn -> send_page_reliable x ~vm ~twin gfn) to_send;
+        pages := !pages + List.length to_send;
+        Hypervisor.run_vm src vm ~cycles:(Int64.sub x.x_clock t_before);
+        let dirty = Vm.collect_dirty vm ~clear:false in
+        Vm.start_dirty_logging vm;
+        let count = List.length dirty in
+        (* Convergence watchdog: when the budget is spent, stop iterating
+           and freeze now rather than chase a dirty set that loss-induced
+           slow rounds may never shrink. *)
+        let over_budget =
+          match watchdog_cycles with
+          | Some w -> Int64.unsigned_compare x.x_clock w > 0
+          | None -> false
+        in
+        if count = 0 then []
+        else if
+          !rounds >= max_rounds || count <= stop_threshold || count >= prev_count
+          || over_budget
+        then dirty
+        else round dirty count
+      in
+      let residue = round (present_gfns vm) max_int in
+      let t_before = x.x_clock in
+      List.iter (fun gfn -> send_page_reliable x ~vm ~twin gfn) residue;
+      pages := !pages + List.length residue;
+      send_vcpus_reliable x;
+      let downtime = Int64.sub x.x_clock t_before in
+      Vm.stop_dirty_logging vm;
+      Array.iteri
+        (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
+        vm.Vm.vcpus;
+      finish ~src ~vm ~twin;
+      ( twin,
+        {
+          total_cycles = x.x_clock;
+          downtime_cycles = downtime;
+          pages_sent = !pages;
+          bytes_sent = x.x_bytes;
+          rounds = !rounds;
+          remote_faults = 0;
+          retransmits = x.x_retx;
+          aborted = false;
+        } )
+    with Abort_migration reason ->
+      (* Rollback: the source keeps running with dirty logging off; the
+         destination twin — and every frame it allocated — is discarded. *)
+      Vm.stop_dirty_logging vm;
+      rollback ~dst ~twin reason;
+      ( vm,
+        {
+          total_cycles = x.x_clock;
+          downtime_cycles = 0L;
+          pages_sent = !pages;
+          bytes_sent = x.x_bytes;
+          rounds = !rounds;
+          remote_faults = 0;
+          retransmits = x.x_retx;
+          aborted = true;
+        } )
+  end
 
 let postcopy ~src ~dst ~vm ~link ?(push_batch = 32) () =
   let twin = make_twin ~dst ~vm in
@@ -226,4 +474,21 @@ let postcopy ~src ~dst ~vm ~link ?(push_batch = 32) () =
       bytes_sent = pages * page_wire_bytes;
       rounds = 1;
       remote_faults = faults;
+      retransmits = 0;
+      aborted = false;
     } )
+
+(* Reused by {!Replicate} for checkpoint shipping. *)
+module Reliable = struct
+  type t = xfer
+
+  let create ?(now = 0L) ~link ~faults () =
+    let x = make_xfer ~link ~faults in
+    x.x_clock <- now;
+    x
+
+  let send = send_reliable
+  let clock x = x.x_clock
+  let retransmits x = x.x_retx
+  let bytes_sent x = x.x_bytes
+end

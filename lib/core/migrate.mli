@@ -31,13 +31,43 @@ type result = {
   bytes_sent : int;
   rounds : int;  (** pre-copy rounds (1 for stop-and-copy) *)
   remote_faults : int;  (** post-copy demand fetches *)
+  retransmits : int;  (** frames re-sent after a timeout or NACK *)
+  aborted : bool;  (** retries exhausted: rolled back, source resumed *)
 }
 
 val page_wire_bytes : int
 (** Bytes on the wire per page (page + header). *)
 
+exception Abort_migration of string
+(** Raised internally when reliable-transfer retries exhaust; escapes
+    only from {!Reliable.send}. *)
+
+(** The reliable-delivery channel the lossy paths use: frames carry a
+    sequence number and an FNV-1a checksum; the receiver NACKs corrupted
+    frames and dedups retransmits; the sender retries with exponential
+    backoff.  Exposed so {!Replicate} ships checkpoints over the same
+    protocol. *)
+module Reliable : sig
+  type t
+
+  val create : ?now:int64 -> link:Link.t -> faults:Velum_util.Fault.t -> unit -> t
+  (** [now] seeds the channel clock (so cycle-windowed faults line up
+      with session time); default [0L]. *)
+
+  val send : t -> body:Bytes.t -> unit
+  (** Deliver one body, advancing the channel clock by wire time, ack
+      latencies, and backoff waits.
+
+      @raise Abort_migration when attempts exhaust. *)
+
+  val clock : t -> int64
+  val retransmits : t -> int
+  val bytes_sent : t -> int
+end
+
 val stop_and_copy :
   ?compress:bool ->
+  ?faults:Velum_util.Fault.t ->
   src:Hypervisor.t ->
   dst:Hypervisor.t ->
   vm:Vm.t ->
@@ -45,10 +75,20 @@ val stop_and_copy :
   unit ->
   Vm.t * result
 (** [compress] elides all-zero pages to a 24-byte wire marker (default
-    false). *)
+    false).
+
+    [faults] defaults to the plan attached to [link].  When it is active,
+    pages travel through a reliable layer: each frame carries a sequence
+    number and an FNV-1a checksum, corrupted frames are NACKed, lost
+    frames retransmitted with exponential backoff, duplicates deduped.
+    Retry exhaustion aborts: the returned VM is then the {e source}
+    (resumed, untouched) and the destination twin is destroyed, its
+    frames reclaimed — check [aborted]. *)
 
 val precopy :
   ?compress:bool ->
+  ?faults:Velum_util.Fault.t ->
+  ?watchdog_cycles:int64 ->
   src:Hypervisor.t ->
   dst:Hypervisor.t ->
   vm:Vm.t ->
@@ -59,7 +99,15 @@ val precopy :
   Vm.t * result
 (** Defaults: at most 8 rounds; freeze when the dirty set is ≤ 64
     pages.  Also freezes early when a round fails to shrink the dirty
-    set (non-convergence guard). *)
+    set (non-convergence guard).
+
+    [faults] as in {!stop_and_copy}; under loss the guest keeps running
+    (and dirtying) for the {e whole} round wire time, retransmits and
+    backoff included.  [watchdog_cycles] is a convergence watchdog: once
+    total transfer time exceeds it the iteration freezes and sends the
+    residue rather than keep chasing the dirty set.  On abort the source
+    VM resumes with dirty logging stopped and the twin's frames are
+    freed. *)
 
 val postcopy :
   src:Hypervisor.t ->

@@ -16,6 +16,7 @@ type exit_kind =
   | E_swap_in
   | E_remote_fetch
   | E_bt_translate
+  | E_watchdog
 
 let all_exit_kinds =
   [
@@ -36,6 +37,7 @@ let all_exit_kinds =
     E_swap_in;
     E_remote_fetch;
     E_bt_translate;
+    E_watchdog;
   ]
 
 let exit_kind_name = function
@@ -56,6 +58,7 @@ let exit_kind_name = function
   | E_swap_in -> "swap-in"
   | E_remote_fetch -> "remote-fetch"
   | E_bt_translate -> "bt-translate"
+  | E_watchdog -> "watchdog"
 
 let kind_index k =
   let rec go i = function

@@ -22,6 +22,7 @@ type exit_kind =
   | E_swap_in
   | E_remote_fetch  (** post-copy demand fetch *)
   | E_bt_translate  (** binary translation of a new sensitive site *)
+  | E_watchdog  (** progress watchdog fired: no retired instructions *)
 
 val exit_kind_name : exit_kind -> string
 val all_exit_kinds : exit_kind list

@@ -1,18 +1,23 @@
 open Velum_machine
 open Velum_devices
 
+module Fault = Velum_util.Fault
+
 type session = {
   primary : Hypervisor.t;
   backup : Hypervisor.t;
   vm : Vm.t;
   twin : Vm.t;
   link : Link.t;
+  faults : Fault.t;
   mutable epochs_completed : int;
   mutable pages_sent : int;
   mutable initial_pages : int;
   mutable initial_sync_cycles : int64;
   mutable paused_cycles : int64;
   mutable run_cycles : int64;
+  mutable retransmits : int;
+  mutable link_failed : bool;
   mutable finished : bool;
 }
 
@@ -24,7 +29,11 @@ type stats = {
   bytes_sent : int;
   paused_cycles : int64;
   run_cycles : int64;
+  retransmits : int;
+  link_failed : bool;
 }
+
+type epoch_outcome = Committed | Link_failed
 
 let vcpu_state_bytes = 1024
 
@@ -68,7 +77,8 @@ let transfer_cycles (s : session) ~pages =
     (Link.transfer_cycles s.link
        ~bytes:((pages * Migrate.page_wire_bytes) + vcpu_state_bytes))
 
-let start ~primary ~backup ~vm ~link =
+let start ?faults ~primary ~backup ~vm ~link () =
+  let faults = match faults with Some f -> f | None -> Link.faults link in
   let twin =
     Hypervisor.create_vm backup ~name:(vm.Vm.name ^ "-backup")
       ~mem_frames:(Vm.mem_frames vm)
@@ -85,12 +95,15 @@ let start ~primary ~backup ~vm ~link =
       vm;
       twin;
       link;
+      faults;
       epochs_completed = 0;
       pages_sent = 0;
       initial_pages = 0;
       initial_sync_cycles = 0L;
       paused_cycles = 0L;
       run_cycles = 0L;
+      retransmits = 0;
+      link_failed = false;
       finished = false;
     }
   in
@@ -106,17 +119,61 @@ let start ~primary ~backup ~vm ~link =
   Vm.start_dirty_logging vm;
   s
 
+(* Session time drives cycle-windowed faults (a "link dies at cycle C"
+   plan), so a checkpoint started after C reliably fails. *)
+let elapsed (s : session) =
+  Int64.add s.initial_sync_cycles (Int64.add s.run_cycles s.paused_cycles)
+
 let epoch (s : session) ~run_cycles =
   if s.finished then failwith "Replicate.epoch: session finished";
-  Hypervisor.run_vm s.primary s.vm ~cycles:run_cycles;
-  s.run_cycles <- Int64.add s.run_cycles run_cycles;
-  let dirty = Vm.collect_dirty s.vm ~clear:false in
-  Vm.start_dirty_logging s.vm (* re-arm write protection, clear bitmap *);
-  List.iter (copy_page s) dirty;
-  copy_vcpus s;
-  s.paused_cycles <-
-    Int64.add s.paused_cycles (transfer_cycles s ~pages:(List.length dirty));
-  s.epochs_completed <- s.epochs_completed + 1
+  if s.link_failed then Link_failed (* a dead link stays dead *)
+  else begin
+    Hypervisor.run_vm s.primary s.vm ~cycles:run_cycles;
+    s.run_cycles <- Int64.add s.run_cycles run_cycles;
+    let dirty = Vm.collect_dirty s.vm ~clear:false in
+    Vm.start_dirty_logging s.vm (* re-arm write protection, clear bitmap *);
+    if not (Fault.active s.faults) then begin
+      List.iter (copy_page s) dirty;
+      copy_vcpus s;
+      s.paused_cycles <-
+        Int64.add s.paused_cycles (transfer_cycles s ~pages:(List.length dirty));
+      s.epochs_completed <- s.epochs_completed + 1;
+      Committed
+    end
+    else begin
+      (* Checkpoint commit must be atomic: ship every page plus the vCPU
+         record through the reliable channel first (dropped acks are
+         retransmitted; the backup dedups by sequence number and re-acks)
+         and only then apply to the twin.  If retries exhaust, nothing is
+         applied — the backup stays at the last completed checkpoint. *)
+      let now = elapsed s in
+      let ch = Migrate.Reliable.create ~now ~link:s.link ~faults:s.faults () in
+      let outcome =
+        try
+          List.iter
+            (fun gfn ->
+              match Vm.resolve_read s.vm gfn with
+              | None -> ()
+              | Some ppn ->
+                  Migrate.Reliable.send ch
+                    ~body:(Phys_mem.frame_read s.vm.Vm.host.Host.mem ~ppn))
+            dirty;
+          Migrate.Reliable.send ch ~body:(Bytes.make (vcpu_state_bytes - 16) 'V');
+          Committed
+        with Migrate.Abort_migration _ -> Link_failed
+      in
+      s.retransmits <- s.retransmits + Migrate.Reliable.retransmits ch;
+      s.paused_cycles <-
+        Int64.add s.paused_cycles (Int64.sub (Migrate.Reliable.clock ch) now);
+      (match outcome with
+      | Committed ->
+          List.iter (copy_page s) dirty;
+          copy_vcpus s;
+          s.epochs_completed <- s.epochs_completed + 1
+      | Link_failed -> s.link_failed <- true);
+      outcome
+    end
+  end
 
 let stats (s : session) =
   {
@@ -129,6 +186,8 @@ let stats (s : session) =
       + ((s.epochs_completed + 1) * vcpu_state_bytes);
     paused_cycles = s.paused_cycles;
     run_cycles = s.run_cycles;
+    retransmits = s.retransmits;
+    link_failed = s.link_failed;
   }
 
 let failover (s : session) =
@@ -147,11 +206,15 @@ let failover (s : session) =
     s.twin.Vm.vcpus;
   s.twin
 
-let protect ~primary ~backup ~vm ~link ~epoch_cycles ~epochs =
-  let s = start ~primary ~backup ~vm ~link in
-  for _ = 1 to epochs do
-    epoch s ~run_cycles:epoch_cycles
-  done;
+let protect ?faults ~primary ~backup ~vm ~link ~epoch_cycles ~epochs () =
+  let s = start ?faults ~primary ~backup ~vm ~link () in
+  (try
+     for _ = 1 to epochs do
+       match epoch s ~run_cycles:epoch_cycles with
+       | Committed -> ()
+       | Link_failed -> raise Exit
+     done
+   with Exit -> ());
   let st = stats s in
   let twin = failover s in
   (twin, st)

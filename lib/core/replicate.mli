@@ -25,18 +25,36 @@ type stats = {
   paused_cycles : int64;  (** guest stopped while epoch checkpoints
                               shipped (full sync excluded) *)
   run_cycles : int64;  (** guest execution between checkpoints *)
+  retransmits : int;  (** checkpoint frames re-sent (lost frames or acks) *)
+  link_failed : bool;  (** a checkpoint could not commit; failover time *)
 }
 
+type epoch_outcome =
+  | Committed  (** the checkpoint applied atomically to the backup *)
+  | Link_failed  (** retries exhausted mid-checkpoint: nothing applied *)
+
 val start :
-  primary:Hypervisor.t -> backup:Hypervisor.t -> vm:Vm.t -> link:Link.t -> session
+  ?faults:Velum_util.Fault.t ->
+  primary:Hypervisor.t ->
+  backup:Hypervisor.t ->
+  vm:Vm.t ->
+  link:Link.t ->
+  unit ->
+  session
 (** Full initial synchronization (guest paused), then dirty logging is
     armed and the VM keeps running on the primary.  The backup twin is
-    created blocked — it must not execute while the primary lives. *)
+    created blocked — it must not execute while the primary lives.
+    [faults] defaults to the plan attached to [link]; when active,
+    checkpoints ship over {!Migrate.Reliable} with session-cycle
+    timestamps, so cycle-windowed link death lands at a predictable
+    epoch. *)
 
-val epoch : session -> run_cycles:int64 -> unit
+val epoch : session -> run_cycles:int64 -> epoch_outcome
 (** Run the guest for [run_cycles] on the primary, then pause it for the
     time the epoch's dirty pages + vCPU state occupy the wire, applying
-    them to the backup. *)
+    them to the backup.  Application is atomic: on [Link_failed] the
+    backup still holds the previous completed checkpoint, and every
+    later call returns [Link_failed] without running the guest. *)
 
 val stats : session -> stats
 
@@ -47,11 +65,14 @@ val failover : session -> Vm.t
     @raise Failure if called twice. *)
 
 val protect :
+  ?faults:Velum_util.Fault.t ->
   primary:Hypervisor.t ->
   backup:Hypervisor.t ->
   vm:Vm.t ->
   link:Link.t ->
   epoch_cycles:int64 ->
   epochs:int ->
+  unit ->
   Vm.t * stats
-(** Convenience: [start], run [epochs] epochs, then [failover]. *)
+(** Convenience: [start], run [epochs] epochs (stopping early if the
+    link fails), then [failover]. *)

@@ -35,7 +35,10 @@ type t = {
   mutable pending : pending option;
   mutable irq : bool;
   mutable ops : int;
+  mutable errors : int;
   mutable now : int64;
+  mutable faults : Velum_util.Fault.t;
+  mutable broken : bool; (* a permanent fault fired: fail everything *)
 }
 
 let create ?(sectors = 8192) dma =
@@ -51,10 +54,15 @@ let create ?(sectors = 8192) dma =
     pending = None;
     irq = false;
     ops = 0;
+    errors = 0;
     now = 0L;
+    faults = Velum_util.Fault.none ();
+    broken = false;
   }
 
 let sectors t = t.nsectors
+let set_faults t f = t.faults <- f
+let error_count t = t.errors
 
 let load t ~sector s =
   let off = sector * sector_bytes in
@@ -73,28 +81,47 @@ let valid_range t =
   let s = Int64.to_int t.sector and c = Int64.to_int t.count in
   s >= 0 && c > 0 && s + c <= t.nsectors
 
+let fail_now t =
+  t.status <- status_error;
+  t.errors <- t.errors + 1;
+  t.irq <- true
+
 (* Perform the data movement immediately; expose completion after the
    latency so guests observe an asynchronous device. *)
 let start_command t cmd =
   if t.status = status_busy then ()
-  else if not (valid_range t) then begin
-    t.status <- status_error;
-    t.irq <- true
-  end
+  else if cmd <> cmd_read && cmd <> cmd_write then
+    (* Malformed command: reject immediately, no seek latency. *)
+    fail_now t
+  else if not (valid_range t) then fail_now t
   else begin
+    let module F = Velum_util.Fault in
+    if F.fire t.faults F.Blk_permanent ~now:t.now then t.broken <- true;
+    let injected =
+      if t.broken then begin
+        F.observe t.faults F.Blk_permanent;
+        true
+      end
+      else if F.fire t.faults F.Blk_transient ~now:t.now then begin
+        F.observe t.faults F.Blk_transient;
+        true
+      end
+      else false
+    in
     let s = Int64.to_int t.sector and c = Int64.to_int t.count in
     let off = s * sector_bytes in
     let len = c * sector_bytes in
     let ok =
-      if cmd = cmd_read then t.dma.dma_write t.dma_addr (Bytes.sub t.store off len)
-      else if cmd = cmd_write then begin
+      if injected then false
+      else if cmd = cmd_read then
+        t.dma.dma_write t.dma_addr (Bytes.sub t.store off len)
+      else begin
         match t.dma.dma_read t.dma_addr len with
         | Some b ->
             Bytes.blit b 0 t.store off len;
             true
         | None -> false
       end
-      else false
     in
     let latency = seek_cycles + (len * cycles_per_byte) in
     t.status <- status_busy;
@@ -108,6 +135,7 @@ let tick t now =
   | Some { finish_at; ok } when Int64.unsigned_compare t.now finish_at >= 0 ->
       t.pending <- None;
       t.status <- (if ok then status_done else status_error);
+      if not ok then t.errors <- t.errors + 1;
       t.ops <- t.ops + 1;
       t.irq <- true
   | _ -> ()

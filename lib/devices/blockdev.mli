@@ -61,8 +61,17 @@ val read_back : t -> sector:int -> count:int -> string
 
 val device : ?base:int64 -> t -> Velum_machine.Bus.device
 
+val set_faults : t -> Velum_util.Fault.t -> unit
+(** Attach a fault plan.  [Blk_transient] fails one command (a retry may
+    succeed); [Blk_permanent] breaks the device — every later command
+    completes with [status_error] until the simulation ends. *)
+
 val completed_ops : t -> int
 (** Number of operations completed since creation. *)
+
+val error_count : t -> int
+(** Number of commands that ended in [status_error] (malformed commands,
+    failed DMA, and injected faults alike). *)
 
 val busy : t -> bool
 

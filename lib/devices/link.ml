@@ -1,10 +1,79 @@
+module Fault = Velum_util.Fault
+
 type endpoint = [ `A | `B ]
 
 let peer = function `A -> `B | `B -> `A
 
+(* Arrival-ordered frame queue: an array-backed binary min-heap keyed by
+   (arrival, seq).  The monotonically increasing sequence number breaks
+   ties so that frames with equal arrival cycles stay FIFO.  This replaces
+   the previous [queue @ [x]] list append, which made a burst of n sends
+   cost O(n^2). *)
+module Heap = struct
+  type entry = { arrival : int64; seq : int; payload : string }
+
+  type t = { mutable a : entry array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+
+  let before x y =
+    let c = Int64.unsigned_compare x.arrival y.arrival in
+    if c <> 0 then c < 0 else x.seq < y.seq
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let cap = max 8 (2 * Array.length h.a) in
+      let a' = Array.make cap e in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      before h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.a.(0) <- h.a.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.len && before h.a.(l) h.a.(!s) then s := l;
+        if r < h.len && before h.a.(r) h.a.(!s) then s := r;
+        if !s <> !i then begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+        else continue := false
+      done
+    end;
+    top
+end
+
 type direction = {
   mutable line_free : int64; (* cycle when the sender's line frees up *)
-  mutable queue : (int64 * string) list; (* arrival-sorted, oldest first *)
+  heap : Heap.t;
 }
 
 type t = {
@@ -13,6 +82,8 @@ type t = {
   a_to_b : direction;
   b_to_a : direction;
   mutable total_bytes : int;
+  mutable seq : int; (* global tiebreaker: send order across the link *)
+  mutable faults : Fault.t;
 }
 
 let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
@@ -21,10 +92,15 @@ let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
   {
     bpc = bytes_per_cycle;
     latency = latency_cycles;
-    a_to_b = { line_free = 0L; queue = [] };
-    b_to_a = { line_free = 0L; queue = [] };
+    a_to_b = { line_free = 0L; heap = Heap.create () };
+    b_to_a = { line_free = 0L; heap = Heap.create () };
     total_bytes = 0;
+    seq = 0;
+    faults = Fault.none ();
   }
+
+let set_faults t f = t.faults <- f
+let faults t = t.faults
 
 let bytes_per_cycle t = t.bpc
 let latency_cycles t = t.latency
@@ -35,24 +111,68 @@ let transfer_cycles t ~bytes = serialization t bytes + t.latency
 
 let dir t from = match from with `A -> t.a_to_b | `B -> t.b_to_a
 
+let enqueue t d ~arrival ~payload =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push d.heap { Heap.arrival; seq; payload }
+
+let corrupt_payload t payload =
+  let b = Bytes.of_string payload in
+  if Bytes.length b > 0 then begin
+    let rng = Fault.rng t.faults in
+    let i = Velum_util.Rng.int rng (Bytes.length b) in
+    let bit = Velum_util.Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+  end;
+  Bytes.to_string b
+
 let send t ~from ~now ~payload =
   let d = dir t from in
   let start = if Int64.unsigned_compare now d.line_free > 0 then now else d.line_free in
   let ser = Int64.of_int (serialization t (String.length payload)) in
   d.line_free <- Int64.add start ser;
   let arrival = Int64.add d.line_free (Int64.of_int t.latency) in
-  d.queue <- d.queue @ [ (arrival, payload) ];
   t.total_bytes <- t.total_bytes + String.length payload;
-  arrival
+  let f = t.faults in
+  (* Fixed decision order keeps the fault schedule deterministic: the
+     sender always pays the serialization time (the frame went onto the
+     wire) even when the frame is then lost. *)
+  if Fault.fire f Fault.Partition ~now || Fault.fire f Fault.Drop ~now then
+    arrival
+  else begin
+    let payload =
+      if Fault.fire f Fault.Corrupt ~now then corrupt_payload t payload
+      else payload
+    in
+    let arrival =
+      if Fault.fire f Fault.Delay ~now then
+        let extra =
+          1 + Velum_util.Rng.int (Fault.rng f) (max 1 (2 * t.latency))
+        in
+        Int64.add arrival (Int64.of_int extra)
+      else arrival
+    in
+    enqueue t d ~arrival ~payload;
+    if Fault.fire f Fault.Duplicate ~now then
+      enqueue t d ~arrival:(Int64.add arrival 1L) ~payload;
+    arrival
+  end
 
 let poll t ~at ~now =
   let d = dir t (peer at) in
-  let arrived, still = List.partition (fun (when_, _) -> Int64.unsigned_compare when_ now <= 0) d.queue in
-  d.queue <- still;
-  List.map snd arrived
+  let rec drain acc =
+    match Heap.min d.heap with
+    | Some e when Int64.unsigned_compare e.Heap.arrival now <= 0 ->
+        let e = Heap.pop d.heap in
+        drain (e.Heap.payload :: acc)
+    | _ -> List.rev acc
+  in
+  drain []
 
 let next_arrival t ~at =
-  match (dir t (peer at)).queue with [] -> None | (when_, _) :: _ -> Some when_
+  match Heap.min (dir t (peer at)).heap with
+  | None -> None
+  | Some e -> Some e.Heap.arrival
 
-let in_flight t = List.length t.a_to_b.queue + List.length t.b_to_a.queue
+let in_flight t = t.a_to_b.heap.Heap.len + t.b_to_a.heap.Heap.len
 let bytes_sent t = t.total_bytes

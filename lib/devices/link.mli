@@ -28,6 +28,16 @@ val transfer_cycles : t -> bytes:int -> int
 (** [transfer_cycles t ~bytes] is the unloaded one-way time for a
     transfer of [bytes]: serialization + latency. *)
 
+val set_faults : t -> Velum_util.Fault.t -> unit
+(** [set_faults t f] attaches a fault plan.  Each [send] then consults it
+    (in a fixed order: partition, drop, corrupt, delay, duplicate) so that
+    equal seeds give byte-identical loss schedules.  Dropped frames still
+    consume line time and still return an arrival estimate — the sender
+    cannot tell; only [poll] reveals the loss. *)
+
+val faults : t -> Velum_util.Fault.t
+(** The currently attached plan ([Fault.none ()] by default). *)
+
 val send : t -> from:endpoint -> now:int64 -> payload:string -> int64
 (** [send t ~from ~now ~payload] enqueues a frame toward the peer and
     returns its arrival time. *)

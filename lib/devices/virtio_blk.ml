@@ -22,8 +22,11 @@ type t = {
   mutable batches : batch list; (* oldest first *)
   mutable irq : bool;
   mutable ops : int;
+  mutable error_count : int;
   mutable kick_count : int;
   mutable now : int64;
+  mutable faults : Velum_util.Fault.t;
+  mutable broken : bool; (* a permanent fault fired: fail everything *)
 }
 
 let create ?(sectors = 8192) mem =
@@ -38,11 +41,16 @@ let create ?(sectors = 8192) mem =
     batches = [];
     irq = false;
     ops = 0;
+    error_count = 0;
     kick_count = 0;
     now = 0L;
+    faults = Velum_util.Fault.none ();
+    broken = false;
   }
 
 let sectors t = t.nsectors
+let set_faults t f = t.faults <- f
+let error_count t = t.error_count
 
 let load t ~sector s =
   let off = sector * sector_bytes in
@@ -73,10 +81,24 @@ let setup_ring t =
    completion (status byte + used index) is deferred to the batch's
    finish time. *)
 let exec_desc t (d : Virtio_ring.desc) =
+  let module F = Velum_util.Fault in
+  if F.fire t.faults F.Blk_permanent ~now:t.now then t.broken <- true;
+  let injected =
+    if t.broken then begin
+      F.observe t.faults F.Blk_permanent;
+      true
+    end
+    else if F.fire t.faults F.Blk_transient ~now:t.now then begin
+      F.observe t.faults F.Blk_transient;
+      true
+    end
+    else false
+  in
   let sector = Int64.to_int d.arg in
   let len = d.data_len in
   let ok =
-    len > 0
+    (not injected)
+    && len > 0
     && len mod sector_bytes = 0
     && sector >= 0
     && (sector * sector_bytes) + len <= Bytes.length t.store
@@ -112,6 +134,7 @@ let kick t =
 let finish_batch t b =
   List.iter
     (fun (status_gpa, ok) ->
+      if not ok then t.error_count <- t.error_count + 1;
       ignore (t.mem.write_bytes status_gpa (Bytes.make 1 (if ok then '\000' else '\001'))))
     b.completions;
   (match t.ring with

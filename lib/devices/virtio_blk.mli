@@ -36,7 +36,15 @@ val sectors : t -> int
 val load : t -> sector:int -> string -> unit
 val read_back : t -> sector:int -> count:int -> string
 
+val set_faults : t -> Velum_util.Fault.t -> unit
+(** Attach a fault plan.  [Blk_transient] fails individual descriptors
+    (status byte 1); [Blk_permanent] breaks the device for good. *)
+
 val device : ?base:int64 -> t -> Velum_machine.Bus.device
 val completed_ops : t -> int
+
+val error_count : t -> int
+(** Descriptors completed with status byte 1. *)
+
 val kicks : t -> int
 val next_completion : t -> int64 option

@@ -306,11 +306,15 @@ let build (cfg : config) =
   in
 
   (* Emulated block read: program the registers (five device touches),
-     then poll STATUS until the operation completes. *)
+     then poll STATUS until the operation completes.  A transient device
+     error (STATUS=3) re-issues the whole command up to three times
+     before reporting -1 to the caller. *)
   let sys_blk_read =
     [
       label "k_sys_blk_read";
       li r5 blk_base;
+      li r9 3L (* bounded attempts *);
+      label "k_blk_issue";
       sd r2 r5 0x08L (* sector *);
       sd r3 r5 0x10L (* count *);
       sd r4 r5 0x18L (* dma address *);
@@ -322,7 +326,7 @@ let build (cfg : config) =
       label "k_blk_backoff";
       addi r12 r12 (-1L);
       bne r12 r0 "k_blk_backoff";
-      ld r6 r5 0x20L (* status *);
+      ld r6 r5 0x20L (* status; reading also clears done/error *);
       li r7 2L;
       beq r6 r7 "k_blk_done";
       li r7 3L;
@@ -332,6 +336,8 @@ let build (cfg : config) =
       li r1 0L;
       jmp "k_sys_done";
       label "k_blk_err";
+      addi r9 r9 (-1L);
+      bne r9 r0 "k_blk_issue" (* retry *);
       li r1 (-1L);
       jmp "k_sys_done";
     ]
@@ -353,6 +359,10 @@ let build (cfg : config) =
       li r6 1L;
       sdl r6 "k_vblk_init";
       label "k_vb_inited";
+      (* r15 (the link register — no calls from here, k_restore reloads
+         it) counts bounded retry attempts for the whole batch *)
+      li r15 3L;
+      label "k_vb_retry";
       li r8 Abi.ring_page;
       ld r9 r8 0L (* avail *);
       ld r10 r8 8L (* used *);
@@ -383,6 +393,7 @@ let build (cfg : config) =
       mul r6 r6 r7;
       li r1 vblk_status_area;
       add r6 r6 r1;
+      sd r0 r6 0L (* clear the status word before the device reuses it *);
       sd r6 r12 32L;
       addi r9 r9 1L;
       sd r9 r8 0L (* publish avail *);
@@ -398,6 +409,25 @@ let build (cfg : config) =
       ld r6 r5 0x08L (* ISR read: acks and lets the device model tick *);
       ld r10 r8 8L (* used *);
       blt r10 r11 "k_vb_wait";
+      (* completion: scan the per-descriptor status bytes; any nonzero
+         one fails the batch, which is re-pushed up to three times *)
+      li r7 0L;
+      label "k_vb_check";
+      bge r7 r3 "k_vb_ok";
+      li r6 8L;
+      mul r6 r6 r7;
+      li r1 vblk_status_area;
+      add r6 r6 r1;
+      ld r6 r6 0L;
+      bne r6 r0 "k_vb_fail";
+      addi r7 r7 1L;
+      jmp "k_vb_check";
+      label "k_vb_fail";
+      addi r15 r15 (-1L);
+      bne r15 r0 "k_vb_retry";
+      li r1 (-1L);
+      jmp "k_sys_done";
+      label "k_vb_ok";
       li r1 0L;
       jmp "k_sys_done";
     ]

@@ -1,0 +1,174 @@
+type site =
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Delay
+  | Blk_transient
+  | Blk_permanent
+  | Partition
+
+let all_sites =
+  [ Drop; Corrupt; Duplicate; Delay; Blk_transient; Blk_permanent; Partition ]
+
+let nsites = List.length all_sites
+
+let site_index = function
+  | Drop -> 0
+  | Corrupt -> 1
+  | Duplicate -> 2
+  | Delay -> 3
+  | Blk_transient -> 4
+  | Blk_permanent -> 5
+  | Partition -> 6
+
+let site_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Duplicate -> "dup"
+  | Delay -> "delay"
+  | Blk_transient -> "blk"
+  | Blk_permanent -> "blkperm"
+  | Partition -> "partition"
+
+type t = {
+  rng : Rng.t;
+  prob : float array;
+  windows : (int64 * int64) list array;
+  injected : int array;
+  observed : int array;
+}
+
+let create ?(seed = 0L) () =
+  {
+    rng = Rng.create ~seed;
+    prob = Array.make nsites 0.0;
+    windows = Array.make nsites [];
+    injected = Array.make nsites 0;
+    observed = Array.make nsites 0;
+  }
+
+let none () = create ()
+
+let active t =
+  Array.exists (fun p -> p > 0.0) t.prob
+  || Array.exists (fun w -> w <> []) t.windows
+
+let set_prob t site p =
+  t.prob.(site_index site) <- Float.max 0.0 (Float.min 1.0 p)
+
+let prob t site = t.prob.(site_index site)
+
+let add_window t site ~lo ~hi =
+  let i = site_index site in
+  t.windows.(i) <- t.windows.(i) @ [ (lo, hi) ]
+
+let in_window t i ~now =
+  List.exists
+    (fun (lo, hi) -> Int64.compare lo now <= 0 && Int64.compare now hi <= 0)
+    t.windows.(i)
+
+let fire t site ~now =
+  let i = site_index site in
+  let hit =
+    if t.windows.(i) <> [] && in_window t i ~now then true
+    else
+      (* Only draw when the probability can matter: sites left at zero must
+         not perturb the stream of sites that are in use. *)
+      t.prob.(i) > 0.0 && Rng.float t.rng < t.prob.(i)
+  in
+  if hit then t.injected.(i) <- t.injected.(i) + 1;
+  hit
+
+let observe t site =
+  let i = site_index site in
+  t.observed.(i) <- t.observed.(i) + 1
+
+let injected t site = t.injected.(site_index site)
+let observed t site = t.observed.(site_index site)
+let rng t = t.rng
+
+let site_of_name = function
+  | "drop" -> Some Drop
+  | "corrupt" -> Some Corrupt
+  | "dup" -> Some Duplicate
+  | "delay" -> Some Delay
+  | "blk" -> Some Blk_transient
+  | "blkperm" -> Some Blk_permanent
+  | "partition" -> Some Partition
+  | _ -> None
+
+let parse spec =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let clauses =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  (* The seed clause must apply regardless of position, so scan it first. *)
+  let seed = ref 0L in
+  let rest =
+    List.filter
+      (fun c ->
+        match String.index_opt c '=' with
+        | Some i when String.sub c 0 i = "seed" -> (
+            let v = String.sub c (i + 1) (String.length c - i - 1) in
+            match Int64.of_string_opt v with
+            | Some s ->
+                seed := s;
+                false
+            | None -> true)
+        | _ -> true)
+      clauses
+  in
+  let t = create ~seed:!seed () in
+  let rec go = function
+    | [] -> Ok t
+    | c :: tl -> (
+        match (String.index_opt c '=', String.index_opt c '@') with
+        | Some i, _ when String.sub c 0 i <> "seed" -> (
+            let name = String.sub c 0 i in
+            let v = String.sub c (i + 1) (String.length c - i - 1) in
+            match (site_of_name name, float_of_string_opt v) with
+            | Some site, Some p when p >= 0.0 && p <= 1.0 ->
+                set_prob t site p;
+                go tl
+            | Some _, _ -> err "fault spec: bad probability %S in %S" v c
+            | None, _ -> err "fault spec: unknown site %S in %S" name c)
+        | Some _, _ ->
+            (* seed=... with an unparsable value reaches here *)
+            err "fault spec: bad seed clause %S" c
+        | None, Some i -> (
+            let name = String.sub c 0 i in
+            let v = String.sub c (i + 1) (String.length c - i - 1) in
+            let range =
+              match String.index_opt v '-' with
+              | Some j -> (
+                  let lo = String.sub v 0 j in
+                  let hi = String.sub v (j + 1) (String.length v - j - 1) in
+                  match (Int64.of_string_opt lo, Int64.of_string_opt hi) with
+                  | Some lo, Some hi -> Some (lo, hi)
+                  | _ -> None)
+              | None -> None
+            in
+            match (site_of_name name, range) with
+            | Some site, Some (lo, hi) ->
+                add_window t site ~lo ~hi;
+                go tl
+            | None, _ -> err "fault spec: unknown site %S in %S" name c
+            | Some _, None -> err "fault spec: bad window %S in %S" v c)
+        | None, None -> err "fault spec: cannot parse clause %S" c)
+  in
+  go rest
+
+let pp fmt t =
+  let any = ref false in
+  List.iter
+    (fun site ->
+      let i = site_index site in
+      if t.injected.(i) > 0 || t.observed.(i) > 0 then begin
+        any := true;
+        Format.fprintf fmt "  fault.%-10s injected %6d  observed %6d@."
+          (site_name site) t.injected.(i) t.observed.(i)
+      end)
+    all_sites;
+  if not !any then Format.fprintf fmt "  (no faults injected)@."

@@ -1,0 +1,80 @@
+(** Deterministic, seeded fault injection.
+
+    A fault plan decides — reproducibly, from a splitmix64 seed — when a
+    simulated component misbehaves.  Each injection {e site} (frame drop,
+    frame corruption, block-device transient error, ...) carries an
+    independent probability plus an optional list of explicit cycle windows
+    during which the fault {e always} fires.  Consumers ask [fire] at each
+    opportunity; the plan draws from its private RNG stream so that equal
+    seeds yield byte-identical fault schedules regardless of wall-clock
+    time or host platform.
+
+    The plan also keeps two counters per site: [injected] (how many times
+    [fire] said yes) and [observed] (how many times a consumer detected and
+    handled the fault — e.g. a checksum mismatch caught by the migration
+    protocol).  Tests use these to assert that every injected fault is
+    accounted for. *)
+
+type site =
+  | Drop  (** a link frame is silently lost *)
+  | Corrupt  (** a link frame payload is bit-flipped in flight *)
+  | Duplicate  (** a link frame is delivered twice *)
+  | Delay  (** a link frame suffers extra queueing delay *)
+  | Blk_transient  (** one block-device command fails, retry may succeed *)
+  | Blk_permanent  (** the block device fails hard; sticky until reset *)
+  | Partition  (** the link is down: nothing gets through *)
+
+val all_sites : site list
+val site_name : site -> string
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] is a fault plan with every probability zero and no
+    windows.  [seed] defaults to [0L]. *)
+
+val none : unit -> t
+(** An inert plan: [fire] never returns [true] and draws no randomness.
+    Useful as a default so consumers need no option plumbing. *)
+
+val active : t -> bool
+(** [active t] is [true] iff some site has a nonzero probability or at
+    least one window — i.e. [fire] could ever return [true]. *)
+
+val set_prob : t -> site -> float -> unit
+(** [set_prob t site p] sets the per-opportunity probability for [site].
+    [p] is clamped to [0, 1]. *)
+
+val prob : t -> site -> float
+
+val add_window : t -> site -> lo:int64 -> hi:int64 -> unit
+(** [add_window t site ~lo ~hi] makes [site] fire deterministically for
+    every opportunity whose cycle [now] satisfies [lo <= now <= hi]. *)
+
+val fire : t -> site -> now:int64 -> bool
+(** [fire t site ~now] decides whether the fault happens at this
+    opportunity and counts it as injected if so.  Windows are checked
+    first (no RNG draw); otherwise a probability draw is made iff the
+    site's probability is positive, so sites with [p = 0] never perturb
+    the RNG stream. *)
+
+val observe : t -> site -> unit
+(** [observe t site] records that a consumer detected/handled one injected
+    fault of this kind (e.g. a checksum mismatch, an error status). *)
+
+val injected : t -> site -> int
+val observed : t -> site -> int
+
+val rng : t -> Rng.t
+(** The plan's private generator — for deterministic auxiliary choices
+    (which byte to corrupt, how long a delay lasts).  Consumers must only
+    draw from it when a fault actually fired, to keep schedules stable. *)
+
+val parse : string -> (t, string) result
+(** [parse spec] builds a plan from a comma-separated spec, e.g.
+    ["seed=42,drop=0.05,corrupt=0.01,partition@10000-20000"].  Each clause
+    is [seed=N], [SITE=PROB], or [SITE@LO-HI] (a cycle window).  Site
+    names: drop corrupt dup delay blk blkperm partition. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the per-site injected/observed counters (nonzero sites only). *)

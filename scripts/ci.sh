@@ -18,4 +18,25 @@ else
   echo "== skipping @fmt (ocamlformat not installed) =="
 fi
 
+echo "== fault-matrix smoke (determinism under injected faults) =="
+# Identical seeds must give byte-identical behaviour: any diff below is
+# nondeterminism in the fault plan, the link, or the recovery layers.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+dune exec bin/velum.exe -- migrate --faults "seed=42,drop=0.05" >"$tmp/mig1.txt"
+dune exec bin/velum.exe -- migrate --faults "seed=42,drop=0.05" >"$tmp/mig2.txt"
+diff "$tmp/mig1.txt" "$tmp/mig2.txt" || {
+  echo "FAIL: lossy migration diverged between identical-seed runs"; exit 1; }
+grep -q "retransmits" "$tmp/mig1.txt" || {
+  echo "FAIL: lossy migration reported no retransmit accounting"; exit 1; }
+
+dune exec bench/main.exe -- --quick E16 >"$tmp/e16a.txt"
+cp BENCH_fault.json "$tmp/BENCH_fault.a.json"
+dune exec bench/main.exe -- --quick E16 >"$tmp/e16b.txt"
+diff "$tmp/BENCH_fault.a.json" BENCH_fault.json || {
+  echo "FAIL: BENCH_fault.json diverged between identical-seed runs"; exit 1; }
+diff "$tmp/e16a.txt" "$tmp/e16b.txt" || {
+  echo "FAIL: E16 output diverged between identical-seed runs"; exit 1; }
+
 echo "CI gate passed."

@@ -148,7 +148,64 @@ let test_blk_bad_dma () =
   d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
   d.Bus.tick 10_000_000L;
   check64 "error surfaced at completion" Blockdev.status_error
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  checki "error counted" 1 (Blockdev.error_count blk)
+
+let test_blk_unknown_cmd () =
+  let blk, _ = make_blk () in
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 0L;
+  d.Bus.write Blockdev.reg_count Instr.W64 1L;
+  d.Bus.write Blockdev.reg_dma Instr.W64 0x100L;
+  d.Bus.write Blockdev.reg_cmd Instr.W64 99L (* not read/write *);
+  (* rejected immediately: no seek latency, no pending completion *)
+  checkb "no completion scheduled" true (Blockdev.next_completion blk = None);
+  checkb "irq raised" true (d.Bus.pending_irq ());
+  checki "error counted" 1 (Blockdev.error_count blk);
+  check64 "immediate error" Blockdev.status_error
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  (* the status read acked the error; the device accepts new commands *)
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  d.Bus.tick 10_000_000L;
+  check64 "recovers after reject" Blockdev.status_done
     (d.Bus.read Blockdev.reg_status Instr.W64)
+
+let test_blk_zero_count () =
+  let blk, _ = make_blk () in
+  let d = Blockdev.device blk in
+  d.Bus.write Blockdev.reg_sector Instr.W64 0L;
+  d.Bus.write Blockdev.reg_count Instr.W64 0L (* empty transfer is malformed *);
+  d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read;
+  check64 "immediate error" Blockdev.status_error
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  checki "error counted" 1 (Blockdev.error_count blk)
+
+let test_blk_transient_fault_retry () =
+  let blk, _ = make_blk () in
+  Blockdev.load blk ~sector:0 "retry-me";
+  let f = Velum_util.Fault.create ~seed:7L () in
+  (* the fault window covers only the first command's issue time *)
+  Velum_util.Fault.add_window f Velum_util.Fault.Blk_transient ~lo:0L ~hi:1_000L;
+  Blockdev.set_faults blk f;
+  let d = Blockdev.device blk in
+  let issue () =
+    d.Bus.write Blockdev.reg_sector Instr.W64 0L;
+    d.Bus.write Blockdev.reg_count Instr.W64 1L;
+    d.Bus.write Blockdev.reg_dma Instr.W64 0x100L;
+    d.Bus.write Blockdev.reg_cmd Instr.W64 Blockdev.cmd_read
+  in
+  issue ();
+  d.Bus.tick 10_000_000L;
+  check64 "injected error" Blockdev.status_error
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  checki "error counted" 1 (Blockdev.error_count blk);
+  checki "fault observed" 1 (Velum_util.Fault.observed f Velum_util.Fault.Blk_transient);
+  (* past the window the retry succeeds *)
+  issue ();
+  d.Bus.tick 20_000_000L;
+  check64 "retry succeeds" Blockdev.status_done
+    (d.Bus.read Blockdev.reg_status Instr.W64);
+  checki "no new error" 1 (Blockdev.error_count blk)
 
 (* ---------------- Virtio ring ---------------- *)
 
@@ -409,6 +466,9 @@ let () =
           Alcotest.test_case "write flow" `Quick test_blk_write;
           Alcotest.test_case "bad range" `Quick test_blk_bad_range;
           Alcotest.test_case "bad dma" `Quick test_blk_bad_dma;
+          Alcotest.test_case "unknown command" `Quick test_blk_unknown_cmd;
+          Alcotest.test_case "zero count" `Quick test_blk_zero_count;
+          Alcotest.test_case "transient fault retry" `Quick test_blk_transient_fault_retry;
         ] );
       ( "virtio_ring",
         [

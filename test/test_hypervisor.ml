@@ -408,6 +408,30 @@ let test_cycle_accounting_consistent () =
             ((hyp.Hypervisor.sched_decisions + 1)
             * hyp.Hypervisor.host.Host.cost.Velum_machine.Cost_model.ctx_switch))
 
+(* ---------------- progress watchdog ---------------- *)
+
+(* A VM whose vCPU is blocked (not halted) retires nothing: the watchdog
+   must fire and, under [Wd_kill], halt it so the host drains cleanly. *)
+let test_watchdog_kills_stuck_vm () =
+  let hyp = make_hyp () in
+  let _spin = unikernel hyp "spin" (spin_n_then_halt 200_000) in
+  let stuck = unikernel hyp "stuck" spin_forever in
+  Array.iter Vcpu.block stuck.Vm.vcpus;
+  Hypervisor.set_watchdog hyp ~budget:50_000L ~policy:Hypervisor.Wd_kill;
+  checkb "host drains after the kill" true
+    (Hypervisor.run hyp = Hypervisor.All_halted);
+  checkb "watchdog fired" true (Hypervisor.watchdog_fired hyp >= 1);
+  checkb "stuck vm halted" true (Vm.halted stuck);
+  checki "fires counted in the monitor" (Hypervisor.watchdog_fired hyp)
+    (Monitor.count stuck.Vm.monitor Monitor.E_watchdog)
+
+let test_watchdog_quiet_on_progress () =
+  let hyp = make_hyp () in
+  let _spin = unikernel hyp "spin" (spin_n_then_halt 200_000) in
+  Hypervisor.set_watchdog hyp ~budget:10_000L ~policy:Hypervisor.Wd_notify;
+  checkb "halted" true (Hypervisor.run hyp = Hypervisor.All_halted);
+  checki "a progressing vm never trips it" 0 (Hypervisor.watchdog_fired hyp)
+
 let () =
   Alcotest.run "hypervisor"
     [
@@ -439,6 +463,11 @@ let () =
         [
           Alcotest.test_case "cap limits a solo vm" `Quick test_cap_limits_solo_vm;
           Alcotest.test_case "cap vs uncapped" `Quick test_cap_vs_uncapped;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "kills a stuck vm" `Quick test_watchdog_kills_stuck_vm;
+          Alcotest.test_case "quiet on progress" `Quick test_watchdog_quiet_on_progress;
         ] );
       ( "privilege",
         [

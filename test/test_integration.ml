@@ -682,7 +682,7 @@ let test_replication_failover () =
   ignore (Hypervisor.run primary ~budget:3_000_000L);
   let link = Link.create () in
   let twin, stats =
-    Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles:200_000L ~epochs:5
+    Replicate.protect ~primary ~backup ~vm ~link ~epoch_cycles:200_000L ~epochs:5 ()
   in
   checkb "epochs ran" true (stats.Replicate.epochs_completed = 5);
   checkb "pages shipped" true (stats.Replicate.pages_sent > 0);
@@ -710,8 +710,8 @@ let test_replication_backup_idle_until_failover () =
   Images.load_vm vm setup;
   ignore (Hypervisor.run primary ~budget:2_000_000L);
   let link = Link.create () in
-  let session = Replicate.start ~primary ~backup ~vm ~link in
-  Replicate.epoch session ~run_cycles:100_000L;
+  let session = Replicate.start ~primary ~backup ~vm ~link () in
+  ignore (Replicate.epoch session ~run_cycles:100_000L);
   (* while protected, the backup twin must not execute *)
   ignore (Hypervisor.run backup ~budget:500_000L);
   let twin_cycles_before =
