@@ -1388,15 +1388,23 @@ let e16 () =
 let engine_bench () =
   if section "ENGINE" "Execution engines: interp vs block (equal simulated cycles)" then begin
     let scale l q = if !quick then q else l in
+    let scale_i l q = if !quick then q else l in
     let cases =
       [
         ( "cpu-spin",
           Images.plan ~user:(Workloads.cpu_spin ~iters:(scale 1_000_000L 100_000L)) () );
+        ( "branch-mix",
+          Images.plan ~user:(Workloads.branch_mix ~iters:(scale 600_000L 60_000L)) () );
+        ( "memcpy",
+          Images.plan ~heap_pages:18
+            ~user:
+              (Workloads.stream_copy ~words:4096 ~iters:(scale_i 150 15))
+            () );
         ( "null-syscall",
           Images.plan ~user:(Workloads.syscall_loop ~count:(scale 4_000L 400L)) () );
         ( "pgtable-churn",
           Images.plan
-            ~user:(Workloads.pt_churn ~batch:16 ~count:(scale 1_500 150) ())
+            ~user:(Workloads.pt_churn ~batch:16 ~count:(scale_i 1_500 150) ())
             () );
       ]
     in
@@ -1404,55 +1412,78 @@ let engine_bench () =
       let reps = if !quick then 1 else 3 in
       let best = ref infinity in
       let cycles = ref 0L in
+      let instret = ref 0L in
+      let chains = ref 0 in
       for _ = 1 to reps do
         let t0 = Sys.time () in
         let vm, total = run_vm ~engine setup in
         let dt = Sys.time () -. t0 in
-        ignore vm;
         cycles := total;
+        instret :=
+          Array.fold_left
+            (fun acc v -> Int64.add acc v.Vcpu.state.Velum_machine.Cpu.instret)
+            0L vm.Vm.vcpus;
+        chains :=
+          (match vm.Vm.engine.Velum_machine.Engine.cache with
+          | Some c -> Velum_machine.Trans_cache.chain_follows c
+          | None -> 0);
         if dt < !best then best := dt
       done;
-      (!best, !cycles)
+      (!best, !cycles, !instret, !chains)
     in
     let t =
       Tablefmt.create
         [ ("workload", Tablefmt.Left); ("interp s", Tablefmt.Right);
           ("block s", Tablefmt.Right); ("speedup", Tablefmt.Right);
+          ("block MIPS", Tablefmt.Right); ("chains", Tablefmt.Right);
           ("sim cycles", Tablefmt.Right) ]
     in
     let results =
       List.map
         (fun (name, setup) ->
-          let si, ci = time_engine ~engine:Velum_machine.Engine.Interp setup in
-          let sb, cb = time_engine ~engine:Velum_machine.Engine.Block setup in
+          let si, ci, ri, _ = time_engine ~engine:Velum_machine.Engine.Interp setup in
+          let sb, cb, rb, chains =
+            time_engine ~engine:Velum_machine.Engine.Block setup
+          in
           if ci <> cb then
             failwith
               (Printf.sprintf
                  "ENGINE %s: simulated cycles diverged (interp %Ld, block %Ld)" name ci
                  cb);
+          if ri <> rb then
+            failwith
+              (Printf.sprintf
+                 "ENGINE %s: retired instructions diverged (interp %Ld, block %Ld)"
+                 name ri rb);
           let speedup = si /. sb in
+          (* guest instructions retired per host wall-clock second *)
+          let mips = Int64.to_float rb /. sb /. 1e6 in
           Tablefmt.add_row t
             [ name; Tablefmt.cell_f ~decimals:3 si; Tablefmt.cell_f ~decimals:3 sb;
-              Tablefmt.cell_f ~decimals:2 speedup; Int64.to_string ci ];
-          (name, si, sb, speedup, ci))
+              Tablefmt.cell_f ~decimals:2 speedup; Tablefmt.cell_f ~decimals:1 mips;
+              string_of_int chains; Int64.to_string ci ];
+          (name, si, sb, speedup, mips, chains, ci))
         cases
     in
     Tablefmt.print t;
     let oc = open_out "BENCH_engine.json" in
     output_string oc "{\n  \"benchmarks\": [\n";
     List.iteri
-      (fun i (name, si, sb, speedup, cycles) ->
+      (fun i (name, si, sb, speedup, mips, chains, cycles) ->
         Printf.fprintf oc
           "    {\"name\": \"engine/%s\", \"interp_s\": %.6f, \"block_s\": %.6f, \
-           \"speedup\": %.3f, \"sim_cycles\": %Ld}%s\n"
-          name si sb speedup cycles
+           \"speedup\": %.3f, \"block_mips\": %.2f, \"chain_follows\": %d, \
+           \"sim_cycles\": %Ld}%s\n"
+          name si sb speedup mips chains cycles
           (if i = List.length results - 1 then "" else ","))
       results;
     output_string oc "  ]\n}\n";
     close_out oc;
     Printf.printf
-      "\nSimulated cycles are identical by construction (asserted above); the\n\
-       speedup is pure host wall clock.  Written to BENCH_engine.json.\n"
+      "\nSimulated cycles and retired instructions are identical by construction\n\
+       (asserted above); the speedup is pure host wall clock.  'chains' counts\n\
+       block->block dispatches that skipped the hashtable.  Written to\n\
+       BENCH_engine.json.\n"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1504,6 +1535,7 @@ let bechamel_suite () =
                      now = (fun () -> 0L);
                      ext_irq = (fun () -> false);
                      cost = platform.Platform.cost;
+                     dtlb = None;
                      env =
                        Cpu.Native
                          {

@@ -144,7 +144,31 @@ let run_cmd =
         | Platform.Out_of_budget -> "out of budget"
         | Platform.Deadlock -> "deadlock")
         (Platform.cycles platform)
-        (Platform.instructions_retired platform)
+        (Platform.instructions_retired platform);
+      let open Velum_machine in
+      Printf.printf "tlb.hits: %d\ntlb.misses: %d\ntlb.evictions: %d\ntlb.flushes: %d\n"
+        (Tlb.hits platform.Platform.tlb)
+        (Tlb.misses platform.Platform.tlb)
+        (Tlb.evictions platform.Platform.tlb)
+        (Tlb.flushes platform.Platform.tlb);
+      Printf.printf "dtlb.hits: %d\ndtlb.misses: %d\ndtlb.fills: %d\n"
+        (Dtlb.hits platform.Platform.dtlb)
+        (Dtlb.misses platform.Platform.dtlb)
+        (Dtlb.fills platform.Platform.dtlb);
+      match platform.Platform.engine.Engine.cache with
+      | None -> ()
+      | Some c ->
+          Printf.printf
+            "engine.cache.entries: %d\nengine.cache.hits: %d\nengine.cache.misses: \
+             %d\nengine.cache.invalidations: %d\nengine.cache.evictions: %d\n"
+            (Trans_cache.entries c) (Trans_cache.hits c) (Trans_cache.misses c)
+            (Trans_cache.invalidations c) (Trans_cache.evictions c);
+          Printf.printf
+            "engine.chain.patched: %d\nengine.chain.follows: %d\nengine.chain.severed: \
+             %d\n"
+            (Trans_cache.chains_patched c)
+            (Trans_cache.chain_follows c)
+            (Trans_cache.chains_severed c)
     end
     else begin
       let host = Host.create ~frames:(setup.Images.frames + 1024) () in
@@ -172,6 +196,7 @@ let run_cmd =
         | Hypervisor.Idle_deadlock -> "deadlock"
         | Hypervisor.Until_satisfied -> "condition met")
         (Vm.guest_cycles vm) (Vm.vmm_cycles vm);
+      Vm.publish_stats vm;
       Format.printf "%a@?" Monitor.pp vm.Vm.monitor;
       if Blockdev.error_count vm.Vm.blk > 0 || Virtio_blk.error_count vm.Vm.vblk > 0
       then
@@ -398,6 +423,11 @@ let info_cmd =
     Printf.printf "\nmonitor exit counters (per VM):\n  %s\n"
       (String.concat " "
          (List.map Monitor.exit_kind_name Monitor.all_exit_kinds));
+    Printf.printf
+      "engine/TLB gauges (printed by 'run', set/dotted names):\n\
+      \  engine.cache.{entries,hits,misses,invalidations,evictions}\n\
+      \  engine.chain.{patched,follows,severed}\n\
+      \  tlb.{hits,misses,evictions,flushes}  dtlb.{hits,misses,fills}\n";
     Printf.printf "fault-injection sites (--faults SPEC):\n  %s\n"
       (String.concat " " (List.map Fault.site_name Fault.all_sites));
     Printf.printf

@@ -142,6 +142,7 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
       ext_irq = (fun () -> false);
       cost = t.host.Host.cost;
       env = Cpu.Deprivileged;
+      dtlb = Some vm.Vm.dtlbs.(vcpu_idx);
     }
   in
   let inject () =

@@ -73,10 +73,16 @@ type t = {
   counts : int array;
   cycle_acc : int64 array;
   mutable injections : int;
+  gauges : (string, int) Hashtbl.t;
 }
 
 let create () =
-  { counts = Array.make nkinds 0; cycle_acc = Array.make nkinds 0L; injections = 0 }
+  {
+    counts = Array.make nkinds 0;
+    cycle_acc = Array.make nkinds 0L;
+    injections = 0;
+    gauges = Hashtbl.create 16;
+  }
 
 let bump t k = t.counts.(kind_index k) <- t.counts.(kind_index k) + 1
 
@@ -91,10 +97,18 @@ let total_exits t = Array.fold_left ( + ) 0 t.counts
 let irq_injected t = t.injections <- t.injections + 1
 let irq_injections t = t.injections
 
+let set_gauge t name v = Hashtbl.replace t.gauges name v
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+let gauges t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset t =
   Array.fill t.counts 0 nkinds 0;
   Array.fill t.cycle_acc 0 nkinds 0L;
-  t.injections <- 0
+  t.injections <- 0;
+  Hashtbl.reset t.gauges
 
 let pp ppf t =
   List.iter
@@ -103,4 +117,5 @@ let pp ppf t =
       if c > 0 then
         Format.fprintf ppf "%s: %d (%Ld cyc)@." (exit_kind_name k) c (cycles t k))
     all_exit_kinds;
-  if t.injections > 0 then Format.fprintf ppf "irq-injections: %d@." t.injections
+  if t.injections > 0 then Format.fprintf ppf "irq-injections: %d@." t.injections;
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s: %d@." name v) (gauges t)

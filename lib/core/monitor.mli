@@ -43,7 +43,19 @@ val total_exits : t -> int
 val irq_injected : t -> unit
 val irq_injections : t -> int
 
+(** {1 Gauges}
+
+    Free-form named statistics published in bulk (dotted names by
+    convention: [engine.chain.follows], [tlb.evictions], …).  Unlike the
+    exit counters these are set, not bumped — callers snapshot a
+    subsystem's counters into the monitor right before printing. *)
+
+val set_gauge : t -> string -> int -> unit
+val gauge : t -> string -> int option
+val gauges : t -> (string * int) list
+(** Sorted by name. *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit
-(** One line per nonzero counter. *)
+(** One line per nonzero counter, then every gauge. *)

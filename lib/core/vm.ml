@@ -18,6 +18,7 @@ type t = {
   p2m : P2m.t;
   vcpus : Vcpu.t array;
   tlbs : Tlb.t array;
+  dtlbs : Dtlb.t array;
   paging : paging_mode;
   mutable shadow : Shadow.t option;
   mutable nested : Nested.t option;
@@ -287,6 +288,7 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
         Vcpu.create ~id:((id * 64) + i) ~vm_id:id ~hartid:i ~entry ())
   in
   let tlbs = Array.init vcpu_count (fun _ -> Tlb.create ~size:tlb_size) in
+  let dtlbs = Array.map (fun tlb -> Dtlb.create ~tlb) tlbs in
   let bus = Bus.create () in
   let uart = Uart.create () in
   let t =
@@ -297,6 +299,7 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
       p2m;
       vcpus;
       tlbs;
+      dtlbs;
       paging;
       shadow = None;
       nested = None;
@@ -542,3 +545,30 @@ let pp ppf t =
   Format.fprintf ppf "vm%d(%s, %d vcpus, %d frames, %s)" t.id t.name
     (Array.length t.vcpus) (mem_frames t)
     (match t.paging with Shadow_paging -> "shadow" | Nested_paging -> "nested")
+
+(* Snapshot engine / TLB / micro-TLB counters into the monitor as
+   gauges.  Called by presentation paths (CLI, benches) right before
+   printing — never by the run loop itself, so differential tests that
+   compare raw monitor state across engines stay engine-agnostic. *)
+let publish_stats t =
+  let m = t.monitor in
+  let g = Monitor.set_gauge m in
+  let sum f = Array.fold_left (fun acc x -> acc + f x) 0 in
+  g "tlb.hits" (sum Tlb.hits t.tlbs);
+  g "tlb.misses" (sum Tlb.misses t.tlbs);
+  g "tlb.evictions" (sum Tlb.evictions t.tlbs);
+  g "tlb.flushes" (sum Tlb.flushes t.tlbs);
+  g "dtlb.hits" (sum Dtlb.hits t.dtlbs);
+  g "dtlb.misses" (sum Dtlb.misses t.dtlbs);
+  g "dtlb.fills" (sum Dtlb.fills t.dtlbs);
+  match t.engine.Engine.cache with
+  | None -> ()
+  | Some c ->
+      g "engine.cache.entries" (Trans_cache.entries c);
+      g "engine.cache.hits" (Trans_cache.hits c);
+      g "engine.cache.misses" (Trans_cache.misses c);
+      g "engine.cache.invalidations" (Trans_cache.invalidations c);
+      g "engine.cache.evictions" (Trans_cache.evictions c);
+      g "engine.chain.patched" (Trans_cache.chains_patched c);
+      g "engine.chain.follows" (Trans_cache.chain_follows c);
+      g "engine.chain.severed" (Trans_cache.chains_severed c)

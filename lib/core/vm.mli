@@ -39,6 +39,9 @@ type t = {
   p2m : P2m.t;
   vcpus : Vcpu.t array;
   tlbs : Tlb.t array;  (** parallel to [vcpus] *)
+  dtlbs : Dtlb.t array;
+      (** per-vCPU data micro-TLBs backed by the matching [tlbs] entry;
+          handed to the execution engine through {!Cpu.ctx} *)
   paging : paging_mode;
   mutable shadow : Shadow.t option;
   mutable nested : Nested.t option;
@@ -187,3 +190,9 @@ val console_put : t -> char -> unit
 val console_output : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+val publish_stats : t -> unit
+(** Snapshot engine dispatch, chain, TLB and micro-TLB counters into the
+    monitor as gauges ([engine.*], [tlb.*], [dtlb.*]).  Presentation
+    paths call this right before printing; the run loop never does, so
+    raw monitor state stays comparable across engines. *)

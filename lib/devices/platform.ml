@@ -10,6 +10,7 @@ type t = {
   nic : Nic.t option;
   cpu : Cpu.state;
   tlb : Tlb.t;
+  dtlb : Dtlb.t;
   mmu : Mmu.t;
   cost : Cost_model.t;
   engine : Engine.t;
@@ -83,6 +84,7 @@ let create ?(frames = 4096) ?(cost = Cost_model.default) ?(blk_sectors = 8192)
   in
   let cpu = Cpu.create_state () in
   let tlb = Tlb.create ~size:tlb_size in
+  let dtlb = Dtlb.create ~tlb in
   let mmu = Mmu.create ~mem ~tlb ~cost ~get_satp:(fun () -> Cpu.get_csr cpu Arch.Satp) in
   let engine = Engine.of_kind engine in
   (* Bare metal has no frame revocation, so the write listener is the
@@ -94,7 +96,7 @@ let create ?(frames = 4096) ?(cost = Cost_model.default) ?(blk_sectors = 8192)
         (Phys_mem.add_write_listener mem (fun ~ppn ~lo ~hi ->
              Trans_cache.invalidate_range cache ~ppn ~lo ~hi)))
     engine.Engine.cache;
-  { mem; bus; uart; blk; vblk; nic; cpu; tlb; mmu; cost; engine; clock = 0L }
+  { mem; bus; uart; blk; vblk; nic; cpu; tlb; dtlb; mmu; cost; engine; clock = 0L }
 
 let load_image t (img : Asm.image) = Phys_mem.load_bytes t.mem ~pa:img.origin img.code
 
@@ -122,6 +124,7 @@ let make_ctx t =
     now = (fun () -> t.clock);
     ext_irq = (fun () -> Bus.pending_irq t.bus);
     cost = t.cost;
+    dtlb = Some t.dtlb;
     env =
       Cpu.Native
         {

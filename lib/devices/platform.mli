@@ -18,6 +18,7 @@ type t = {
   nic : Nic.t option;
   cpu : Cpu.state;
   tlb : Tlb.t;
+  dtlb : Dtlb.t;  (** data micro-TLB backed by [tlb] (see {!Dtlb}) *)
   mmu : Mmu.t;
   cost : Cost_model.t;
   engine : Engine.t;  (** execution engine driving the hart *)

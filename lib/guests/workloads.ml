@@ -37,6 +37,62 @@ let cpu_spin ~iters =
       ]
     @ exit_)
 
+let branch_mix ~iters =
+  build
+    (prologue
+    @ [
+        li r2 iters;
+        li r3 0xACE1L;
+        li r5 0L;
+        li r6 0L;
+        li r8 0L;
+        label "u_loop";
+        (* a 16-bit Galois LFSR step: the low bit decides a
+           data-dependent branch each iteration, so control flow hops
+           between several short blocks in an input-dependent order *)
+        andi r4 r3 1L;
+        srli r3 r3 1L;
+        beq r4 r0 "u_even";
+        xori r3 r3 0xB400L;
+        addi r5 r5 1L;
+        jmp "u_next";
+        label "u_even";
+        addi r6 r6 1L;
+        label "u_next";
+        andi r7 r3 3L;
+        beq r7 r0 "u_skip";
+        add r8 r8 r7;
+        label "u_skip";
+        addi r2 r2 (-1L);
+        bne r2 r0 "u_loop";
+      ]
+    @ exit_)
+
+let stream_copy ~words ~iters =
+  let bytes = Int64.of_int (8 * words) in
+  build
+    (prologue
+    @ [
+        li r6 (Int64.of_int iters);
+        label "u_outer";
+        li r7 Abi.heap_base;
+        (* dst = heap + words*8, same size *)
+        li r8 Abi.heap_base;
+        li r9 bytes;
+        add r8 r8 r9;
+        li r5 (Int64.of_int words);
+        label "u_inner";
+        ld r9 r7 0L;
+        sd r9 r8 0L;
+        addi r7 r7 8L;
+        addi r8 r8 8L;
+        addi r5 r5 (-1L);
+        bne r5 r0 "u_inner";
+        addi r6 r6 (-1L);
+        bne r6 r0 "u_outer";
+      ]
+    @ exit_)
+
 let syscall_stress ~num ~count =
   build
     (prologue

@@ -24,6 +24,17 @@ open Velum_isa
 
 val cpu_spin : iters:int64 -> Asm.image
 
+val branch_mix : iters:int64 -> Asm.image
+(** A 16-bit LFSR drives data-dependent branches between several short
+    blocks each iteration — the block-chaining stress case (taken and
+    fall-through edges alternate in an input-dependent order). *)
+
+val stream_copy : words:int -> iters:int -> Asm.image
+(** memcpy kernel: [iters] passes copying [words] 8-byte words from the
+    bottom of the heap to a disjoint region right above it — the
+    data-side translation (micro-TLB) stress case.  Requires
+    [heap_pages] ≥ [2 * words / 512 + 1]. *)
+
 val syscall_loop : count:int64 -> Asm.image
 
 val syscall_stress : num:int64 -> count:int64 -> Asm.image

@@ -16,6 +16,12 @@ let is_terminator insn =
 
 let preserves_translation = function
   | Instr.Nop | Instr.Alu _ | Instr.Alui _ | Instr.Lui _ | Instr.Branch _
+  | Instr.Jal _ | Instr.Jalr _ | Instr.Load _ | Instr.Store _ ->
+      true
+  | _ -> false
+
+let preserves_translation_unconditionally = function
+  | Instr.Nop | Instr.Alu _ | Instr.Alui _ | Instr.Lui _ | Instr.Branch _
   | Instr.Jal _ | Instr.Jalr _ ->
       true
   | _ -> false

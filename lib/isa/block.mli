@@ -25,14 +25,24 @@ val is_terminator : Instr.t -> bool
     control transfers ([Branch], [Jal], [Jalr]). *)
 
 val preserves_translation : Instr.t -> bool
-(** [preserves_translation i] — executing [i] cannot change the outcome
-    of any address translation: it touches no memory (so it cannot evict
-    or fill TLB entries), cannot trap (so the privilege mode is
-    unchanged) and cannot write [satp] or flush.  True exactly for
-    [Nop], [Alu], [Alui], [Lui], [Branch], [Jal] and [Jalr].  Engines
-    use this to reuse a fetch translation across consecutive
-    instructions without diverging from the reference interpreter's
-    cycle accounting. *)
+(** [preserves_translation i] — executing [i] {e can} leave every
+    address translation outcome unchanged.  For [Nop], [Alu], [Alui],
+    [Lui], [Branch], [Jal] and [Jalr] this is unconditional; [Load] and
+    [Store] are also included — relaxed from the original definition —
+    because their translations do not disturb the TLB as long as they
+    are served by an existing entry (a data micro-TLB hit, see {!Dtlb}
+    in the machine library).  An engine using this relaxed predicate
+    must pair it with a dynamic check that the instruction really did
+    leave translation state alone (mode unchanged and TLB generation
+    unchanged); without such a check, use
+    {!preserves_translation_unconditionally}. *)
+
+val preserves_translation_unconditionally : Instr.t -> bool
+(** The strict, statically-certain form: executing the instruction
+    touches no memory (so it cannot evict or fill TLB entries), cannot
+    trap (mode unchanged) and cannot write [satp] or flush.  True
+    exactly for [Nop], [Alu], [Alui], [Lui], [Branch], [Jal] and
+    [Jalr]. *)
 
 type decoded = {
   insns : Instr.t array;

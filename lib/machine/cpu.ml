@@ -110,6 +110,7 @@ type ctx = {
   ext_irq : unit -> bool;
   cost : Cost_model.t;
   env : env;
+  dtlb : Dtlb.t option;
 }
 
 type vmexit =

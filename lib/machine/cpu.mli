@@ -114,6 +114,12 @@ type ctx = {
   ext_irq : unit -> bool;
   cost : Cost_model.t;
   env : env;
+  dtlb : Dtlb.t option;
+      (** data-side micro-TLB backed by this hart's TLB, used by block
+          engines to serve repeated load/store translations and to
+          certify fetch-translation reuse via {!Dtlb.generation}.  The
+          interpreter itself never consults it (it stays the pure
+          reference), so wiring it is always behaviour-preserving. *)
 }
 
 (** {1 VM exits} *)

@@ -1,0 +1,106 @@
+open Velum_isa
+
+(* A micro-TLB entry mirrors one translation the backing {!Tlb} is known
+   to hold: while the TLB's generation is unchanged, replaying the access
+   through the TLB would hit — same physical address, zero cycles, one
+   [note_hit] — so serving it from here is observationally identical and
+   skips the full translator call chain.  [load_ok]/[store_ok] are
+   learned per access kind because the translators gate stores on the
+   dirty bit independently of read permission. *)
+type entry = {
+  vpn : int64;
+  ppn : int64;  (* 4 KiB frame of the translated pa *)
+  user : bool;
+  mutable load_ok : bool;
+  mutable store_ok : bool;
+  gen : int;  (* Tlb.generation at fill time *)
+}
+
+type t = {
+  tlb : Tlb.t;
+  slots : entry option array;  (* direct-mapped on the low vpn bits *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable fills : int;
+}
+
+let num_slots = 32
+let slot_mask = Int64.of_int (num_slots - 1)
+
+let create ~tlb =
+  { tlb; slots = Array.make num_slots None; hits = 0; misses = 0; fills = 0 }
+
+let backing t = t.tlb
+let generation t = Tlb.generation t.tlb
+
+let page_off va = Int64.logand va (Int64.of_int (Arch.page_size - 1))
+let slot_of vpn = Int64.to_int (Int64.logand vpn slot_mask)
+
+let lookup t ~access ~user va =
+  let vpn = Int64.shift_right_logical va Arch.page_shift in
+  match t.slots.(slot_of vpn) with
+  | Some e
+    when e.vpn = vpn && e.user = user
+         && (match access with
+            | Arch.Load -> e.load_ok
+            | Arch.Store -> e.store_ok
+            | Arch.Fetch -> false)
+         && e.gen = Tlb.generation t.tlb ->
+      t.hits <- t.hits + 1;
+      (* replicate the side effect the real TLB hit would have had *)
+      Tlb.note_hit t.tlb;
+      Some (Int64.logor (Int64.shift_left e.ppn Arch.page_shift) (page_off va))
+  | _ ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Cache a successful RAM translation, but only after verifying that the
+   backing TLB now holds an entry that would satisfy this access on its
+   own (permissions pass, stores find the dirty bit hardened).  The
+   check is the strictest of the translators' hit predicates, so an
+   entry some laxer translator would accept is merely not cached — never
+   the other way round.  Translations that bypassed the TLB entirely
+   (bare-metal runs with paging off) fail the probe and stay uncached;
+   their translate path is already trivial. *)
+let fill t ~access ~user ~va ~pa =
+  let vpn = Int64.shift_right_logical va Arch.page_shift in
+  match Tlb.lookup t.tlb ~vpn with
+  | Some e
+    when (not e.Tlb.mmio)
+         && ((not user) || e.perms.Pte.u)
+         && (match access with
+            | Arch.Load -> e.perms.Pte.r
+            | Arch.Store -> e.perms.Pte.w && e.dirty_ok
+            | Arch.Fetch -> false) ->
+      let ppn = Int64.shift_right_logical pa Arch.page_shift in
+      let gen = Tlb.generation t.tlb in
+      let slot = slot_of vpn in
+      (match t.slots.(slot) with
+      | Some old when old.vpn = vpn && old.user = user && old.gen = gen && old.ppn = ppn
+        -> (
+          match access with
+          | Arch.Load -> old.load_ok <- true
+          | Arch.Store -> old.store_ok <- true
+          | Arch.Fetch -> ())
+      | _ ->
+          t.slots.(slot) <-
+            Some
+              {
+                vpn;
+                ppn;
+                user;
+                load_ok = access = Arch.Load;
+                store_ok = access = Arch.Store;
+                gen;
+              });
+      t.fills <- t.fills + 1
+  | _ -> ()
+
+let hits t = t.hits
+let misses t = t.misses
+let fills t = t.fills
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.fills <- 0

@@ -20,33 +20,141 @@ let interp =
 
 let page_mask = Int64.of_int (Arch.page_size - 1)
 let align_mask = Int64.of_int (Arch.instr_bytes - 1)
+let instr_bytes64 = Int64.of_int Arch.instr_bytes
+
+(* Per-hart window state, keyed by [Cpu.state] identity so it survives
+   across [step_n] calls.  Persistence is sound because nothing here is
+   trusted on re-entry: the fetch window is re-validated against the
+   micro-TLB generation (and vpn/mode), block reuse re-checks
+   [valid]/regime/containment, and a stale [pending] edge can at worst
+   patch a chain that [follow] will refuse later.  Without a micro-TLB
+   there is no generation to consult, so the state is reset cold on
+   every call (the strict static window rules then apply). *)
+type wstate = {
+  mutable w_dtlb : Dtlb.t option;
+      (* the micro-TLB the fields below were computed against; a
+         different (or absent) one makes generations incomparable *)
+  mutable fresh : bool;
+  mutable cur_vpn : int64;
+  mutable cur_frame : int64;
+  mutable cur_user : bool;
+  mutable cur_gen : int;
+  mutable cur_block : Trans_cache.block option;
+  mutable pending : (Trans_cache.block * bool) option;
+}
+
+let new_wstate () =
+  {
+    w_dtlb = None;
+    fresh = false;
+    cur_vpn = 0L;
+    cur_frame = -1L;
+    cur_user = false;
+    cur_gen = 0;
+    cur_block = None;
+    pending = None;
+  }
 
 (* The block engine's driver loop.  It mirrors [Cpu.run] stop for stop
-   and cycle for cycle; the only liberty it takes is {e skipping} fetch
+   and cycle for cycle; the only liberty it takes is {e skipping}
    translations the interpreter would perform as guaranteed zero-cycle
-   TLB hits.  The reuse window argument: after a fetch translation of
-   page [vpn] succeeds, as long as every retired instruction since
-   satisfies [Block.preserves_translation] (no memory access, no trap,
-   no CSR/satp/flush side effect) and no interrupt was delivered (mode
-   change), neither the TLB contents nor the inputs to translation can
-   have changed — so a subsequent fetch from [vpn] would hit and charge
-   nothing.  Anything else collapses the window and the next
-   instruction pays a real [fetch_prelude], exactly like the
-   interpreter. *)
-let block_step cache s ctx ~fuel =
+   TLB hits.
+
+   Fetch side — the reuse window.  After a fetch translation of page
+   [vpn] succeeds we record the mode and the backing TLB's generation
+   ({!Dtlb.generation}).  While the PC stays in [vpn], the mode is
+   unchanged and the generation is unchanged (no TLB entry flushed,
+   evicted or replaced — which also implies [satp] is unchanged, since
+   every [satp] write flushes), a fetch translation would return the
+   same frame as a zero-cycle hit, so it is skipped.  Loads and stores
+   do not collapse the window (cf. the relaxed
+   [Block.preserves_translation]): an access served by the micro-TLB or
+   by a plain TLB hit leaves the generation alone, and one that walks
+   and thereby evicts a TLB entry bumps the generation, collapsing the
+   window exactly when required.  Without a micro-TLB wired in the ctx
+   there is no generation to consult, and the window only survives
+   instructions that are statically incapable of disturbing translation
+   ([Block.preserves_translation_unconditionally]).
+
+   Data side — the micro-TLB.  [ctx.translate] is wrapped so load/store
+   translations are first served from {!Dtlb}; a hit replicates exactly
+   what the real translate would have done (same pa, zero cycles, one
+   [Tlb.note_hit]) without the full MMU/nested/shadow call chain.
+
+   Dispatch — block chaining.  When the last instruction of a block
+   retires, the engine remembers the (block, taken?) edge; resolving the
+   next block first chases that edge ({!Trans_cache.follow}), then falls
+   back to the hashtable and patches the edge for next time
+   ({!Trans_cache.set_succ}).  Edges are predictions: following one
+   re-checks validity, regime and span containment, so invalidation
+   (which also severs incoming edges) can never lead to executing a
+   stale successor.
+
+   Execution — the in-block inner loop.  Once a block is resolved,
+   instructions run back to back (including in-block branches) without
+   going around the dispatch loop, as long as each retired instruction
+   is provably equivalent to re-dispatching: the block is still valid
+   (a store into its own page clears [valid] via the write listener),
+   the window facts still hold (generation and mode under a micro-TLB,
+   static class otherwise), fuel remains, and — outside deprivileged
+   mode, where the interpreter checks interrupts before every
+   instruction — the instruction class cannot affect interrupt state
+   (no CSR, MMIO or port access; [now]/[ext_irq] are constant within a
+   [step_n] call, so nothing else can make an interrupt pending). *)
+let block_step cache states s ctx ~fuel =
   let cost = ctx.Cpu.cost in
+  (* hoisted cost-model constants: no per-iteration field reads *)
+  let trap_enter = cost.Cost_model.trap_enter in
+  let base_instr = cost.Cost_model.base_instr in
   let deprivileged = Cpu.is_deprivileged ctx in
+  let dtlb = ctx.Cpu.dtlb in
   if s.Cpu.halted then (0, Cpu.Halted)
   else begin
+    let w =
+      match List.assq_opt s !states with
+      | Some w -> w
+      | None ->
+          let w = new_wstate () in
+          states := (s, w) :: !states;
+          w
+    in
+    (* window state persists across calls only while the same micro-TLB
+       keeps generations comparable; otherwise start cold *)
+    (match (w.w_dtlb, dtlb) with
+    | Some a, Some b when a == b -> ()
+    | _ ->
+        w.w_dtlb <- dtlb;
+        w.fresh <- false;
+        w.cur_frame <- -1L;
+        w.cur_block <- None;
+        w.pending <- None);
     let consumed = ref 0 in
     let result = ref None in
-    let fresh = ref false in
-    let cur_vpn = ref 0L in
-    let cur_frame = ref 0L in
-    let cur_block : Trans_cache.block option ref = ref None in
     let collapse_window () =
-      fresh := false;
-      cur_block := None
+      w.fresh <- false;
+      w.cur_block <- None;
+      w.pending <- None
+    in
+    (* serve data translations from the micro-TLB when one is wired *)
+    let ctx =
+      match dtlb with
+      | None -> ctx
+      | Some d ->
+          let translate ~access ~user va =
+            match access with
+            | Arch.Fetch -> ctx.Cpu.translate ~access ~user va
+            | Arch.Load | Arch.Store -> (
+                match Dtlb.lookup d ~access ~user va with
+                | Some pa -> Ok { Cpu.pa; mmio = false; xlate_cycles = 0 }
+                | None ->
+                    let r = ctx.Cpu.translate ~access ~user va in
+                    (match r with
+                    | Ok x when not x.Cpu.mmio ->
+                        Dtlb.fill d ~access ~user ~va ~pa:x.Cpu.pa
+                    | _ -> ());
+                    r)
+          in
+          { ctx with Cpu.translate }
     in
     let finish step =
       match step with
@@ -65,20 +173,28 @@ let block_step cache s ctx ~fuel =
            with
            | Some cause ->
                Cpu.deliver_trap s ~cause ~tval:0L;
-               consumed := !consumed + cost.Cost_model.trap_enter;
-               collapse_window () (* trap entry changed the mode *)
+               consumed := !consumed + trap_enter;
+               (* asynchronous flow hijack: never chain across it (the
+                  window itself is re-validated below) *)
+               w.pending <- None
            | None -> ());
         if s.Cpu.waiting then result := Some Cpu.Waiting
         else begin
           let pc = s.Cpu.pc in
+          let user = s.Cpu.mode = Arch.User in
           (* 1. A fetch translation for [pc]: free inside the reuse
              window, a real (interpreter-identical) prelude outside. *)
+          let win_ok =
+            w.fresh
+            && Int64.shift_right_logical pc Arch.page_shift = w.cur_vpn
+            && user = w.cur_user
+            && (match dtlb with
+               | Some d -> Dtlb.generation d = w.cur_gen
+               | None -> true)
+            && Int64.logand pc align_mask = 0L
+          in
           let xl =
-            if
-              !fresh
-              && Int64.shift_right_logical pc Arch.page_shift = !cur_vpn
-              && Int64.logand pc align_mask = 0L
-            then Some 0
+            if win_ok then Some 0
             else
               match Cpu.fetch_prelude s ctx with
               | Error step ->
@@ -86,10 +202,29 @@ let block_step cache s ctx ~fuel =
                   collapse_window ();
                   None
               | Ok { Cpu.pa; xlate_cycles; _ } ->
-                  cur_vpn := Int64.shift_right_logical pc Arch.page_shift;
-                  cur_frame := Int64.shift_right_logical pa Arch.page_shift;
-                  fresh := true;
-                  cur_block := None;
+                  let frame = Int64.shift_right_logical pa Arch.page_shift in
+                  w.cur_vpn <- Int64.shift_right_logical pc Arch.page_shift;
+                  w.cur_user <- user;
+                  (match dtlb with
+                  | Some d -> w.cur_gen <- Dtlb.generation d
+                  | None -> ());
+                  w.fresh <- true;
+                  (* keep the decoded block when the refetch landed in
+                     the same frame and regime: a collapsed window then
+                     costs one translate, not a hashtable round trip *)
+                  (if frame <> w.cur_frame then w.cur_block <- None
+                   else
+                     match w.cur_block with
+                     | Some b
+                       when not
+                              (Trans_cache.same_regime_key b
+                                 (Trans_cache.key ~ppn:frame ~off:0 ~user
+                                    ~paging:
+                                      (Arch.satp_enabled (Cpu.get_csr s Arch.Satp))))
+                       ->
+                         w.cur_block <- None
+                     | _ -> ());
+                  w.cur_frame <- frame;
                   Some xlate_cycles
           in
           match xl with
@@ -98,10 +233,11 @@ let block_step cache s ctx ~fuel =
               let off = Int64.to_int (Int64.logand pc page_mask) in
               (* 2. A decoded block covering [off] in the code frame:
                  the current block when the PC is still inside it
-                 (sequential flow and in-block branches), else a cache
-                 lookup, else decode-and-insert. *)
+                 (sequential flow and in-block branches), else the
+                 chained successor, else a cache lookup (patching the
+                 chain), else decode-and-insert. *)
               let blk =
-                match !cur_block with
+                match w.cur_block with
                 | Some b
                   when b.Trans_cache.valid
                        && off >= b.Trans_cache.start_off
@@ -111,59 +247,139 @@ let block_step cache s ctx ~fuel =
                     Some b
                 | _ -> (
                     let key =
-                      Trans_cache.key ~ppn:!cur_frame ~off
-                        ~user:(s.Cpu.mode = Arch.User)
+                      Trans_cache.key ~ppn:w.cur_frame ~off ~user
                         ~paging:(Arch.satp_enabled (Cpu.get_csr s Arch.Satp))
                     in
-                    match Trans_cache.find cache key with
+                    let chained =
+                      match w.pending with
+                      | Some (p, taken) ->
+                          Trans_cache.follow cache ~from:p ~taken ~key ~off
+                      | None -> None
+                    in
+                    match chained with
                     | Some b ->
-                        cur_block := Some b;
+                        w.cur_block <- Some b;
                         Some b
                     | None -> (
-                        let base =
-                          Int64.logor
-                            (Int64.shift_left !cur_frame Arch.page_shift)
-                            (Int64.of_int off)
+                        let resolved =
+                          match Trans_cache.find cache key with
+                          | Some b -> Some b
+                          | None -> (
+                              let base =
+                                Int64.logor
+                                  (Int64.shift_left w.cur_frame Arch.page_shift)
+                                  (Int64.of_int off)
+                              in
+                              let read_word i =
+                                ctx.Cpu.read_ram
+                                  (Int64.add base (Int64.of_int (i * Arch.instr_bytes)))
+                                  Instr.W64
+                              in
+                              let max_instrs = (Arch.page_size - off) / Arch.instr_bytes in
+                              let d = Block.decode_span ~read_word ~max_instrs in
+                              match Array.length d.Block.insns with
+                              | 0 ->
+                                  (* Undecodable first word: the
+                                     interpreter's illegal-instruction
+                                     outcome (which charges no
+                                     translation cycles either). *)
+                                  finish
+                                    (Cpu.trap_or_exit s ctx Arch.Illegal_instruction
+                                       (read_word 0) base_instr);
+                                  collapse_window ();
+                                  None
+                              | _ ->
+                                  Some
+                                    (Trans_cache.insert cache ~key ~ppn:w.cur_frame
+                                       ~insns:d.Block.insns ~classes:d.Block.classes
+                                       ~start_off:off))
                         in
-                        let read_word i =
-                          ctx.Cpu.read_ram
-                            (Int64.add base (Int64.of_int (i * Arch.instr_bytes)))
-                            Instr.W64
-                        in
-                        let max_instrs = (Arch.page_size - off) / Arch.instr_bytes in
-                        let d = Block.decode_span ~read_word ~max_instrs in
-                        match Array.length d.Block.insns with
-                        | 0 ->
-                            (* Undecodable first word: the interpreter's
-                               illegal-instruction outcome (which charges
-                               no translation cycles either). *)
-                            finish
-                              (Cpu.trap_or_exit s ctx Arch.Illegal_instruction
-                                 (read_word 0) cost.Cost_model.base_instr);
-                            collapse_window ();
-                            None
-                        | _ ->
-                            let b =
-                              Trans_cache.insert cache ~key ~ppn:!cur_frame
-                                ~insns:d.Block.insns ~classes:d.Block.classes
-                                ~start_off:off
-                            in
-                            cur_block := Some b;
-                            Some b))
+                        (match (resolved, w.pending) with
+                        | Some b, Some (p, taken) ->
+                            Trans_cache.set_succ cache ~from:p ~taken ~target:b
+                        | _ -> ());
+                        (match resolved with
+                        | Some b -> w.cur_block <- Some b
+                        | None -> ());
+                        resolved))
               in
+              w.pending <- None;
               match blk with
               | None -> ()
-              | Some b -> (
-                  let idx = (off - b.Trans_cache.start_off) / Arch.instr_bytes in
-                  let insn = b.Trans_cache.insns.(idx) in
-                  match Cpu.exec_insn s ctx insn with
-                  | Cpu.Retired c ->
-                      s.Cpu.instret <- Int64.add s.Cpu.instret 1L;
-                      consumed := !consumed + c + xl;
-                      if not (Block.preserves_translation insn) then collapse_window ()
-                  | Cpu.Stop_exec (r, c) ->
-                      consumed := !consumed + c + xl;
-                      result := Some r))
+              | Some b ->
+                  (* 3. The inner loop: run instructions back to back
+                     inside the block while that is provably equivalent
+                     to re-dispatching (see the header comment). *)
+                  let insns = b.Trans_cache.insns in
+                  let len = Array.length insns in
+                  let start_off = b.Trans_cache.start_off in
+                  let idx = ref ((off - start_off) / Arch.instr_bytes) in
+                  let xl = ref xl in
+                  let inner = ref true in
+                  while !inner do
+                    let insn = insns.(!idx) in
+                    let pc_before = s.Cpu.pc in
+                    match Cpu.exec_insn s ctx insn with
+                    | Cpu.Retired c ->
+                        s.Cpu.instret <- Int64.add s.Cpu.instret 1L;
+                        consumed := !consumed + c + !xl;
+                        xl := 0;
+                        (match dtlb with
+                        | Some _ -> ()
+                        | None ->
+                            if not (Block.preserves_translation_unconditionally insn)
+                            then w.fresh <- false);
+                        if !idx = len - 1 then begin
+                          w.pending <-
+                            Some (b, Int64.sub s.Cpu.pc pc_before <> instr_bytes64);
+                          inner := false
+                        end
+                        else begin
+                          (* A non-last instruction is never a
+                             terminator ([decode_span] would have ended
+                             the block), so it is one of
+                             Nop/Alu/Alui/Lui/Load/Store: it advanced
+                             the PC by exactly one instruction and —
+                             deprivileged, where faults and sensitive
+                             ops exit instead of trapping — cannot have
+                             changed the mode.  Continuation therefore
+                             needs no PC or containment re-check: just
+                             fuel, the generation after a memory access
+                             (its walk may have evicted the fetch
+                             entry) and block validity after a store
+                             (it may have hit this very code page). *)
+                          let continue_ =
+                            !consumed < fuel
+                            &&
+                            if deprivileged then
+                              match dtlb with
+                              | Some d -> (
+                                  match insn with
+                                  | Instr.Nop | Instr.Alu _ | Instr.Alui _
+                                  | Instr.Lui _ ->
+                                      true
+                                  | Instr.Load _ -> Dtlb.generation d = w.cur_gen
+                                  | Instr.Store _ ->
+                                      Dtlb.generation d = w.cur_gen
+                                      && b.Trans_cache.valid
+                                  | _ -> false)
+                              | None ->
+                                  Block.preserves_translation_unconditionally insn
+                            else
+                              (* native mode: must also be
+                                 interrupt-neutral (no CSR, MMIO or
+                                 port side effects), which Load/Store
+                                 are not *)
+                              Block.preserves_translation_unconditionally insn
+                          in
+                          if continue_ then incr idx else inner := false
+                        end
+                    | Cpu.Stop_exec (r, c) ->
+                        consumed := !consumed + c + !xl;
+                        xl := 0;
+                        result := Some r;
+                        inner := false
+                  done)
         end
       end
     done;
@@ -173,7 +389,8 @@ let block_step cache s ctx ~fuel =
 
 let block ?(cache_capacity = 1024) () =
   let cache = Trans_cache.create ~capacity:cache_capacity () in
-  { kind = Block; step_n = block_step cache; cache = Some cache }
+  let states = ref [] in
+  { kind = Block; step_n = block_step cache states; cache = Some cache }
 
 let of_kind ?cache_capacity = function
   | Interp -> interp

@@ -45,6 +45,23 @@ val misses : t -> int
 (** Callers report hits/misses via {!note_hit} / {!note_miss}; the TLB
     itself cannot tell a permission-upgrade re-walk from a cold miss. *)
 
+val evictions : t -> int
+(** Live entries removed individually — capacity (round-robin) victims,
+    same-VPN replacements, and targeted {!flush_vpn} shootdowns.  Full
+    {!flush}es are counted separately. *)
+
+val flushes : t -> int
+(** Number of full {!flush} calls. *)
+
+val generation : t -> int
+(** Monotonic counter bumped whenever any live entry is removed or
+    replaced ({!flush}, {!flush_vpn}, eviction, same-VPN refill).  Fills
+    into empty slots do not bump it, so a consumer that observed an entry
+    present may keep assuming it is present — unchanged — for as long as
+    the generation stays equal. *)
+
 val note_hit : t -> unit
 val note_miss : t -> unit
 val reset_stats : t -> unit
+(** Resets hit/miss/eviction/flush counters; the generation is preserved
+    (it is a correctness token, not a statistic). *)

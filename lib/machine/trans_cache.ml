@@ -1,14 +1,21 @@
 open Velum_isa
 
+type key = int
+
 type block = {
+  key : key;
   insns : Instr.t array;
   classes : Block.cls array;
   start_off : int;
   mutable valid : bool;
   mutable stamp : int;
+  mutable succ_fall : block option;
+  mutable succ_taken : block option;
+  mutable preds : (block * bool) list;
+      (* incoming chain edges: [(p, taken)] means [p]'s fall-through
+         (false) or taken (true) successor slot points at this block, so
+         invalidating this block can sever every such edge *)
 }
-
-type key = int
 
 (* Packed key: frame number, byte offset within the frame (multiple of
    8, needs 12 bits) and two regime bits. *)
@@ -19,6 +26,12 @@ let key ~ppn ~off ~user ~paging =
   lor (if paging then 2 else 0)
 
 let key_ppn k = k lsr 14
+
+(* Everything but the offset bits: frame, user and paging — the parts of
+   the key that must agree between two blocks for a chain edge, or
+   between a block and the current dispatch, to be meaningful. *)
+let regime_mask = lnot (0xFFF lsl 2)
+let same_regime_key b k = (b.key lxor k) land regime_mask = 0
 
 (* Per-frame index: the blocks decoded from the frame plus the union of
    their byte spans.  The span is a conservative bound (it never
@@ -42,6 +55,9 @@ type t = {
   mutable invalidations : int;
   mutable evictions : int;
   mutable tlb_flushes : int;
+  mutable chains_patched : int;
+  mutable chain_follows : int;
+  mutable chains_severed : int;
 }
 
 let create ?(capacity = 1024) () =
@@ -56,6 +72,9 @@ let create ?(capacity = 1024) () =
     invalidations = 0;
     evictions = 0;
     tlb_flushes = 0;
+    chains_patched = 0;
+    chain_follows = 0;
+    chains_severed = 0;
   }
 
 let find t k =
@@ -69,11 +88,74 @@ let find t k =
       t.misses <- t.misses + 1;
       None
 
+(* ---- chain edges ----
+
+   [succ_fall]/[succ_taken] are patched by the engine on first dispatch
+   of the successor and let hot block→block transfers skip the hashtable.
+   An edge is only a prediction: following one re-checks validity, key
+   regime and span containment, so a stale or wrong edge can cost a
+   repatch but never wrong execution.  Severing on every unlink keeps
+   evicted/invalidated blocks unreachable through any predecessor. *)
+
+let slot_of b ~taken = if taken then b.succ_taken else b.succ_fall
+
+let sever_incoming t b =
+  List.iter
+    (fun (p, taken) ->
+      match slot_of p ~taken with
+      | Some s when s == b ->
+          if taken then p.succ_taken <- None else p.succ_fall <- None;
+          t.chains_severed <- t.chains_severed + 1
+      | _ -> ())
+    b.preds;
+  b.preds <- []
+
+let drop_outgoing b =
+  let drop taken slot =
+    match slot with
+    | Some s ->
+        s.preds <- List.filter (fun (p, tk) -> not (p == b && tk = taken)) s.preds
+    | None -> ()
+  in
+  drop false b.succ_fall;
+  drop true b.succ_taken;
+  b.succ_fall <- None;
+  b.succ_taken <- None
+
+let set_succ t ~from ~taken ~target =
+  if
+    from.valid && target.valid
+    && same_regime_key from target.key
+    && not (match slot_of from ~taken with Some s -> s == target | None -> false)
+  then begin
+    (match slot_of from ~taken with
+    | Some old ->
+        old.preds <- List.filter (fun (p, tk) -> not (p == from && tk = taken)) old.preds
+    | None -> ());
+    if taken then from.succ_taken <- Some target else from.succ_fall <- Some target;
+    if not (List.exists (fun (p, tk) -> p == from && tk = taken) target.preds) then
+      target.preds <- (from, taken) :: target.preds;
+    t.chains_patched <- t.chains_patched + 1
+  end
+
+let follow t ~from ~taken ~key:k ~off =
+  match slot_of from ~taken with
+  | Some b
+    when b.valid && same_regime_key b k && off >= b.start_off
+         && off < b.start_off + (Arch.instr_bytes * Array.length b.insns) ->
+      t.tick <- t.tick + 1;
+      b.stamp <- t.tick;
+      t.chain_follows <- t.chain_follows + 1;
+      Some b
+  | _ -> None
+
 let unlink t k =
   match Hashtbl.find_opt t.table k with
   | None -> ()
   | Some b ->
       b.valid <- false;
+      sever_incoming t b;
+      drop_outgoing b;
       Hashtbl.remove t.table k;
       let ppn = key_ppn k in
       (match Hashtbl.find_opt t.by_frame ppn with
@@ -99,7 +181,19 @@ let evict_lru t =
 let insert t ~key:k ~ppn ~insns ~classes ~start_off =
   if Hashtbl.length t.table >= t.capacity then evict_lru t;
   t.tick <- t.tick + 1;
-  let b = { insns; classes; start_off; valid = true; stamp = t.tick } in
+  let b =
+    {
+      key = k;
+      insns;
+      classes;
+      start_off;
+      valid = true;
+      stamp = t.tick;
+      succ_fall = None;
+      succ_taken = None;
+      preds = [];
+    }
+  in
   (* Replacing a dead entry under the same key is possible after an
      invalidation raced a decode; last write wins. *)
   unlink t k;
@@ -151,7 +245,15 @@ let invalidate_frame t ~ppn = invalidate_range t ~ppn ~lo:0 ~hi:Arch.page_size
 let note_flush t = t.tlb_flushes <- t.tlb_flushes + 1
 
 let flush t =
-  Hashtbl.iter (fun _ b -> b.valid <- false) t.table;
+  Hashtbl.iter
+    (fun _ b ->
+      b.valid <- false;
+      if b.succ_fall <> None then t.chains_severed <- t.chains_severed + 1;
+      if b.succ_taken <> None then t.chains_severed <- t.chains_severed + 1;
+      b.succ_fall <- None;
+      b.succ_taken <- None;
+      b.preds <- [])
+    t.table;
   Hashtbl.reset t.table;
   Hashtbl.reset t.by_frame
 
@@ -161,3 +263,6 @@ let misses t = t.misses
 let invalidations t = t.invalidations
 let evictions t = t.evictions
 let tlb_flushes t = t.tlb_flushes
+let chains_patched t = t.chains_patched
+let chain_follows t = t.chain_follows
+let chains_severed t = t.chains_severed

@@ -22,13 +22,23 @@
 
 open Velum_isa
 
+type key
+
 type block = {
+  key : key;  (** the key this block was interned under *)
   insns : Instr.t array;
   classes : Block.cls array;
   start_off : int;  (** byte offset of [insns.(0)] within its frame *)
   mutable valid : bool;
       (** cleared by invalidation; engines must re-fetch when false *)
   mutable stamp : int;  (** LRU clock *)
+  mutable succ_fall : block option;
+      (** chained fall-through successor (QEMU-TCG-style); a prediction
+          only — {!follow} re-validates before use *)
+  mutable succ_taken : block option;  (** chained taken/jump successor *)
+  mutable preds : (block * bool) list;
+      (** incoming chain edges [(pred, taken)], kept so invalidation can
+          sever every edge pointing here *)
 }
 
 type t
@@ -36,10 +46,11 @@ type t
 val create : ?capacity:int -> unit -> t
 (** [capacity] bounds the number of cached blocks (default 1024). *)
 
-type key
-
 val key : ppn:int64 -> off:int -> user:bool -> paging:bool -> key
 (** [off] is the byte offset of the block start within frame [ppn]. *)
+
+val same_regime_key : block -> key -> bool
+(** The block's frame/mode/paging bits match [key]'s (offset ignored). *)
 
 val find : t -> key -> block option
 (** Bumps the LRU stamp and the hit counter on success; counts a miss
@@ -49,6 +60,19 @@ val insert : t -> key:key -> ppn:int64 -> insns:Instr.t array ->
   classes:Block.cls array -> start_off:int -> block
 (** Caches a freshly decoded block, evicting the LRU entry when at
     capacity.  Returns the interned block. *)
+
+val set_succ : t -> from:block -> taken:bool -> target:block -> unit
+(** Patch a chain edge: [from]'s fall-through ([taken = false]) or taken
+    ([taken = true]) successor slot now points at [target].  Ignored
+    unless both blocks are valid and share frame/mode/paging regime.
+    Re-patching an edge replaces it (and fixes up [preds]). *)
+
+val follow : t -> from:block -> taken:bool -> key:key -> off:int -> block option
+(** Chase a chain edge instead of a hashtable {!find}: returns the
+    successor only if it is valid, its regime matches [key] and its span
+    contains byte offset [off].  Bumps the LRU stamp and the
+    chain-follow counter on success; on [None] the caller falls back to
+    {!find} and should re-patch via {!set_succ}. *)
 
 val invalidate_range : t -> ppn:int64 -> lo:int -> hi:int -> unit
 (** Drop (and mark dead) every block of frame [ppn] whose decoded span
@@ -80,3 +104,13 @@ val invalidations : t -> int
 val evictions : t -> int
 val tlb_flushes : t -> int
 (** Flush events observed via {!note_flush}. *)
+
+val chains_patched : t -> int
+(** Chain edges installed or replaced via {!set_succ}. *)
+
+val chain_follows : t -> int
+(** Dispatches served by chasing a chain edge (no hashtable lookup). *)
+
+val chains_severed : t -> int
+(** Chain edges cleared because their target (or, on {!flush},
+    everything) was invalidated or evicted. *)

@@ -31,6 +31,39 @@ diff "$tmp/mig1.txt" "$tmp/mig2.txt" || {
 grep -q "retransmits" "$tmp/mig1.txt" || {
   echo "FAIL: lossy migration reported no retransmit accounting"; exit 1; }
 
+echo "== engine equivalence (interp vs block) =="
+# The block engine must be observationally identical to the reference
+# interpreter: same console bytes, same outcome, same guest/VMM cycles
+# and retired-instruction counts, same per-kind exit accounting.  Only
+# the engine-local statistics gauges (tlb.* / dtlb.* / engine.* lines)
+# may differ — the block engine exists to skip redundant translations —
+# so those are filtered out before the diff.
+for w in hello spin syscalls memwalk pt-churn blk vblk; do
+  for cfg in "--native" "--paging nested" "--paging shadow"; do
+    for eng in interp block; do
+      dune exec bin/velum.exe -- run -w "$w" -n 24 $cfg --engine "$eng" \
+        | grep -v -E '^(engine|tlb|dtlb)\.' >"$tmp/$w.$eng.txt"
+    done
+    diff "$tmp/$w.interp.txt" "$tmp/$w.block.txt" || {
+      echo "FAIL: interp/block divergence on $w ($cfg)"; exit 1; }
+  done
+done
+
+echo "== engine speedup gate (cpu-spin >= 4x) =="
+# Re-measure the engine suite (it also re-asserts cycle/instret
+# lockstep internally) and require the headline cpu-spin speedup to
+# hold; the committed BENCH_engine.json is restored afterwards so the
+# gate never dirties the tree with machine-local wall-clock numbers.
+cp BENCH_engine.json "$tmp/BENCH_engine.ref.json"
+dune exec bench/main.exe -- --only ENGINE >"$tmp/engine_bench.txt"
+spin=$(awk -F'"speedup": ' '/"name": "engine\/cpu-spin"/ { split($2, a, ","); print a[1] }' \
+  BENCH_engine.json)
+cp "$tmp/BENCH_engine.ref.json" BENCH_engine.json
+[ -n "$spin" ] || { echo "FAIL: no cpu-spin row in BENCH_engine.json"; exit 1; }
+awk -v s="$spin" 'BEGIN { exit !(s + 0 >= 4.0) }' || {
+  echo "FAIL: cpu-spin block-engine speedup $spin regressed below 4x"; exit 1; }
+echo "cpu-spin block-engine speedup: ${spin}x"
+
 dune exec bench/main.exe -- --quick E16 >"$tmp/e16a.txt"
 cp BENCH_fault.json "$tmp/BENCH_fault.a.json"
 dune exec bench/main.exe -- --quick E16 >"$tmp/e16b.txt"

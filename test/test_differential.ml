@@ -195,6 +195,14 @@ let observe_vm (vm : Vm.t) outcome =
            (Monitor.count vm.Vm.monitor k)
            (Monitor.cycles vm.Vm.monitor k)))
     Monitor.all_exit_kinds;
+  (* TLB evictions and flushes are engine-lockstep (round-robin
+     replacement driven only by inserts, and inserts only happen on
+     real misses — the block engine skips only guaranteed hits), so
+     they belong in the oracle.  Hit/miss counts legitimately diverge
+     and stay out. *)
+  let sum f = Array.fold_left (fun acc tlb -> acc + f tlb) 0 vm.Vm.tlbs in
+  Buffer.add_string b
+    (Printf.sprintf "tlb-evict=%d tlb-flush=%d\n" (sum Tlb.evictions) (sum Tlb.flushes));
   Buffer.add_string b
     (Printf.sprintf "guest=%Ld vmm=%Ld\n" (Vm.guest_cycles vm) (Vm.vmm_cycles vm));
   Buffer.contents b
@@ -264,6 +272,7 @@ let record_exits ~engine setup =
       now = now_fn;
       ext_irq = (fun () -> false);
       cost = host.Host.cost;
+      dtlb = None;
       env = Cpu.Deprivileged;
     }
   in
@@ -384,8 +393,69 @@ let native_cache_hits () =
   match pb.Platform.engine.Engine.cache with
   | None -> Alcotest.fail "block engine has no cache"
   | Some c ->
+      (* chained dispatches bypass the hashtable entirely, so count them
+         alongside plain hits: both are cached (no redecode) dispatches *)
+      let cached = Trans_cache.hits c + Trans_cache.chain_follows c in
       Alcotest.(check bool) "mostly hits" true
-        (Trans_cache.hits c > 100 && Trans_cache.hits c > 10 * Trans_cache.misses c)
+        (cached > 100 && cached > 10 * Trans_cache.misses c);
+      Alcotest.(check bool) "chains followed" true (Trans_cache.chain_follows c > 0)
+
+(* SMC into an established chain: a two-block loop runs hot (its edges
+   get patched and followed), then one store rewrites an instruction in
+   the middle block and the loop runs again.  Unlinking the patched
+   block must sever the chain edges through it, and the re-run must
+   execute the new bytes — r2's final value proves which bytes ran. *)
+let native_chain_smc () =
+  let patched = Instr.Alui (Instr.Add, 2, 2, 2L) in
+  let prog =
+    Asm.assemble ~origin:0L
+      [
+        li r2 0L;
+        li r5 2L;
+        label "pass";
+        li r3 20L;
+        label "loop";
+        addi r2 r2 1L;
+        csrr r4 Arch.Sscratch (* slow: splits the loop into two blocks *);
+        label "patchme";
+        nop;
+        addi r3 r3 (-1L);
+        bne r3 r0 "loop";
+        addi r5 r5 (-1L);
+        bne r5 r0 "dopatch";
+        jmp "done";
+        label "dopatch";
+        la r13 "patchme";
+        li r1 (Instr.encode patched);
+        sd r1 r13 0L;
+        jmp "pass";
+        label "done";
+        (* r2 = 20 (nop pass) + 20 * 3 (patched pass) = 80 = 'P' *)
+        outp Uart.data_port r2;
+        halt;
+      ]
+  in
+  let run engine =
+    let p = Platform.create ~frames:64 ~engine () in
+    Platform.load_image p prog;
+    Platform.boot p ~entry:0L;
+    (match Platform.run p with
+    | Platform.Halted -> ()
+    | _ -> Alcotest.fail "chain SMC did not halt");
+    (Platform.console_output p, Platform.cycles p, Platform.instructions_retired p, p)
+  in
+  let out_i, cyc_i, ret_i, _ = run Engine.Interp in
+  let out_b, cyc_b, ret_b, pb = run Engine.Block in
+  Alcotest.(check string) "patched output" "P" out_i;
+  Alcotest.(check string) "console" out_i out_b;
+  Alcotest.(check int64) "cycles" cyc_i cyc_b;
+  Alcotest.(check int64) "instret" ret_i ret_b;
+  match pb.Platform.engine.Engine.cache with
+  | None -> Alcotest.fail "block engine has no cache"
+  | Some c ->
+      Alcotest.(check bool) "chains patched" true (Trans_cache.chains_patched c > 0);
+      Alcotest.(check bool) "chains followed" true (Trans_cache.chain_follows c > 0);
+      Alcotest.(check bool) "chains severed" true (Trans_cache.chains_severed c > 0)
 
 (* Random programs that also store encoded instructions over a patch
    slab inside their own (RWX-mapped) code page, then fall through and
@@ -463,6 +533,124 @@ let engine_smc_prop =
       && run_observed ~engine:Engine.Interp ~paging:Vm.Shadow_paging setup
          = run_observed ~engine:Engine.Block ~paging:Vm.Shadow_paging setup)
 
+(* Random block graphs under chained execution: the program loops four
+   times over code spread across two pages (a nop sled keeps them on
+   distinct frames), with random conditional splits carving each page
+   into several chained blocks.  Patch ops overwrite a nop slab either
+   in their own page or in the other one — SMC stores landing in both
+   the predecessor and the successor pages of live chain edges, every
+   pass, after the chains are hot.  The digest only matches the
+   interpreter if severing keeps stale chained successors unreachable. *)
+type chain_op =
+  | C_plain of op
+  | C_patch of bool * int * int * int64  (* into other page?, slot, rd, imm *)
+  | C_split of int  (* conditional block split keyed on a seed register *)
+
+let gen_chain_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (4, map (fun o -> C_plain o) gen_op);
+      ( 2,
+        map
+          (fun ((far, slot), (rd, imm)) -> C_patch (far, slot, rd, Int64.of_int imm))
+          (pair (pair bool (int_range 0 7)) (pair gen_reg (int_range (-64) 64))) );
+      (2, map (fun r -> C_split r) gen_reg);
+    ]
+
+let gen_chain_program =
+  let open QCheck2.Gen in
+  pair
+    (array_size (return 10) (map Int64.of_int int))
+    (pair (list_size (int_range 3 25) gen_chain_op) (list_size (int_range 3 25) gen_chain_op))
+
+let compile_chain (seeds, (ops_a, ops_b)) =
+  let seed_items = List.mapi (fun i v -> li (i + 2) v) (Array.to_list seeds) in
+  (* [own]/[other] are the registers holding this page's and the other
+     page's patch-slab base (r13 = slab_a, r12 = slab_b). *)
+  let op_items tag own other i = function
+    | C_plain (Alu3 (o, rd, rs1, rs2)) -> [ Insn (Instr.Alu (o, rd, rs1, rs2)) ]
+    | C_plain (Alui (o, rd, rs1, imm)) -> [ Insn (Instr.Alui (o, rd, rs1, imm)) ]
+    | C_plain (Store (src, off)) -> [ Insn (Instr.Store { src; base = 15; off; width = Instr.W64 }) ]
+    | C_plain (Load (rd, off)) -> [ Insn (Instr.Load { rd; base = 15; off; width = Instr.W64 }) ]
+    | C_patch (far, slot, rd, imm) ->
+        [
+          li r1 (Instr.encode (Instr.Alui (Instr.Add, rd, rd, imm)));
+          sd r1 (if far then other else own) (Int64.of_int (slot * 8));
+        ]
+    | C_split r ->
+        let l = Printf.sprintf "%s%d" tag i in
+        [ beq r r0 l; addi r r 1L; label l ]
+  in
+  let ops tag own other l = List.concat (List.mapi (op_items tag own other) l) in
+  let slab = List.init 8 (fun _ -> nop) in
+  (* a full page of nops between the two code groups guarantees they
+     land on different frames whatever the surrounding code sizes *)
+  let sled = List.init (Velum_isa.Arch.page_size / Velum_isa.Arch.instr_bytes) (fun _ -> nop) in
+  let fold =
+    [ mv r12 r2 ]
+    @ List.concat (List.map (fun r -> [ xor r12 r12 r ]) [ 3; 4; 5; 6; 7; 8; 9; 10; 11 ])
+  in
+  let print_digest =
+    [
+      li r6 16L;
+      label "d_loop";
+      srli r7 r12 60L;
+      andi r7 r7 15L;
+      addi r2 r7 97L;
+      li r1 Abi.sys_putchar;
+      ecall;
+      slli r12 r12 4L;
+      addi r6 r6 (-1L);
+      bne r6 r0 "d_loop";
+    ]
+  in
+  Asm.assemble ~origin:Abi.user_base
+    ([
+       label "u_entry";
+       li r14 0x0014_4000L;
+       li r15 Abi.heap_base;
+       la r13 "slab_a";
+       la r12 "slab_b";
+     ]
+    @ seed_items
+    (* the pass counter lives in the heap past the random Store/Load
+       slots — every architectural register is spoken for *)
+    @ [ li r1 4L; sd r1 r15 1024L; label "pass" ]
+    @ ops "ca" r13 r12 ops_a
+    @ [ label "slab_a" ] @ slab
+    @ [ jmp "b_entry" ]
+    @ [
+        label "a_ret";
+        ld r1 r15 1024L;
+        addi r1 r1 (-1L);
+        sd r1 r15 1024L;
+        bne r1 r0 "pass";
+        jmp "finish";
+      ]
+    @ sled
+    @ [ label "b_entry" ]
+    @ ops "cb" r12 r13 ops_b
+    @ [ label "slab_b" ] @ slab
+    @ [ jmp "a_ret"; label "finish" ]
+    @ fold @ print_digest
+    @ [ li r1 Abi.sys_exit; ecall ])
+
+let engine_chain_smc_prop =
+  QCheck2.Test.make ~count:20
+    ~name:"interp = block for SMC into chained predecessor/successor pages"
+    gen_chain_program
+    (fun prog ->
+      let user = compile_chain prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let native = run_native ~engine:Engine.Interp setup in
+      String.length native = 16
+      && native = run_native ~engine:Engine.Block setup
+      && run_observed ~engine:Engine.Interp ~paging:Vm.Nested_paging setup
+         = run_observed ~engine:Engine.Block ~paging:Vm.Nested_paging setup
+      && run_observed ~engine:Engine.Interp ~paging:Vm.Shadow_paging setup
+         = run_observed ~engine:Engine.Block ~paging:Vm.Shadow_paging setup)
+
 (* The random ALU/heap sweep, replayed on the block engine. *)
 let engine_differential_prop =
   QCheck2.Test.make ~count:25 ~name:"block engine matches native/shadow/nested sweep"
@@ -490,7 +678,9 @@ let () =
           Alcotest.test_case "exit sequences identical" `Quick exit_sequences;
           Alcotest.test_case "native self-modifying code" `Quick native_smc;
           Alcotest.test_case "native cache hit path" `Quick native_cache_hits;
+          Alcotest.test_case "chain severed by SMC" `Quick native_chain_smc;
           QCheck_alcotest.to_alcotest engine_smc_prop;
+          QCheck_alcotest.to_alcotest engine_chain_smc_prop;
           QCheck_alcotest.to_alcotest engine_differential_prop;
         ] );
     ]

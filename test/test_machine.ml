@@ -275,6 +275,7 @@ let make_cpu ?(frames = 16) ?(env = `Native) () =
       now = (fun () -> !clock);
       ext_irq = (fun () -> !ext);
       cost;
+      dtlb = None;
       env =
         (match env with
         | `Native ->
@@ -633,6 +634,7 @@ let test_exit_page_fault () =
       now = (fun () -> 0L);
       ext_irq = (fun () -> false);
       cost;
+      dtlb = None;
       env = Cpu.Deprivileged;
     }
   in
