@@ -8,7 +8,7 @@ module Log = (val Logs.src_log log_src)
 
 type pcpu = { mutable pclock : int64 }
 
-type watchdog_policy = Wd_kill | Wd_notify
+type watchdog_policy = Wd_kill | Wd_notify | Wd_restart
 
 type wd_mark = { mutable wd_instret : int64; mutable wd_window_start : int64 }
 
@@ -29,6 +29,7 @@ type t = {
   mutable idle_cycles : int64;
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
+  mutable restart_handler : (Vm.t -> unit) option;
 }
 
 let create ?host ?sched ?(pcpus = 1) () =
@@ -45,6 +46,7 @@ let create ?host ?sched ?(pcpus = 1) () =
     idle_cycles = 0L;
     sched_decisions = 0;
     watchdog = None;
+    restart_handler = None;
   }
 
 let set_watchdog t ~budget ~policy =
@@ -55,6 +57,8 @@ let set_watchdog t ~budget ~policy =
       { wd_budget = budget; wd_policy = policy; wd_marks = Hashtbl.create 7; wd_fired = 0 }
 
 let watchdog_fired t = match t.watchdog with None -> 0 | Some w -> w.wd_fired
+let set_restart_handler t f = t.restart_handler <- Some f
+let restart_handler t = t.restart_handler
 
 let now t = t.clock
 let pcpu_count t = Array.length t.pcpus
@@ -82,6 +86,18 @@ let next_peer_clock t p =
         | Some a -> if Int64.unsigned_compare q.pclock a < 0 then Some q.pclock else acc
       else acc)
     None t.pcpus
+
+(* Fast-forward every pcpu to [to_] charging idle time — models a pause
+   whose cost is known up front (checkpoint commits, restart backoff). *)
+let advance_idle t ~to_ =
+  Array.iter
+    (fun p ->
+      if Int64.unsigned_compare to_ p.pclock > 0 then begin
+        t.idle_cycles <- Int64.add t.idle_cycles (Int64.sub to_ p.pclock);
+        p.pclock <- to_
+      end)
+    t.pcpus;
+  refresh_makespan t
 
 let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
     ?(pv = Vm.no_pv) ?(weight = 256) ?(populate = true) ?nic ?tlb_size ?exec_mode ?engine
@@ -244,8 +260,10 @@ let vm_instret vm =
 
 (* Fire when a VM retires no instructions for a whole cycle budget.
    [Wd_notify] counts the event and restarts the window; [Wd_kill] halts
-   the VM's vCPUs (the VM stays registered so its state can be examined).
-   A no-op unless [set_watchdog] was called. *)
+   the VM's vCPUs (the VM stays registered so its state can be examined);
+   [Wd_restart] hands the VM to the registered restart handler (an HA
+   supervisor) — or behaves like [Wd_kill] when none is attached.  A
+   no-op unless [set_watchdog] was called. *)
 let check_watchdog t =
   match t.watchdog with
   | None -> ()
@@ -271,6 +289,13 @@ let check_watchdog t =
                   wd.wd_fired <- wd.wd_fired + 1;
                   Monitor.bump vm.Vm.monitor Monitor.E_watchdog;
                   m.wd_window_start <- t.clock;
+                  let kill () =
+                    Array.iter
+                      (fun vcpu ->
+                        vcpu.Vcpu.runstate <- Vcpu.Halted;
+                        t.sched.Scheduler.remove vcpu)
+                      vm.Vm.vcpus
+                  in
                   match wd.wd_policy with
                   | Wd_notify ->
                       Log.warn (fun msg ->
@@ -279,11 +304,21 @@ let check_watchdog t =
                   | Wd_kill ->
                       Log.warn (fun msg ->
                           msg "watchdog: killing stalled %s" vm.Vm.name);
-                      Array.iter
-                        (fun vcpu ->
-                          vcpu.Vcpu.runstate <- Vcpu.Halted;
-                          t.sched.Scheduler.remove vcpu)
-                        vm.Vm.vcpus
+                      kill ()
+                  | Wd_restart -> (
+                      match t.restart_handler with
+                      | Some handler ->
+                          Log.warn (fun msg ->
+                              msg "watchdog: restarting stalled %s" vm.Vm.name);
+                          (* the handler replaces the VM (new id), so the
+                             stale progress mark must not linger *)
+                          Hashtbl.remove wd.wd_marks vm.Vm.id;
+                          handler vm
+                      | None ->
+                          Log.warn (fun msg ->
+                              msg "watchdog: killing stalled %s (no restart handler)"
+                                vm.Vm.name);
+                          kill ())
                 end
           end)
         t.vms

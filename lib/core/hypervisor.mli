@@ -14,6 +14,11 @@ type pcpu = { mutable pclock : int64 }
 type watchdog_policy =
   | Wd_kill  (** halt the stalled VM's vCPUs *)
   | Wd_notify  (** count the event and restart the window *)
+  | Wd_restart
+      (** hand the stalled VM to the restart handler (see
+          {!set_restart_handler}) — an HA supervisor destroys it and
+          restores the last good checkpoint.  Falls back to [Wd_kill]
+          when no handler is attached. *)
 
 type watchdog
 
@@ -27,6 +32,7 @@ type t = {
   mutable idle_cycles : int64;
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
+  mutable restart_handler : (Vm.t -> unit) option;
 }
 
 val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
@@ -83,6 +89,21 @@ val set_watchdog : t -> budget:int64 -> policy:watchdog_policy -> unit
 
 val watchdog_fired : t -> int
 (** Total watchdog firings across all VMs (0 when unarmed). *)
+
+val set_restart_handler : t -> (Vm.t -> unit) -> unit
+(** Install the [Wd_restart] callback.  The handler is invoked from
+    inside the run loop with the wedged VM still registered; it may
+    remove the VM and register a replacement (the loop iterates over a
+    captured VM list, so mutation is safe).  Chain via
+    {!restart_handler} when several supervisors share a hypervisor. *)
+
+val restart_handler : t -> (Vm.t -> unit) option
+
+val advance_idle : t -> to_:int64 -> unit
+(** Fast-forward every pCPU clock to [to_] (no-op for clocks already
+    past it), charging the skipped span as idle cycles.  Models pauses
+    whose cost is known up front: checkpoint commits, restart
+    backoff. *)
 
 val run : ?budget:int64 -> ?until:(t -> bool) -> t -> outcome
 (** [run ?budget ?until t] — default budget 2G cycles. *)

@@ -17,6 +17,9 @@ type exit_kind =
   | E_remote_fetch
   | E_bt_translate
   | E_watchdog
+  | E_ha_restart
+  | E_ha_degraded
+  | E_ha_failover
 
 let all_exit_kinds =
   [
@@ -38,6 +41,9 @@ let all_exit_kinds =
     E_remote_fetch;
     E_bt_translate;
     E_watchdog;
+    E_ha_restart;
+    E_ha_degraded;
+    E_ha_failover;
   ]
 
 let exit_kind_name = function
@@ -59,6 +65,9 @@ let exit_kind_name = function
   | E_remote_fetch -> "remote-fetch"
   | E_bt_translate -> "bt-translate"
   | E_watchdog -> "watchdog"
+  | E_ha_restart -> "ha-restart"
+  | E_ha_degraded -> "ha-degraded"
+  | E_ha_failover -> "ha-failover"
 
 let kind_index k =
   let rec go i = function

@@ -23,6 +23,14 @@ type exit_kind =
   | E_remote_fetch  (** post-copy demand fetch *)
   | E_bt_translate  (** binary translation of a new sensitive site *)
   | E_watchdog  (** progress watchdog fired: no retired instructions *)
+  | E_ha_restart
+      (** HA supervisor destroyed this (wedged) VM's predecessor and
+          restored it from the last good checkpoint *)
+  | E_ha_degraded
+      (** crash-loop budget exhausted: the supervisor gave up restarting
+          and degraded the VM to halted *)
+  | E_ha_failover
+      (** this VM is a backup twin activated by missed heartbeats *)
 
 val exit_kind_name : exit_kind -> string
 val all_exit_kinds : exit_kind list

@@ -19,6 +19,7 @@ type session = {
   mutable retransmits : int;
   mutable link_failed : bool;
   mutable finished : bool;
+  mutable failed_over : Vm.t option; (* failover is idempotent *)
 }
 
 type stats = {
@@ -105,6 +106,7 @@ let start ?faults ~primary ~backup ~vm ~link () =
       retransmits = 0;
       link_failed = false;
       finished = false;
+      failed_over = None;
     }
   in
   (* initial full synchronization with the guest paused *)
@@ -190,21 +192,33 @@ let stats (s : session) =
     link_failed = s.link_failed;
   }
 
-let failover (s : session) =
-  if s.finished then failwith "Replicate.failover: session finished";
-  s.finished <- true;
-  Vm.stop_dirty_logging s.vm;
-  Hypervisor.remove_vm s.primary s.vm;
-  (* unblock the twin at the last checkpoint *)
-  Array.iter
-    (fun (v : Vcpu.t) ->
-      if not v.Vcpu.state.Cpu.halted then begin
-        v.Vcpu.runstate <- Vcpu.Runnable;
-        s.backup.Hypervisor.sched.Scheduler.wake v
-      end
-      else v.Vcpu.runstate <- Vcpu.Halted)
-    s.twin.Vm.vcpus;
-  s.twin
+(* Idempotent: HA control planes can race a heartbeat-driven failover
+   against an explicit one, and the loser must not blow the whole
+   recovery path up with a [Failure] — the second caller simply gets the
+   twin the first activated. *)
+let failover ?(fence_primary = true) (s : session) =
+  match s.failed_over with
+  | Some twin -> twin
+  | None ->
+      s.finished <- true;
+      if fence_primary then begin
+        Vm.stop_dirty_logging s.vm;
+        Hypervisor.remove_vm s.primary s.vm
+      end;
+      (* unblock the twin at the last checkpoint *)
+      Array.iter
+        (fun (v : Vcpu.t) ->
+          if not v.Vcpu.state.Cpu.halted then begin
+            v.Vcpu.runstate <- Vcpu.Runnable;
+            s.backup.Hypervisor.sched.Scheduler.wake v
+          end
+          else v.Vcpu.runstate <- Vcpu.Halted)
+        s.twin.Vm.vcpus;
+      Monitor.bump s.twin.Vm.monitor Monitor.E_ha_failover;
+      s.failed_over <- Some s.twin;
+      s.twin
+
+let failed_over (s : session) = s.failed_over
 
 let protect ?faults ~primary ~backup ~vm ~link ~epoch_cycles ~epochs () =
   let s = start ?faults ~primary ~backup ~vm ~link () in

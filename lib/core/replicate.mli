@@ -58,11 +58,25 @@ val epoch : session -> run_cycles:int64 -> epoch_outcome
 
 val stats : session -> stats
 
-val failover : session -> Vm.t
-(** The primary is declared dead: it is destroyed, and the backup twin is
-    unblocked at the last completed checkpoint.
+val elapsed : session -> int64
+(** Session cycles: initial sync + guest run time + checkpoint pauses.
+    This is the clock cycle-windowed fault plans and the HA heartbeat
+    protocol run on. *)
 
-    @raise Failure if called twice. *)
+val failover : ?fence_primary:bool -> session -> Vm.t
+(** The primary is declared dead: it is destroyed, and the backup twin is
+    unblocked at the last completed checkpoint (its {!Monitor} records
+    [E_ha_failover]).  Idempotent: a second invocation — e.g. a
+    heartbeat-driven failover racing an explicit one in the HA control
+    plane — returns the already-activated twin instead of raising.
+
+    [~fence_primary:false] activates the twin {e without} touching the
+    primary's instance — the partitioned-backup case, where the primary
+    may still be alive and must be fenced separately by the generation
+    protocol (see {!Ha.Failover}). *)
+
+val failed_over : session -> Vm.t option
+(** The activated twin, once {!failover} has run. *)
 
 val protect :
   ?faults:Velum_util.Fault.t ->

@@ -103,6 +103,11 @@ let restore hyp image =
   let name = get_str r in
   let mem_frames = get_int r in
   let vcpu_count = get_int r in
+  (* Validate the header before allocating anything: a corrupt image must
+     not drive [create_vm] into absurd allocations (or negative array
+     sizes, which would escape as [Invalid_argument]). *)
+  if mem_frames <= 0 || mem_frames > 1 lsl 24 then failwith "Snapshot: bad header";
+  if vcpu_count <= 0 || vcpu_count > 1024 then failwith "Snapshot: bad header";
   let paging = if get_int r = 0 then Vm.Shadow_paging else Vm.Nested_paging in
   let pv_console = get_int r = 1 in
   let pv_pt = get_int r = 1 in
@@ -110,47 +115,56 @@ let restore hyp image =
     Hypervisor.create_vm hyp ~name ~mem_frames ~vcpu_count ~paging
       ~pv:{ Vm.pv_console; pv_pt } ~entry:0L ()
   in
-  Array.iter
-    (fun (vcpu : Vcpu.t) ->
-      let s = vcpu.Vcpu.state in
-      for i = 0 to Array.length s.Cpu.regs - 1 do
-        s.Cpu.regs.(i) <- get_i64 r
-      done;
-      s.Cpu.pc <- get_i64 r;
-      s.Cpu.mode <- (if get_int r = 0 then Arch.User else Arch.Supervisor);
-      for i = 0 to Array.length s.Cpu.csrs - 1 do
-        s.Cpu.csrs.(i) <- get_i64 r
-      done;
-      s.Cpu.halted <- get_int r = 1;
-      s.Cpu.waiting <- get_int r = 1;
-      s.Cpu.instret <- get_i64 r;
-      vcpu.Vcpu.runstate <- runstate_of_code (get_int r))
-    vm.Vm.vcpus;
-  let npages = get_int r in
-  for _ = 1 to npages do
-    let gfn = get_i64 r in
-    match get_int r with
-    | 1 -> ignore (Vm.balloon_out vm gfn)
-    | 2 -> (
-        (* absent in the source: free the eagerly allocated frame *)
-        match P2m.get vm.Vm.p2m gfn with
-        | P2m.Present { hpa_ppn; _ } ->
-            ignore (Frame_alloc.decr_ref vm.Vm.host.Host.alloc hpa_ppn);
-            P2m.set vm.Vm.p2m gfn P2m.Absent
-        | _ -> ())
-    | 0 -> (
-        if r.pos + Arch.page_size > Bytes.length image then
-          failwith "Snapshot: truncated page data";
-        let page = Bytes.sub image r.pos Arch.page_size in
-        r.pos <- r.pos + Arch.page_size;
-        match Vm.resolve_write vm gfn with
-        | Some ppn -> Phys_mem.frame_write vm.Vm.host.Host.mem ~ppn page
-        | None -> failwith "Snapshot: cannot place page")
-    | _ -> failwith "Snapshot: bad page kind"
-  done;
-  let console = get_str r in
-  String.iter (fun c -> Vm.console_put vm c) console;
-  vm
+  (* From here on the VM owns frames and is registered: any parse failure
+     must tear it down completely (frames reclaimed, scheduler and VM
+     list clean) before the error propagates, or every rejected image
+     would leak its partial restore. *)
+  try
+    Array.iter
+      (fun (vcpu : Vcpu.t) ->
+        let s = vcpu.Vcpu.state in
+        for i = 0 to Array.length s.Cpu.regs - 1 do
+          s.Cpu.regs.(i) <- get_i64 r
+        done;
+        s.Cpu.pc <- get_i64 r;
+        s.Cpu.mode <- (if get_int r = 0 then Arch.User else Arch.Supervisor);
+        for i = 0 to Array.length s.Cpu.csrs - 1 do
+          s.Cpu.csrs.(i) <- get_i64 r
+        done;
+        s.Cpu.halted <- get_int r = 1;
+        s.Cpu.waiting <- get_int r = 1;
+        s.Cpu.instret <- get_i64 r;
+        vcpu.Vcpu.runstate <- runstate_of_code (get_int r))
+      vm.Vm.vcpus;
+    let npages = get_int r in
+    if npages < 0 || npages > mem_frames then failwith "Snapshot: bad page count";
+    for _ = 1 to npages do
+      let gfn = get_i64 r in
+      match get_int r with
+      | 1 -> ignore (Vm.balloon_out vm gfn)
+      | 2 -> (
+          (* absent in the source: free the eagerly allocated frame *)
+          match P2m.get vm.Vm.p2m gfn with
+          | P2m.Present { hpa_ppn; _ } ->
+              ignore (Frame_alloc.decr_ref vm.Vm.host.Host.alloc hpa_ppn);
+              P2m.set vm.Vm.p2m gfn P2m.Absent
+          | _ -> ())
+      | 0 -> (
+          if r.pos + Arch.page_size > Bytes.length image then
+            failwith "Snapshot: truncated page data";
+          let page = Bytes.sub image r.pos Arch.page_size in
+          r.pos <- r.pos + Arch.page_size;
+          match Vm.resolve_write vm gfn with
+          | Some ppn -> Phys_mem.frame_write vm.Vm.host.Host.mem ~ppn page
+          | None -> failwith "Snapshot: cannot place page")
+      | _ -> failwith "Snapshot: bad page kind"
+    done;
+    let console = get_str r in
+    String.iter (fun c -> Vm.console_put vm c) console;
+    vm
+  with e ->
+    Hypervisor.remove_vm hyp vm;
+    raise e
 
 (* --- live (copy-on-write) snapshots --- *)
 

@@ -18,7 +18,9 @@ val restore : Hypervisor.t -> full -> Vm.t
 (** Materialize a VM from a full snapshot on the given hypervisor
     (scheduler-registered, same run states).
 
-    @raise Failure on a corrupt image or when the host lacks frames. *)
+    @raise Failure on a corrupt image or when the host lacks frames.  A
+    rejected image leaves no trace: every frame the partial restore
+    allocated is reclaimed and no half-built VM stays registered. *)
 
 val size_bytes : full -> int
 

@@ -1,0 +1,229 @@
+open Velum_devices
+module Fault = Velum_util.Fault
+module Fnv = Velum_util.Fnv
+module Rng = Velum_util.Rng
+
+let sb_magic = 0x56454C53544F5231L (* "VELSTOR1" *)
+let chunk_magic = 0x56454C43484E4B31L (* "VELCHNK1" *)
+let sb_bytes = 48
+let chunk_header = 32
+let chunk_payload = 4096
+let data_start_sector = 2
+
+type t = {
+  blk : Blockdev.t;
+  region_sectors : int;
+  mutable faults : Fault.t;
+  mutable gen : int; (* newest complete generation on the device *)
+  mutable commits : int;
+  mutable torn : int;
+  mutable bytes_written : int;
+}
+
+let device t = t.blk
+let set_faults t f = t.faults <- f
+let generation t = t.gen
+let commits t = t.commits
+let torn_commits t = t.torn
+let bytes_written t = t.bytes_written
+
+let commit_cycles ~bytes = Int64.of_int ((2 * 2_000) + (2 * bytes))
+
+let sectors_for ~image_bytes =
+  let chunks = max 1 ((image_bytes + chunk_payload - 1) / chunk_payload) in
+  let region_bytes = (chunks * (chunk_header + chunk_payload)) + sb_bytes in
+  let region_sectors = (region_bytes + Blockdev.sector_bytes - 1) / Blockdev.sector_bytes in
+  data_start_sector + (2 * (region_sectors + 2))
+
+(* --- on-device records --- *)
+
+let put_i64 b off v = Bytes.set_int64_le b off v
+let get_i64 b off = Bytes.get_int64_le b off
+
+let superblock ~gen ~region ~len ~img_csum =
+  let b = Bytes.create sb_bytes in
+  put_i64 b 0 sb_magic;
+  put_i64 b 8 (Int64.of_int gen);
+  put_i64 b 16 (Int64.of_int region);
+  put_i64 b 24 (Int64.of_int len);
+  put_i64 b 32 img_csum;
+  put_i64 b 40 (Fnv.hash_bytes ~pos:0 ~len:40 b);
+  b
+
+let sb_off slot = slot * Blockdev.sector_bytes
+let data_off t region =
+  (data_start_sector + (region * t.region_sectors)) * Blockdev.sector_bytes
+
+(* --- commit: chunk records, then the superblock flip --- *)
+
+let chunk_records image =
+  let len = Bytes.length image in
+  let nchunks = (len + chunk_payload - 1) / chunk_payload in
+  List.init nchunks (fun i ->
+      let pos = i * chunk_payload in
+      let plen = min chunk_payload (len - pos) in
+      let b = Bytes.create (chunk_header + plen) in
+      put_i64 b 0 chunk_magic;
+      put_i64 b 8 (Int64.of_int i);
+      put_i64 b 16 (Int64.of_int plen);
+      put_i64 b 24 (Fnv.hash_bytes ~pos ~len:plen image);
+      Bytes.blit image pos b chunk_header plen;
+      b)
+
+let commit_bytes _t image =
+  List.fold_left (fun acc b -> acc + Bytes.length b) sb_bytes (chunk_records image)
+
+type outcome = Committed of int | Torn of int
+
+let commit ?crash_at t image =
+  let gen = t.gen + 1 in
+  let region = gen mod 2 in
+  let chunks = chunk_records image in
+  let data_len = List.fold_left (fun acc b -> acc + Bytes.length b) 0 chunks in
+  if data_len > t.region_sectors * Blockdev.sector_bytes then
+    invalid_arg "Store.commit: image does not fit a region";
+  let sb =
+    superblock ~gen ~region ~len:(Bytes.length image)
+      ~img_csum:(Fnv.hash_bytes image)
+  in
+  let writes =
+    let off = ref (data_off t region) in
+    List.map
+      (fun b ->
+        let w = (!off, b) in
+        off := !off + Bytes.length b;
+        w)
+      chunks
+    @ [ (sb_off (gen mod 2), sb) ]
+  in
+  let total = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 writes in
+  let cut =
+    match crash_at with
+    | Some n -> Some (max 0 (min n (total - 1)))
+    | None ->
+        (* [now] for window-style plans is the commit ordinal, so a plan
+           can also say "power fails during commit 3". *)
+        if Fault.fire t.faults Fault.Store_torn ~now:(Int64.of_int t.commits)
+        then Some (Rng.int (Fault.rng t.faults) total)
+        else None
+  in
+  match cut with
+  | Some cut ->
+      (* Power fails after [cut] bytes: the prefix lands, the rest never
+         reaches the device.  The in-memory generation is deliberately
+         not advanced — a real crash loses it anyway; [mount] re-derives
+         the truth from the device. *)
+      let budget = ref cut in
+      List.iter
+        (fun (off, b) ->
+          let n = min !budget (Bytes.length b) in
+          if n > 0 then Blockdev.pwrite t.blk ~off b ~pos:0 ~len:n;
+          budget := !budget - n)
+        writes;
+      t.torn <- t.torn + 1;
+      t.bytes_written <- t.bytes_written + cut;
+      Torn cut
+  | None ->
+      List.iter
+        (fun (off, b) -> Blockdev.pwrite t.blk ~off b ~pos:0 ~len:(Bytes.length b))
+        writes;
+      t.bytes_written <- t.bytes_written + total;
+      (if Fault.fire t.faults Fault.Store_csum ~now:(Int64.of_int t.commits) then begin
+         (* Latent rot: flip one committed data bit so the next scan must
+            detect it and fall back a generation. *)
+         let rng = Fault.rng t.faults in
+         let off = data_off t region + Rng.int rng data_len in
+         let b = Blockdev.pread t.blk ~off ~len:1 in
+         Bytes.set b 0
+           (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl Rng.int rng 8)));
+         Blockdev.pwrite t.blk ~off b ~pos:0 ~len:1
+       end);
+      t.gen <- gen;
+      t.commits <- t.commits + 1;
+      Committed gen
+
+(* --- recovery scan --- *)
+
+(* Validate one superblock slot and, if its structure holds, re-read and
+   re-checksum every chunk of the generation it describes.  Returns the
+   image on full success. *)
+let read_candidate t slot =
+  let sb = Blockdev.pread t.blk ~off:(sb_off slot) ~len:sb_bytes in
+  if get_i64 sb 0 <> sb_magic then None (* never written; not a fault *)
+  else if get_i64 sb 40 <> Fnv.hash_bytes ~pos:0 ~len:40 sb then begin
+    Fault.observe t.faults Fault.Store_torn;
+    None
+  end
+  else begin
+    let gen = Int64.to_int (get_i64 sb 8) in
+    let region = Int64.to_int (get_i64 sb 16) in
+    let len = Int64.to_int (get_i64 sb 24) in
+    let img_csum = get_i64 sb 32 in
+    let region_bytes = t.region_sectors * Blockdev.sector_bytes in
+    if gen <= 0 || region < 0 || region > 1 || len < 0 || len > region_bytes
+    then begin
+      Fault.observe t.faults Fault.Store_torn;
+      None
+    end
+    else begin
+      let nchunks = (len + chunk_payload - 1) / chunk_payload in
+      let image = Bytes.create len in
+      let off = ref (data_off t region) in
+      let ok = ref true in
+      let torn = ref false in
+      (try
+         for i = 0 to nchunks - 1 do
+           let hdr = Blockdev.pread t.blk ~off:!off ~len:chunk_header in
+           let pos = i * chunk_payload in
+           let plen = min chunk_payload (len - pos) in
+           if
+             get_i64 hdr 0 <> chunk_magic
+             || get_i64 hdr 8 <> Int64.of_int i
+             || get_i64 hdr 16 <> Int64.of_int plen
+           then begin
+             torn := true;
+             raise Exit
+           end;
+           let payload = Blockdev.pread t.blk ~off:(!off + chunk_header) ~len:plen in
+           if get_i64 hdr 24 <> Fnv.hash_bytes payload then raise Exit;
+           Bytes.blit payload 0 image pos plen;
+           off := !off + chunk_header + plen
+         done
+       with Exit | Invalid_argument _ -> ok := false);
+      if !ok && Fnv.hash_bytes image = img_csum then Some (image, gen)
+      else begin
+        Fault.observe t.faults
+          (if !torn then Fault.Store_torn else Fault.Store_csum);
+        None
+      end
+    end
+  end
+
+let recover t =
+  match (read_candidate t 0, read_candidate t 1) with
+  | None, None -> None
+  | (Some _ as c), None | None, (Some _ as c) -> c
+  | Some (i0, g0), Some (i1, g1) ->
+      if g0 > g1 then Some (i0, g0) else Some (i1, g1)
+
+(* --- construction --- *)
+
+let of_blk ?(faults = Fault.none ()) blk =
+  let nsectors = Blockdev.sectors blk in
+  if nsectors < data_start_sector + 2 then
+    invalid_arg "Store: device too small for two superblocks and data";
+  let region_sectors = (nsectors - data_start_sector) / 2 in
+  { blk; region_sectors; faults; gen = 0; commits = 0; torn = 0; bytes_written = 0 }
+
+let host_dma =
+  (* The store is a host-side controller path: no guest DMA ever runs
+     through it. *)
+  { Blockdev.dma_read = (fun _ _ -> None); dma_write = (fun _ _ -> false) }
+
+let create ?(sectors = 8192) ?faults () =
+  of_blk ?faults (Blockdev.create ~sectors host_dma)
+
+let mount ?faults blk =
+  let t = of_blk ?faults blk in
+  (match recover t with Some (_, gen) -> t.gen <- gen | None -> ());
+  t

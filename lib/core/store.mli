@@ -1,0 +1,98 @@
+(** Crash-consistent durable snapshot store, layered on {!Velum_devices.Blockdev}.
+
+    The store persists full VM snapshots ({!Snapshot.full} byte images)
+    so that recovery survives a host power failure.  On-device layout:
+
+    {v
+    sector 0   superblock slot 0   (48 bytes used)
+    sector 1   superblock slot 1
+    sector 2 .. 2+R-1        data region A
+    sector 2+R .. 2+2R-1     data region B
+    v}
+
+    A commit of generation [g] writes the image as chunked records
+    (header: magic, sequence, length, FNV-1a payload checksum) into
+    region [g mod 2], then — and only then — writes a new superblock
+    (generation, region, image length, whole-image FNV-1a checksum,
+    self-checksum) into slot [g mod 2].  The superblock write is the
+    commit point: until it lands intact, both slots still describe older
+    generations.
+
+    The power-failure model cuts the commit's byte stream at an
+    arbitrary offset — either injected by the {!Velum_util.Fault.t} plan
+    (site [store.torn], offset drawn from the plan's RNG) or at a caller
+    chosen offset ([?crash_at], used by the CI crash matrix).  {!recover}
+    scans both slots, validates every checksum, and returns the newest
+    {e complete} image: a crash at any offset therefore yields either the
+    previous or the new snapshot, never a torn hybrid.  Latent rot
+    (site [store.csum]) flips a committed bit so the next scan must fall
+    back a generation. *)
+
+type t
+
+val create : ?sectors:int -> ?faults:Velum_util.Fault.t -> unit -> t
+(** Fresh store on a private blank {!Velum_devices.Blockdev} (default
+    8192 sectors = 4 MiB; generation 0, nothing recoverable). *)
+
+val mount : ?faults:Velum_util.Fault.t -> Velum_devices.Blockdev.t -> t
+(** Attach to an existing device — the reboot path.  Scans both
+    superblock slots to find the newest complete generation; in-memory
+    state left by a torn commit is discarded, exactly as a power cycle
+    would. *)
+
+val device : t -> Velum_devices.Blockdev.t
+(** The backing device (so a store can be remounted or copied). *)
+
+val set_faults : t -> Velum_util.Fault.t -> unit
+
+val sectors_for : image_bytes:int -> int
+(** Device size (sectors) whose regions comfortably hold images of
+    [image_bytes] (chunk overhead and both regions included). *)
+
+type outcome =
+  | Committed of int  (** the new generation number *)
+  | Torn of int
+      (** power failed after this many bytes of the commit stream; the
+          device holds a prefix, the previous generation still rules *)
+
+val commit : ?crash_at:int -> t -> Bytes.t -> outcome
+(** [commit t image] durably stores [image] as the next generation.
+    [crash_at] deterministically cuts the write stream after that many
+    bytes (clamped to the stream length; the commit is then reported
+    [Torn] without consulting the fault plan) — the CI sweep drives every
+    offset of a full checkpoint through this.  Without [crash_at], the
+    fault plan's [store.torn] site may cut the stream at a random offset
+    and [store.csum] may rot a committed bit.
+
+    @raise Invalid_argument if the image cannot fit a region. *)
+
+val commit_bytes : t -> Bytes.t -> int
+(** Total bytes [commit] would write for this image (chunk records plus
+    superblock) — the exclusive upper bound for interesting [crash_at]
+    offsets. *)
+
+val commit_cycles : bytes:int -> int64
+(** Cycles a commit of [bytes] occupies the storage path: two seeks (data
+    stream, superblock flip) plus the per-byte streaming cost, matching
+    the {!Velum_devices.Blockdev} latency model.  The HA supervisor
+    charges this as checkpoint pause time. *)
+
+val recover : t -> (Bytes.t * int) option
+(** Scan the device and return the newest complete image with its
+    generation; [None] if no generation ever committed intact.  Slots
+    with a valid magic but an invalid structure count as observed
+    [store.torn]; checksum mismatches under a valid structure count as
+    observed [store.csum]. *)
+
+val generation : t -> int
+(** Newest complete generation (0 = empty). *)
+
+val commits : t -> int
+(** Successful commits through this handle. *)
+
+val torn_commits : t -> int
+(** Commits cut by a power failure through this handle. *)
+
+val bytes_written : t -> int
+(** Total bytes this handle pushed at the device (torn prefixes
+    included). *)

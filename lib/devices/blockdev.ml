@@ -77,6 +77,24 @@ let read_back t ~sector ~count =
     invalid_arg "Blockdev.read_back: out of range";
   Bytes.sub_string t.store off len
 
+(* Byte-addressed host-side access: the durable snapshot store writes
+   records that straddle sector boundaries, and its power-failure model
+   cuts a write at an arbitrary *byte*, so sector granularity would hide
+   exactly the torn states it must exercise. *)
+let pwrite t ~off b ~pos ~len =
+  if off < 0 || pos < 0 || len < 0
+     || pos + len > Bytes.length b
+     || off + len > Bytes.length t.store
+  then invalid_arg "Blockdev.pwrite: out of range";
+  Bytes.blit b pos t.store off len
+
+let pread t ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.store then
+    invalid_arg "Blockdev.pread: out of range";
+  Bytes.sub t.store off len
+
+let capacity_bytes t = Bytes.length t.store
+
 let valid_range t =
   let s = Int64.to_int t.sector and c = Int64.to_int t.count in
   s >= 0 && c > 0 && s + c <= t.nsectors

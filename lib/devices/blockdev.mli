@@ -59,6 +59,22 @@ val load : t -> sector:int -> string -> unit
 val read_back : t -> sector:int -> count:int -> string
 (** Direct host-side read of the backing store. *)
 
+val pwrite : t -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** [pwrite t ~off b ~pos ~len] writes [len] bytes of [b] (from [pos])
+    into the backing store at byte offset [off] — host side, no latency,
+    byte granularity (the durable snapshot store's power-failure model
+    truncates writes at arbitrary byte offsets).
+
+    @raise Invalid_argument if out of range. *)
+
+val pread : t -> off:int -> len:int -> Bytes.t
+(** Host-side byte-addressed read.
+
+    @raise Invalid_argument if out of range. *)
+
+val capacity_bytes : t -> int
+(** Backing-store size in bytes ([sectors * sector_bytes]). *)
+
 val device : ?base:int64 -> t -> Velum_machine.Bus.device
 
 val set_faults : t -> Velum_util.Fault.t -> unit

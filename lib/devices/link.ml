@@ -74,6 +74,7 @@ end
 type direction = {
   mutable line_free : int64; (* cycle when the sender's line frees up *)
   heap : Heap.t;
+  ctl : Heap.t; (* control lane: same wire, own queue *)
 }
 
 type t = {
@@ -92,8 +93,8 @@ let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
   {
     bpc = bytes_per_cycle;
     latency = latency_cycles;
-    a_to_b = { line_free = 0L; heap = Heap.create () };
-    b_to_a = { line_free = 0L; heap = Heap.create () };
+    a_to_b = { line_free = 0L; heap = Heap.create (); ctl = Heap.create () };
+    b_to_a = { line_free = 0L; heap = Heap.create (); ctl = Heap.create () };
     total_bytes = 0;
     seq = 0;
     faults = Fault.none ();
@@ -158,21 +159,55 @@ let send t ~from ~now ~payload =
     arrival
   end
 
-let poll t ~at ~now =
-  let d = dir t (peer at) in
-  let rec drain acc =
-    match Heap.min d.heap with
+(* Control-plane frame: same wire (so the same partition/loss/delay
+   exposure), but its own lane — a few dozen bytes never contend with,
+   nor get drained by, a megabyte checkpoint stream's receiver. *)
+let send_control t ~from ~now ~payload =
+  let d = dir t from in
+  let arrival = Int64.add now (Int64.of_int t.latency) in
+  t.total_bytes <- t.total_bytes + String.length payload;
+  let f = t.faults in
+  if Fault.fire f Fault.Partition ~now || Fault.fire f Fault.Drop ~now then
+    arrival
+  else begin
+    let payload =
+      if Fault.fire f Fault.Corrupt ~now then corrupt_payload t payload
+      else payload
+    in
+    let arrival =
+      if Fault.fire f Fault.Delay ~now then
+        let extra =
+          1 + Velum_util.Rng.int (Fault.rng f) (max 1 (2 * t.latency))
+        in
+        Int64.add arrival (Int64.of_int extra)
+      else arrival
+    in
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    Heap.push d.ctl { Heap.arrival; seq; payload };
+    arrival
+  end
+
+let drain heap ~now =
+  let rec go acc =
+    match Heap.min heap with
     | Some e when Int64.unsigned_compare e.Heap.arrival now <= 0 ->
-        let e = Heap.pop d.heap in
-        drain (e.Heap.payload :: acc)
+        let e = Heap.pop heap in
+        go (e.Heap.payload :: acc)
     | _ -> List.rev acc
   in
-  drain []
+  go []
+
+let poll_control t ~at ~now = drain (dir t (peer at)).ctl ~now
+
+let poll t ~at ~now = drain (dir t (peer at)).heap ~now
 
 let next_arrival t ~at =
   match Heap.min (dir t (peer at)).heap with
   | None -> None
   | Some e -> Some e.Heap.arrival
 
-let in_flight t = t.a_to_b.heap.Heap.len + t.b_to_a.heap.Heap.len
+let in_flight t =
+  t.a_to_b.heap.Heap.len + t.b_to_a.heap.Heap.len + t.a_to_b.ctl.Heap.len
+  + t.b_to_a.ctl.Heap.len
 let bytes_sent t = t.total_bytes

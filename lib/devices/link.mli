@@ -42,6 +42,17 @@ val send : t -> from:endpoint -> now:int64 -> payload:string -> int64
 (** [send t ~from ~now ~payload] enqueues a frame toward the peer and
     returns its arrival time. *)
 
+val send_control : t -> from:endpoint -> now:int64 -> payload:string -> int64
+(** Like {!send} but on the control lane (heartbeats, takeover
+    announcements): pays propagation latency only, does not contend with
+    the bulk stream's serialization, and is only visible to
+    {!poll_control} — a bulk receiver can never swallow a control frame.
+    Fault sites ([drop], [corrupt], [delay], [partition]) apply
+    identically; the wire does not care what a frame means. *)
+
+val poll_control : t -> at:endpoint -> now:int64 -> string list
+(** Control-lane counterpart of {!poll}. *)
+
 val poll : t -> at:endpoint -> now:int64 -> string list
 (** [poll t ~at ~now] removes and returns the frames that have arrived at
     [at] by [now], in arrival order. *)

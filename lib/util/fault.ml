@@ -6,9 +6,15 @@ type site =
   | Blk_transient
   | Blk_permanent
   | Partition
+  | Store_torn
+  | Store_csum
+  | Hb_loss
 
 let all_sites =
-  [ Drop; Corrupt; Duplicate; Delay; Blk_transient; Blk_permanent; Partition ]
+  [
+    Drop; Corrupt; Duplicate; Delay; Blk_transient; Blk_permanent; Partition;
+    Store_torn; Store_csum; Hb_loss;
+  ]
 
 let nsites = List.length all_sites
 
@@ -20,6 +26,9 @@ let site_index = function
   | Blk_transient -> 4
   | Blk_permanent -> 5
   | Partition -> 6
+  | Store_torn -> 7
+  | Store_csum -> 8
+  | Hb_loss -> 9
 
 let site_name = function
   | Drop -> "drop"
@@ -29,6 +38,9 @@ let site_name = function
   | Blk_transient -> "blk"
   | Blk_permanent -> "blkperm"
   | Partition -> "partition"
+  | Store_torn -> "store.torn"
+  | Store_csum -> "store.csum"
+  | Hb_loss -> "hb.loss"
 
 type t = {
   rng : Rng.t;
@@ -95,6 +107,9 @@ let site_of_name = function
   | "blk" -> Some Blk_transient
   | "blkperm" -> Some Blk_permanent
   | "partition" -> Some Partition
+  | "store.torn" -> Some Store_torn
+  | "store.csum" -> Some Store_csum
+  | "hb.loss" -> Some Hb_loss
   | _ -> None
 
 let parse spec =

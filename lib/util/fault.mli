@@ -23,6 +23,13 @@ type site =
   | Blk_transient  (** one block-device command fails, retry may succeed *)
   | Blk_permanent  (** the block device fails hard; sticky until reset *)
   | Partition  (** the link is down: nothing gets through *)
+  | Store_torn
+      (** power fails mid-commit to the durable snapshot store: the write
+          stream is cut at an arbitrary byte offset *)
+  | Store_csum
+      (** latent store corruption: a committed record rots and fails its
+          checksum on the next recovery scan *)
+  | Hb_loss  (** an HA heartbeat is lost before reaching the wire *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -74,7 +81,8 @@ val parse : string -> (t, string) result
 (** [parse spec] builds a plan from a comma-separated spec, e.g.
     ["seed=42,drop=0.05,corrupt=0.01,partition@10000-20000"].  Each clause
     is [seed=N], [SITE=PROB], or [SITE@LO-HI] (a cycle window).  Site
-    names: drop corrupt dup delay blk blkperm partition. *)
+    names: drop corrupt dup delay blk blkperm partition store.torn
+    store.csum hb.loss. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the per-site injected/observed counters (nonzero sites only). *)

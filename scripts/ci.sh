@@ -64,6 +64,7 @@ awk -v s="$spin" 'BEGIN { exit !(s + 0 >= 4.0) }' || {
   echo "FAIL: cpu-spin block-engine speedup $spin regressed below 4x"; exit 1; }
 echo "cpu-spin block-engine speedup: ${spin}x"
 
+cp BENCH_fault.json "$tmp/BENCH_fault.ref.json"
 dune exec bench/main.exe -- --quick E16 >"$tmp/e16a.txt"
 cp BENCH_fault.json "$tmp/BENCH_fault.a.json"
 dune exec bench/main.exe -- --quick E16 >"$tmp/e16b.txt"
@@ -71,5 +72,38 @@ diff "$tmp/BENCH_fault.a.json" BENCH_fault.json || {
   echo "FAIL: BENCH_fault.json diverged between identical-seed runs"; exit 1; }
 diff "$tmp/e16a.txt" "$tmp/e16b.txt" || {
   echo "FAIL: E16 output diverged between identical-seed runs"; exit 1; }
+cp "$tmp/BENCH_fault.ref.json" BENCH_fault.json
+
+echo "== crash-recovery matrix (power-failure offset sweep) =="
+# Cut the checkpoint write stream at a lattice of byte offsets; every
+# single cut must recover the previous complete generation.  The command
+# exits nonzero on any torn or hybrid recovery, and two identical-seed
+# sweeps must report byte-identical results.
+dune exec bin/velum.exe -- recover --sweep --stride 50021 >"$tmp/sweep1.txt" || {
+  echo "FAIL: crash sweep recovered a torn image"; exit 1; }
+dune exec bin/velum.exe -- recover --sweep --stride 50021 >"$tmp/sweep2.txt" || {
+  echo "FAIL: crash sweep recovered a torn image"; exit 1; }
+diff "$tmp/sweep1.txt" "$tmp/sweep2.txt" || {
+  echo "FAIL: crash sweep diverged between identical runs"; exit 1; }
+grep -q "0 failures" "$tmp/sweep1.txt" || {
+  echo "FAIL: crash sweep reported failures"; exit 1; }
+
+# Faulted supervised runs must also be deterministic end to end.
+dune exec bin/velum.exe -- run -w spin --ha --faults "seed=7,store.torn=0.5" \
+  >"$tmp/ha1.txt"
+dune exec bin/velum.exe -- run -w spin --ha --faults "seed=7,store.torn=0.5" \
+  >"$tmp/ha2.txt"
+diff "$tmp/ha1.txt" "$tmp/ha2.txt" || {
+  echo "FAIL: supervised run diverged between identical-seed runs"; exit 1; }
+
+cp BENCH_ha.json "$tmp/BENCH_ha.ref.json"
+dune exec bench/main.exe -- --quick E17 >"$tmp/e17a.txt"
+cp BENCH_ha.json "$tmp/BENCH_ha.a.json"
+dune exec bench/main.exe -- --quick E17 >"$tmp/e17b.txt"
+diff "$tmp/BENCH_ha.a.json" BENCH_ha.json || {
+  echo "FAIL: BENCH_ha.json diverged between identical-seed runs"; exit 1; }
+diff "$tmp/e17a.txt" "$tmp/e17b.txt" || {
+  echo "FAIL: E17 output diverged between identical-seed runs"; exit 1; }
+cp "$tmp/BENCH_ha.ref.json" BENCH_ha.json
 
 echo "CI gate passed."

@@ -1,0 +1,487 @@
+(* High availability: the durable snapshot store is crash-consistent at
+   every power-failure offset (qcheck sweep), a rejected snapshot restore
+   leaves no trace, failover is idempotent, the watchdog policies fire
+   exactly as specified, the HA supervisor restarts wedged VMs from the
+   last good checkpoint with zero manual recovery calls, and missed
+   heartbeats drive automatic generation-fenced failover. *)
+
+open Velum_isa
+open Velum_machine
+open Velum_devices
+open Velum_vmm
+open Velum_guests
+open Asm
+
+module Fault = Velum_util.Fault
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let make_hyp ?(frames = 2048) () = Hypervisor.create ~host:(Host.create ~frames ()) ()
+
+let unikernel hyp ?(mem_frames = 16) name prog =
+  let vm = Hypervisor.create_vm hyp ~name ~mem_frames ~entry:0L () in
+  Vm.load_image vm (Asm.assemble ~origin:0L prog);
+  vm
+
+let vm_instret vm =
+  Array.fold_left
+    (fun acc (v : Vcpu.t) -> Int64.add acc v.Vcpu.state.Cpu.instret)
+    0L vm.Vm.vcpus
+
+let store_for ?faults ~image_bytes () =
+  Store.create ~sectors:(Store.sectors_for ~image_bytes) ?faults ()
+
+(* ---------------- store: crash consistency ---------------- *)
+
+(* Commit one generation intact, cut the next commit at an arbitrary
+   byte offset, power-cycle (remount the raw device) and recover: the
+   result must be byte-identical to the previous image — the commit
+   point is the last superblock byte, so no cut offset may ever yield
+   the new image, a hybrid, or nothing. *)
+let store_crash_sweep_prop =
+  QCheck2.Test.make ~count:100
+    ~name:"power failure at any commit offset recovers the previous image"
+    QCheck2.Gen.(
+      triple
+        (string_size ~gen:char (int_range 1 30_000))
+        (string_size ~gen:char (int_range 1 30_000))
+        nat)
+    (fun (s1, s2, off_seed) ->
+      let img1 = Bytes.of_string s1 and img2 = Bytes.of_string s2 in
+      let image_bytes = max (Bytes.length img1) (Bytes.length img2) in
+      let store = store_for ~image_bytes () in
+      (match Store.commit store img1 with
+      | Store.Committed 1 -> ()
+      | _ -> failwith "baseline commit failed");
+      let total = Store.commit_bytes store img2 in
+      let off = off_seed mod total in
+      (match Store.commit ~crash_at:off store img2 with
+      | Store.Torn cut -> if cut <> off then failwith "cut at wrong offset"
+      | Store.Committed _ -> failwith "crash_at must tear the commit");
+      (* power cycle: all in-memory state is lost *)
+      let store = Store.mount (Store.device store) in
+      match Store.recover store with
+      | Some (img, 1) -> Bytes.equal img img1
+      | _ -> false)
+
+let test_store_generations () =
+  let store = store_for ~image_bytes:10_000 () in
+  checkb "empty store recovers nothing" true (Store.recover store = None);
+  let imgs = List.init 5 (fun i -> Bytes.make (3_000 + (i * 811)) (Char.chr (65 + i))) in
+  List.iteri
+    (fun i img ->
+      match Store.commit store img with
+      | Store.Committed g -> checki "generation increments" (i + 1) g
+      | Store.Torn _ -> Alcotest.fail "unexpected torn commit")
+    imgs;
+  (match Store.recover store with
+  | Some (img, 5) -> checkb "newest image wins" true (Bytes.equal img (List.nth imgs 4))
+  | _ -> Alcotest.fail "newest generation must recover");
+  let store = Store.mount (Store.device store) in
+  checki "generation survives remount" 5 (Store.generation store)
+
+let test_store_torn_site () =
+  let f = Fault.create ~seed:9L () in
+  (* [now] for store sites is the commit ordinal: cut the second commit *)
+  Fault.add_window f Fault.Store_torn ~lo:1L ~hi:1L;
+  let store = store_for ~faults:f ~image_bytes:8_000 () in
+  let img1 = Bytes.make 8_000 'x' and img2 = Bytes.make 8_000 'y' in
+  (match Store.commit store img1 with
+  | Store.Committed 1 -> ()
+  | _ -> Alcotest.fail "first commit must land");
+  (match Store.commit store img2 with
+  | Store.Torn _ -> ()
+  | Store.Committed _ -> Alcotest.fail "the window must cut the second commit");
+  checki "torn commit counted" 1 (Store.torn_commits store);
+  checki "injected counted" 1 (Fault.injected f Fault.Store_torn);
+  let store = Store.mount ~faults:f (Store.device store) in
+  (match Store.recover store with
+  | Some (img, 1) -> checkb "previous generation rules" true (Bytes.equal img img1)
+  | _ -> Alcotest.fail "must recover generation 1")
+
+let test_store_csum_rot () =
+  let f = Fault.create ~seed:3L () in
+  Fault.add_window f Fault.Store_csum ~lo:1L ~hi:1L;
+  let store = store_for ~faults:f ~image_bytes:8_000 () in
+  let img1 = Bytes.make 8_000 'x' and img2 = Bytes.make 8_000 'y' in
+  (match Store.commit store img1 with
+  | Store.Committed 1 -> ()
+  | _ -> Alcotest.fail "first commit must land");
+  (match Store.commit store img2 with
+  | Store.Committed 2 -> ()
+  | _ -> Alcotest.fail "rot happens after the commit lands");
+  (match Store.recover store with
+  | Some (img, 1) -> checkb "rot falls back a generation" true (Bytes.equal img img1)
+  | _ -> Alcotest.fail "generation 1 must still recover");
+  checkb "corruption observed by the scan" true
+    (Fault.observed f Fault.Store_csum + Fault.observed f Fault.Store_torn >= 1)
+
+let test_new_sites_parse () =
+  match Fault.parse "seed=5,store.torn=0.25,store.csum=0.1,hb.loss@100-200" with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      checkb "torn prob" true (Fault.prob f Fault.Store_torn = 0.25);
+      checkb "csum prob" true (Fault.prob f Fault.Store_csum = 0.1);
+      checkb "hb window" true (Fault.fire f Fault.Hb_loss ~now:150L);
+      checkb "hb outside window" false (Fault.fire f Fault.Hb_loss ~now:250L)
+
+(* ---------------- snapshot: rejected restores leave no trace ---------------- *)
+
+let snap_base_image =
+  lazy
+    (let setup = Images.plan ~heap_pages:4 ~user:(Workloads.hello ()) () in
+     let hyp = make_hyp ~frames:(setup.Images.frames + 512) () in
+     let vm =
+       Hypervisor.create_vm hyp ~name:"h" ~mem_frames:setup.Images.frames
+         ~entry:Images.entry ()
+     in
+     Images.load_vm vm setup;
+     ignore (Hypervisor.run hyp);
+     Snapshot.capture vm)
+
+(* Flip one byte anywhere in a valid image.  Whether the restore is then
+   rejected or (for flips in benign payload bytes) still succeeds, the
+   host must end with exactly the frames and VM registrations it started
+   with. *)
+let restore_no_leak_prop =
+  QCheck2.Test.make ~count:80 ~name:"bit-flipped snapshot restores leak nothing"
+    QCheck2.Gen.(pair nat (int_range 0 254))
+    (fun (pos_seed, flip) ->
+      let image = Bytes.copy (Lazy.force snap_base_image) in
+      let pos = pos_seed mod Bytes.length image in
+      Bytes.set image pos
+        (Char.chr (Char.code (Bytes.get image pos) lxor (1 + flip)));
+      let hyp = make_hyp ~frames:4096 () in
+      let used0 = Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc in
+      let nvms0 = List.length hyp.Hypervisor.vms in
+      (match Snapshot.restore hyp image with
+      | vm -> Hypervisor.remove_vm hyp vm
+      | exception Failure _ -> ());
+      Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc = used0
+      && List.length hyp.Hypervisor.vms = nvms0)
+
+let test_truncated_restore_rejected () =
+  let image = Lazy.force snap_base_image in
+  let hyp = make_hyp ~frames:4096 () in
+  let used0 = Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc in
+  let cut = Bytes.sub image 0 (Bytes.length image / 2) in
+  (match Snapshot.restore hyp cut with
+  | _ -> Alcotest.fail "truncated image must be rejected"
+  | exception Failure _ -> ());
+  checki "frames reclaimed" used0
+    (Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc);
+  checki "no half-built VM registered" 0 (List.length hyp.Hypervisor.vms)
+
+(* ---------------- replication: idempotent failover ---------------- *)
+
+let test_failover_idempotent () =
+  let setup =
+    Images.plan ~heap_pages:32 ~user:(Workloads.dirty_loop ~pages:16 ~delay:50) ()
+  in
+  let primary = make_hyp ~frames:(setup.Images.frames + 512) () in
+  let backup = make_hyp ~frames:(setup.Images.frames + 512) () in
+  let vm =
+    Hypervisor.create_vm primary ~name:"p" ~mem_frames:setup.Images.frames
+      ~entry:Images.entry ()
+  in
+  Images.load_vm vm setup;
+  ignore (Hypervisor.run primary ~budget:1_000_000L);
+  let link = Link.create () in
+  let session = Replicate.start ~primary ~backup ~vm ~link () in
+  for _ = 1 to 3 do
+    ignore (Replicate.epoch session ~run_cycles:150_000L)
+  done;
+  checkb "not yet failed over" true (Replicate.failed_over session = None);
+  let twin1 = Replicate.failover session in
+  (* the racing second invocation must return the same twin, not raise *)
+  let twin2 = Replicate.failover session in
+  checkb "same twin" true (twin1 == twin2);
+  checkb "accessor agrees" true
+    (match Replicate.failed_over session with
+    | Some v -> v == twin1
+    | None -> false);
+  checki "failover event recorded once" 1
+    (Monitor.count twin1.Vm.monitor Monitor.E_ha_failover);
+  checkb "twin finishes on the backup" true
+    (Hypervisor.run backup ~budget:50_000_000L = Hypervisor.Out_of_budget
+    || Vm.halted twin1)
+
+(* ---------------- watchdog policies ---------------- *)
+
+let spin_forever = [ label "spin"; jmp "spin" ]
+let wedge_now = [ wfi; halt ]
+
+(* A stalled-but-not-halted VM next to a spinner that keeps the clock
+   moving: Wd_kill must fire exactly once (the halt ends the stall
+   window family for good). *)
+let test_wd_kill_fires_once () =
+  let hyp = make_hyp () in
+  let _spin = unikernel hyp "spin" spin_forever in
+  let stuck = unikernel hyp "stuck" wedge_now in
+  Hypervisor.set_watchdog hyp ~budget:50_000L ~policy:Hypervisor.Wd_kill;
+  ignore (Hypervisor.run hyp ~budget:2_000_000L);
+  checki "fired exactly once" 1 (Hypervisor.watchdog_fired hyp);
+  checki "counted on the stalled VM" 1 (Monitor.count stuck.Vm.monitor Monitor.E_watchdog);
+  checkb "stalled VM halted" true (Vm.halted stuck)
+
+(* Wd_notify restarts the window on each firing: one firing per full
+   stall window, deterministically. *)
+let test_wd_notify_once_per_window () =
+  let fired budget =
+    let hyp = make_hyp () in
+    let _spin = unikernel hyp "spin" spin_forever in
+    let stuck = unikernel hyp "stuck" wedge_now in
+    Hypervisor.set_watchdog hyp ~budget ~policy:Hypervisor.Wd_notify;
+    ignore (Hypervisor.run hyp ~budget:2_000_000L);
+    checkb "still stalled, not halted" false (Vm.halted stuck);
+    checki "counted on the stalled VM" (Hypervisor.watchdog_fired hyp)
+      (Monitor.count stuck.Vm.monitor Monitor.E_watchdog);
+    Hypervisor.watchdog_fired hyp
+  in
+  let n = fired 50_000L in
+  checkb "fires once per elapsed window" true (n >= 2);
+  checki "deterministic across identical runs" n (fired 50_000L);
+  checkb "a shorter window fires at least as often" true (fired 25_000L >= n)
+
+(* Wd_restart with no handler attached degenerates to kill. *)
+let test_wd_restart_without_handler_kills () =
+  let hyp = make_hyp () in
+  let _spin = unikernel hyp "spin" spin_forever in
+  let stuck = unikernel hyp "stuck" wedge_now in
+  Hypervisor.set_watchdog hyp ~budget:50_000L ~policy:Hypervisor.Wd_restart;
+  ignore (Hypervisor.run hyp ~budget:2_000_000L);
+  checki "fired exactly once" 1 (Hypervisor.watchdog_fired hyp);
+  checkb "stalled VM halted" true (Vm.halted stuck)
+
+(* ---------------- HA supervisor ---------------- *)
+
+let spin_n_then_halt n =
+  [ li r2 (Int64.of_int n); label "spin"; addi r2 r2 (-1L); bne r2 r0 "spin"; halt ]
+
+(* The guest spins, then wedges itself: every restore replays into the
+   same wedge — the crash-loop shape. *)
+let spin_then_wedge n =
+  [ li r2 (Int64.of_int n); label "spin"; addi r2 r2 (-1L); bne r2 r0 "spin"; wfi; halt ]
+
+let reference_instret prog =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "ref" prog in
+  (match Hypervisor.run hyp with
+  | Hypervisor.All_halted -> ()
+  | _ -> Alcotest.fail "reference run did not halt");
+  vm_instret vm
+
+let supervised ?faults ?(checkpoint_every = 100_000L) ?(wd_budget = 30_000L)
+    ?(backoff_base = 50_000L) ?max_restarts prog =
+  let hyp = make_hyp () in
+  let vm = unikernel hyp "work" prog in
+  let probe = Snapshot.capture vm in
+  let store =
+    store_for ?faults ~image_bytes:(Snapshot.size_bytes probe) ()
+  in
+  let sup =
+    Ha.create ~hyp ~store ~vm ~checkpoint_every ~wd_budget ~backoff_base
+      ?max_restarts ()
+  in
+  (hyp, sup)
+
+(* An externally injected stall: the supervisor must notice, destroy the
+   wedged VM, restore the last good checkpoint, and the guest must then
+   finish with the exact instruction count of an undisturbed run —
+   without a single manual recovery call. *)
+let test_ha_restart_recovers () =
+  let prog = spin_n_then_halt 100_000 in
+  let base = reference_instret prog in
+  let _hyp, sup = supervised prog in
+  (match Ha.run sup ~budget:250_000L with
+  | Hypervisor.Out_of_budget -> ()
+  | _ -> Alcotest.fail "guest should still be running");
+  checkb "checkpoints committed" true ((Ha.stats sup).Ha.checkpoints >= 1);
+  Ha.inject_stall (Ha.vm sup);
+  (match Ha.run sup ~budget:50_000_000L with
+  | Hypervisor.All_halted -> ()
+  | _ -> Alcotest.fail "supervised guest must finish after the restart");
+  let s = Ha.stats sup in
+  checki "exactly one restart" 1 s.Ha.restarts;
+  checkb "not degraded" false s.Ha.degraded;
+  checki "restart recorded on the restored VM" 1
+    (Monitor.count (Ha.vm sup).Vm.monitor Monitor.E_ha_restart);
+  checkb "MTTR accounted" true (s.Ha.mttr_events = 1 && s.Ha.mttr_total > 0L);
+  check64 "lockstep with the undisturbed run" base (vm_instret (Ha.vm sup))
+
+(* A guest that wedges from its own state replays into the wedge on
+   every restore: the crash-loop budget must bound the futility and
+   degrade the VM to halted, with the Monitor event to show for it. *)
+let test_ha_crash_loop_degrades () =
+  let _hyp, sup = supervised ~checkpoint_every:30_000L (spin_then_wedge 50_000) in
+  (match Ha.run sup ~budget:100_000_000L with
+  | Hypervisor.All_halted -> ()
+  | o ->
+      Alcotest.failf "degraded VM should read as halted, got %s"
+        (match o with
+        | Hypervisor.Out_of_budget -> "out-of-budget"
+        | Hypervisor.Idle_deadlock -> "idle-deadlock"
+        | _ -> "?"));
+  let s = Ha.stats sup in
+  checkb "degraded" true s.Ha.degraded;
+  checki "restart budget exhausted" 3 s.Ha.restarts;
+  checki "degradation recorded" 1
+    (Monitor.count (Ha.vm sup).Vm.monitor Monitor.E_ha_degraded);
+  checkb "kept registered for post-mortem" true
+    (Array.length (Ha.vm sup).Vm.vcpus > 0)
+
+(* End-to-end adversarial run: torn checkpoint commits and latent rot
+   from a seeded plan, plus an injected stall — recovery must be fully
+   automatic (the test only ever calls Ha.run) and land on the exact
+   instruction count of the fault-free run. *)
+let test_ha_adversarial_end_to_end () =
+  let prog = spin_n_then_halt 100_000 in
+  let base = reference_instret prog in
+  let f = Fault.create ~seed:7L () in
+  Fault.set_prob f Fault.Store_torn 0.3;
+  Fault.set_prob f Fault.Store_csum 0.15;
+  let _hyp, sup = supervised ~faults:f prog in
+  ignore (Ha.run sup ~budget:300_000L);
+  Ha.inject_stall (Ha.vm sup);
+  (match Ha.run sup ~budget:100_000_000L with
+  | Hypervisor.All_halted -> ()
+  | _ -> Alcotest.fail "adversarial run must still finish");
+  let s = Ha.stats sup in
+  checkb "not degraded" false s.Ha.degraded;
+  checkb "the plan actually bit" true
+    (s.Ha.torn_checkpoints >= 1 || Fault.injected f Fault.Store_csum >= 1);
+  check64 "lockstep with the fault-free run" base (vm_instret (Ha.vm sup))
+
+(* ---------------- heartbeat failover ---------------- *)
+
+let failover_setup () =
+  let setup =
+    Images.plan ~heap_pages:32 ~user:(Workloads.dirty_loop ~pages:16 ~delay:50) ()
+  in
+  let primary = make_hyp ~frames:(setup.Images.frames + 512) () in
+  let backup = make_hyp ~frames:(setup.Images.frames + 512) () in
+  let vm =
+    Hypervisor.create_vm primary ~name:"prot" ~mem_frames:setup.Images.frames
+      ~entry:Images.entry ()
+  in
+  Images.load_vm vm setup;
+  ignore (Hypervisor.run primary ~budget:1_000_000L);
+  (primary, backup, vm, Link.create ())
+
+let test_failover_healthy_run () =
+  let primary, backup, vm, link = failover_setup () in
+  let fo = Ha.Failover.create ~primary ~backup ~vm ~link () in
+  let survivor, s = Ha.Failover.run fo ~epoch_cycles:150_000L ~epochs:12 in
+  checkb "no failover" true (s.Ha.Failover.failover_at = None);
+  checki "generation unchanged" 1 s.Ha.Failover.generation;
+  checkb "survivor is the primary instance" true (survivor == vm);
+  checkb "heartbeats flowed" true (s.Ha.Failover.hb_seen >= 10);
+  checkb "primary still allowed to run" true (Ha.Failover.primary_may_run fo)
+
+(* Host death: heartbeats stop, the backup counts misses and activates
+   the twin on its own — zero manual failover calls. *)
+let test_failover_on_primary_death () =
+  let primary, backup, vm, link = failover_setup () in
+  let fo =
+    Ha.Failover.create ~primary ~backup ~vm ~link ~primary_dies_at:1_500_000L ()
+  in
+  let survivor, s = Ha.Failover.run fo ~epoch_cycles:150_000L ~epochs:20 in
+  checkb "failed over" true (s.Ha.Failover.failover_at <> None);
+  checki "generation bumped once" 2 s.Ha.Failover.generation;
+  checkb "survivor is the twin" true (survivor != vm);
+  checki "failover event recorded" 1
+    (Monitor.count survivor.Vm.monitor Monitor.E_ha_failover);
+  checkb "twin ran on the backup" true (s.Ha.Failover.backup_epochs >= 1);
+  (match s.Ha.Failover.mttr with
+  | Some m -> checkb "MTTR covers the miss window" true (m > 0L)
+  | None -> Alcotest.fail "MTTR must be measured");
+  checkb "dead primary never fenced (it never came back)" false s.Ha.Failover.fenced
+
+(* Split-brain: every heartbeat is eaten but the primary is alive.  The
+   backup takes over; the stale primary must fence itself on the first
+   TAKEOVER it hears and refuse to run from then on. *)
+let test_failover_fences_stale_primary () =
+  let primary, backup, vm, link = failover_setup () in
+  let f = Fault.create ~seed:11L () in
+  Fault.set_prob f Fault.Hb_loss 1.0;
+  let fo = Ha.Failover.create ~faults:f ~primary ~backup ~vm ~link () in
+  let survivor, s = Ha.Failover.run fo ~epoch_cycles:150_000L ~epochs:16 in
+  checkb "failed over" true (s.Ha.Failover.failover_at <> None);
+  checki "generation bumped" 2 s.Ha.Failover.generation;
+  checkb "every heartbeat was eaten" true
+    (s.Ha.Failover.hb_sent = 0 && s.Ha.Failover.hb_lost >= 3);
+  checkb "losses observed at detection" true (Fault.observed f Fault.Hb_loss >= 1);
+  checkb "stale primary fenced" true s.Ha.Failover.fenced;
+  checkb "fenced primary may not run" false (Ha.Failover.primary_may_run fo);
+  checkb "split-brain window was bounded" true
+    (s.Ha.Failover.split_brain_epochs >= 1
+    && s.Ha.Failover.split_brain_epochs <= 3);
+  checkb "survivor is the twin" true (survivor != vm);
+  checki "primary's instance destroyed by the fence" 0
+    (List.length primary.Hypervisor.vms)
+
+(* Same seed, same schedule: the whole failover drama is deterministic. *)
+let failover_deterministic_prop =
+  QCheck2.Test.make ~count:4 ~name:"seeded heartbeat-loss failover is deterministic"
+    QCheck2.Gen.(int_range 0 999)
+    (fun seed ->
+      let run () =
+        let primary, backup, vm, link = failover_setup () in
+        let f = Fault.create ~seed:(Int64.of_int seed) () in
+        Fault.set_prob f Fault.Hb_loss 0.4;
+        let fo = Ha.Failover.create ~faults:f ~primary ~backup ~vm ~link () in
+        let survivor, s = Ha.Failover.run fo ~epoch_cycles:120_000L ~epochs:14 in
+        let open Ha.Failover in
+        ( s.hb_sent, s.hb_lost, s.hb_seen, s.generation, s.fenced, s.failover_at,
+          s.mttr, s.primary_epochs, s.backup_epochs, vm_instret survivor )
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "ha"
+    [
+      ( "store",
+        Alcotest.test_case "generations alternate and survive remount" `Quick
+          test_store_generations
+        :: Alcotest.test_case "store.torn window tears a commit" `Quick
+             test_store_torn_site
+        :: Alcotest.test_case "store.csum rot falls back a generation" `Quick
+             test_store_csum_rot
+        :: Alcotest.test_case "new fault sites parse" `Quick test_new_sites_parse
+        :: qsuite [ store_crash_sweep_prop ] );
+      ( "snapshot",
+        Alcotest.test_case "truncated image rejected without trace" `Quick
+          test_truncated_restore_rejected
+        :: qsuite [ restore_no_leak_prop ] );
+      ( "replication",
+        [ Alcotest.test_case "failover is idempotent" `Quick test_failover_idempotent ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "kill fires exactly once" `Quick test_wd_kill_fires_once;
+          Alcotest.test_case "notify fires once per stall window" `Quick
+            test_wd_notify_once_per_window;
+          Alcotest.test_case "restart without handler kills" `Quick
+            test_wd_restart_without_handler_kills;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "restart recovers to lockstep" `Quick
+            test_ha_restart_recovers;
+          Alcotest.test_case "crash loop degrades to halted" `Quick
+            test_ha_crash_loop_degrades;
+          Alcotest.test_case "adversarial plan, zero manual recovery" `Quick
+            test_ha_adversarial_end_to_end;
+        ] );
+      ( "failover",
+        Alcotest.test_case "healthy run never fails over" `Quick
+          test_failover_healthy_run
+        :: Alcotest.test_case "primary death drives automatic failover" `Quick
+             test_failover_on_primary_death
+        :: Alcotest.test_case "stale primary is generation-fenced" `Quick
+             test_failover_fences_stale_primary
+        :: qsuite [ failover_deterministic_prop ] );
+    ]
