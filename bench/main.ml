@@ -1679,6 +1679,133 @@ let e17 () =
 (* ENGINE — execution engines: interp vs block wall clock              *)
 (* ------------------------------------------------------------------ *)
 
+(* E18: tracing overhead and determinism.  Recording is host-side
+   observation only, so a traced run must execute exactly the same
+   simulated cycles and exits as an untraced one (asserted per
+   workload), and two traced runs of the same seeded workload must
+   export byte-identical JSONL (asserted).  What tracing does cost is
+   host wall clock, measured here and written to BENCH_trace.json. *)
+
+let e18 () =
+  if section "E18" "Tracing overhead: off vs on (identical simulated cycles)" then begin
+    let scale l q = if !quick then q else l in
+    let scale_i l q = if !quick then q else l in
+    let cases =
+      [
+        ( "cpu-spin",
+          Images.plan ~user:(Workloads.cpu_spin ~iters:(scale 1_000_000L 100_000L)) () );
+        ( "syscalls",
+          Images.plan ~user:(Workloads.syscall_loop ~count:(scale 4_000L 400L)) () );
+        ( "memwalk",
+          Images.plan ~heap_pages:64
+            ~user:(Workloads.memwalk ~pages:64 ~iters:(scale_i 16 4) ~write:true)
+            () );
+      ]
+    in
+    let run_once ~traced setup =
+      let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+      let hyp = Hypervisor.create ~host () in
+      let tr =
+        if traced then begin
+          let tr = Trace.create () in
+          Hypervisor.set_trace hyp tr;
+          Some tr
+        end
+        else None
+      in
+      let vm =
+        Hypervisor.create_vm hyp ~name:"bench" ~mem_frames:setup.Images.frames
+          ~entry:Images.entry ()
+      in
+      Images.load_vm vm setup;
+      let t0 = Sys.time () in
+      (match Hypervisor.run hyp ~budget:20_000_000_000L with
+      | Hypervisor.All_halted -> ()
+      | _ -> failwith "E18: run did not halt");
+      let dt = Sys.time () -. t0 in
+      let cycles = Int64.add (Vm.guest_cycles vm) (Vm.vmm_cycles vm) in
+      (dt, cycles, Monitor.total_exits vm.Vm.monitor, tr)
+    in
+    let t =
+      Tablefmt.create
+        [ ("workload", Tablefmt.Left); ("sim cycles", Tablefmt.Right);
+          ("exits", Tablefmt.Right); ("events", Tablefmt.Right);
+          ("off s", Tablefmt.Right); ("on s", Tablefmt.Right);
+          ("overhead %", Tablefmt.Right) ]
+    in
+    let results =
+      List.map
+        (fun (name, setup) ->
+          let reps = if !quick then 1 else 3 in
+          let best_off = ref infinity and best_on = ref infinity in
+          let c_off = ref 0L and x_off = ref 0 in
+          let c_on = ref 0L and x_on = ref 0 in
+          let events = ref 0 in
+          let export = ref None in
+          for _ = 1 to reps do
+            let dt, c, x, _ = run_once ~traced:false setup in
+            if dt < !best_off then best_off := dt;
+            c_off := c;
+            x_off := x
+          done;
+          (* at least two traced runs so the byte-identical assert bites
+             even in --quick mode *)
+          for _ = 1 to max 2 reps do
+            let dt, c, x, tr = run_once ~traced:true setup in
+            if dt < !best_on then best_on := dt;
+            c_on := c;
+            x_on := x;
+            let tr = Option.get tr in
+            events := Trace.events_recorded tr;
+            let e = Trace.export_string tr in
+            match !export with
+            | None -> export := Some e
+            | Some prev ->
+                if not (String.equal prev e) then
+                  failwith
+                    (Printf.sprintf "E18 %s: trace export not byte-identical" name)
+          done;
+          if !c_off <> !c_on then
+            failwith
+              (Printf.sprintf
+                 "E18 %s: tracing changed simulated cycles (off %Ld, on %Ld)" name
+                 !c_off !c_on);
+          if !x_off <> !x_on then
+            failwith
+              (Printf.sprintf "E18 %s: tracing changed exit count (off %d, on %d)"
+                 name !x_off !x_on);
+          let overhead = ((!best_on /. !best_off) -. 1.0) *. 100.0 in
+          Tablefmt.add_row t
+            [ name; Int64.to_string !c_off; string_of_int !x_off;
+              string_of_int !events; Tablefmt.cell_f ~decimals:3 !best_off;
+              Tablefmt.cell_f ~decimals:3 !best_on;
+              Tablefmt.cell_f ~decimals:1 overhead ];
+          (name, !c_off, !x_off, !events, !best_off, !best_on, overhead))
+        cases
+    in
+    Tablefmt.print t;
+    let oc = open_out "BENCH_trace.json" in
+    output_string oc "{\n  \"benchmarks\": [\n";
+    List.iteri
+      (fun i (name, cycles, exits, events, off_s, on_s, overhead) ->
+        Printf.fprintf oc
+          "    {\"name\": \"trace/%s\", \"sim_cycles\": %Ld, \"sim_cycles_added\": 0, \
+           \"exits\": %d, \"events\": %d, \"off_s\": %.6f, \"on_s\": %.6f, \
+           \"wall_overhead_pct\": %.2f}%s\n"
+          name cycles exits events off_s on_s overhead
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf
+      "\nSimulated cycles and exit counts are identical with tracing on or off\n\
+       (asserted above, 'sim_cycles_added: 0'), and two traced runs export\n\
+       byte-identical JSONL.  The overhead column is host wall clock only.\n\
+       Written to BENCH_trace.json.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+
 (* The block engine is a pure mechanism change: simulated cycles must be
    bit-identical to the interpreter on every workload (asserted here),
    while host wall-clock time drops because straight-line runs skip
@@ -1917,6 +2044,7 @@ let () =
   e15 ();
   e16 ();
   e17 ();
+  e18 ();
   a1 ();
   a2 ();
   a3 ();

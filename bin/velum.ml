@@ -152,13 +152,42 @@ let run_cmd =
       value & opt int64 300_000L
       & info [ "checkpoint-every" ] ~doc:"HA checkpoint cadence in cycles.")
   in
+  let trace_to =
+    Arg.(
+      value
+      & opt ~vopt:(Some "velum.trace.jsonl") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a cycle-stamped trace (VM exits, scheduler decisions, \
+             hypercalls, device I/O, HA events) and export it as \
+             deterministic JSONL to $(docv) (default velum.trace.jsonl). \
+             Inspect with 'velum trace FILE'.")
+  in
   let action workload size native paging pv exec_mode engine budget faults watchdog
-      watchdog_policy ha checkpoint_every =
+      watchdog_policy ha checkpoint_every trace_to =
     let setup = build_setup workload ~size ~pv in
+    let export_trace tr file =
+      Trace.export_file tr file;
+      Printf.printf "trace: %d events -> %s\n" (Trace.events_recorded tr) file
+    in
     if native then begin
       let platform = Platform.create ~frames:(setup.Images.frames + 16) ~engine () in
+      let tr = Option.map (fun _ -> Trace.create ()) trace_to in
+      (* The device library cannot depend on the hypervisor core, so
+         tracing on bare metal is glued here through a neutral I/O hook. *)
+      Option.iter
+        (fun tr ->
+          Platform.set_io_hook platform (fun ~write ~addr ~now ->
+              Trace.record tr ~vm_id:0 ~name:"native" ~at:now
+                (Trace.Device_io { write; addr })))
+        tr;
       Images.load_native platform setup;
       let outcome = Platform.run ~budget platform in
+      Option.iter
+        (fun tr ->
+          Trace.add_guest_cycles tr ~vm_id:0 ~name:"native"
+            (Int64.to_int (Platform.cycles platform)))
+        tr;
       print_string (Platform.console_output platform);
       Printf.printf "[native] outcome: %s, cycles: %Ld, instructions: %Ld\n"
         (match outcome with
@@ -177,7 +206,7 @@ let run_cmd =
         (Dtlb.hits platform.Platform.dtlb)
         (Dtlb.misses platform.Platform.dtlb)
         (Dtlb.fills platform.Platform.dtlb);
-      match platform.Platform.engine.Engine.cache with
+      (match platform.Platform.engine.Engine.cache with
       | None -> ()
       | Some c ->
           Printf.printf
@@ -190,11 +219,15 @@ let run_cmd =
              %d\n"
             (Trans_cache.chains_patched c)
             (Trans_cache.chain_follows c)
-            (Trans_cache.chains_severed c)
+            (Trans_cache.chains_severed c));
+      match (trace_to, tr) with
+      | Some file, Some tr -> export_trace tr file
+      | _ -> ()
     end
     else begin
       let host = Host.create ~frames:(setup.Images.frames + 1024) () in
       let hyp = Hypervisor.create ~host () in
+      Option.iter (fun _ -> Hypervisor.set_trace hyp (Trace.create ())) trace_to;
       let vm =
         Hypervisor.create_vm hyp ~name:"cli" ~mem_frames:setup.Images.frames ~paging
           ~pv:(if pv then Vm.full_pv else Vm.no_pv)
@@ -249,14 +282,34 @@ let run_cmd =
           (Virtio_blk.error_count vm.Vm.vblk);
       if Hypervisor.watchdog_fired hyp > 0 then
         Printf.printf "watchdog fired: %d\n" (Hypervisor.watchdog_fired hyp);
-      Option.iter print_faults faults
+      Option.iter print_faults faults;
+      match (trace_to, Hypervisor.trace hyp) with
+      | Some file, Some tr -> export_trace tr file
+      | _ -> ()
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Boot a guest workload natively or under the hypervisor.")
     Term.(
       const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget
-      $ faults_arg $ watchdog $ watchdog_policy $ ha $ checkpoint_every)
+      $ faults_arg $ watchdog $ watchdog_policy $ ha $ checkpoint_every $ trace_to)
+
+(* ---------------- trace report ---------------- *)
+
+let trace_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 string "velum.trace.jsonl"
+      & info [] ~docv:"FILE" ~doc:"Trace export produced by 'run --trace'.")
+  in
+  let action file = print_string (Trace.render_report file) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Render a recorded trace: per-VM guest/VMM/device cycle attribution \
+          and per-exit-kind latency histograms (p50/p95/p99).")
+    Term.(const action $ file)
 
 (* ---------------- migrate ---------------- *)
 
@@ -609,6 +662,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "velum" ~version:"1.0.0" ~doc)
           [
-            run_cmd; migrate_cmd; replicate_cmd; snapshot_cmd; recover_cmd;
-            disasm_cmd; consolidate_cmd; info_cmd;
+            run_cmd; trace_cmd; migrate_cmd; replicate_cmd; snapshot_cmd;
+            recover_cmd; disasm_cmd; consolidate_cmd; info_cmd;
           ]))

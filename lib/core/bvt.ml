@@ -7,6 +7,7 @@ let min_vruntime st =
 
 let create ?(slice = Scheduler.default_slice) () =
   let st = { slice; queue = [] } in
+  let hook = ref None in
   let push v = if not (List.memq v st.queue) then st.queue <- st.queue @ [ v ] in
   {
     Scheduler.name = "bvt";
@@ -14,11 +15,14 @@ let create ?(slice = Scheduler.default_slice) () =
     requeue = push;
     wake =
       (fun v ->
+        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
         v.Vcpu.boosted <- false;
         (* Clamp a waker to the current minimum so it cannot monopolise
            the CPU to "catch up" for its sleep. *)
         (match min_vruntime st with
-        | Some m when v.Vcpu.vruntime < m -> v.Vcpu.vruntime <- m
+        | Some m when v.Vcpu.vruntime < m ->
+            Scheduler.tell hook (Some v) Scheduler.N_clamp;
+            v.Vcpu.vruntime <- m
         | _ -> ());
         push v);
     remove = (fun v -> st.queue <- List.filter (fun x -> not (x == v)) st.queue);
@@ -42,4 +46,5 @@ let create ?(slice = Scheduler.default_slice) () =
         v.Vcpu.vruntime <-
           v.Vcpu.vruntime +. (float_of_int used /. float_of_int (max 1 v.Vcpu.weight)));
     next_release = (fun ~now:_ -> None);
+    notify = hook;
   }

@@ -28,6 +28,7 @@ let refill st =
 
 let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
   let st = { slice; period; registered = []; queue = []; next_refill = 0L } in
+  let hook = ref None in
   let register v =
     if not (List.memq v st.registered) then st.registered <- v :: st.registered
   in
@@ -38,6 +39,7 @@ let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
   let maybe_refill now =
     if Int64.unsigned_compare now st.next_refill >= 0 then begin
       refill st;
+      Scheduler.tell hook None Scheduler.N_refill;
       st.next_refill <- Int64.add now (Int64.of_int st.period)
     end
   in
@@ -45,7 +47,10 @@ let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
     Scheduler.name = "credit";
     enqueue = push;
     requeue = push;
-    wake = push;
+    wake =
+      (fun v ->
+        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
+        push v);
     remove =
       (fun v ->
         st.queue <- List.filter (fun x -> not (x == v)) st.queue;
@@ -95,4 +100,5 @@ let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
         if parked && Int64.unsigned_compare st.next_refill now > 0 then
           Some st.next_refill
         else None);
+    notify = hook;
   }

@@ -5,10 +5,16 @@ type action = Resume | Yielded | Became_blocked | Vcpu_halted
 
 let cow_copy_cycles = Arch.page_size / 8 * 2
 
-let charge (vm : Vm.t) (vcpu : Vcpu.t) kind cycles =
+let trace_event (vm : Vm.t) ~now ev =
+  match vm.Vm.trace with
+  | Some tr -> Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:now ev
+  | None -> ()
+
+let charge ?(detail = 0L) (vm : Vm.t) (vcpu : Vcpu.t) ~now kind cycles =
   vcpu.Vcpu.vmm_cycles <- Int64.add vcpu.Vcpu.vmm_cycles (Int64.of_int cycles);
   Monitor.bump vm.Vm.monitor kind;
-  Monitor.add_cycles vm.Vm.monitor kind cycles
+  Monitor.add_cycles vm.Vm.monitor kind cycles;
+  trace_event vm ~now (Trace.Exit { kind; cost = cycles; detail })
 
 let ext_irq_pending (vm : Vm.t) =
   Bus.pending_irq vm.Vm.bus || vm.Vm.event_pending
@@ -19,7 +25,7 @@ let ext_irq_pending (vm : Vm.t) =
    remembered by guest PC); afterwards the translated sequence emulates
    inline at a fraction of the cost.  Device accesses and hidden page
    faults don't go through here — they are real exits in both modes. *)
-let world_switch_cost (vm : Vm.t) (vcpu : Vcpu.t) =
+let world_switch_cost (vm : Vm.t) (vcpu : Vcpu.t) ~now =
   let cost = vm.Vm.host.Host.cost in
   match vm.Vm.exec_mode with
   | Vm.Trap_emulate -> cost.Cost_model.vmexit
@@ -31,6 +37,13 @@ let world_switch_cost (vm : Vm.t) (vcpu : Vcpu.t) =
         Monitor.bump vm.Vm.monitor Monitor.E_bt_translate;
         Monitor.add_cycles vm.Vm.monitor Monitor.E_bt_translate
           cost.Cost_model.bt_translate;
+        trace_event vm ~now
+          (Trace.Exit
+             {
+               kind = Monitor.E_bt_translate;
+               cost = cost.Cost_model.bt_translate;
+               detail = pc;
+             });
         cost.Cost_model.bt_translate
       end
 
@@ -42,9 +55,10 @@ let maybe_inject_irq (vm : Vm.t) ~vcpu_idx ~now =
   match Cpu.interrupt_pending vcpu.Vcpu.state ~now ~ext_irq:(ext_irq_pending vm) with
   | Some cause ->
       Cpu.deliver_trap vcpu.Vcpu.state ~cause ~tval:0L;
-      vcpu.Vcpu.vmm_cycles <-
-        Int64.add vcpu.Vcpu.vmm_cycles (Int64.of_int vm.Vm.host.Host.cost.Cost_model.irq_inject);
+      let cost = vm.Vm.host.Host.cost.Cost_model.irq_inject in
+      vcpu.Vcpu.vmm_cycles <- Int64.add vcpu.Vcpu.vmm_cycles (Int64.of_int cost);
       Monitor.irq_injected vm.Vm.monitor;
+      trace_event vm ~now (Trace.Irq_inject { cost });
       true
   | None -> false
 
@@ -52,11 +66,11 @@ let maybe_inject_irq (vm : Vm.t) ~vcpu_idx ~now =
    virtual state.  BT translates the trapping site (e.g. the ecall) into
    a direct jump to the guest handler, so reflection gets cheap once the
    site is hot. *)
-let reflect (vm : Vm.t) (vcpu : Vcpu.t) kind ~cause ~tval =
+let reflect (vm : Vm.t) (vcpu : Vcpu.t) ~now kind ~cause ~tval =
   let cost = vm.Vm.host.Host.cost in
-  let switch = world_switch_cost vm vcpu in
+  let switch = world_switch_cost vm vcpu ~now in
   Cpu.deliver_trap vcpu.Vcpu.state ~cause ~tval;
-  charge vm vcpu kind (switch + cost.Cost_model.emul_instr)
+  charge vm vcpu ~now ~detail:tval kind (switch + cost.Cost_model.emul_instr)
 
 (* Virtual CSR semantics. *)
 let vcsr_read (vm : Vm.t) (vcpu : Vcpu.t) ~now csr =
@@ -79,16 +93,16 @@ let handle_privileged (vm : Vm.t) ~vcpu_idx ~now insn =
   let vcpu = vm.Vm.vcpus.(vcpu_idx) in
   let s = vcpu.Vcpu.state in
   let cost = vm.Vm.host.Host.cost in
-  let base = world_switch_cost vm vcpu + cost.Cost_model.emul_instr in
-  let done_ kind extra =
+  let base = world_switch_cost vm vcpu ~now + cost.Cost_model.emul_instr in
+  let done_ ?detail kind extra =
     Cpu.advance_pc s;
-    charge vm vcpu kind (base + extra);
+    charge vm vcpu ~now ?detail kind (base + extra);
     Resume
   in
   if s.Cpu.mode = Arch.User then begin
     (* The virtual machine's *user* code ran a privileged instruction:
        the guest kernel gets the illegal-instruction trap. *)
-    reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
+    reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
       ~tval:(illegal_of insn);
     Resume
   end
@@ -99,7 +113,7 @@ let handle_privileged (vm : Vm.t) ~vcpu_idx ~now insn =
         done_ Monitor.E_csr 0
     | Instr.Csrw (csr, rs1) ->
         if Arch.csr_read_only csr then begin
-          reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
+          reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
             ~tval:(illegal_of insn);
           Resume
         end
@@ -110,14 +124,14 @@ let handle_privileged (vm : Vm.t) ~vcpu_idx ~now insn =
         end
     | Instr.Sret ->
         Cpu.apply_sret s;
-        charge vm vcpu Monitor.E_sret base;
+        charge vm vcpu ~now Monitor.E_sret base;
         Resume
     | Instr.Sfence ->
         Vm.flush_vcpu_tlb vm ~vcpu_idx;
         done_ Monitor.E_sfence 0
     | Instr.Wfi ->
         Cpu.advance_pc s;
-        charge vm vcpu Monitor.E_wfi base;
+        charge vm vcpu ~now Monitor.E_wfi base;
         if irq_deliverable vm vcpu ~now then Resume
         else begin
           Vcpu.block vcpu;
@@ -132,15 +146,19 @@ let handle_privileged (vm : Vm.t) ~vcpu_idx ~now insn =
           else 0L
         in
         Cpu.set_reg s rd v;
-        done_ Monitor.E_port_io cost.Cost_model.port_io
+        trace_event vm ~now
+          (Trace.Device_io { write = false; addr = Int64.of_int port });
+        done_ ~detail:(Int64.of_int port) Monitor.E_port_io cost.Cost_model.port_io
     | Instr.Out (port, rs1) ->
         if port = Velum_devices.Uart.data_port then
           Velum_devices.Uart.write_reg vm.Vm.uart Velum_devices.Uart.reg_data
             (Cpu.get_reg s rs1);
-        done_ Monitor.E_port_io cost.Cost_model.port_io
+        trace_event vm ~now
+          (Trace.Device_io { write = true; addr = Int64.of_int port });
+        done_ ~detail:(Int64.of_int port) Monitor.E_port_io cost.Cost_model.port_io
     | Instr.Halt ->
         vcpu.Vcpu.runstate <- Vcpu.Halted;
-        charge vm vcpu Monitor.E_halt base;
+        charge vm vcpu ~now Monitor.E_halt base;
         Vcpu_halted
     | _ ->
         (* Non-privileged instructions never exit as X_privileged. *)
@@ -158,26 +176,28 @@ let emulate_mmio_insn (vm : Vm.t) ~vcpu_idx ~now ~gpa =
       let v = Option.value (Bus.read vm.Vm.bus gpa width) ~default:0L in
       Cpu.set_reg s rd v;
       Cpu.advance_pc s;
-      charge vm vcpu Monitor.E_mmio
+      trace_event vm ~now (Trace.Device_io { write = false; addr = gpa });
+      charge vm vcpu ~now ~detail:gpa Monitor.E_mmio
         (cost.Cost_model.vmexit + cost.Cost_model.emul_instr + cost.Cost_model.mmio_device);
       Resume
   | Some (Instr.Store { src; width; _ }) ->
       ignore (Bus.write vm.Vm.bus gpa width (Cpu.get_reg s src));
       Cpu.advance_pc s;
-      charge vm vcpu Monitor.E_mmio
+      trace_event vm ~now (Trace.Device_io { write = true; addr = gpa });
+      charge vm vcpu ~now ~detail:gpa Monitor.E_mmio
         (cost.Cost_model.vmexit + cost.Cost_model.emul_instr + cost.Cost_model.mmio_device);
       Resume
   | Some _ | None ->
-      reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Load_access_fault ~tval:gpa;
+      reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Load_access_fault ~tval:gpa;
       Resume
 
 (* Host-level page-fault service: the guest never sees these. *)
-let handle_host_fault (vm : Vm.t) ~vcpu_idx ~gfn ~access =
+let handle_host_fault (vm : Vm.t) ~vcpu_idx ~now ~gfn ~access =
   let vcpu = vm.Vm.vcpus.(vcpu_idx) in
   let cost = vm.Vm.host.Host.cost in
   let base = cost.Cost_model.vmexit in
   if gfn < 0L then begin
-    charge vm vcpu Monitor.E_shadow_fill base;
+    charge vm vcpu ~now Monitor.E_shadow_fill base;
     Resume
   end
   else
@@ -186,36 +206,40 @@ let handle_host_fault (vm : Vm.t) ~vcpu_idx ~gfn ~access =
         match Vm.resolve_read vm gfn with
         | Some _ ->
             Vm.flush_all_tlbs vm;
-            charge vm vcpu Monitor.E_swap_in (base + Host.swap_cost_cycles);
+            charge vm vcpu ~now ~detail:gfn Monitor.E_swap_in (base + Host.swap_cost_cycles);
             Resume
         | None ->
-            reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Load_access_fault ~tval:0L;
+            reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Load_access_fault
+              ~tval:0L;
             Resume)
     | P2m.Remote -> (
         match Vm.resolve_read vm gfn with
         | Some _ ->
             Vm.flush_all_tlbs vm;
-            charge vm vcpu Monitor.E_remote_fetch (base + vm.Vm.remote_fault_cycles);
+            charge vm vcpu ~now ~detail:gfn Monitor.E_remote_fetch
+              (base + vm.Vm.remote_fault_cycles);
             Resume
         | None ->
-            reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Load_access_fault ~tval:0L;
+            reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Load_access_fault
+              ~tval:0L;
             Resume)
     | P2m.Present { writable = false; cow = true; _ } ->
         ignore (Vm.resolve_write vm gfn);
-        charge vm vcpu Monitor.E_cow_break (base + cow_copy_cycles);
+        charge vm vcpu ~now ~detail:gfn Monitor.E_cow_break (base + cow_copy_cycles);
         Resume
     | P2m.Present { writable = false; cow = false; _ } when access = Arch.Store ->
         ignore (Vm.resolve_write vm gfn);
         Vm.flush_all_tlbs vm;
-        charge vm vcpu Monitor.E_dirty_log (base + vm.Vm.host.Host.cost.Cost_model.emul_instr);
+        charge vm vcpu ~now ~detail:gfn Monitor.E_dirty_log
+          (base + vm.Vm.host.Host.cost.Cost_model.emul_instr);
         Resume
     | P2m.Present { cow = true; _ } when access = Arch.Store ->
         ignore (Vm.resolve_write vm gfn);
-        charge vm vcpu Monitor.E_cow_break (base + cow_copy_cycles);
+        charge vm vcpu ~now ~detail:gfn Monitor.E_cow_break (base + cow_copy_cycles);
         Resume
     | P2m.Present _ ->
         (* Spurious (already repaired); resume and retry. *)
-        charge vm vcpu Monitor.E_shadow_fill base;
+        charge vm vcpu ~now Monitor.E_shadow_fill base;
         Resume
     | P2m.Ballooned | P2m.Absent ->
         let cause =
@@ -224,7 +248,7 @@ let handle_host_fault (vm : Vm.t) ~vcpu_idx ~gfn ~access =
           | Arch.Load -> Arch.Load_access_fault
           | Arch.Store -> Arch.Store_access_fault
         in
-        reflect vm vcpu Monitor.E_guest_trap ~cause ~tval:0L;
+        reflect vm vcpu ~now Monitor.E_guest_trap ~cause ~tval:0L;
         Resume
 
 let guest_page_fault_cause access =
@@ -242,8 +266,8 @@ let handle_page_fault (vm : Vm.t) ~vcpu_idx ~now ~access ~va =
   match vm.Vm.paging with
   | Vm.Shadow_paging ->
       if not (Arch.satp_enabled satp) then
-        handle_host_fault vm ~vcpu_idx ~gfn:(Int64.shift_right_logical va Arch.page_shift)
-          ~access
+        handle_host_fault vm ~vcpu_idx ~now
+          ~gfn:(Int64.shift_right_logical va Arch.page_shift) ~access
       else begin
         let shadow = Option.get vm.Vm.shadow in
         let result =
@@ -252,10 +276,11 @@ let handle_page_fault (vm : Vm.t) ~vcpu_idx ~now ~access ~va =
         if Shadow.take_tlb_flush shadow then Vm.flush_all_tlbs vm;
         match result with
         | Shadow.Filled { cycles } ->
-            charge vm vcpu Monitor.E_shadow_fill (cost.Cost_model.vmexit + cycles);
+            charge vm vcpu ~now ~detail:va Monitor.E_shadow_fill
+              (cost.Cost_model.vmexit + cycles);
             Resume
         | Shadow.Guest_fault ->
-            reflect vm vcpu Monitor.E_guest_page_fault
+            reflect vm vcpu ~now Monitor.E_guest_page_fault
               ~cause:(guest_page_fault_cause access) ~tval:va;
             Resume
         | Shadow.Target_mmio { gpa } -> emulate_mmio_insn vm ~vcpu_idx ~now ~gpa
@@ -265,17 +290,17 @@ let handle_page_fault (vm : Vm.t) ~vcpu_idx ~now ~access ~va =
             | Some (Instr.Store { src; width = Instr.W64; _ }) ->
                 (* adaptive BT retranslates hot PT-write sites so later
                    updates skip the hardware fault *)
-                let switch = world_switch_cost vm vcpu in
+                let switch = world_switch_cost vm vcpu ~now in
                 ignore (Shadow.emulate_pt_write shadow ~gpa ~value:(Cpu.get_reg s src));
                 if Shadow.take_tlb_flush shadow then Vm.flush_all_tlbs vm;
                 Cpu.advance_pc s;
-                charge vm vcpu Monitor.E_pt_write
+                charge vm vcpu ~now ~detail:gpa Monitor.E_pt_write
                   (switch + (2 * cost.Cost_model.emul_instr));
                 Resume
             | Some _ | None ->
                 (* A sub-word store to a page-table page; reflect it as a
                    fault rather than guessing. *)
-                reflect vm vcpu Monitor.E_guest_page_fault
+                reflect vm vcpu ~now Monitor.E_guest_page_fault
                   ~cause:(guest_page_fault_cause access) ~tval:va;
                 Resume)
         | Shadow.Bad_gpa ->
@@ -285,17 +310,17 @@ let handle_page_fault (vm : Vm.t) ~vcpu_idx ~now ~access ~va =
               | Arch.Load -> Arch.Load_access_fault
               | Arch.Store -> Arch.Store_access_fault
             in
-            reflect vm vcpu Monitor.E_guest_trap ~cause ~tval:va;
+            reflect vm vcpu ~now Monitor.E_guest_trap ~cause ~tval:va;
             Resume
       end
   | Vm.Nested_paging -> (
       let nested = Option.get vm.Vm.nested in
       match Nested.classify_fault nested ~guest_satp:satp ~access ~user ~va with
       | Nested.Guest_level ->
-          reflect vm vcpu Monitor.E_guest_page_fault ~cause:(guest_page_fault_cause access)
-            ~tval:va;
+          reflect vm vcpu ~now Monitor.E_guest_page_fault
+            ~cause:(guest_page_fault_cause access) ~tval:va;
           Resume
-      | Nested.Host_level { gfn } -> handle_host_fault vm ~vcpu_idx ~gfn ~access
+      | Nested.Host_level { gfn } -> handle_host_fault vm ~vcpu_idx ~now ~gfn ~access
       | Nested.Mmio { gpa } -> emulate_mmio_insn vm ~vcpu_idx ~now ~gpa
       | Nested.Bad { gpa = _ } ->
           let cause =
@@ -304,7 +329,7 @@ let handle_page_fault (vm : Vm.t) ~vcpu_idx ~now ~access ~va =
             | Arch.Load -> Arch.Load_access_fault
             | Arch.Store -> Arch.Store_access_fault
           in
-          reflect vm vcpu Monitor.E_guest_trap ~cause ~tval:va;
+          reflect vm vcpu ~now Monitor.E_guest_trap ~cause ~tval:va;
           Resume)
 
 let handle_exit (vm : Vm.t) ~vcpu_idx ~now exit_ =
@@ -314,7 +339,7 @@ let handle_exit (vm : Vm.t) ~vcpu_idx ~now exit_ =
   match exit_ with
   | Cpu.X_privileged insn -> handle_privileged vm ~vcpu_idx ~now insn
   | Cpu.X_trap { cause; tval } ->
-      reflect vm vcpu Monitor.E_guest_trap ~cause ~tval;
+      reflect vm vcpu ~now Monitor.E_guest_trap ~cause ~tval;
       Resume
   | Cpu.X_page_fault { access; va } -> handle_page_fault vm ~vcpu_idx ~now ~access ~va
   | Cpu.X_mmio_load { rd; pa; width } ->
@@ -322,14 +347,16 @@ let handle_exit (vm : Vm.t) ~vcpu_idx ~now exit_ =
       let v = Option.value (Bus.read vm.Vm.bus pa width) ~default:0L in
       Cpu.set_reg s rd v;
       Cpu.advance_pc s;
-      charge vm vcpu Monitor.E_mmio
+      trace_event vm ~now (Trace.Device_io { write = false; addr = pa });
+      charge vm vcpu ~now ~detail:pa Monitor.E_mmio
         (cost.Cost_model.vmexit + cost.Cost_model.mmio_device);
       Resume
   | Cpu.X_mmio_store { pa; width; value } ->
       Bus.tick vm.Vm.bus now;
       ignore (Bus.write vm.Vm.bus pa width value);
       Cpu.advance_pc s;
-      charge vm vcpu Monitor.E_mmio
+      trace_event vm ~now (Trace.Device_io { write = true; addr = pa });
+      charge vm vcpu ~now ~detail:pa Monitor.E_mmio
         (cost.Cost_model.vmexit + cost.Cost_model.mmio_device);
       Resume
   | Cpu.X_hypercall ->
@@ -337,13 +364,15 @@ let handle_exit (vm : Vm.t) ~vcpu_idx ~now exit_ =
         (* hypercalls are a kernel interface: reflect an illegal
            instruction into the guest rather than letting user code
            balloon pages or rewrite page tables *)
-        reflect vm vcpu Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
+        reflect vm vcpu ~now Monitor.E_guest_trap ~cause:Arch.Illegal_instruction
           ~tval:(Instr.encode Instr.Hcall);
         Resume
       end
       else begin
+        let num = Cpu.get_reg s 1 in
         let action = Hypercall.dispatch vm ~vcpu_idx ~now in
-        charge vm vcpu Monitor.E_hypercall cost.Cost_model.hypercall;
+        trace_event vm ~now (Trace.Hypercall { num });
+        charge vm vcpu ~now ~detail:num Monitor.E_hypercall cost.Cost_model.hypercall;
         match action with
         | Hypercall.Continue -> Resume
         | Hypercall.Yield_cpu -> Yielded

@@ -46,6 +46,13 @@ let vm_instret (vm : Vm.t) =
     (fun acc (v : Vcpu.t) -> Int64.add acc v.Vcpu.state.Cpu.instret)
     0L vm.Vm.vcpus
 
+let trace_ha (hyp : Hypervisor.t) (vm : Vm.t) what ~detail =
+  match Hypervisor.trace hyp with
+  | Some tr ->
+      Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:(Hypervisor.now hyp)
+        (Trace.Ha_event { what; detail })
+  | None -> ()
+
 (* Only a VM that can still make progress is worth persisting: an
    all-blocked image IS the wedge, and committing it would make every
    restore land right back in it.  "Last good checkpoint" = the newest
@@ -65,6 +72,7 @@ let degrade (t : t) =
   t.pending <- None;
   Log.warn (fun m -> m "ha: degrading %s to halted" t.vm.Vm.name);
   Monitor.bump t.vm.Vm.monitor Monitor.E_ha_degraded;
+  trace_ha t.hyp t.vm Trace.Ha_degraded ~detail:0L;
   Array.iter
     (fun (v : Vcpu.t) ->
       v.Vcpu.runstate <- Vcpu.Halted;
@@ -112,10 +120,10 @@ let maybe_restore (t : t) =
               t.last_ckpt_instret <- vm_instret vm;
               t.restarts <- t.restarts + 1;
               t.mttr_events <- t.mttr_events + 1;
-              t.mttr_total <-
-                Int64.add t.mttr_total
-                  (Int64.sub (Hypervisor.now t.hyp) t.stalled_at);
+              let mttr = Int64.sub (Hypervisor.now t.hyp) t.stalled_at in
+              t.mttr_total <- Int64.add t.mttr_total mttr;
               Monitor.bump vm.Vm.monitor Monitor.E_ha_restart;
+              trace_ha t.hyp vm Trace.Ha_restart ~detail:mttr;
               Log.info (fun m -> m "ha: restored %s from generation %d" vm.Vm.name gen)
           | exception Failure _ -> t.degraded <- true))
   | _ -> ()
@@ -132,7 +140,9 @@ let checkpoint (t : t) =
       let image = Snapshot.capture t.vm in
       let cost = Store.commit_cycles ~bytes:(Store.commit_bytes t.store image) in
       (match Store.commit t.store image with
-      | Store.Committed _ -> t.checkpoints <- t.checkpoints + 1
+      | Store.Committed _ ->
+          t.checkpoints <- t.checkpoints + 1;
+          trace_ha t.hyp t.vm Trace.Ha_checkpoint ~detail:cost
       | Store.Torn _ -> t.torn_checkpoints <- t.torn_checkpoints + 1);
       t.checkpoint_cycles <- Int64.add t.checkpoint_cycles cost;
       (* the guest is paused while the commit streams out *)
@@ -410,6 +420,8 @@ module Failover = struct
       ignore (Replicate.failover ~fence_primary:false t.session);
       t.failover_at <- Some t.now;
       t.mttr <- Some (Int64.sub t.now t.last_hb);
+      trace_ha t.backup t.prot_vm Trace.Ha_failover
+        ~detail:(Int64.sub t.now t.last_hb);
       Log.warn (fun m ->
           m "ha: %d heartbeats missed, failover at generation %d" t.misses
             t.generation)

@@ -6,6 +6,7 @@ type t = {
   cost : Cost_model.t;
   default_engine : Engine.kind;
   mutable swap : Bytes.t option array;
+  mutable swap_free : int list;
   mutable swap_ins : int;
   mutable swap_outs : int;
 }
@@ -21,28 +22,27 @@ let create ?(frames = 16384) ?(cost = Cost_model.default) ?(swap_slots = 4096)
     cost;
     default_engine = engine;
     swap = Array.make swap_slots None;
+    swap_free = List.init swap_slots Fun.id;
     swap_ins = 0;
     swap_outs = 0;
   }
 
 let swap_out t ~ppn =
-  let rec find i =
-    if i >= Array.length t.swap then failwith "Host.swap_out: swap full"
-    else if t.swap.(i) = None then i
-    else find (i + 1)
-  in
-  let slot = find 0 in
-  t.swap.(slot) <- Some (Phys_mem.frame_read t.mem ~ppn);
-  t.swap_outs <- t.swap_outs + 1;
-  slot
+  match t.swap_free with
+  | [] -> failwith "Host.swap_out: swap full"
+  | slot :: rest ->
+      t.swap_free <- rest;
+      t.swap.(slot) <- Some (Phys_mem.frame_read t.mem ~ppn);
+      t.swap_outs <- t.swap_outs + 1;
+      slot
 
 let swap_in t ~slot ~ppn =
   match t.swap.(slot) with
   | Some b ->
       Phys_mem.frame_write t.mem ~ppn b;
       t.swap.(slot) <- None;
+      t.swap_free <- slot :: t.swap_free;
       t.swap_ins <- t.swap_ins + 1
   | None -> invalid_arg "Host.swap_in: empty slot"
 
-let free_swap_slots t =
-  Array.fold_left (fun acc s -> if s = None then acc + 1 else acc) 0 t.swap
+let free_swap_slots t = List.length t.swap_free

@@ -17,6 +17,10 @@ type t = {
       (** execution engine VMs on this host use unless overridden at
           {!Hypervisor.create_vm} time *)
   mutable swap : Bytes.t option array;  (** slot → parked frame image *)
+  mutable swap_free : int list;
+      (** free-slot free-list (LIFO), so {!swap_out} allocates in O(1)
+          instead of rescanning the array — swap-out sits on the
+          overcommit hot path *)
   mutable swap_ins : int;
   mutable swap_outs : int;
 }
@@ -30,8 +34,9 @@ val swap_cost_cycles : int
 (** Cycles charged per swap transfer (~a disk access). *)
 
 val swap_out : t -> ppn:int64 -> int
-(** [swap_out t ~ppn] copies the frame into a free slot and returns it
-    (the frame itself is {e not} freed — the caller owns that).
+(** [swap_out t ~ppn] copies the frame into a free slot (popped from the
+    free-list in O(1)) and returns it (the frame itself is {e not} freed
+    — the caller owns that).
 
     @raise Failure when swap is full. *)
 

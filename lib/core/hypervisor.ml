@@ -30,6 +30,7 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
+  mutable trace : Trace.t option;
 }
 
 let create ?host ?sched ?(pcpus = 1) () =
@@ -47,6 +48,7 @@ let create ?host ?sched ?(pcpus = 1) () =
     sched_decisions = 0;
     watchdog = None;
     restart_handler = None;
+    trace = None;
   }
 
 let set_watchdog t ~budget ~policy =
@@ -108,6 +110,7 @@ let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
     Vm.create ~host:t.host ~id ~name ~mem_frames ~vcpu_count ~paging ~pv ~populate ?nic
       ?tlb_size ?exec_mode ?engine ~entry ()
   in
+  vm.Vm.trace <- t.trace;
   Array.iter
     (fun vcpu ->
       vcpu.Vcpu.weight <- weight;
@@ -125,6 +128,33 @@ let remove_vm t vm =
   Vm.destroy vm
 
 let find_vm t ~vm_id = List.find_opt (fun vm -> vm.Vm.id = vm_id) t.vms
+
+(* ---- tracing ---- *)
+
+let trace t = t.trace
+
+(* Attach a tracing sink: existing and future VMs share it, and the
+   scheduler's notify cell routes policy decisions into it.  Recording is
+   host-side only, so a traced run burns exactly the same simulated
+   cycles as an untraced one. *)
+let set_trace t tr =
+  t.trace <- Some tr;
+  List.iter (fun vm -> vm.Vm.trace <- Some tr) t.vms;
+  t.sched.Scheduler.notify :=
+    Some
+      (fun vcpu note ->
+        let ev =
+          match note with
+          | Scheduler.N_wake { boosted } -> Trace.Sched_wake { boosted }
+          | Scheduler.N_refill -> Trace.Sched_refill
+          | Scheduler.N_clamp -> Trace.Sched_clamp
+        in
+        match vcpu with
+        | Some v -> (
+            match find_vm t ~vm_id:v.Vcpu.vm_id with
+            | Some vm -> Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:t.clock ev
+            | None -> ())
+        | None -> Trace.record tr ~vm_id:(-1) ~name:"scheduler" ~at:t.clock ev)
 
 let vcpu_index vm vcpu =
   let found = ref (-1) in
@@ -185,6 +215,10 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
       let consumed, stop = vm.Vm.engine.Engine.step_n state ctx ~fuel:chunk in
       used := !used + consumed;
       vcpu.Vcpu.guest_cycles <- Int64.add vcpu.Vcpu.guest_cycles (Int64.of_int consumed);
+      (match vm.Vm.trace with
+      | Some tr when consumed > 0 ->
+          Trace.add_guest_cycles tr ~vm_id:vm.Vm.id ~name:vm.Vm.name consumed
+      | _ -> ());
       match stop with
       | Cpu.Budget -> inject ()
       | Cpu.Halted ->
@@ -288,6 +322,12 @@ let check_watchdog t =
                 then begin
                   wd.wd_fired <- wd.wd_fired + 1;
                   Monitor.bump vm.Vm.monitor Monitor.E_watchdog;
+                  (match vm.Vm.trace with
+                  | Some tr ->
+                      Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:t.clock
+                        (Trace.Exit
+                           { kind = Monitor.E_watchdog; cost = 0; detail = 0L })
+                  | None -> ());
                   m.wd_window_start <- t.clock;
                   let kill () =
                     Array.iter
@@ -340,10 +380,23 @@ let dispatch_on t p (vcpu : Vcpu.t) slice =
         p.pclock <- vcpu.Vcpu.last_scheduled
       end;
       p.pclock <- Int64.add p.pclock (Int64.of_int t.host.Host.cost.Cost_model.ctx_switch);
+      let dispatched_at = p.pclock in
       let used, outcome = exec_vcpu t vm ~vcpu_idx ~base:p.pclock ~slice in
       p.pclock <- Int64.add p.pclock (Int64.of_int used);
       vcpu.Vcpu.last_scheduled <- p.pclock;
       t.sched.Scheduler.charge vcpu ~used ~now:p.pclock;
+      (match t.trace with
+      | Some tr ->
+          let stop =
+            match outcome with
+            | Slice_done -> Trace.S_slice
+            | Yielded -> Trace.S_yield
+            | Blocked -> Trace.S_block
+            | Halted_vcpu -> Trace.S_halt
+          in
+          Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:dispatched_at
+            (Trace.Dispatch { vcpu = vcpu_idx; slice; used; stop })
+      | None -> ());
       (match outcome with
       | Slice_done | Yielded -> t.sched.Scheduler.requeue vcpu
       | Blocked -> ()

@@ -33,6 +33,7 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
+  mutable trace : Trace.t option;  (** set via {!set_trace} *)
 }
 
 val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
@@ -45,6 +46,14 @@ val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
 
 val now : t -> int64
 (** Makespan: the farthest pcpu clock. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Attach a tracing sink: every current and future VM records into it,
+    and the scheduler's {!Scheduler.t.notify} cell is pointed at it.
+    Tracing is host-side bookkeeping only — simulated cycles, exits and
+    scheduling are byte-identical with tracing on or off. *)
+
+val trace : t -> Trace.t option
 
 val pcpu_count : t -> int
 

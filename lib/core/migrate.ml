@@ -201,6 +201,13 @@ let rollback ~dst ~twin reason =
       m "migration aborted (%s): rolling back, source resumes" reason);
   Hypervisor.remove_vm dst twin
 
+let trace_round ~src (vm : Vm.t) ~round ~pages =
+  match Hypervisor.trace src with
+  | Some tr ->
+      Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:(Hypervisor.now src)
+        (Trace.Migration_round { round; pages })
+  | None -> ()
+
 let stop_and_copy ?(compress = false) ?faults ~src ~dst ~vm ~link () =
   let faults = match faults with Some f -> f | None -> Link.faults link in
   let twin = make_twin ~dst ~vm in
@@ -213,6 +220,7 @@ let stop_and_copy ?(compress = false) ?faults ~src ~dst ~vm ~link () =
       vm.Vm.vcpus;
     let pages = List.length gfns in
     let cycles = Int64.of_int (Link.transfer_cycles link ~bytes) in
+    trace_round ~src vm ~round:1 ~pages;
     finish ~src ~vm ~twin;
     ( twin,
       {
@@ -239,6 +247,7 @@ let stop_and_copy ?(compress = false) ?faults ~src ~dst ~vm ~link () =
       Array.iteri
         (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))
         vm.Vm.vcpus;
+      trace_round ~src vm ~round:1 ~pages:!pages;
       finish ~src ~vm ~twin;
       ( twin,
         {
@@ -285,6 +294,7 @@ let precopy ?(compress = false) ?faults ?watchdog_cycles ~src ~dst ~vm ~link
       List.iter (fun gfn -> ignore (copy_page ~vm ~twin gfn)) to_send;
       let n = List.length to_send in
       pages := !pages + n;
+      trace_round ~src vm ~round:!rounds ~pages:n;
       let cycles = Link.transfer_cycles link ~bytes:round_bytes in
       ignore (transfer_pages_cycles link n);
       total := Int64.add !total (Int64.of_int cycles);
@@ -353,6 +363,7 @@ let precopy ?(compress = false) ?faults ?watchdog_cycles ~src ~dst ~vm ~link
         let t_before = x.x_clock in
         List.iter (fun gfn -> send_page_reliable x ~vm ~twin gfn) to_send;
         pages := !pages + List.length to_send;
+        trace_round ~src vm ~round:!rounds ~pages:(List.length to_send);
         Hypervisor.run_vm src vm ~cycles:(Int64.sub x.x_clock t_before);
         let dirty = Vm.collect_dirty vm ~clear:false in
         Vm.start_dirty_logging vm;
@@ -418,6 +429,7 @@ let postcopy ~src ~dst ~vm ~link ?(push_batch = 32) () =
      on the destination. *)
   let downtime = Int64.of_int (Link.transfer_cycles link ~bytes:vcpu_state_bytes) in
   let gfns = present_gfns vm in
+  trace_round ~src vm ~round:1 ~pages:(List.length gfns);
   List.iter (fun gfn -> P2m.set twin.Vm.p2m gfn P2m.Remote) gfns;
   Array.iteri
     (fun i vcpu -> copy_vcpu_state ~src:vcpu ~dst:twin.Vm.vcpus.(i))

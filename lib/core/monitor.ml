@@ -69,14 +69,33 @@ let exit_kind_name = function
   | E_ha_degraded -> "ha-degraded"
   | E_ha_failover -> "ha-failover"
 
-let kind_index k =
-  let rec go i = function
-    | [] -> assert false
-    | x :: rest -> if x = k then i else go (i + 1) rest
-  in
-  go 0 all_exit_kinds
+(* Constant-time constructor -> index map.  This sits on the hottest VMM
+   path (every exit bumps a counter and accumulates cycles); the indices
+   must stay aligned with [all_exit_kinds] above. *)
+let kind_index = function
+  | E_csr -> 0
+  | E_sret -> 1
+  | E_sfence -> 2
+  | E_wfi -> 3
+  | E_halt -> 4
+  | E_port_io -> 5
+  | E_mmio -> 6
+  | E_hypercall -> 7
+  | E_guest_trap -> 8
+  | E_guest_page_fault -> 9
+  | E_shadow_fill -> 10
+  | E_pt_write -> 11
+  | E_dirty_log -> 12
+  | E_cow_break -> 13
+  | E_swap_in -> 14
+  | E_remote_fetch -> 15
+  | E_bt_translate -> 16
+  | E_watchdog -> 17
+  | E_ha_restart -> 18
+  | E_ha_degraded -> 19
+  | E_ha_failover -> 20
 
-let nkinds = List.length all_exit_kinds
+let nkinds = 21
 
 type t = {
   counts : int array;
@@ -93,7 +112,9 @@ let create () =
     gauges = Hashtbl.create 16;
   }
 
-let bump t k = t.counts.(kind_index k) <- t.counts.(kind_index k) + 1
+let bump t k =
+  let i = kind_index k in
+  t.counts.(i) <- t.counts.(i) + 1
 
 let add_cycles t k c =
   let i = kind_index k in

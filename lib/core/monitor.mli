@@ -35,6 +35,14 @@ type exit_kind =
 val exit_kind_name : exit_kind -> string
 val all_exit_kinds : exit_kind list
 
+val kind_index : exit_kind -> int
+(** Dense index of a kind within [all_exit_kinds] — a constant-time
+    constructor match, safe on the exit hot path.  {!Trace} keys its
+    per-kind latency histograms by it. *)
+
+val nkinds : int
+(** [List.length all_exit_kinds]. *)
+
 type t
 
 val create : unit -> t

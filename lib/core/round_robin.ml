@@ -1,5 +1,6 @@
 let create ?(slice = Scheduler.default_slice) () =
   let queue : Vcpu.t Queue.t = Queue.create () in
+  let hook = ref None in
   let push v = if not (Queue.fold (fun f x -> f || x == v) false queue) then Queue.push v queue in
   {
     Scheduler.name = "round-robin";
@@ -7,6 +8,7 @@ let create ?(slice = Scheduler.default_slice) () =
     requeue = push;
     wake =
       (fun v ->
+        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
         v.Vcpu.boosted <- false;
         push v);
     remove =
@@ -24,4 +26,5 @@ let create ?(slice = Scheduler.default_slice) () =
         next ());
     charge = (fun _ ~used:_ ~now:_ -> ());
     next_release = (fun ~now:_ -> None);
+    notify = hook;
   }

@@ -1,3 +1,7 @@
+type note = N_wake of { boosted : bool } | N_refill | N_clamp
+
+type hook = Vcpu.t option -> note -> unit
+
 type t = {
   name : string;
   enqueue : Vcpu.t -> unit;
@@ -7,6 +11,9 @@ type t = {
   pick : now:int64 -> (Vcpu.t * int) option;
   charge : Vcpu.t -> used:int -> now:int64 -> unit;
   next_release : now:int64 -> int64 option;
+  notify : hook option ref;
 }
+
+let tell h vcpu note = match !h with Some f -> f vcpu note | None -> ()
 
 let default_slice = 100_000

@@ -5,6 +5,16 @@
     {!Credit} (Xen-style proportional share with I/O boost), {!Bvt}
     (borrowed virtual time). *)
 
+type note =
+  | N_wake of { boosted : bool }  (** a blocked vCPU became runnable *)
+  | N_refill  (** credit scheduler granted a new accounting period *)
+  | N_clamp  (** BVT clamped a waker's vruntime to the queue minimum *)
+
+type hook = Vcpu.t option -> note -> unit
+(** Observer for scheduler-internal decisions ([None] = not tied to one
+    vCPU, e.g. a global refill).  Installed by {!Hypervisor.set_trace};
+    must not mutate scheduler or vCPU state. *)
+
 type t = {
   name : string;
   enqueue : Vcpu.t -> unit;
@@ -23,7 +33,14 @@ type t = {
       (** when a policy is holding runnable work back (CPU caps), the
           earliest time it will release some — lets an idle host sleep
           to that point instead of deadlocking *)
+  notify : hook option ref;
+      (** shared cell the policy's closures read on each decision; [None]
+          (the default) costs one pointer load per event *)
 }
+
+val tell : hook option ref -> Vcpu.t option -> note -> unit
+(** Invoke the installed hook, if any (helper for policy
+    implementations). *)
 
 val default_slice : int
 (** 100k cycles — the time quantum baseline policies use. *)

@@ -1,0 +1,359 @@
+(* Cycle-stamped tracing and profiling.  Each traced VM gets a bounded
+   event ring (oldest events are evicted, never the newest), a per-exit-
+   kind latency histogram, and a guest/VMM/device cycle-attribution
+   triple.  Everything is stamped with simulated cycles and accumulated
+   with integer arithmetic, so two identical runs export byte-identical
+   traces — the CI determinism gate diffs them literally.  Recording
+   never touches guest or hypervisor state: a traced run executes the
+   exact same simulated cycles as an untraced one. *)
+
+module Ring = Velum_util.Ring
+module Histogram = Velum_util.Histogram
+module Tablefmt = Velum_util.Tablefmt
+
+type ha_what = Ha_checkpoint | Ha_restart | Ha_degraded | Ha_failover
+
+let ha_what_name = function
+  | Ha_checkpoint -> "checkpoint"
+  | Ha_restart -> "restart"
+  | Ha_degraded -> "degraded"
+  | Ha_failover -> "failover"
+
+type stop_reason = S_slice | S_yield | S_block | S_halt
+
+let stop_name = function
+  | S_slice -> "slice"
+  | S_yield -> "yield"
+  | S_block -> "block"
+  | S_halt -> "halt"
+
+type event =
+  | Exit of { kind : Monitor.exit_kind; cost : int; detail : int64 }
+  | Irq_inject of { cost : int }
+  | Dispatch of { vcpu : int; slice : int; used : int; stop : stop_reason }
+  | Sched_wake of { boosted : bool }
+  | Sched_refill
+  | Sched_clamp
+  | Hypercall of { num : int64 }
+  | Device_io of { write : bool; addr : int64 }
+  | Migration_round of { round : int; pages : int }
+  | Ha_event of { what : ha_what; detail : int64 }
+
+type record = { at : int64; ev : event }
+
+type stream = {
+  vm_id : int;
+  mutable vm_name : string;
+  ring : record Ring.t;
+  mutable dropped : int;
+  hist : Histogram.t array; (* indexed by Monitor.kind_index *)
+  mutable guest_cycles : int64;
+  mutable vmm_cycles : int64; (* exit service minus device emulation *)
+  mutable device_cycles : int64; (* MMIO / port-IO exit service *)
+  mutable events : int; (* total recorded, including evicted *)
+}
+
+type t = {
+  ring_capacity : int;
+  streams : (int, stream) Hashtbl.t;
+}
+
+let default_ring_capacity = 4096
+
+let create ?(ring_capacity = default_ring_capacity) () =
+  { ring_capacity; streams = Hashtbl.create 7 }
+
+let stream t ~vm_id ~name =
+  match Hashtbl.find_opt t.streams vm_id with
+  | Some s ->
+      if s.vm_name <> name then s.vm_name <- name;
+      s
+  | None ->
+      let s =
+        {
+          vm_id;
+          vm_name = name;
+          ring = Ring.create ~capacity:t.ring_capacity;
+          dropped = 0;
+          hist = Array.init Monitor.nkinds (fun _ -> Histogram.create ());
+          guest_cycles = 0L;
+          vmm_cycles = 0L;
+          device_cycles = 0L;
+          events = 0;
+        }
+      in
+      Hashtbl.replace t.streams vm_id s;
+      s
+
+let is_device_kind = function
+  | Monitor.E_mmio | Monitor.E_port_io -> true
+  | _ -> false
+
+let record t ~vm_id ~name ~at ev =
+  let s = stream t ~vm_id ~name in
+  if Ring.is_full s.ring then s.dropped <- s.dropped + 1;
+  Ring.push_force s.ring { at; ev };
+  s.events <- s.events + 1;
+  match ev with
+  | Exit { kind; cost; _ } ->
+      Histogram.add s.hist.(Monitor.kind_index kind) cost;
+      if is_device_kind kind then
+        s.device_cycles <- Int64.add s.device_cycles (Int64.of_int cost)
+      else s.vmm_cycles <- Int64.add s.vmm_cycles (Int64.of_int cost)
+  | Irq_inject { cost } -> s.vmm_cycles <- Int64.add s.vmm_cycles (Int64.of_int cost)
+  | _ -> ()
+
+let add_guest_cycles t ~vm_id ~name cycles =
+  let s = stream t ~vm_id ~name in
+  s.guest_cycles <- Int64.add s.guest_cycles (Int64.of_int cycles)
+
+(* ---- accessors (tests, bench) ---- *)
+
+let vm_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.streams [] |> List.sort compare
+
+let events_recorded t =
+  Hashtbl.fold (fun _ s acc -> acc + s.events) t.streams 0
+
+let find t ~vm_id = Hashtbl.find_opt t.streams vm_id
+
+let exit_count t ~vm_id kind =
+  match find t ~vm_id with
+  | None -> 0
+  | Some s -> Histogram.count s.hist.(Monitor.kind_index kind)
+
+let guest_cycles t ~vm_id =
+  match find t ~vm_id with None -> 0L | Some s -> s.guest_cycles
+
+let vmm_cycles t ~vm_id =
+  match find t ~vm_id with None -> 0L | Some s -> s.vmm_cycles
+
+let device_cycles t ~vm_id =
+  match find t ~vm_id with None -> 0L | Some s -> s.device_cycles
+
+(* ---- JSONL export ----
+
+   Hand-rolled writer (the toolchain ships no JSON library).  One object
+   per line: a [meta] header, then per VM (ascending id) an attribution
+   line, the non-empty per-kind histograms, and finally the retained
+   event tail in ring (oldest-first) order.  All iteration is over
+   sorted keys, never raw [Hashtbl] order. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_event buf vm_id { at; ev } =
+  let p fmt = Printf.bprintf buf fmt in
+  p "{\"type\":\"event\",\"vm\":%d,\"at\":%Ld," vm_id at;
+  (match ev with
+  | Exit { kind; cost; detail } ->
+      p "\"ev\":\"exit\",\"kind\":\"%s\",\"cost\":%d,\"detail\":%Ld"
+        (Monitor.exit_kind_name kind) cost detail
+  | Irq_inject { cost } -> p "\"ev\":\"irq-inject\",\"cost\":%d" cost
+  | Dispatch { vcpu; slice; used; stop } ->
+      p "\"ev\":\"dispatch\",\"vcpu\":%d,\"slice\":%d,\"used\":%d,\"stop\":\"%s\"" vcpu
+        slice used (stop_name stop)
+  | Sched_wake { boosted } ->
+      p "\"ev\":\"sched-wake\",\"boosted\":%b" boosted
+  | Sched_refill -> p "\"ev\":\"sched-refill\""
+  | Sched_clamp -> p "\"ev\":\"sched-clamp\""
+  | Hypercall { num } -> p "\"ev\":\"hypercall\",\"num\":%Ld" num
+  | Device_io { write; addr } ->
+      p "\"ev\":\"device-io\",\"write\":%b,\"addr\":%Ld" write addr
+  | Migration_round { round; pages } ->
+      p "\"ev\":\"migration-round\",\"round\":%d,\"pages\":%d" round pages
+  | Ha_event { what; detail } ->
+      p "\"ev\":\"ha\",\"what\":\"%s\",\"detail\":%Ld" (ha_what_name what) detail);
+  p "}\n"
+
+let export_buf t buf =
+  let p fmt = Printf.bprintf buf fmt in
+  let ids = vm_ids t in
+  p "{\"type\":\"meta\",\"version\":1,\"ring_capacity\":%d,\"vms\":%d,\"events\":%d}\n"
+    t.ring_capacity (List.length ids) (events_recorded t);
+  List.iter
+    (fun id ->
+      let s = Hashtbl.find t.streams id in
+      p
+        "{\"type\":\"vm\",\"id\":%d,\"name\":\"%s\",\"guest_cycles\":%Ld,\"vmm_cycles\":%Ld,\"device_cycles\":%Ld,\"events\":%d,\"dropped\":%d}\n"
+        s.vm_id (json_escape s.vm_name) s.guest_cycles s.vmm_cycles s.device_cycles
+        s.events s.dropped)
+    ids;
+  List.iter
+    (fun id ->
+      let s = Hashtbl.find t.streams id in
+      List.iter
+        (fun kind ->
+          let h = s.hist.(Monitor.kind_index kind) in
+          if Histogram.count h > 0 then begin
+            p
+              "{\"type\":\"hist\",\"vm\":%d,\"kind\":\"%s\",\"count\":%d,\"sum\":%Ld,\"min\":%d,\"max\":%d,\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"buckets\":["
+              s.vm_id (Monitor.exit_kind_name kind) (Histogram.count h)
+              (Histogram.sum h) (Histogram.min_value h) (Histogram.max_value h)
+              (Histogram.mean h)
+              (Histogram.percentile h 50.0)
+              (Histogram.percentile h 95.0)
+              (Histogram.percentile h 99.0);
+            List.iteri
+              (fun i (lo, n) -> p "%s[%d,%d]" (if i = 0 then "" else ",") lo n)
+              (Histogram.buckets h);
+            p "]}\n"
+          end)
+        Monitor.all_exit_kinds)
+    ids;
+  List.iter
+    (fun id ->
+      let s = Hashtbl.find t.streams id in
+      Ring.iter (add_event buf s.vm_id) s.ring)
+    ids
+
+let export_string t =
+  let buf = Buffer.create 65536 in
+  export_buf t buf;
+  Buffer.contents buf
+
+let export_file t path =
+  let oc = open_out path in
+  output_string oc (export_string t);
+  close_out oc
+
+(* ---- report ----
+
+   Reads back only the export format above, with a minimal field
+   extractor rather than a JSON parser (none is available): find
+   ["key":] and take the raw token up to the next top-level [,] or [}],
+   skipping over nested arrays. *)
+
+let field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let depth = ref 0 and stop = ref start in
+      (try
+         for i = start to llen - 1 do
+           match line.[i] with
+           | '[' -> incr depth
+           | ']' -> decr depth
+           | (',' | '}') when !depth = 0 ->
+               stop := i;
+               raise Exit
+           | _ -> ()
+         done;
+         stop := llen
+       with Exit -> ());
+      Some (String.sub line start (!stop - start))
+
+let field_str line key =
+  match field line key with
+  | Some v when String.length v >= 2 && v.[0] = '"' -> String.sub v 1 (String.length v - 2)
+  | other -> Option.value other ~default:""
+
+let field_int line key =
+  match field line key with
+  | Some v -> ( try int_of_string v with _ -> 0)
+  | None -> 0
+
+let field_i64 line key =
+  match field line key with
+  | Some v -> ( try Int64.of_string v with _ -> 0L)
+  | None -> 0L
+
+let render_report_lines lines =
+  let vms = List.filter (fun l -> field_str l "type" = "vm") lines in
+  let hists = List.filter (fun l -> field_str l "type" = "hist") lines in
+  let events = List.filter (fun l -> field_str l "type" = "event") lines in
+  let buf = Buffer.create 4096 in
+  let attribution = Tablefmt.create ~title:"cycle attribution (per VM)"
+      [
+        ("vm", Tablefmt.Left);
+        ("guest", Tablefmt.Right);
+        ("vmm", Tablefmt.Right);
+        ("device", Tablefmt.Right);
+        ("total", Tablefmt.Right);
+        ("vmm+dev %", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun l ->
+      let guest = field_i64 l "guest_cycles"
+      and vmm = field_i64 l "vmm_cycles"
+      and dev = field_i64 l "device_cycles" in
+      let total = Int64.add guest (Int64.add vmm dev) in
+      let overhead =
+        if total = 0L then 0.0
+        else Int64.to_float (Int64.add vmm dev) /. Int64.to_float total *. 100.0
+      in
+      Tablefmt.add_row attribution
+        [
+          Printf.sprintf "%d:%s" (field_int l "id") (field_str l "name");
+          Int64.to_string guest;
+          Int64.to_string vmm;
+          Int64.to_string dev;
+          Int64.to_string total;
+          Tablefmt.cell_f ~decimals:1 overhead;
+        ])
+    vms;
+  Buffer.add_string buf (Tablefmt.render attribution);
+  Buffer.add_char buf '\n';
+  let latency = Tablefmt.create ~title:"exit latency histograms (cycles)"
+      [
+        ("vm", Tablefmt.Left);
+        ("exit kind", Tablefmt.Left);
+        ("count", Tablefmt.Right);
+        ("mean", Tablefmt.Right);
+        ("p50", Tablefmt.Right);
+        ("p95", Tablefmt.Right);
+        ("p99", Tablefmt.Right);
+        ("max", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun l ->
+      Tablefmt.add_row latency
+        [
+          string_of_int (field_int l "vm");
+          field_str l "kind";
+          string_of_int (field_int l "count");
+          field_str l "mean";
+          field_str l "p50";
+          field_str l "p95";
+          field_str l "p99";
+          string_of_int (field_int l "max");
+        ])
+    hists;
+  Buffer.add_string buf (Tablefmt.render latency);
+  Buffer.add_char buf '\n';
+  (match List.find_opt (fun l -> field_str l "type" = "meta") lines with
+  | Some meta ->
+      Buffer.add_string buf
+        (Printf.sprintf "events recorded: %d (retained tail: %d)\n"
+           (field_int meta "events") (List.length events))
+  | None -> ());
+  Buffer.contents buf
+
+let render_report path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  render_report_lines (List.rev !lines)

@@ -42,6 +42,7 @@ type t = {
       (* write-listener handle on host memory (block engine only) *)
   event_channels : (int64, t) Hashtbl.t;  (* local port -> peer VM *)
   mutable event_pending : bool;
+  mutable trace : Trace.t option;
 }
 
 let engine_kind t = t.engine.Engine.kind
@@ -321,6 +322,7 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
       mem_listener;
       event_channels = Hashtbl.create 4;
       event_pending = false;
+      trace = None;
     }
   in
   (* Rebuild the devices now that [t] exists, wiring DMA through the VM's

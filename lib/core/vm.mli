@@ -73,6 +73,10 @@ type t = {
       (** event-channel ports → peer VM (managed by {!Event}) *)
   mutable event_pending : bool;
       (** an unacknowledged event raises the external-interrupt line *)
+  mutable trace : Trace.t option;
+      (** tracing sink shared with the hypervisor ([None] = tracing off;
+          set by {!Hypervisor.set_trace}, inherited at
+          {!Hypervisor.create_vm}) *)
 }
 
 val create :

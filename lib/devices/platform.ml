@@ -15,6 +15,7 @@ type t = {
   cost : Cost_model.t;
   engine : Engine.t;
   mutable clock : int64;
+  mutable io_hook : (write:bool -> addr:int64 -> now:int64 -> unit) option;
 }
 
 let identity_dma mem =
@@ -96,7 +97,29 @@ let create ?(frames = 4096) ?(cost = Cost_model.default) ?(blk_sectors = 8192)
         (Phys_mem.add_write_listener mem (fun ~ppn ~lo ~hi ->
              Trans_cache.invalidate_range cache ~ppn ~lo ~hi)))
     engine.Engine.cache;
-  { mem; bus; uart; blk; vblk; nic; cpu; tlb; dtlb; mmu; cost; engine; clock = 0L }
+  {
+    mem;
+    bus;
+    uart;
+    blk;
+    vblk;
+    nic;
+    cpu;
+    tlb;
+    dtlb;
+    mmu;
+    cost;
+    engine;
+    clock = 0L;
+    io_hook = None;
+  }
+
+let set_io_hook t f = t.io_hook <- Some f
+
+let notify_io t ~write ~addr =
+  match t.io_hook with
+  | Some f -> f ~write ~addr ~now:t.clock
+  | None -> ()
 
 let load_image t (img : Asm.image) = Phys_mem.load_bytes t.mem ~pa:img.origin img.code
 
@@ -128,16 +151,24 @@ let make_ctx t =
     env =
       Cpu.Native
         {
-          mmio_read = (fun pa w -> Bus.read t.bus pa w);
-          mmio_write = (fun pa w v -> Bus.write t.bus pa w v);
+          mmio_read =
+            (fun pa w ->
+              notify_io t ~write:false ~addr:pa;
+              Bus.read t.bus pa w);
+          mmio_write =
+            (fun pa w v ->
+              notify_io t ~write:true ~addr:pa;
+              Bus.write t.bus pa w v);
           port_in =
             (fun port ->
+              notify_io t ~write:false ~addr:(Int64.of_int port);
               if port = Uart.data_port then Some (Uart.read_reg t.uart Uart.reg_data)
               else if port = Uart.status_port then
                 Some (Uart.read_reg t.uart Uart.reg_status)
               else None);
           port_out =
             (fun port v ->
+              notify_io t ~write:true ~addr:(Int64.of_int port);
               if port = Uart.data_port then begin
                 Uart.write_reg t.uart Uart.reg_data v;
                 true

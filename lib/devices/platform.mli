@@ -23,6 +23,9 @@ type t = {
   cost : Cost_model.t;
   engine : Engine.t;  (** execution engine driving the hart *)
   mutable clock : int64;
+  mutable io_hook : (write:bool -> addr:int64 -> now:int64 -> unit) option;
+      (** observer for MMIO/port accesses, stamped with the machine
+          clock (see {!set_io_hook}) *)
 }
 
 val identity_dma : Phys_mem.t -> Blockdev.dma
@@ -48,6 +51,13 @@ val create :
 
 val load_image : t -> Asm.image -> unit
 (** Copy an assembled image into RAM at its origin. *)
+
+val set_io_hook : t -> (write:bool -> addr:int64 -> now:int64 -> unit) -> unit
+(** Install an observer called on every device access (MMIO read/write,
+    port in/out) with the current cycle clock.  Purely an observation
+    point — it must not touch machine state.  The CLI uses it to feed
+    the tracing subsystem on native runs without making this library
+    depend on the hypervisor. *)
 
 val boot : t -> entry:int64 -> unit
 (** Reset the hart: [pc := entry], supervisor mode, registers cleared. *)

@@ -1,0 +1,92 @@
+(* Log2-bucketed latency histogram.  Bucket 0 holds values <= 1; bucket i
+   (i >= 1) holds values in [2^i, 2^(i+1)).  All state is integer, so two
+   runs that feed the same samples produce bit-identical readouts. *)
+
+let nbuckets = 63
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : int64;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0; n = 0; sum = 0L; min_v = max_int; max_v = 0 }
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 1 do
+      incr i;
+      v := !v lsr 1
+    done;
+    !i
+  end
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- Int64.add t.sum (Int64.of_int v);
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.n = 0 then 0.0 else Int64.to_float t.sum /. float_of_int t.n
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl i
+let bucket_hi i = (1 lsl (i + 1)) - 1
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  if t.n = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    (* Walk to the bucket containing sample index [floor rank], then
+       interpolate linearly inside the bucket's value bounds. *)
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i < nbuckets - 1
+      && float_of_int (!cum + t.buckets.(!i)) <= rank
+    do
+      cum := !cum + t.buckets.(!i);
+      incr i
+    done;
+    let in_bucket = t.buckets.(!i) in
+    let v =
+      if in_bucket = 0 then float_of_int (bucket_lo !i)
+      else
+        let pos = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+        float_of_int (bucket_lo !i)
+        +. (pos *. float_of_int (bucket_hi !i - bucket_lo !i))
+    in
+    (* The true samples are bounded by the observed extrema. *)
+    Float.min (float_of_int t.max_v) (Float.max (float_of_int (min_value t)) v)
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (bucket_lo i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let reset t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.n <- 0;
+  t.sum <- 0L;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%d" t.n
+      (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
+      t.max_v

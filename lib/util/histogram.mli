@@ -1,0 +1,38 @@
+(** Log2-bucketed latency histogram for non-negative integer samples
+    (cycles).  Bucket 0 covers values [0..1]; bucket [i] (i >= 1) covers
+    [2^i .. 2^(i+1)-1].  All accumulation is integer arithmetic, so two
+    runs fed identical samples read back bit-identical summaries — the
+    property the trace export's determinism gate relies on.  Percentiles
+    interpolate linearly within a bucket and are clamped to the observed
+    min/max, so they are exact when a bucket holds one distinct value. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t v] records one sample.  Negative values clamp to 0. *)
+
+val count : t -> int
+val sum : t -> int64
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100]; 0.0 when empty.
+
+    @raise Invalid_argument if [p] is outside [0,100]. *)
+
+val buckets : t -> (int * int) list
+(** Nonzero buckets as [(lower_bound, count)], ascending. *)
+
+val bucket_of : int -> int
+(** Index of the bucket a value lands in (exposed for tests). *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line [n/mean/p50/p95/p99/max] summary. *)

@@ -4,14 +4,17 @@ val mean : float array -> float
 (** [mean xs] is the arithmetic mean; 0 on an empty array. *)
 
 val stddev : float array -> float
-(** [stddev xs] is the population standard deviation; 0 for fewer than two
-    samples. *)
+(** [stddev xs] is the {e population} standard deviation (divides the sum
+    of squares by [n], not [n-1]); 0 for fewer than two samples.  Bench
+    tables across the repo assume this convention, and
+    {!running_stddev} matches it exactly. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] is the [p]-th percentile (0..100) by linear
-    interpolation over the sorted samples.
+    interpolation over the samples sorted with [Float.compare].
 
-    @raise Invalid_argument on an empty array or [p] outside [0,100]. *)
+    @raise Invalid_argument on an empty array, [p] outside [0,100], or
+    any NaN sample. *)
 
 val median : float array -> float
 (** [median xs] is [percentile xs 50.0]. *)
@@ -35,5 +38,7 @@ val running_add : running -> float -> unit
 val running_count : running -> int
 val running_mean : running -> float
 val running_stddev : running -> float
+(** Population ([/ n]) standard deviation, matching {!stddev}. *)
+
 val running_min : running -> float
 val running_max : running -> float

@@ -106,4 +106,24 @@ diff "$tmp/e17a.txt" "$tmp/e17b.txt" || {
   echo "FAIL: E17 output diverged between identical-seed runs"; exit 1; }
 cp "$tmp/BENCH_ha.ref.json" BENCH_ha.json
 
+echo "== trace determinism and zero-overhead gate =="
+# Tracing is host-side observation only: two identical seeded runs must
+# export byte-identical JSONL, and a traced run must print exactly the
+# same simulated results (cycles, exits, console) as an untraced one.
+dune exec bin/velum.exe -- run -w syscalls -n 64 --trace="$tmp/t1.jsonl" \
+  >"$tmp/traced1.txt"
+dune exec bin/velum.exe -- run -w syscalls -n 64 --trace="$tmp/t2.jsonl" \
+  >"$tmp/traced2.txt"
+diff "$tmp/t1.jsonl" "$tmp/t2.jsonl" || {
+  echo "FAIL: trace export diverged between identical-seed runs"; exit 1; }
+dune exec bin/velum.exe -- run -w syscalls -n 64 >"$tmp/untraced.txt"
+grep -v '^trace:' "$tmp/traced1.txt" >"$tmp/traced1.filtered.txt"
+diff "$tmp/untraced.txt" "$tmp/traced1.filtered.txt" || {
+  echo "FAIL: tracing changed simulated behaviour (cycles or exits)"; exit 1; }
+dune exec bin/velum.exe -- trace "$tmp/t1.jsonl" >"$tmp/report.txt"
+grep -q "cycle attribution" "$tmp/report.txt" || {
+  echo "FAIL: trace report missing attribution table"; exit 1; }
+grep -q "p99" "$tmp/report.txt" || {
+  echo "FAIL: trace report missing latency percentiles"; exit 1; }
+
 echo "CI gate passed."

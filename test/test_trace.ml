@@ -1,0 +1,154 @@
+(* Unit tests for the tracing subsystem: recording/readback, bounded
+   rings, deterministic export, zero simulated overhead, and the text
+   report.  Guests are tiny unikernels (see test_hypervisor.ml) so each
+   test controls exactly which events occur. *)
+
+open Velum_isa
+open Velum_vmm
+open Asm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+let checks = Alcotest.(check string)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let make_hyp ?(frames = 2048) () = Hypervisor.create ~host:(Host.create ~frames ()) ()
+
+let unikernel hyp ?(mem_frames = 16) name prog =
+  let vm = Hypervisor.create_vm hyp ~name ~mem_frames ~entry:0L () in
+  Vm.load_image vm (Asm.assemble ~origin:0L prog);
+  vm
+
+(* a few hypercall exits, then halt — a small but varied exit stream *)
+let yield_n_then_halt n =
+  [
+    li r3 (Int64.of_int n);
+    label "loop";
+    li r1 Hypercall.hc_yield;
+    hcall;
+    addi r3 r3 (-1L);
+    bne r3 r0 "loop";
+    halt;
+  ]
+
+let run_traced ?ring_capacity prog =
+  let hyp = make_hyp () in
+  let tr = Trace.create ?ring_capacity () in
+  Hypervisor.set_trace hyp tr;
+  let vm = unikernel hyp "traced" prog in
+  ignore (Hypervisor.run hyp ~budget:10_000_000L);
+  (hyp, vm, tr)
+
+(* ---------------- recording and readback ---------------- *)
+
+let test_record_readback () =
+  let tr = Trace.create () in
+  Trace.record tr ~vm_id:3 ~name:"b" ~at:100L
+    (Trace.Exit { kind = Monitor.E_mmio; cost = 40; detail = 0x1000L });
+  Trace.record tr ~vm_id:3 ~name:"b" ~at:200L
+    (Trace.Exit { kind = Monitor.E_hypercall; cost = 25; detail = 1L });
+  Trace.record tr ~vm_id:1 ~name:"a" ~at:150L (Trace.Irq_inject { cost = 9 });
+  Trace.add_guest_cycles tr ~vm_id:1 ~name:"a" 500;
+  Alcotest.(check (list int)) "vm_ids ascending" [ 1; 3 ] (Trace.vm_ids tr);
+  checki "events" 3 (Trace.events_recorded tr);
+  checki "mmio count" 1 (Trace.exit_count tr ~vm_id:3 Monitor.E_mmio);
+  checki "hypercall count" 1 (Trace.exit_count tr ~vm_id:3 Monitor.E_hypercall);
+  checki "no csr" 0 (Trace.exit_count tr ~vm_id:3 Monitor.E_csr);
+  (* attribution: device I/O exits are device time, the rest VMM time *)
+  check64 "device cycles" 40L (Trace.device_cycles tr ~vm_id:3);
+  check64 "vmm cycles" 25L (Trace.vmm_cycles tr ~vm_id:3);
+  check64 "irq is vmm time" 9L (Trace.vmm_cycles tr ~vm_id:1);
+  check64 "guest cycles" 500L (Trace.guest_cycles tr ~vm_id:1)
+
+let test_ring_bounded () =
+  let tr = Trace.create ~ring_capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record tr ~vm_id:0 ~name:"v" ~at:(Int64.of_int i)
+      (Trace.Exit { kind = Monitor.E_csr; cost = i; detail = 0L })
+  done;
+  (* evicted events still count toward totals and histograms *)
+  checki "all recorded" 10 (Trace.events_recorded tr);
+  checki "all in histogram" 10 (Trace.exit_count tr ~vm_id:0 Monitor.E_csr);
+  let s = Trace.export_string tr in
+  checkb "oldest evicted" false (contains s "\"at\":1,");
+  checkb "newest retained" true (contains s "\"at\":10,");
+  checkb "drop count exported" true (contains s "\"dropped\":6")
+
+(* ---------------- determinism and zero overhead ---------------- *)
+
+let test_export_deterministic () =
+  let _, _, tr1 = run_traced (yield_n_then_halt 20) in
+  let _, _, tr2 = run_traced (yield_n_then_halt 20) in
+  checks "byte-identical export" (Trace.export_string tr1) (Trace.export_string tr2)
+
+let test_traced_equals_untraced () =
+  let hyp_off = make_hyp () in
+  let vm_off = unikernel hyp_off "traced" (yield_n_then_halt 20) in
+  ignore (Hypervisor.run hyp_off ~budget:10_000_000L);
+  let _, vm_on, _ = run_traced (yield_n_then_halt 20) in
+  check64 "guest cycles equal" (Vm.guest_cycles vm_off) (Vm.guest_cycles vm_on);
+  check64 "vmm cycles equal" (Vm.vmm_cycles vm_off) (Vm.vmm_cycles vm_on);
+  checki "exit totals equal"
+    (Monitor.total_exits vm_off.Vm.monitor)
+    (Monitor.total_exits vm_on.Vm.monitor)
+
+let test_exit_count_matches_monitor () =
+  let _, vm, tr = run_traced (yield_n_then_halt 20) in
+  checkb "saw hypercalls" true (Trace.exit_count tr ~vm_id:vm.Vm.id Monitor.E_hypercall > 0);
+  List.iter
+    (fun k ->
+      checki (Monitor.exit_kind_name k)
+        (Monitor.count vm.Vm.monitor k)
+        (Trace.exit_count tr ~vm_id:vm.Vm.id k))
+    Monitor.all_exit_kinds
+
+(* ---------------- export and report ---------------- *)
+
+let test_export_contents () =
+  let _, vm, tr = run_traced (yield_n_then_halt 5) in
+  let s = Trace.export_string tr in
+  checkb "meta line" true (contains s "{\"type\":\"meta\"");
+  checkb "vm line" true (contains s "\"name\":\"traced\"");
+  checkb "hist line" true (contains s "\"kind\":\"hypercall\"");
+  checkb "hypercall event" true (contains s "\"ev\":\"hypercall\"");
+  checkb "dispatch event" true (contains s "\"ev\":\"dispatch\"");
+  checkb "exit events" true (contains s "\"ev\":\"exit\"");
+  ignore vm
+
+let test_report_renders () =
+  let _, _, tr = run_traced (yield_n_then_halt 20) in
+  let lines = String.split_on_char '\n' (Trace.export_string tr) in
+  let report = Trace.render_report_lines lines in
+  checkb "attribution table" true (contains report "cycle attribution");
+  checkb "latency table" true (contains report "exit latency histograms");
+  checkb "p99 column" true (contains report "p99");
+  checkb "vm row" true (contains report "traced");
+  checkb "hypercall row" true (contains report "hypercall");
+  checkb "footer" true (contains report "events recorded:")
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "readback" `Quick test_record_readback;
+          Alcotest.test_case "bounded ring" `Quick test_ring_bounded;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "export byte-identical" `Quick test_export_deterministic;
+          Alcotest.test_case "zero simulated overhead" `Quick
+            test_traced_equals_untraced;
+          Alcotest.test_case "matches monitor" `Quick test_exit_count_matches_monitor;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "export contents" `Quick test_export_contents;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+    ]

@@ -125,6 +125,20 @@ let test_stats_running () =
   checkb "stddev matches batch" true
     (abs_float (Stats.running_stddev r -. Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]) < 1e-9)
 
+let test_stats_population_stddev () =
+  (* documented convention: population (/ n), not sample (/ n-1) *)
+  checkf "two-point population" 1.0 (Stats.stddev [| 1.0; 3.0 |]);
+  let r = Stats.running_create () in
+  Stats.running_add r 1.0;
+  Stats.running_add r 3.0;
+  checkf "running matches" 1.0 (Stats.running_stddev r)
+
+let test_stats_percentile_nan () =
+  Alcotest.check_raises "NaN sample" (Invalid_argument "Stats.percentile: NaN sample")
+    (fun () -> ignore (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  (* Float.compare-based sort: negative values order correctly *)
+  checkf "negative samples sort" (-3.0) (Stats.percentile [| -1.0; -3.0; -2.0 |] 0.0)
+
 let stats_prop_percentile_monotone =
   QCheck2.Test.make ~name:"percentile is monotone in p"
     QCheck2.Gen.(list_size (int_range 1 30) (float_bound_inclusive 1000.0))
@@ -197,6 +211,38 @@ let test_ring_clear () =
   checkb "cleared" true (Ring.is_empty r);
   checki "length" 0 (Ring.length r)
 
+let test_ring_wraparound () =
+  (* drive head/tail through several full revolutions of the backing
+     array and check FIFO order survives each wrap *)
+  let r = Ring.create ~capacity:4 in
+  let next_in = ref 0 and next_out = ref 0 in
+  for _ = 1 to 10 do
+    while not (Ring.is_full r) do
+      checkb "push" true (Ring.push r !next_in);
+      incr next_in
+    done;
+    checki "full length" 4 (Ring.length r);
+    Alcotest.(check (list int)) "to_list in order"
+      [ !next_out; !next_out + 1; !next_out + 2; !next_out + 3 ]
+      (Ring.to_list r);
+    for _ = 1 to 3 do
+      Alcotest.(check (option int)) "pop order" (Some !next_out) (Ring.pop r);
+      incr next_out
+    done
+  done
+
+let test_ring_force_across_wrap () =
+  let r = Ring.create ~capacity:3 in
+  for i = 1 to 10 do
+    Ring.push_force r i
+  done;
+  Alcotest.(check (list int)) "last capacity survive" [ 8; 9; 10 ] (Ring.to_list r);
+  checki "length stays capped" 3 (Ring.length r);
+  Ring.clear r;
+  checkb "clear after wrap" true (Ring.is_empty r);
+  Ring.push_force r 99;
+  Alcotest.(check (list int)) "usable after clear" [ 99 ] (Ring.to_list r)
+
 let ring_prop_model =
   QCheck2.Test.make ~name:"ring matches queue model"
     QCheck2.Gen.(list (pair bool small_int))
@@ -219,6 +265,79 @@ let ring_prop_model =
             | None, None -> true
             | _ -> false)
         ops)
+
+(* ---------------- Histogram ---------------- *)
+
+let test_hist_bucket_of () =
+  checki "0" 0 (Histogram.bucket_of 0);
+  checki "1" 0 (Histogram.bucket_of 1);
+  checki "2" 1 (Histogram.bucket_of 2);
+  checki "3" 1 (Histogram.bucket_of 3);
+  checki "4" 2 (Histogram.bucket_of 4);
+  checki "7" 2 (Histogram.bucket_of 7);
+  checki "8" 3 (Histogram.bucket_of 8);
+  checki "1023" 9 (Histogram.bucket_of 1023);
+  checki "1024" 10 (Histogram.bucket_of 1024);
+  checki "negative clamps" 0 (Histogram.bucket_of (-5));
+  checki "max_int fits" 61 (Histogram.bucket_of max_int)
+
+let test_hist_summary () =
+  let h = Histogram.create () in
+  checki "empty count" 0 (Histogram.count h);
+  checkf "empty percentile" 0.0 (Histogram.percentile h 50.0);
+  List.iter (Histogram.add h) [ 5; 5; 5; 5 ];
+  checki "count" 4 (Histogram.count h);
+  check64 "sum" 20L (Histogram.sum h);
+  checki "min" 5 (Histogram.min_value h);
+  checki "max" 5 (Histogram.max_value h);
+  checkf "mean" 5.0 (Histogram.mean h);
+  (* single distinct value: percentiles are exact at every p *)
+  checkf "p50 exact" 5.0 (Histogram.percentile h 50.0);
+  checkf "p99 exact" 5.0 (Histogram.percentile h 99.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p out of range") (fun () ->
+      ignore (Histogram.percentile h 101.0))
+
+let test_hist_buckets_and_reset () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 100; -7 ];
+  Alcotest.(check (list (pair int int)))
+    "nonzero buckets ascending"
+    [ (0, 2); (2, 2); (64, 1) ]
+    (Histogram.buckets h);
+  checki "negative clamped to 0" 0 (Histogram.min_value h);
+  Histogram.reset h;
+  checki "reset count" 0 (Histogram.count h);
+  check64 "reset sum" 0L (Histogram.sum h);
+  Alcotest.(check (list (pair int int))) "reset buckets" [] (Histogram.buckets h)
+
+let hist_prop_percentile_bounds =
+  QCheck2.Test.make ~name:"percentiles stay within observed min/max"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 100_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let lo = float_of_int (Histogram.min_value h)
+      and hi = float_of_int (Histogram.max_value h) in
+      List.for_all
+        (fun p ->
+          let v = Histogram.percentile h p in
+          v >= lo && v <= hi)
+        [ 0.0; 25.0; 50.0; 95.0; 99.0; 100.0 ])
+
+let hist_prop_percentile_monotone =
+  QCheck2.Test.make ~name:"histogram percentile is monotone in p"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 100_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let ps = [ 0.0; 10.0; 50.0; 90.0; 95.0; 99.0; 100.0 ] in
+      let vs = List.map (Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
 
 (* ---------------- Fnv ---------------- *)
 
@@ -291,6 +410,8 @@ let () =
           Alcotest.test_case "jain" `Quick test_stats_jain;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "running" `Quick test_stats_running;
+          Alcotest.test_case "population stddev" `Quick test_stats_population_stddev;
+          Alcotest.test_case "percentile NaN" `Quick test_stats_percentile_nan;
         ]
         @ qsuite [ stats_prop_percentile_monotone ] );
       ( "bitops",
@@ -301,8 +422,17 @@ let () =
           Alcotest.test_case "fifo" `Quick test_ring_fifo;
           Alcotest.test_case "force" `Quick test_ring_force;
           Alcotest.test_case "clear" `Quick test_ring_clear;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "force across wrap" `Quick test_ring_force_across_wrap;
         ]
         @ qsuite [ ring_prop_model ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket_of" `Quick test_hist_bucket_of;
+          Alcotest.test_case "summary" `Quick test_hist_summary;
+          Alcotest.test_case "buckets/reset" `Quick test_hist_buckets_and_reset;
+        ]
+        @ qsuite [ hist_prop_percentile_bounds; hist_prop_percentile_monotone ] );
       ( "fnv",
         [
           Alcotest.test_case "known vectors" `Quick test_fnv_known;

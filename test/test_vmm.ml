@@ -140,6 +140,25 @@ let test_host_swap_roundtrip () =
   Alcotest.check_raises "empty slot" (Invalid_argument "Host.swap_in: empty slot")
     (fun () -> Host.swap_in host ~slot ~ppn:p)
 
+let test_host_swap_fill_drain () =
+  let slots = 8 in
+  let host = Host.create ~frames:64 ~swap_slots:slots () in
+  let p = Frame_alloc.alloc_exn host.Host.alloc in
+  checki "all free initially" slots (Host.free_swap_slots host);
+  let taken = Array.init slots (fun _ -> Host.swap_out host ~ppn:p) in
+  checki "drained" 0 (Host.free_swap_slots host);
+  (* the free list and the slot array must agree that nothing is left *)
+  (try
+     ignore (Host.swap_out host ~ppn:p);
+     Alcotest.fail "swap_out past capacity should fail"
+   with Failure _ -> ());
+  Array.iter (fun slot -> Host.swap_in host ~slot ~ppn:p) taken;
+  checki "refilled" slots (Host.free_swap_slots host);
+  (* free list is LIFO: the last slot released is handed out first *)
+  let again = Host.swap_out host ~ppn:p in
+  checki "LIFO reuse" taken.(slots - 1) again;
+  checki "one taken" (slots - 1) (Host.free_swap_slots host)
+
 (* ---------------- Monitor ---------------- *)
 
 let test_monitor_counts () =
@@ -154,6 +173,52 @@ let test_monitor_counts () =
   checki "irqs" 1 (Monitor.irq_injections m);
   Monitor.reset m;
   checki "reset" 0 (Monitor.total_exits m)
+
+let test_monitor_kind_index () =
+  (* kind_index must be a bijection onto 0..nkinds-1 that agrees with
+     the position of each kind in all_exit_kinds *)
+  checki "nkinds" (List.length Monitor.all_exit_kinds) Monitor.nkinds;
+  List.iteri
+    (fun i k -> checki (Monitor.exit_kind_name k) i (Monitor.kind_index k))
+    Monitor.all_exit_kinds
+
+let test_monitor_bump_all_kinds () =
+  let m = Monitor.create () in
+  (* bump each kind a distinct number of times; count must agree *)
+  List.iteri
+    (fun i k ->
+      for _ = 1 to i + 1 do
+        Monitor.bump m k
+      done;
+      Monitor.add_cycles m k (10 * (i + 1)))
+    Monitor.all_exit_kinds;
+  List.iteri
+    (fun i k ->
+      checki (Monitor.exit_kind_name k) (i + 1) (Monitor.count m k);
+      check64 (Monitor.exit_kind_name k) (Int64.of_int (10 * (i + 1)))
+        (Monitor.cycles m k))
+    Monitor.all_exit_kinds;
+  let n = Monitor.nkinds in
+  checki "total" (n * (n + 1) / 2) (Monitor.total_exits m)
+
+let test_monitor_reset_everything () =
+  let m = Monitor.create () in
+  List.iter
+    (fun k ->
+      Monitor.bump m k;
+      Monitor.add_cycles m k 7)
+    Monitor.all_exit_kinds;
+  Monitor.irq_injected m;
+  Monitor.set_gauge m "tlb.hits" 99;
+  Monitor.reset m;
+  List.iter
+    (fun k ->
+      checki (Monitor.exit_kind_name k) 0 (Monitor.count m k);
+      check64 (Monitor.exit_kind_name k) 0L (Monitor.cycles m k))
+    Monitor.all_exit_kinds;
+  checki "total" 0 (Monitor.total_exits m);
+  checki "irqs" 0 (Monitor.irq_injections m);
+  Alcotest.(check (list (pair string int))) "gauges" [] (Monitor.gauges m)
 
 (* ---------------- Vcpu ---------------- *)
 
@@ -871,8 +936,18 @@ let () =
           Alcotest.test_case "basics" `Quick test_p2m_basics;
           Alcotest.test_case "clear writable" `Quick test_p2m_clear_writable;
         ] );
-      ("host", [ Alcotest.test_case "swap roundtrip" `Quick test_host_swap_roundtrip ]);
-      ("monitor", [ Alcotest.test_case "counts" `Quick test_monitor_counts ]);
+      ( "host",
+        [
+          Alcotest.test_case "swap roundtrip" `Quick test_host_swap_roundtrip;
+          Alcotest.test_case "swap fill/drain" `Quick test_host_swap_fill_drain;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "counts" `Quick test_monitor_counts;
+          Alcotest.test_case "kind_index alignment" `Quick test_monitor_kind_index;
+          Alcotest.test_case "bump all kinds" `Quick test_monitor_bump_all_kinds;
+          Alcotest.test_case "reset everything" `Quick test_monitor_reset_everything;
+        ] );
       ("vcpu", [ Alcotest.test_case "lifecycle" `Quick test_vcpu_lifecycle ]);
       ( "vm",
         [
