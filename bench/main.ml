@@ -1804,6 +1804,97 @@ let e18 () =
        Written to BENCH_trace.json.\n"
   end
 
+(* E19: parallel hosts on OCaml domains.  The round-barrier runner must
+   produce a byte-identical fleet report (cycles, exits, monitor
+   counters, heartbeats, link state) and byte-identical per-host trace
+   exports at every domain count — asserted here at 1, 2 and 4 domains.
+   Wall-clock speedup is measured and reported with a soft scaling
+   target: it can only materialise when the machine actually has
+   cores to spare, so the target is informational, never a failure. *)
+
+let e19 () =
+  if section "E19" "Parallel hosts: domain-count invariance and scaling" then begin
+    let module P = Velum_cluster.Parallel in
+    let hosts = 4 in
+    let rounds = if !quick then 4 else 8 in
+    let quantum = if !quick then 150_000L else 400_000L in
+    (* dirty_loop never halts, so every host runs its full quantum every
+       round — the work is identical whatever the domain count *)
+    let setup =
+      Images.plan ~heap_pages:24 ~user:(Workloads.dirty_loop ~pages:16 ~delay:800) ()
+    in
+    let cfg =
+      P.config ~quantum ~rounds ~seed:11L ~trace:true ~hosts
+        ~mk_vms:(fun i -> [ P.spec ~name:(Printf.sprintf "vm%d" i) setup ])
+        ()
+    in
+    let reps = if !quick then 1 else 3 in
+    let measure domains =
+      let best = ref infinity in
+      let report = ref "" in
+      let traces = ref [] in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        let r = P.run ~domains cfg in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        report := r.P.report;
+        traces := P.traces r.P.fleet
+      done;
+      (!best, !report, !traces)
+    in
+    let domain_counts = [ 1; 2; 4 ] in
+    let results = List.map (fun d -> (d, measure d)) domain_counts in
+    let _, (wall1, ref_report, ref_traces) = List.hd results in
+    List.iter
+      (fun (d, (_, report, traces)) ->
+        if not (String.equal report ref_report) then
+          failwith
+            (Printf.sprintf "E19: fleet report diverged at %d domains" d);
+        if traces <> ref_traces then
+          failwith
+            (Printf.sprintf "E19: trace exports diverged at %d domains" d))
+      results;
+    let cores = Domain.recommended_domain_count () in
+    let t =
+      Tablefmt.create
+        [ ("domains", Tablefmt.Right); ("wall s", Tablefmt.Right);
+          ("speedup", Tablefmt.Right); ("report", Tablefmt.Left) ]
+    in
+    List.iter
+      (fun (d, (wall, _, _)) ->
+        Tablefmt.add_row t
+          [ string_of_int d; Tablefmt.cell_f ~decimals:3 wall;
+            Tablefmt.cell_f ~decimals:2 (wall1 /. wall); "byte-identical" ])
+      results;
+    Tablefmt.print t;
+    let oc = open_out "BENCH_par.json" in
+    Printf.fprintf oc
+      "{\n  \"cores\": %d, \"hosts\": %d, \"rounds\": %d, \"quantum\": %Ld,\n\
+      \  \"benchmarks\": [\n"
+      cores hosts rounds quantum;
+    List.iteri
+      (fun i (d, (wall, _, _)) ->
+        Printf.fprintf oc
+          "    {\"name\": \"par/domains-%d\", \"wall_s\": %.6f, \"speedup\": \
+           %.3f, \"byte_identical\": true}%s\n"
+          d wall (wall1 /. wall)
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf
+      "\nThe fleet report and every per-host trace export are byte-identical\n\
+       at 1, 2 and 4 domains (asserted above) — parallelism changes wall\n\
+       clock only.  Soft scaling target: >= 1.3x at 2 domains on a machine\n\
+       with 2+ cores (this machine reports %d core%s, so %s).\n\
+       Written to BENCH_par.json.\n"
+      cores
+      (if cores = 1 then "" else "s")
+      (if cores >= 2 then "the target applies"
+       else "speedup cannot materialise here and the numbers are informational")
+  end
+
 (* ------------------------------------------------------------------ *)
 
 (* The block engine is a pure mechanism change: simulated cycles must be
@@ -2045,6 +2136,7 @@ let () =
   e16 ();
   e17 ();
   e18 ();
+  e19 ();
   a1 ();
   a2 ();
   a3 ();

@@ -163,8 +163,86 @@ let run_cmd =
              deterministic JSONL to $(docv) (default velum.trace.jsonl). \
              Inspect with 'velum trace FILE'.")
   in
+  let hosts =
+    Arg.(
+      value & opt int 1
+      & info [ "hosts" ]
+          ~doc:
+            "Simulate a fleet of $(docv) share-nothing hosts (each runs one \
+             copy of the workload) connected in a heartbeat ring, executed \
+             under the deterministic round barrier.  Values > 1 switch to \
+             the cluster runner; see also --domains.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Run the fleet's worker phases on this many OCaml domains.  The \
+             printed report is byte-identical for every value — parallelism \
+             only changes wall-clock time.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int64 200_000L
+      & info [ "quantum" ] ~doc:"Cycles each host runs between round barriers.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ]
+          ~doc:"Maximum barrier rounds (the fleet stops early if all hosts halt).")
+  in
+  let migrate_every =
+    Arg.(
+      value & opt int 0
+      & info [ "migrate-every" ]
+          ~doc:
+            "Every $(docv) rounds, live-migrate one VM a step along the ring \
+             at the barrier (0 = never).")
+  in
+  let fail_host =
+    Arg.(
+      value
+      & opt (some (pair int int)) None
+      & info [ "fail-host" ] ~docv:"ROUND,HOST"
+          ~doc:
+            "Kill host HOST at round ROUND; its ring successor detects the \
+             missing heartbeats and declares it dead.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 0L
+      & info [ "seed" ]
+          ~doc:
+            "Fleet seed: per-host RNG, fault and link streams derive from it.")
+  in
   let action workload size native paging pv exec_mode engine budget faults watchdog
-      watchdog_policy ha checkpoint_every trace_to =
+      watchdog_policy ha checkpoint_every trace_to hosts domains quantum rounds
+      migrate_every fail_host seed =
+    if hosts > 1 || domains > 1 then begin
+      let module P = Velum_cluster.Parallel in
+      let setup = build_setup workload ~size ~pv in
+      let mk_vms i =
+        [ P.spec ~paging ~pv ~engine ~name:(Printf.sprintf "vm%d" i) setup ]
+      in
+      let cfg =
+        P.config ~quantum ~rounds ~seed ?faults ~migrate_every ?fail_host
+          ~trace:(trace_to <> None) ~hosts ~mk_vms ()
+      in
+      let res = P.run ~domains cfg in
+      print_string res.P.report;
+      match trace_to with
+      | Some file ->
+          List.iter
+            (fun (i, s) ->
+              let oc = open_out (Printf.sprintf "%s.%d" file i) in
+              output_string oc s;
+              close_out oc)
+            (P.traces res.P.fleet)
+      | None -> ()
+    end
+    else begin
     let setup = build_setup workload ~size ~pv in
     let export_trace tr file =
       Trace.export_file tr file;
@@ -287,12 +365,14 @@ let run_cmd =
       | Some file, Some tr -> export_trace tr file
       | _ -> ()
     end
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Boot a guest workload natively or under the hypervisor.")
     Term.(
       const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget
-      $ faults_arg $ watchdog $ watchdog_policy $ ha $ checkpoint_every $ trace_to)
+      $ faults_arg $ watchdog $ watchdog_policy $ ha $ checkpoint_every $ trace_to
+      $ hosts $ domains $ quantum $ rounds $ migrate_every $ fail_host $ seed)
 
 (* ---------------- trace report ---------------- *)
 

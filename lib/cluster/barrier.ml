@@ -1,0 +1,28 @@
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable phase : int;
+}
+
+let create ~parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+  { m = Mutex.create (); cv = Condition.create (); parties; arrived = 0; phase = 0 }
+
+let await t =
+  Mutex.lock t.m;
+  let ph = t.phase in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.arrived <- 0;
+    t.phase <- ph + 1;
+    Condition.broadcast t.cv
+  end
+  else
+    (* The phase stamp guards against spurious wakeups and lets the
+       barrier be reused round after round without draining. *)
+    while t.phase = ph do
+      Condition.wait t.cv t.m
+    done;
+  Mutex.unlock t.m

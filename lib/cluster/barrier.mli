@@ -1,0 +1,16 @@
+(** Reusable phase barrier for domains (mutex + condition variable).
+
+    [await] blocks until all [parties] have arrived, then releases the
+    whole cohort and resets for the next phase.  Besides synchronising,
+    the barrier's mutex establishes the happens-before edge the round
+    protocol relies on: everything a domain wrote before [await] is
+    visible to every domain after the matching release, so plain (non
+    atomic) node state can be handed across the barrier without
+    per-field synchronisation. *)
+
+type t
+
+val create : parties:int -> t
+(** @raise Invalid_argument if [parties <= 0]. *)
+
+val await : t -> unit

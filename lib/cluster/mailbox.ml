@@ -1,0 +1,23 @@
+type frame = { src : int; dst : int; sent_at : int64; payload : string }
+
+type t = { m : Mutex.t; mutable rev_frames : frame list (* newest first *) }
+
+let create () = { m = Mutex.create (); rev_frames = [] }
+
+let post t f =
+  Mutex.lock t.m;
+  t.rev_frames <- f :: t.rev_frames;
+  Mutex.unlock t.m
+
+let drain t =
+  Mutex.lock t.m;
+  let fs = List.rev t.rev_frames in
+  t.rev_frames <- [];
+  Mutex.unlock t.m;
+  fs
+
+let length t =
+  Mutex.lock t.m;
+  let n = List.length t.rev_frames in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,28 @@
+(** Domain-safe FIFO mailbox for cross-host frames.
+
+    The only mutable structure both sides of a domain boundary touch in
+    the parallel cluster runner: a node's worker drains its inbox and
+    fills its outbox during a round; the coordinator routes outbox
+    frames through {!Velum_devices.Link}s into inboxes at the barrier.
+    The runner's round protocol guarantees the two sides never overlap
+    in time, but the mutex keeps the structure safe even under
+    programming errors and makes the hand-off a proper happens-before
+    edge on its own. *)
+
+type frame = {
+  src : int;  (** sending host id *)
+  dst : int;  (** destination host id *)
+  sent_at : int64;  (** simulated cycle the frame left the host *)
+  payload : string;
+}
+
+type t
+
+val create : unit -> t
+
+val post : t -> frame -> unit
+
+val drain : t -> frame list
+(** All pending frames in posting order; the mailbox is left empty. *)
+
+val length : t -> int

@@ -1,0 +1,459 @@
+open Velum_machine
+open Velum_devices
+open Velum_vmm
+module Fault = Velum_util.Fault
+
+(* ---- configuration ---- *)
+
+type vm_spec = {
+  vname : string;
+  setup : Velum_guests.Images.setup;
+  paging : Vm.paging_mode;
+  pv : bool;
+  engine : Velum_machine.Engine.kind;
+}
+
+let spec ?(paging = Vm.Nested_paging) ?(pv = false)
+    ?(engine = Velum_machine.Engine.Interp) ~name setup =
+  { vname = name; setup; paging; pv; engine }
+
+type config = {
+  hosts : int;
+  quantum : int64;
+  rounds : int;
+  mk_vms : int -> vm_spec list;
+  seed : int64;
+  faults : Fault.t option;
+  hb_miss_limit : int;
+  migrate_every : int;
+  fail_host : (int * int) option;
+  trace : bool;
+}
+
+let config ?(quantum = 200_000L) ?(rounds = 8) ?(seed = 0L) ?faults
+    ?(hb_miss_limit = 3) ?(migrate_every = 0) ?fail_host ?(trace = false) ~hosts
+    ~mk_vms () =
+  if hosts <= 0 then invalid_arg "Parallel.config: hosts must be positive";
+  if Int64.compare quantum 0L <= 0 then
+    invalid_arg "Parallel.config: quantum must be positive";
+  if rounds <= 0 then invalid_arg "Parallel.config: rounds must be positive";
+  {
+    hosts;
+    quantum;
+    rounds;
+    mk_vms;
+    seed;
+    faults;
+    hb_miss_limit;
+    migrate_every;
+    fail_host;
+    trace;
+  }
+
+(* ---- fleet state ---- *)
+
+type node = {
+  id : int;
+  hyp : Hypervisor.t;
+  inbox : Mailbox.t;
+  outbox : Mailbox.t;
+  mutable alive : bool; (* injected host failure flips this *)
+  mutable halted : bool; (* every VM halted *)
+  mutable hb_sent : int;
+  mutable hb_recv : int;
+  mutable hb_miss_streak : int;
+  mutable pred_dead_at : int option; (* round the predecessor was declared dead *)
+  mutable junk_frames : int; (* corrupted payloads delivered by the wire *)
+  mutable error : exn option; (* escaped from a worker; re-raised by the coordinator *)
+}
+
+type fleet = {
+  cfg : config;
+  nodes : node array;
+  ring : Link.t array; (* ring.(i): node i -> node (i+1) mod hosts *)
+  mig_link : Link.t; (* dedicated migration channel, coordinator-owned *)
+  mutable migrations : int;
+  mutable mig_aborts : int;
+  mutable mig_pages : int;
+}
+
+(* Distinct deterministic seed per consumer: the fleet seed is mixed
+   with a per-purpose stream id and the host index so no two RNG streams
+   in the process coincide. *)
+let mix_seed base ~stream ~i =
+  let gold = 0x9E3779B97F4A7C15L in
+  Int64.add base
+    (Int64.mul gold (Int64.of_int (((stream + 1) * 8191) + i + 1)))
+
+let derived_faults cfg ~stream ~i =
+  match cfg.faults with
+  | None -> None
+  | Some f -> Some (Fault.derive f ~seed:(mix_seed cfg.seed ~stream ~i))
+
+let init cfg =
+  let nodes =
+    Array.init cfg.hosts (fun i ->
+        let specs = cfg.mk_vms i in
+        let frames_needed =
+          List.fold_left (fun acc s -> acc + s.setup.Velum_guests.Images.frames) 0 specs
+        in
+        let host = Host.create ~frames:(frames_needed + 1024) () in
+        let node_faults =
+          match derived_faults cfg ~stream:0 ~i with
+          | Some f -> f
+          | None -> Fault.none ()
+        in
+        let ctx =
+          Host_ctx.create ~host ~seed:(mix_seed cfg.seed ~stream:1 ~i)
+            ~faults:node_faults ()
+        in
+        let hyp = Hypervisor.create ~ctx () in
+        if cfg.trace then Hypervisor.set_trace hyp (Trace.create ());
+        List.iter
+          (fun s ->
+            let vm =
+              Hypervisor.create_vm hyp ~name:s.vname
+                ~mem_frames:s.setup.Velum_guests.Images.frames ~paging:s.paging
+                ~pv:(if s.pv then Vm.full_pv else Vm.no_pv)
+                ~engine:s.engine ~entry:Velum_guests.Images.entry ()
+            in
+            Velum_guests.Images.load_vm vm s.setup;
+            if Fault.active node_faults then begin
+              Blockdev.set_faults vm.Vm.blk node_faults;
+              Virtio_blk.set_faults vm.Vm.vblk node_faults
+            end)
+          specs;
+        {
+          id = i;
+          hyp;
+          inbox = Mailbox.create ();
+          outbox = Mailbox.create ();
+          alive = true;
+          halted = false;
+          hb_sent = 0;
+          hb_recv = 0;
+          hb_miss_streak = 0;
+          pred_dead_at = None;
+          junk_frames = 0;
+          error = None;
+        })
+  in
+  let ring =
+    Array.init cfg.hosts (fun i ->
+        let l = Link.create () in
+        (match derived_faults cfg ~stream:2 ~i with
+        | Some f -> Link.set_faults l f
+        | None -> ());
+        l)
+  in
+  let mig_link = Link.create () in
+  (match derived_faults cfg ~stream:3 ~i:0 with
+  | Some f -> Link.set_faults mig_link f
+  | None -> ());
+  { cfg; nodes; ring; mig_link; migrations = 0; mig_aborts = 0; mig_pages = 0 }
+
+(* ---- worker phase (runs on a domain; touches only this node) ---- *)
+
+let round_target cfg round = Int64.mul cfg.quantum (Int64.of_int (round + 1))
+
+let is_hb payload = String.length payload >= 3 && String.sub payload 0 3 = "HB "
+
+let step_node fleet node ~round =
+  let cfg = fleet.cfg in
+  if node.alive then begin
+    (* 1. absorb the frames the coordinator routed in at the last
+       barrier (heartbeats from the ring predecessor) *)
+    let frames = Mailbox.drain node.inbox in
+    let saw_hb = ref false in
+    List.iter
+      (fun f ->
+        if is_hb f.Mailbox.payload then begin
+          saw_hb := true;
+          node.hb_recv <- node.hb_recv + 1
+        end
+        else node.junk_frames <- node.junk_frames + 1)
+      frames;
+    (* 2. failure detection: heartbeats sent at barrier r arrive during
+       round r+1, so the detector only arms from round 1 on *)
+    if cfg.hosts > 1 && round >= 1 && node.pred_dead_at = None then begin
+      if !saw_hb then node.hb_miss_streak <- 0
+      else begin
+        node.hb_miss_streak <- node.hb_miss_streak + 1;
+        if node.hb_miss_streak >= cfg.hb_miss_limit then begin
+          node.pred_dead_at <- Some round;
+          (* surface the detection in the ordinary telemetry so the
+             fleet report and the monitor counters agree *)
+          match node.hyp.Hypervisor.vms with
+          | vm :: _ -> Monitor.bump vm.Vm.monitor Monitor.E_ha_failover
+          | [] -> ()
+        end
+      end
+    end;
+    (* 3. run this host's quantum.  The budget targets the absolute
+       round boundary: a host that overshot the previous boundary
+       (idle fast-forward can do that) simply runs less now. *)
+    let target = round_target cfg round in
+    let now = Hypervisor.now node.hyp in
+    let budget =
+      if Int64.unsigned_compare target now > 0 then Int64.sub target now else 0L
+    in
+    (match Hypervisor.run node.hyp ~budget with
+    | Hypervisor.All_halted -> node.halted <- true
+    | Hypervisor.Out_of_budget | Hypervisor.Idle_deadlock
+    | Hypervisor.Until_satisfied ->
+        ());
+    (* 4. emit this round's heartbeat toward the ring successor; the
+       coordinator puts it on the wire at the barrier *)
+    if cfg.hosts > 1 then begin
+      node.hb_sent <- node.hb_sent + 1;
+      Mailbox.post node.outbox
+        {
+          Mailbox.src = node.id;
+          dst = (node.id + 1) mod cfg.hosts;
+          sent_at = target;
+          payload = Printf.sprintf "HB %d %d" node.id round;
+        }
+    end
+  end
+
+(* ---- barrier phase (coordinator only; workers are parked) ---- *)
+
+(* Everything below runs strictly sequentially, in fixed node order, so
+   Link state (arrival heaps, fault RNG draws, line occupancy) evolves
+   identically whatever the domain count was during the worker phase. *)
+let exchange fleet ~round =
+  let cfg = fleet.cfg in
+  let target = round_target cfg round in
+  if cfg.hosts > 1 then begin
+    (* put outbound frames on the wire, node order then posting order;
+       heartbeats can additionally be lost before reaching the wire
+       (the [hb.loss] site, as in {!Ha.Failover}) *)
+    Array.iter
+      (fun node ->
+        List.iter
+          (fun f ->
+            let link = fleet.ring.(f.Mailbox.src) in
+            let lost =
+              is_hb f.Mailbox.payload
+              && Fault.fire (Link.faults link) Fault.Hb_loss
+                   ~now:f.Mailbox.sent_at
+            in
+            if not lost then
+              ignore
+                (Link.send_control link ~from:`A ~now:f.Mailbox.sent_at
+                   ~payload:f.Mailbox.payload))
+          (Mailbox.drain node.outbox))
+      fleet.nodes;
+    (* deliver whatever arrives within the next quantum into the
+       successor's inbox, to be absorbed at the start of round+1 *)
+    let horizon = Int64.add target cfg.quantum in
+    Array.iteri
+      (fun i link ->
+        let dst = (i + 1) mod cfg.hosts in
+        List.iter
+          (fun payload ->
+            Mailbox.post fleet.nodes.(dst).inbox
+              { Mailbox.src = i; dst; sent_at = target; payload })
+          (Link.poll_control link ~at:`B ~now:horizon))
+      fleet.ring
+  end;
+  (* scheduled migration storm: move one VM one step around the ring *)
+  if
+    cfg.migrate_every > 0 && cfg.hosts > 1
+    && (round + 1) mod cfg.migrate_every = 0
+  then begin
+    let si = fleet.migrations mod cfg.hosts in
+    let di = (si + 1) mod cfg.hosts in
+    let src = fleet.nodes.(si) and dst = fleet.nodes.(di) in
+    if src.alive && dst.alive then
+      match
+        List.find_opt (fun vm -> not (Vm.halted vm)) src.hyp.Hypervisor.vms
+      with
+      | None -> ()
+      | Some vm ->
+          let _moved, r =
+            Migrate.stop_and_copy ~src:src.hyp ~dst:dst.hyp ~vm
+              ~link:fleet.mig_link ()
+          in
+          fleet.migrations <- fleet.migrations + 1;
+          fleet.mig_pages <- fleet.mig_pages + r.Migrate.pages_sent;
+          if r.Migrate.aborted then fleet.mig_aborts <- fleet.mig_aborts + 1
+  end
+
+let apply_failure fleet ~round =
+  match fleet.cfg.fail_host with
+  | Some (r, h) when r = round && h >= 0 && h < fleet.cfg.hosts ->
+      fleet.nodes.(h).alive <- false
+  | _ -> ()
+
+let all_done fleet =
+  Array.for_all (fun n -> (not n.alive) || n.halted) fleet.nodes
+
+let check_worker_errors fleet =
+  Array.iter
+    (fun n -> match n.error with Some e -> raise e | None -> ())
+    fleet.nodes
+
+(* ---- drivers ---- *)
+
+let run_sequential fleet =
+  let cfg = fleet.cfg in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < cfg.rounds do
+    apply_failure fleet ~round:!round;
+    Array.iter (fun n -> step_node fleet n ~round:!round) fleet.nodes;
+    exchange fleet ~round:!round;
+    if all_done fleet then continue := false;
+    incr round
+  done
+
+let run_parallel fleet ~domains =
+  let cfg = fleet.cfg in
+  let m = min domains cfg.hosts in
+  (* workers + coordinator meet at both edges of every worker phase *)
+  let start_b = Barrier.create ~parties:(m + 1) in
+  let done_b = Barrier.create ~parties:(m + 1) in
+  let round = ref 0 in
+  let stop = ref false in
+  (* [round] and [stop] are written by the coordinator strictly before
+     it enters [start_b] and read by workers strictly after they leave
+     it; the barrier mutex orders those accesses, so plain refs are
+     race-free here. *)
+  let worker w =
+    let live = ref true in
+    while !live do
+      Barrier.await start_b;
+      if !stop then live := false
+      else begin
+        let r = !round in
+        Array.iteri
+          (fun i n ->
+            if i mod m = w then
+              try step_node fleet n ~round:r
+              with e -> n.error <- Some e)
+          fleet.nodes;
+        Barrier.await done_b
+      end
+    done
+  in
+  let doms = Array.init m (fun w -> Domain.spawn (fun () -> worker w)) in
+  let shutdown () =
+    stop := true;
+    Barrier.await start_b;
+    Array.iter Domain.join doms
+  in
+  (try
+     let continue = ref true in
+     while !continue && !round < cfg.rounds do
+       apply_failure fleet ~round:!round;
+       Barrier.await start_b;
+       Barrier.await done_b;
+       check_worker_errors fleet;
+       exchange fleet ~round:!round;
+       if all_done fleet then continue := false;
+       round := !round + 1
+     done
+   with e ->
+     shutdown ();
+     raise e);
+  shutdown ();
+  check_worker_errors fleet
+
+(* ---- canonical report ---- *)
+
+let vm_instret vm =
+  Array.fold_left
+    (fun acc vcpu -> Int64.add acc vcpu.Vcpu.state.Cpu.instret)
+    0L vm.Vm.vcpus
+
+(* The determinism artifact: everything simulated, nothing about how the
+   simulation was executed.  Domain count, worker-to-domain assignment
+   and wall-clock time must never appear here — the whole point is that
+   this string is byte-identical for any [domains]. *)
+let report fleet =
+  let cfg = fleet.cfg in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "fleet hosts=%d quantum=%Ld rounds=%d seed=%Ld faults=%b migrate_every=%d \
+     fail_host=%s\n"
+    cfg.hosts cfg.quantum cfg.rounds cfg.seed
+    (match cfg.faults with Some f -> Fault.active f | None -> false)
+    cfg.migrate_every
+    (match cfg.fail_host with
+    | Some (r, h) -> Printf.sprintf "%d@round%d" h r
+    | None -> "none");
+  Array.iter
+    (fun node ->
+      Printf.bprintf buf
+        "host %d: alive=%b halted=%b cycles=%Ld guest=%Ld vmm=%Ld idle=%Ld \
+         sched=%d hb_sent=%d hb_recv=%d junk=%d pred_dead=%s\n"
+        node.id node.alive node.halted
+        (Hypervisor.now node.hyp)
+        (Hypervisor.guest_cycles node.hyp)
+        (Hypervisor.vmm_cycles node.hyp)
+        node.hyp.Hypervisor.idle_cycles node.hyp.Hypervisor.sched_decisions
+        node.hb_sent node.hb_recv node.junk_frames
+        (match node.pred_dead_at with
+        | Some r -> Printf.sprintf "round%d" r
+        | None -> "no");
+      List.iter
+        (fun vm ->
+          Vm.publish_stats vm;
+          Printf.bprintf buf "  vm %d %s: halted=%b instret=%Ld console=%S %s\n"
+            vm.Vm.id vm.Vm.name (Vm.halted vm) (vm_instret vm)
+            (Vm.console_output vm)
+            (Monitor.to_json vm.Vm.monitor))
+        node.hyp.Hypervisor.vms;
+      match Hypervisor.trace node.hyp with
+      | Some tr ->
+          Printf.bprintf buf "  trace %d %d\n" (Trace.events_recorded tr)
+            (String.length (Trace.export_string tr))
+      | None -> ())
+    fleet.nodes;
+  let fault_summary f =
+    String.concat ""
+      (List.filter_map
+         (fun site ->
+           let inj = Fault.injected f site in
+           if inj > 0 then
+             Some (Printf.sprintf " %s=%d" (Fault.site_name site) inj)
+           else None)
+         Fault.all_sites)
+  in
+  Array.iteri
+    (fun i link ->
+      Printf.bprintf buf "link %d->%d: bytes=%d in_flight=%d%s\n" i
+        ((i + 1) mod cfg.hosts)
+        (Link.bytes_sent link) (Link.in_flight link)
+        (if Option.is_some cfg.faults then
+           " faults:" ^ fault_summary (Link.faults link)
+         else ""))
+    fleet.ring;
+  Printf.bprintf buf "migrations=%d aborts=%d pages=%d mig_bytes=%d\n"
+    fleet.migrations fleet.mig_aborts fleet.mig_pages
+    (Link.bytes_sent fleet.mig_link);
+  (match cfg.faults with
+  | Some _ ->
+      Array.iter
+        (fun node ->
+          let f = Host_ctx.faults (Hypervisor.ctx node.hyp) in
+          Printf.bprintf buf "faults host %d:%s\n" node.id (fault_summary f))
+        fleet.nodes
+  | None -> ());
+  Buffer.contents buf
+
+let traces fleet =
+  Array.to_list fleet.nodes
+  |> List.filter_map (fun node ->
+         Option.map
+           (fun tr -> (node.id, Trace.export_string tr))
+           (Hypervisor.trace node.hyp))
+
+type result = { fleet : fleet; report : string }
+
+let run ?(domains = 1) cfg =
+  if domains <= 0 then invalid_arg "Parallel.run: domains must be positive";
+  let fleet = init cfg in
+  if domains = 1 then run_sequential fleet else run_parallel fleet ~domains;
+  { fleet; report = report fleet }

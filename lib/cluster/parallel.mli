@@ -1,0 +1,128 @@
+(** Share-nothing fleet execution on OCaml 5 domains under a
+    deterministic round barrier.
+
+    A fleet is N simulated hosts, each a full {!Velum_vmm.Hypervisor}
+    built around its own {!Velum_vmm.Host_ctx} — so no host shares any
+    mutable state with another except {!Velum_devices.Link} endpoints,
+    and those are only touched by the coordinator while every worker is
+    parked at a barrier.
+
+    Execution alternates two phases per round:
+
+    - {b worker phase}: every live host runs independently up to the
+      absolute cycle boundary [(round+1) * quantum] and posts outbound
+      frames (ring heartbeats) to its outbox.  With [domains > 1] the
+      hosts are statically partitioned over domains; with [domains = 1]
+      they run in host order on the calling thread.
+    - {b barrier phase}: the coordinator alone drains all outboxes in
+      host order, pushes the frames through the ring links (faults,
+      latency and serialization apply as usual), delivers arrivals into
+      inboxes, and performs scheduled migrations and host-failure
+      injections.
+
+    Because a host's quantum is a pure function of its own state plus
+    its inbox, and the barrier phase is sequential in a fixed order, the
+    simulated outcome — cycles, exits, monitor counters, trace exports,
+    fault draws — is byte-identical for every domain count.  {!report}
+    is the canonical artifact the determinism gates diff literally; it
+    deliberately contains nothing about how the run was executed (no
+    domain count, no wall-clock). *)
+
+type vm_spec = {
+  vname : string;
+  setup : Velum_guests.Images.setup;
+  paging : Velum_vmm.Vm.paging_mode;
+  pv : bool;
+  engine : Velum_machine.Engine.kind;
+}
+
+val spec :
+  ?paging:Velum_vmm.Vm.paging_mode ->
+  ?pv:bool ->
+  ?engine:Velum_machine.Engine.kind ->
+  name:string ->
+  Velum_guests.Images.setup ->
+  vm_spec
+(** Defaults: nested paging, no PV, interpreter engine. *)
+
+type config = private {
+  hosts : int;
+  quantum : int64;  (** cycles per round *)
+  rounds : int;  (** maximum rounds (stops early when all hosts finish) *)
+  mk_vms : int -> vm_spec list;  (** host id -> its VMs *)
+  seed : int64;  (** fleet seed; per-host/per-link streams derive from it *)
+  faults : Velum_util.Fault.t option;
+      (** base plan; every host and link gets a {!Velum_util.Fault.derive}d
+          copy with its own stream *)
+  hb_miss_limit : int;
+      (** consecutive heartbeat-less rounds before a host declares its
+          ring predecessor dead *)
+  migrate_every : int;  (** every k rounds move one VM along the ring; 0 = off *)
+  fail_host : (int * int) option;  (** [(round, host)]: kill host at that round *)
+  trace : bool;  (** attach a trace sink to every host *)
+}
+
+val config :
+  ?quantum:int64 ->
+  ?rounds:int ->
+  ?seed:int64 ->
+  ?faults:Velum_util.Fault.t ->
+  ?hb_miss_limit:int ->
+  ?migrate_every:int ->
+  ?fail_host:int * int ->
+  ?trace:bool ->
+  hosts:int ->
+  mk_vms:(int -> vm_spec list) ->
+  unit ->
+  config
+(** Defaults: quantum 200k cycles, 8 rounds, seed 0, no faults, heartbeat
+    miss limit 3, no migrations, no failure, no tracing.
+
+    @raise Invalid_argument on a non-positive host count, quantum or
+    round count. *)
+
+type node = private {
+  id : int;
+  hyp : Velum_vmm.Hypervisor.t;
+  inbox : Mailbox.t;
+  outbox : Mailbox.t;
+  mutable alive : bool;
+  mutable halted : bool;
+  mutable hb_sent : int;
+  mutable hb_recv : int;
+  mutable hb_miss_streak : int;
+  mutable pred_dead_at : int option;
+  mutable junk_frames : int;
+  mutable error : exn option;
+}
+
+type fleet = private {
+  cfg : config;
+  nodes : node array;
+  ring : Velum_devices.Link.t array;
+  mig_link : Velum_devices.Link.t;
+  mutable migrations : int;
+  mutable mig_aborts : int;
+  mutable mig_pages : int;
+}
+
+type result = { fleet : fleet; report : string }
+
+val run : ?domains:int -> config -> result
+(** [run ~domains cfg] executes the fleet and returns it together with
+    its canonical report.  [domains = 1] (default) is the sequential
+    reference; any larger value spawns [min domains hosts] worker
+    domains.  The report is byte-identical across domain counts.
+
+    A worker exception is captured, the fleet is shut down cleanly
+    (domains joined), and the exception re-raised on the caller.
+
+    @raise Invalid_argument if [domains <= 0]. *)
+
+val report : fleet -> string
+(** Recompute the canonical report (it is cheap and side-effect-free
+    apart from {!Velum_vmm.Vm.publish_stats} gauge snapshots). *)
+
+val traces : fleet -> (int * string) list
+(** Per-host deterministic JSONL trace exports (empty unless the config
+    asked for tracing). *)

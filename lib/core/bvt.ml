@@ -7,44 +7,50 @@ let min_vruntime st =
 
 let create ?(slice = Scheduler.default_slice) () =
   let st = { slice; queue = [] } in
-  let hook = ref None in
   let push v = if not (List.memq v st.queue) then st.queue <- st.queue @ [ v ] in
-  {
-    Scheduler.name = "bvt";
-    enqueue = push;
-    requeue = push;
-    wake =
-      (fun v ->
-        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
-        v.Vcpu.boosted <- false;
-        (* Clamp a waker to the current minimum so it cannot monopolise
-           the CPU to "catch up" for its sleep. *)
-        (match min_vruntime st with
-        | Some m when v.Vcpu.vruntime < m ->
-            Scheduler.tell hook (Some v) Scheduler.N_clamp;
-            v.Vcpu.vruntime <- m
-        | _ -> ());
-        push v);
-    remove = (fun v -> st.queue <- List.filter (fun x -> not (x == v)) st.queue);
-    pick =
-      (fun ~now:_ ->
-        let runnable = List.filter Vcpu.is_runnable st.queue in
-        match runnable with
-        | [] ->
-            st.queue <- [];
-            None
-        | first :: rest ->
-            let best =
-              List.fold_left
-                (fun b v -> if v.Vcpu.vruntime < b.Vcpu.vruntime then v else b)
-                first rest
-            in
-            st.queue <- List.filter (fun x -> not (x == best)) st.queue;
-            Some (best, st.slice));
-    charge =
-      (fun v ~used ~now:_ ->
-        v.Vcpu.vruntime <-
-          v.Vcpu.vruntime +. (float_of_int used /. float_of_int (max 1 v.Vcpu.weight)));
-    next_release = (fun ~now:_ -> None);
-    notify = hook;
-  }
+  (* [let rec]: the closures read [t.notify] at call time, so the hook
+     is a per-scheduler field rather than a cell shared across
+     instances. *)
+  let rec t =
+    {
+      Scheduler.name = "bvt";
+      enqueue = push;
+      requeue = push;
+      wake =
+        (fun v ->
+          Scheduler.tell t.Scheduler.notify (Some v)
+            (Scheduler.N_wake { boosted = v.Vcpu.boosted });
+          v.Vcpu.boosted <- false;
+          (* Clamp a waker to the current minimum so it cannot monopolise
+             the CPU to "catch up" for its sleep. *)
+          (match min_vruntime st with
+          | Some m when v.Vcpu.vruntime < m ->
+              Scheduler.tell t.Scheduler.notify (Some v) Scheduler.N_clamp;
+              v.Vcpu.vruntime <- m
+          | _ -> ());
+          push v);
+      remove = (fun v -> st.queue <- List.filter (fun x -> not (x == v)) st.queue);
+      pick =
+        (fun ~now:_ ->
+          let runnable = List.filter Vcpu.is_runnable st.queue in
+          match runnable with
+          | [] ->
+              st.queue <- [];
+              None
+          | first :: rest ->
+              let best =
+                List.fold_left
+                  (fun b v -> if v.Vcpu.vruntime < b.Vcpu.vruntime then v else b)
+                  first rest
+              in
+              st.queue <- List.filter (fun x -> not (x == best)) st.queue;
+              Some (best, st.slice));
+      charge =
+        (fun v ~used ~now:_ ->
+          v.Vcpu.vruntime <-
+            v.Vcpu.vruntime +. (float_of_int used /. float_of_int (max 1 v.Vcpu.weight)));
+      next_release = (fun ~now:_ -> None);
+      notify = None;
+    }
+  in
+  t

@@ -28,7 +28,6 @@ let refill st =
 
 let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
   let st = { slice; period; registered = []; queue = []; next_refill = 0L } in
-  let hook = ref None in
   let register v =
     if not (List.memq v st.registered) then st.registered <- v :: st.registered
   in
@@ -36,69 +35,75 @@ let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
     register v;
     if not (List.memq v st.queue) then st.queue <- st.queue @ [ v ]
   in
-  let maybe_refill now =
+  (* [let rec]: the closures read [t.notify] at call time, so the hook
+     is a per-scheduler field rather than a cell shared across
+     instances. *)
+  let rec maybe_refill now =
     if Int64.unsigned_compare now st.next_refill >= 0 then begin
       refill st;
-      Scheduler.tell hook None Scheduler.N_refill;
+      Scheduler.tell t.Scheduler.notify None Scheduler.N_refill;
       st.next_refill <- Int64.add now (Int64.of_int st.period)
     end
+  and t =
+    {
+      Scheduler.name = "credit";
+      enqueue = push;
+      requeue = push;
+      wake =
+        (fun v ->
+          Scheduler.tell t.Scheduler.notify (Some v)
+            (Scheduler.N_wake { boosted = v.Vcpu.boosted });
+          push v);
+      remove =
+        (fun v ->
+          st.queue <- List.filter (fun x -> not (x == v)) st.queue;
+          st.registered <- List.filter (fun x -> not (x == v)) st.registered);
+      pick =
+        (fun ~now ->
+          maybe_refill now;
+          let eligible =
+            List.filter (fun v -> Vcpu.is_runnable v && not (over_cap st v)) st.queue
+          in
+          match eligible with
+          | [] ->
+              (* drop stale entries but keep capped vCPUs parked for the
+                 next period *)
+              st.queue <- List.filter (fun v -> Vcpu.is_runnable v) st.queue;
+              None
+          | _ ->
+              (* lowest priority class number first, FIFO inside a class *)
+              let best =
+                List.fold_left
+                  (fun acc v ->
+                    match acc with
+                    | None -> Some v
+                    | Some b -> if priority v < priority b then Some v else acc)
+                  None eligible
+              in
+              let v = Option.get best in
+              st.queue <- List.filter (fun x -> not (x == v)) st.queue;
+              v.Vcpu.boosted <- false;
+              (* never hand out a slice crossing the cap boundary *)
+              let slice =
+                if v.Vcpu.cap = 0 then st.slice
+                else min st.slice (max 1 ((st.period * v.Vcpu.cap / 100) - v.Vcpu.window_used))
+              in
+              Some (v, slice));
+      charge =
+        (fun v ~used ~now ->
+          maybe_refill now;
+          v.Vcpu.credits <- v.Vcpu.credits - used;
+          v.Vcpu.window_used <- v.Vcpu.window_used + used);
+      next_release =
+        (fun ~now ->
+          (* only relevant when someone runnable is parked by a cap *)
+          let parked =
+            List.exists (fun v -> Vcpu.is_runnable v && over_cap st v) st.queue
+          in
+          if parked && Int64.unsigned_compare st.next_refill now > 0 then
+            Some st.next_refill
+          else None);
+      notify = None;
+    }
   in
-  {
-    Scheduler.name = "credit";
-    enqueue = push;
-    requeue = push;
-    wake =
-      (fun v ->
-        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
-        push v);
-    remove =
-      (fun v ->
-        st.queue <- List.filter (fun x -> not (x == v)) st.queue;
-        st.registered <- List.filter (fun x -> not (x == v)) st.registered);
-    pick =
-      (fun ~now ->
-        maybe_refill now;
-        let eligible =
-          List.filter (fun v -> Vcpu.is_runnable v && not (over_cap st v)) st.queue
-        in
-        match eligible with
-        | [] ->
-            (* drop stale entries but keep capped vCPUs parked for the
-               next period *)
-            st.queue <- List.filter (fun v -> Vcpu.is_runnable v) st.queue;
-            None
-        | _ ->
-            (* lowest priority class number first, FIFO inside a class *)
-            let best =
-              List.fold_left
-                (fun acc v ->
-                  match acc with
-                  | None -> Some v
-                  | Some b -> if priority v < priority b then Some v else acc)
-                None eligible
-            in
-            let v = Option.get best in
-            st.queue <- List.filter (fun x -> not (x == v)) st.queue;
-            v.Vcpu.boosted <- false;
-            (* never hand out a slice crossing the cap boundary *)
-            let slice =
-              if v.Vcpu.cap = 0 then st.slice
-              else min st.slice (max 1 ((st.period * v.Vcpu.cap / 100) - v.Vcpu.window_used))
-            in
-            Some (v, slice));
-    charge =
-      (fun v ~used ~now ->
-        maybe_refill now;
-        v.Vcpu.credits <- v.Vcpu.credits - used;
-        v.Vcpu.window_used <- v.Vcpu.window_used + used);
-    next_release =
-      (fun ~now ->
-        (* only relevant when someone runnable is parked by a cap *)
-        let parked =
-          List.exists (fun v -> Vcpu.is_runnable v && over_cap st v) st.queue
-        in
-        if parked && Int64.unsigned_compare st.next_refill now > 0 then
-          Some st.next_refill
-        else None);
-    notify = hook;
-  }
+  t

@@ -76,7 +76,7 @@ let degrade (t : t) =
   Array.iter
     (fun (v : Vcpu.t) ->
       v.Vcpu.runstate <- Vcpu.Halted;
-      t.hyp.Hypervisor.sched.Scheduler.remove v)
+      (Hypervisor.sched t.hyp).Scheduler.remove v)
     t.vm.Vm.vcpus
 
 (* The watchdog (or the idle-deadlock path) says the supervised VM is

@@ -1,0 +1,23 @@
+module Rng = Velum_util.Rng
+module Fault = Velum_util.Fault
+
+type t = {
+  host : Host.t;
+  sched : Scheduler.t;
+  rng : Rng.t;
+  faults : Fault.t;
+  mutable trace : Trace.t option;
+}
+
+let create ?host ?sched ?(seed = 0L) ?faults ?trace () =
+  let host = match host with Some h -> h | None -> Host.create () in
+  let sched = match sched with Some s -> s | None -> Credit.create () in
+  let faults = match faults with Some f -> f | None -> Fault.none () in
+  { host; sched; rng = Rng.create ~seed; faults; trace }
+
+let host t = t.host
+let sched t = t.sched
+let rng t = t.rng
+let faults t = t.faults
+let trace t = t.trace
+let set_trace t tr = t.trace <- Some tr

@@ -1,0 +1,41 @@
+(** Per-host ambient state, gathered in one record.
+
+    Everything a simulated host mutates outside its VMs' own structures
+    lives here: the machine resources ({!Host}), the vCPU scheduler (and
+    through it the per-scheduler {!Scheduler.t.notify} observer), the
+    host's randomness root, its fault plan, and its tracing sink.
+
+    The point of the bundle is the share-nothing invariant the parallel
+    cluster runner relies on: two hosts in one process may share {e
+    nothing} mutable except {!Velum_devices.Link} endpoints (and those
+    are only touched at round barriers).  Constructing one [Host_ctx]
+    per simulated host makes that auditable — if a piece of mutable
+    state is not reachable from exactly one context, it has no business
+    existing. *)
+
+type t = {
+  host : Host.t;  (** physical memory, frame allocator, cost model, swap *)
+  sched : Scheduler.t;  (** this host's scheduler — including its notify cell *)
+  rng : Velum_util.Rng.t;  (** per-host randomness root (never shared) *)
+  faults : Velum_util.Fault.t;  (** per-host fault plan (owns its own RNG) *)
+  mutable trace : Trace.t option;  (** per-host tracing sink *)
+}
+
+val create :
+  ?host:Host.t ->
+  ?sched:Scheduler.t ->
+  ?seed:int64 ->
+  ?faults:Velum_util.Fault.t ->
+  ?trace:Trace.t ->
+  unit ->
+  t
+(** Defaults: a fresh 64 MiB host, a fresh credit scheduler, seed 0, an
+    inactive fault plan, no trace.  Never pass the same [host], [sched]
+    or [faults] to two contexts that can run on different domains. *)
+
+val host : t -> Host.t
+val sched : t -> Scheduler.t
+val rng : t -> Velum_util.Rng.t
+val faults : t -> Velum_util.Fault.t
+val trace : t -> Trace.t option
+val set_trace : t -> Trace.t -> unit

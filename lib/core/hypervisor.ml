@@ -20,8 +20,7 @@ type watchdog = {
 }
 
 type t = {
-  host : Host.t;
-  sched : Scheduler.t;
+  ctx : Host_ctx.t; (* all per-host ambient state lives here *)
   mutable vms : Vm.t list;
   pcpus : pcpu array;
   mutable clock : int64; (* makespan: max over pcpu clocks *)
@@ -30,16 +29,20 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
-  mutable trace : Trace.t option;
 }
 
-let create ?host ?sched ?(pcpus = 1) () =
+let create ?ctx ?host ?sched ?(pcpus = 1) () =
   if pcpus <= 0 then invalid_arg "Hypervisor.create: pcpus must be positive";
-  let host = match host with Some h -> h | None -> Host.create () in
-  let sched = match sched with Some s -> s | None -> Credit.create () in
+  let ctx =
+    match ctx with
+    | Some c ->
+        if Option.is_some host || Option.is_some sched then
+          invalid_arg "Hypervisor.create: pass either ~ctx or ~host/~sched";
+        c
+    | None -> Host_ctx.create ?host ?sched ()
+  in
   {
-    host;
-    sched;
+    ctx;
     vms = [];
     pcpus = Array.init pcpus (fun _ -> { pclock = 0L });
     clock = 0L;
@@ -48,8 +51,11 @@ let create ?host ?sched ?(pcpus = 1) () =
     sched_decisions = 0;
     watchdog = None;
     restart_handler = None;
-    trace = None;
   }
+
+let ctx t = t.ctx
+let host t = t.ctx.Host_ctx.host
+let sched t = t.ctx.Host_ctx.sched
 
 let set_watchdog t ~budget ~policy =
   if Int64.compare budget 0L <= 0 then
@@ -107,14 +113,14 @@ let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
   let id = t.next_vm_id in
   t.next_vm_id <- id + 1;
   let vm =
-    Vm.create ~host:t.host ~id ~name ~mem_frames ~vcpu_count ~paging ~pv ~populate ?nic
+    Vm.create ~host:(host t) ~id ~name ~mem_frames ~vcpu_count ~paging ~pv ~populate ?nic
       ?tlb_size ?exec_mode ?engine ~entry ()
   in
-  vm.Vm.trace <- t.trace;
+  vm.Vm.trace <- t.ctx.Host_ctx.trace;
   Array.iter
     (fun vcpu ->
       vcpu.Vcpu.weight <- weight;
-      t.sched.Scheduler.enqueue vcpu)
+      (sched t).Scheduler.enqueue vcpu)
     vm.Vm.vcpus;
   t.vms <- t.vms @ [ vm ];
   Log.info (fun m ->
@@ -123,7 +129,7 @@ let create_vm t ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Vm.Nested_paging)
 
 let remove_vm t vm =
   Log.info (fun m -> m "destroying %s" vm.Vm.name);
-  Array.iter (fun vcpu -> t.sched.Scheduler.remove vcpu) vm.Vm.vcpus;
+  Array.iter (fun vcpu -> (sched t).Scheduler.remove vcpu) vm.Vm.vcpus;
   t.vms <- List.filter (fun v -> not (v == vm)) t.vms;
   Vm.destroy vm
 
@@ -131,16 +137,16 @@ let find_vm t ~vm_id = List.find_opt (fun vm -> vm.Vm.id = vm_id) t.vms
 
 (* ---- tracing ---- *)
 
-let trace t = t.trace
+let trace t = t.ctx.Host_ctx.trace
 
 (* Attach a tracing sink: existing and future VMs share it, and the
-   scheduler's notify cell routes policy decisions into it.  Recording is
-   host-side only, so a traced run burns exactly the same simulated
+   scheduler's notify field routes policy decisions into it.  Recording
+   is host-side only, so a traced run burns exactly the same simulated
    cycles as an untraced one. *)
 let set_trace t tr =
-  t.trace <- Some tr;
+  Host_ctx.set_trace t.ctx tr;
   List.iter (fun vm -> vm.Vm.trace <- Some tr) t.vms;
-  t.sched.Scheduler.notify :=
+  (sched t).Scheduler.notify <-
     Some
       (fun vcpu note ->
         let ev =
@@ -178,15 +184,16 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
     let delta = Int64.to_int (Int64.sub vcpu.Vcpu.vmm_cycles before) in
     used := !used + delta
   in
+  let h = host t in
   let ctx =
     {
       Cpu.translate = (fun ~access ~user va -> Vm.translate vm ~vcpu_idx ~access ~user va);
-      read_ram = (fun pa w -> Phys_mem.read t.host.Host.mem pa w);
-      write_ram = (fun pa w v -> Phys_mem.write t.host.Host.mem pa w v);
+      read_ram = (fun pa w -> Phys_mem.read h.Host.mem pa w);
+      write_ram = (fun pa w v -> Phys_mem.write h.Host.mem pa w v);
       flush_tlb = (fun () -> Vm.flush_vcpu_tlb vm ~vcpu_idx);
       now = now_fn;
       ext_irq = (fun () -> false);
-      cost = t.host.Host.cost;
+      cost = h.Host.cost;
       env = Cpu.Deprivileged;
       dtlb = Some vm.Vm.dtlbs.(vcpu_idx);
     }
@@ -254,7 +261,7 @@ let wake_sleepers_at t ~now =
           if vcpu.Vcpu.runstate = Vcpu.Blocked && Emulate.irq_deliverable vm vcpu ~now
           then begin
             Vcpu.wake vcpu ~boost:true;
-            t.sched.Scheduler.wake vcpu
+            (sched t).Scheduler.wake vcpu
           end)
         vm.Vm.vcpus)
     t.vms
@@ -333,7 +340,7 @@ let check_watchdog t =
                     Array.iter
                       (fun vcpu ->
                         vcpu.Vcpu.runstate <- Vcpu.Halted;
-                        t.sched.Scheduler.remove vcpu)
+                        (sched t).Scheduler.remove vcpu)
                       vm.Vm.vcpus
                   in
                   match wd.wd_policy with
@@ -379,13 +386,14 @@ let dispatch_on t p (vcpu : Vcpu.t) slice =
           Int64.add t.idle_cycles (Int64.sub vcpu.Vcpu.last_scheduled p.pclock);
         p.pclock <- vcpu.Vcpu.last_scheduled
       end;
-      p.pclock <- Int64.add p.pclock (Int64.of_int t.host.Host.cost.Cost_model.ctx_switch);
+      p.pclock <-
+        Int64.add p.pclock (Int64.of_int (host t).Host.cost.Cost_model.ctx_switch);
       let dispatched_at = p.pclock in
       let used, outcome = exec_vcpu t vm ~vcpu_idx ~base:p.pclock ~slice in
       p.pclock <- Int64.add p.pclock (Int64.of_int used);
       vcpu.Vcpu.last_scheduled <- p.pclock;
-      t.sched.Scheduler.charge vcpu ~used ~now:p.pclock;
-      (match t.trace with
+      (sched t).Scheduler.charge vcpu ~used ~now:p.pclock;
+      (match trace t with
       | Some tr ->
           let stop =
             match outcome with
@@ -398,9 +406,9 @@ let dispatch_on t p (vcpu : Vcpu.t) slice =
             (Trace.Dispatch { vcpu = vcpu_idx; slice; used; stop })
       | None -> ());
       (match outcome with
-      | Slice_done | Yielded -> t.sched.Scheduler.requeue vcpu
+      | Slice_done | Yielded -> (sched t).Scheduler.requeue vcpu
       | Blocked -> ()
-      | Halted_vcpu -> t.sched.Scheduler.remove vcpu);
+      | Halted_vcpu -> (sched t).Scheduler.remove vcpu);
       refresh_makespan t
 
 let run ?(budget = 2_000_000_000L) ?until t =
@@ -415,7 +423,7 @@ let run ?(budget = 2_000_000_000L) ?until t =
       check_watchdog t;
       let p = min_pcpu t in
       wake_sleepers_at t ~now:p.pclock;
-      match t.sched.Scheduler.pick ~now:p.pclock with
+      match (sched t).Scheduler.pick ~now:p.pclock with
       | Some (vcpu, slice) ->
           stalls := 0;
           dispatch_on t p vcpu slice;
@@ -433,7 +441,7 @@ let run ?(budget = 2_000_000_000L) ?until t =
           let target =
             min_opt
               (min_opt (next_peer_clock t p) (next_event t))
-              (t.sched.Scheduler.next_release ~now:p.pclock)
+              ((sched t).Scheduler.next_release ~now:p.pclock)
           in
           match target with
           | Some when_ when Int64.unsigned_compare when_ p.pclock > 0 ->

@@ -23,8 +23,10 @@ type watchdog_policy =
 type watchdog
 
 type t = {
-  host : Host.t;
-  sched : Scheduler.t;
+  ctx : Host_ctx.t;
+      (** every piece of per-host ambient state — machine resources,
+          scheduler, RNG/fault roots, trace sink — so two hypervisors
+          (possibly on two domains) share nothing through [t] *)
   mutable vms : Vm.t list;  (** registration order *)
   pcpus : pcpu array;
   mutable clock : int64;  (** makespan: max over pcpu clocks *)
@@ -33,23 +35,34 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
-  mutable trace : Trace.t option;  (** set via {!set_trace} *)
 }
 
-val create : ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
-(** Defaults: a fresh 64 MiB host, the credit scheduler, one pCPU.  With
-    several pCPUs the run loop is an event-driven multiprocessor
-    simulation: each pCPU has its own cycle clock, the scheduler's run
-    queue is global (vCPUs migrate freely), an idle pCPU's clock never
-    runs ahead of a busy peer's (so wakeups stay visible), and a vCPU's
-    own virtual time is monotonic across pCPUs. *)
+val create :
+  ?ctx:Host_ctx.t -> ?host:Host.t -> ?sched:Scheduler.t -> ?pcpus:int -> unit -> t
+(** Defaults: a fresh {!Host_ctx} (64 MiB host, credit scheduler), one
+    pCPU.  [~ctx] supplies the whole per-host context; it cannot be
+    combined with [~host]/[~sched], which remain as shorthands that
+    build a fresh context around the given pieces.  With several pCPUs
+    the run loop is an event-driven multiprocessor simulation: each pCPU
+    has its own cycle clock, the scheduler's run queue is global (vCPUs
+    migrate freely), an idle pCPU's clock never runs ahead of a busy
+    peer's (so wakeups stay visible), and a vCPU's own virtual time is
+    monotonic across pCPUs. *)
+
+val ctx : t -> Host_ctx.t
+val host : t -> Host.t
+(** [host t] = [(ctx t).host]. *)
+
+val sched : t -> Scheduler.t
+(** [sched t] = [(ctx t).sched]. *)
 
 val now : t -> int64
 (** Makespan: the farthest pcpu clock. *)
 
 val set_trace : t -> Trace.t -> unit
 (** Attach a tracing sink: every current and future VM records into it,
-    and the scheduler's {!Scheduler.t.notify} cell is pointed at it.
+    and this hypervisor's scheduler's {!Scheduler.t.notify} field is
+    pointed at it (other hypervisors' schedulers are untouched).
     Tracing is host-side bookkeeping only — simulated cycles, exits and
     scheduling are byte-identical with tracing on or off. *)
 

@@ -140,6 +140,33 @@ let reset t =
   t.injections <- 0;
   Hashtbl.reset t.gauges
 
+(* Canonical single-line JSON: exits in declaration order (nonzero
+   only), gauges sorted by name.  Field order is fixed so two monitors
+   with the same contents — regardless of Hashtbl insertion order —
+   export byte-identical strings; the cluster determinism gates diff
+   this literally. *)
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"exits\":{";
+  let first = ref true in
+  List.iter
+    (fun k ->
+      let c = count t k in
+      if c > 0 then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Printf.bprintf buf "\"%s\":[%d,%Ld]" (exit_kind_name k) c (cycles t k)
+      end)
+    all_exit_kinds;
+  Printf.bprintf buf "},\"irq_injections\":%d,\"gauges\":{" t.injections;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\":%d" name v)
+    (gauges t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
 let pp ppf t =
   List.iter
     (fun k ->

@@ -73,5 +73,13 @@ val gauges : t -> (string * int) list
 
 val reset : t -> unit
 
+val to_json : t -> string
+(** Canonical single-line JSON: nonzero exits as ["name":[count,cycles]]
+    in declaration order, then [irq_injections], then gauges sorted by
+    name.  Order-stable by construction — two monitors holding the same
+    values export byte-identical strings whatever the Hashtbl insertion
+    order was, so parallel-vs-sequential diffs are meaningful. *)
+
 val pp : Format.formatter -> t -> unit
-(** One line per nonzero counter, then every gauge. *)
+(** One line per nonzero counter, then every gauge.  Gauges are sorted
+    by name ({!gauges}), so the text export is order-stable too. *)

@@ -210,7 +210,7 @@ let failover ?(fence_primary = true) (s : session) =
         (fun (v : Vcpu.t) ->
           if not v.Vcpu.state.Cpu.halted then begin
             v.Vcpu.runstate <- Vcpu.Runnable;
-            s.backup.Hypervisor.sched.Scheduler.wake v
+            (Hypervisor.sched s.backup).Scheduler.wake v
           end
           else v.Vcpu.runstate <- Vcpu.Halted)
         s.twin.Vm.vcpus;

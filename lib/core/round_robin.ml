@@ -1,30 +1,36 @@
 let create ?(slice = Scheduler.default_slice) () =
   let queue : Vcpu.t Queue.t = Queue.create () in
-  let hook = ref None in
   let push v = if not (Queue.fold (fun f x -> f || x == v) false queue) then Queue.push v queue in
-  {
-    Scheduler.name = "round-robin";
-    enqueue = push;
-    requeue = push;
-    wake =
-      (fun v ->
-        Scheduler.tell hook (Some v) (Scheduler.N_wake { boosted = v.Vcpu.boosted });
-        v.Vcpu.boosted <- false;
-        push v);
-    remove =
-      (fun v ->
-        let keep = Queue.fold (fun acc x -> if x == v then acc else x :: acc) [] queue in
-        Queue.clear queue;
-        List.iter (fun x -> Queue.push x queue) (List.rev keep));
-    pick =
-      (fun ~now:_ ->
-        let rec next () =
-          match Queue.take_opt queue with
-          | None -> None
-          | Some v -> if Vcpu.is_runnable v then Some (v, slice) else next ()
-        in
-        next ());
-    charge = (fun _ ~used:_ ~now:_ -> ());
-    next_release = (fun ~now:_ -> None);
-    notify = hook;
-  }
+  (* [let rec]: the closures read [t.notify] at call time, so the hook
+     is a per-scheduler field rather than a cell shared across
+     instances. *)
+  let rec t =
+    {
+      Scheduler.name = "round-robin";
+      enqueue = push;
+      requeue = push;
+      wake =
+        (fun v ->
+          Scheduler.tell t.Scheduler.notify (Some v)
+            (Scheduler.N_wake { boosted = v.Vcpu.boosted });
+          v.Vcpu.boosted <- false;
+          push v);
+      remove =
+        (fun v ->
+          let keep = Queue.fold (fun acc x -> if x == v then acc else x :: acc) [] queue in
+          Queue.clear queue;
+          List.iter (fun x -> Queue.push x queue) (List.rev keep));
+      pick =
+        (fun ~now:_ ->
+          let rec next () =
+            match Queue.take_opt queue with
+            | None -> None
+            | Some v -> if Vcpu.is_runnable v then Some (v, slice) else next ()
+          in
+          next ());
+      charge = (fun _ ~used:_ ~now:_ -> ());
+      next_release = (fun ~now:_ -> None);
+      notify = None;
+    }
+  in
+  t

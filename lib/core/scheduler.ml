@@ -11,9 +11,9 @@ type t = {
   pick : now:int64 -> (Vcpu.t * int) option;
   charge : Vcpu.t -> used:int -> now:int64 -> unit;
   next_release : now:int64 -> int64 option;
-  notify : hook option ref;
+  mutable notify : hook option;
 }
 
-let tell h vcpu note = match !h with Some f -> f vcpu note | None -> ()
+let tell h vcpu note = match h with Some f -> f vcpu note | None -> ()
 
 let default_slice = 100_000

@@ -33,14 +33,18 @@ type t = {
       (** when a policy is holding runnable work back (CPU caps), the
           earliest time it will release some — lets an idle host sleep
           to that point instead of deadlocking *)
-  notify : hook option ref;
-      (** shared cell the policy's closures read on each decision; [None]
-          (the default) costs one pointer load per event *)
+  mutable notify : hook option;
+      (** per-scheduler observer the policy's closures read on each
+          decision; [None] (the default) costs one field load per
+          event.  This is a field of the scheduler record — never a
+          cell shared between schedulers — so two live hypervisors in
+          one process (or on two domains) cannot cross-talk trace
+          events. *)
 }
 
-val tell : hook option ref -> Vcpu.t option -> note -> unit
+val tell : hook option -> Vcpu.t option -> note -> unit
 (** Invoke the installed hook, if any (helper for policy
-    implementations). *)
+    implementations; pass the current [t.notify]). *)
 
 val default_slice : int
 (** 100k cycles — the time quantum baseline policies use. *)

@@ -210,7 +210,7 @@ let live_pages l = List.length l.l_frames
 
 let restore_live hyp (l : live) =
   if l.released then failwith "Snapshot.restore_live: snapshot released";
-  if not (hyp.Hypervisor.host == l.src_host) then
+  if not (Hypervisor.host hyp == l.src_host) then
     failwith "Snapshot.restore_live: snapshot frames live on a different host";
   let vm =
     Hypervisor.create_vm hyp ~name:l.l_name ~mem_frames:l.l_mem_frames

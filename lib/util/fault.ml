@@ -61,6 +61,15 @@ let create ?(seed = 0L) () =
 
 let none () = create ()
 
+let derive t ~seed =
+  {
+    rng = Rng.create ~seed;
+    prob = Array.copy t.prob;
+    windows = Array.copy t.windows;
+    injected = Array.make nsites 0;
+    observed = Array.make nsites 0;
+  }
+
 let active t =
   Array.exists (fun p -> p > 0.0) t.prob
   || Array.exists (fun w -> w <> []) t.windows

@@ -44,6 +44,13 @@ val none : unit -> t
 (** An inert plan: [fire] never returns [true] and draws no randomness.
     Useful as a default so consumers need no option plumbing. *)
 
+val derive : t -> seed:int64 -> t
+(** [derive t ~seed] is a fresh plan with [t]'s probabilities and
+    windows but its own RNG stream rooted at [seed] and zeroed
+    counters.  This is how a fleet gives every host the {e same} fault
+    profile while keeping fault schedules independent and per-host —
+    two hosts must never draw from one RNG. *)
+
 val active : t -> bool
 (** [active t] is [true] iff some site has a nonzero probability or at
     least one window — i.e. [fire] could ever return [true]. *)

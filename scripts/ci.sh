@@ -126,4 +126,41 @@ grep -q "cycle attribution" "$tmp/report.txt" || {
 grep -q "p99" "$tmp/report.txt" || {
   echo "FAIL: trace report missing latency percentiles"; exit 1; }
 
+echo "== parallel hosts: domain-count invariance (round barrier) =="
+# The acceptance gate for the cluster runner: a 4-host fleet executed on
+# 4 domains must print a byte-identical report (simulated cycles, exits,
+# monitor counters, heartbeats, link state) to the same fleet on 1
+# domain, and per-host trace exports must match byte for byte.
+dune exec bin/velum.exe -- run -w syscalls -n 200 --hosts 4 --domains 1 \
+  --rounds 6 --trace "$tmp/par1.jsonl" >"$tmp/par1.txt"
+dune exec bin/velum.exe -- run -w syscalls -n 200 --hosts 4 --domains 4 \
+  --rounds 6 --trace "$tmp/par4.jsonl" >"$tmp/par4.txt"
+diff "$tmp/par1.txt" "$tmp/par4.txt" || {
+  echo "FAIL: fleet report diverged between 1 and 4 domains"; exit 1; }
+for i in 0 1 2 3; do
+  diff "$tmp/par1.jsonl.$i" "$tmp/par4.jsonl.$i" || {
+    echo "FAIL: host $i trace export diverged between 1 and 4 domains"; exit 1; }
+done
+grep -q "hb_sent" "$tmp/par1.txt" || {
+  echo "FAIL: fleet report carries no heartbeat accounting"; exit 1; }
+
+# And under chaos: faults on every link, a mid-run host failure and
+# periodic live migrations at the barrier must stay domain-invariant.
+chaos="--hosts 4 --rounds 8 --migrate-every 3 --fail-host 4,2 \
+  --faults seed=9,drop=0.1,corrupt=0.05,hb.loss=0.2 --seed 31"
+dune exec bin/velum.exe -- run -w dirty -n 16 $chaos --domains 1 >"$tmp/chaos1.txt"
+dune exec bin/velum.exe -- run -w dirty -n 16 $chaos --domains 4 >"$tmp/chaos4.txt"
+diff "$tmp/chaos1.txt" "$tmp/chaos4.txt" || {
+  echo "FAIL: chaotic fleet diverged between 1 and 4 domains"; exit 1; }
+grep -q "pred_dead=round" "$tmp/chaos1.txt" || {
+  echo "FAIL: injected host failure was never detected"; exit 1; }
+grep -q "migrations=" "$tmp/chaos1.txt" || {
+  echo "FAIL: fleet report carries no migration accounting"; exit 1; }
+
+# BENCH_par.json is regenerated by 'bench/main.exe --only E19' (wall
+# clock is machine-local, so the committed file is not re-checked for
+# equality — only for shape).
+grep -q '"name": "par/domains-4"' BENCH_par.json || {
+  echo "FAIL: BENCH_par.json missing the 4-domain row"; exit 1; }
+
 echo "CI gate passed."

@@ -1,0 +1,248 @@
+(* Parallel cluster runner: a random fleet — seeds, fault plans, quantum
+   sizes, migrations, injected host failures — produces byte-identical
+   reports and trace exports whatever the domain count (qcheck), the
+   round barrier and mailboxes behave under real domains, and the
+   share-nothing regressions hold: two traced hypervisors in one process
+   never cross-talk scheduler events, Monitor exports are insertion-order
+   independent, and derived fault plans draw from independent streams. *)
+
+open Velum_vmm
+open Velum_guests
+module Parallel = Velum_cluster.Parallel
+module Barrier = Velum_cluster.Barrier
+module Mailbox = Velum_cluster.Mailbox
+module Fault = Velum_util.Fault
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- barrier: phases stay in lockstep under real domains --- *)
+
+let test_barrier_lockstep () =
+  let workers = 3 and rounds = 50 in
+  let start_b = Barrier.create ~parties:(workers + 1) in
+  let done_b = Barrier.create ~parties:(workers + 1) in
+  let cells = Array.make workers 0 in
+  let stop = ref false in
+  let worker w =
+    let live = ref true in
+    while !live do
+      Barrier.await start_b;
+      if !stop then live := false
+      else begin
+        cells.(w) <- cells.(w) + 1;
+        Barrier.await done_b
+      end
+    done
+  in
+  let doms = Array.init workers (fun w -> Domain.spawn (fun () -> worker w)) in
+  let ok = ref true in
+  for r = 1 to rounds do
+    Barrier.await start_b;
+    Barrier.await done_b;
+    Array.iter (fun c -> if c <> r then ok := false) cells
+  done;
+  stop := true;
+  Barrier.await start_b;
+  Array.iter Domain.join doms;
+  checkb "every worker advanced exactly once per round" true !ok
+
+(* --- mailbox: FIFO, and no frame lost under concurrent posting --- *)
+
+let test_mailbox () =
+  let mb = Mailbox.create () in
+  let mk i =
+    { Mailbox.src = 0; dst = 1; sent_at = Int64.of_int i; payload = string_of_int i }
+  in
+  for i = 1 to 5 do
+    Mailbox.post mb (mk i)
+  done;
+  checks "FIFO order" "1 2 3 4 5"
+    (String.concat " " (List.map (fun f -> f.Mailbox.payload) (Mailbox.drain mb)));
+  checki "drained" 0 (Mailbox.length mb);
+  let n = 1000 in
+  let poster () = for i = 1 to n do Mailbox.post mb (mk i) done in
+  let d1 = Domain.spawn poster and d2 = Domain.spawn poster in
+  Domain.join d1;
+  Domain.join d2;
+  checki "no frame lost across domains" (2 * n) (List.length (Mailbox.drain mb))
+
+(* --- regression: two traced hypervisors must not cross-talk --- *)
+
+(* With a process-wide notify cell, the second set_trace would steal the
+   first hypervisor's scheduler notifications: running A would record
+   events (at least the credit scheduler's first refill) into B's trace.
+   The notify hook is a per-scheduler field, so B's sink must stay empty
+   until B itself runs. *)
+let test_concurrent_traces () =
+  let setup = Images.plan ~user:(Workloads.syscall_loop ~count:50L) () in
+  let mk name =
+    let hyp = Hypervisor.create () in
+    let tr = Trace.create () in
+    Hypervisor.set_trace hyp tr;
+    let vm =
+      Hypervisor.create_vm hyp ~name ~mem_frames:setup.Images.frames
+        ~entry:Images.entry ()
+    in
+    Images.load_vm vm setup;
+    (hyp, tr)
+  in
+  let a, tra = mk "alpha" in
+  let b, trb = mk "beta" in
+  ignore (Hypervisor.run a ~budget:5_000_000L);
+  checkb "A recorded events" true (Trace.events_recorded tra > 0);
+  checkb "A saw its scheduler's notifications" true
+    (has_sub (Trace.export_string tra) "sched-refill");
+  checki "B's sink is untouched by A's run" 0 (Trace.events_recorded trb);
+  let a_before = Trace.events_recorded tra in
+  ignore (Hypervisor.run b ~budget:5_000_000L);
+  checkb "B recorded its own events" true (Trace.events_recorded trb > 0);
+  checki "B's run left A's sink alone" a_before (Trace.events_recorded tra);
+  checkb "no foreign VM leaked into A" true
+    (not (has_sub (Trace.export_string tra) "beta"));
+  checkb "no foreign VM leaked into B" true
+    (not (has_sub (Trace.export_string trb) "alpha"))
+
+(* --- monitor exports are insertion-order independent --- *)
+
+let test_monitor_export_stable () =
+  let m1 = Monitor.create () and m2 = Monitor.create () in
+  List.iter
+    (fun m ->
+      Monitor.bump m Monitor.E_csr;
+      Monitor.bump m Monitor.E_mmio;
+      Monitor.add_cycles m Monitor.E_csr 840)
+    [ m1; m2 ];
+  let gauges = [ ("tlb.hits", 7); ("dtlb.hits", 3); ("engine.cache.hits", 9) ] in
+  List.iter (fun (k, v) -> Monitor.set_gauge m1 k v) gauges;
+  List.iter (fun (k, v) -> Monitor.set_gauge m2 k v) (List.rev gauges);
+  checks "json is order-stable" (Monitor.to_json m1) (Monitor.to_json m2);
+  checks "pp is order-stable"
+    (Format.asprintf "%a" Monitor.pp m1)
+    (Format.asprintf "%a" Monitor.pp m2);
+  checkb "json carries the counters" true
+    (has_sub (Monitor.to_json m1) "\"csr\":[1,840]")
+
+(* --- derived fault plans: same profile, independent streams --- *)
+
+let test_fault_derive () =
+  let base = Fault.create ~seed:42L () in
+  Fault.set_prob base Fault.Drop 0.5;
+  let schedule f =
+    List.init 64 (fun i -> Fault.fire f Fault.Drop ~now:(Int64.of_int i))
+  in
+  let d1 = Fault.derive base ~seed:1L in
+  let d1' = Fault.derive base ~seed:1L in
+  let d2 = Fault.derive base ~seed:2L in
+  checkb "equal seeds give equal schedules" true (schedule d1 = schedule d1');
+  checkb "different seeds give different schedules" true
+    (schedule d1' <> schedule d2);
+  checkb "derivation copies the profile" true (Fault.prob d2 Fault.Drop = 0.5);
+  checki "the base plan's counters are untouched" 0 (Fault.injected base Fault.Drop)
+
+(* --- the tentpole property: domain-count invariance --- *)
+
+let mk_setup kind =
+  match kind with
+  | 0 -> Images.plan ~user:(Workloads.syscall_loop ~count:120L) ()
+  | 1 -> Images.plan ~user:(Workloads.cpu_spin ~iters:40_000L) ()
+  | _ ->
+      (* never halts: every round runs a full quantum *)
+      Images.plan ~heap_pages:16 ~user:(Workloads.dirty_loop ~pages:8 ~delay:1500) ()
+
+let fleet_invariance_prop =
+  QCheck2.Test.make ~count:8
+    ~name:"fleet report and traces are byte-identical for domains 1/2/4"
+    QCheck2.Gen.(
+      tup7 (int_range 0 9999) (int_range 2 4) (int_range 0 2)
+        (oneofl [ 60_000L; 150_000L ])
+        (int_range 4 6) bool bool)
+    (fun (seed, hosts, wkind, quantum, rounds, with_faults, with_chaos) ->
+      let setup = mk_setup wkind in
+      let spin = mk_setup 1 in
+      let mk_vms i =
+        let base = [ Parallel.spec ~name:(Printf.sprintf "vm%d" i) setup ] in
+        if i = 0 then Parallel.spec ~name:"extra0" spin :: base else base
+      in
+      let faults =
+        if with_faults then
+          match
+            Fault.parse
+              (Printf.sprintf "seed=%d,drop=0.1,corrupt=0.05,hb.loss=0.15" seed)
+          with
+          | Ok f -> Some f
+          | Error e -> failwith e
+        else None
+      in
+      let cfg =
+        Parallel.config ~quantum ~rounds ~seed:(Int64.of_int seed) ?faults
+          ~hb_miss_limit:2
+          ~migrate_every:(if with_chaos && wkind = 2 then 3 else 0)
+          ?fail_host:(if with_chaos then Some (2, hosts - 1) else None)
+          ~trace:true ~hosts ~mk_vms ()
+      in
+      let r1 = Parallel.run ~domains:1 cfg in
+      let r2 = Parallel.run ~domains:2 cfg in
+      let r4 = Parallel.run ~domains:4 cfg in
+      r1.Parallel.report = r2.Parallel.report
+      && r1.Parallel.report = r4.Parallel.report
+      && Parallel.traces r1.Parallel.fleet = Parallel.traces r2.Parallel.fleet
+      && Parallel.traces r1.Parallel.fleet = Parallel.traces r4.Parallel.fleet)
+
+(* --- failure detection is exact under a clean ring --- *)
+
+let test_failure_detection () =
+  let setup = mk_setup 2 in
+  let cfg =
+    Parallel.config ~quantum:80_000L ~rounds:10 ~hb_miss_limit:3
+      ~fail_host:(4, 1) ~hosts:3
+      ~mk_vms:(fun i -> [ Parallel.spec ~name:(Printf.sprintf "vm%d" i) setup ])
+      ()
+  in
+  let r = Parallel.run ~domains:2 cfg in
+  let n2 = r.Parallel.fleet.Parallel.nodes.(2) in
+  let n0 = r.Parallel.fleet.Parallel.nodes.(0) in
+  checkb "host 1 is down" true (not r.Parallel.fleet.Parallel.nodes.(1).Parallel.alive);
+  (* host 1 last heartbeats at the round-3 barrier (arriving in round 4),
+     so its successor misses rounds 5,6,7 and declares death at round 7 *)
+  Alcotest.(check (option int)) "successor detected the death at round 7"
+    (Some 7) n2.Parallel.pred_dead_at;
+  Alcotest.(check (option int)) "unaffected host suspects nobody" None
+    n0.Parallel.pred_dead_at;
+  checkb "detection is surfaced in the monitor" true
+    (Monitor.count
+       (List.hd n2.Parallel.hyp.Hypervisor.vms).Vm.monitor Monitor.E_ha_failover
+    = 1)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "plumbing",
+        [
+          Alcotest.test_case "barrier lockstep across domains" `Quick
+            test_barrier_lockstep;
+          Alcotest.test_case "mailbox FIFO and concurrent posting" `Quick
+            test_mailbox;
+        ] );
+      ( "share-nothing",
+        [
+          Alcotest.test_case "two traced hypervisors do not cross-talk" `Quick
+            test_concurrent_traces;
+          Alcotest.test_case "monitor export is insertion-order independent"
+            `Quick test_monitor_export_stable;
+          Alcotest.test_case "derived fault plans are independent" `Quick
+            test_fault_derive;
+        ] );
+      ( "round-barrier",
+        Alcotest.test_case "ring failure detection is exact" `Quick
+          test_failure_detection
+        :: qsuite [ fleet_invariance_prop ] );
+    ]

@@ -156,24 +156,24 @@ let restore_no_leak_prop =
       Bytes.set image pos
         (Char.chr (Char.code (Bytes.get image pos) lxor (1 + flip)));
       let hyp = make_hyp ~frames:4096 () in
-      let used0 = Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc in
+      let used0 = Frame_alloc.used_count (Hypervisor.host hyp).Host.alloc in
       let nvms0 = List.length hyp.Hypervisor.vms in
       (match Snapshot.restore hyp image with
       | vm -> Hypervisor.remove_vm hyp vm
       | exception Failure _ -> ());
-      Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc = used0
+      Frame_alloc.used_count (Hypervisor.host hyp).Host.alloc = used0
       && List.length hyp.Hypervisor.vms = nvms0)
 
 let test_truncated_restore_rejected () =
   let image = Lazy.force snap_base_image in
   let hyp = make_hyp ~frames:4096 () in
-  let used0 = Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc in
+  let used0 = Frame_alloc.used_count (Hypervisor.host hyp).Host.alloc in
   let cut = Bytes.sub image 0 (Bytes.length image / 2) in
   (match Snapshot.restore hyp cut with
   | _ -> Alcotest.fail "truncated image must be rejected"
   | exception Failure _ -> ());
   checki "frames reclaimed" used0
-    (Frame_alloc.used_count hyp.Hypervisor.host.Host.alloc);
+    (Frame_alloc.used_count (Hypervisor.host hyp).Host.alloc);
   checki "no half-built VM registered" 0 (List.length hyp.Hypervisor.vms)
 
 (* ---------------- replication: idempotent failover ---------------- *)

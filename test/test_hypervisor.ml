@@ -269,11 +269,11 @@ let test_guest_driven_balloon () =
     ]
   in
   let vm = unikernel hyp "balloonist" prog in
-  let free0 = Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc in
+  let free0 = Frame_alloc.free_count (Hypervisor.host hyp).Host.alloc in
   checkb "halts" true (Hypervisor.run hyp = Hypervisor.All_halted);
   Alcotest.(check int) "4 pages surrendered" 4 vm.Vm.balloon_pages;
   Alcotest.(check int) "frames back to the host" (free0 + 4)
-    (Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc)
+    (Frame_alloc.free_count (Hypervisor.host hyp).Host.alloc)
 
 (* ---------------- multiprocessor hosts ---------------- *)
 
@@ -335,7 +335,7 @@ let test_smp_multi_vcpu_vm_parallelism () =
 
 let test_remove_vm_frees_and_continues () =
   let hyp = make_hyp () in
-  let free0 = Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc in
+  let free0 = Frame_alloc.free_count (Hypervisor.host hyp).Host.alloc in
   let doomed = unikernel hyp "doomed" spin_forever in
   let survivor = unikernel hyp "survivor" (spin_n_then_halt 5000) in
   ignore (Hypervisor.run hyp ~budget:1_000_000L);
@@ -346,7 +346,7 @@ let test_remove_vm_frees_and_continues () =
   checkb "finishes" true (Hypervisor.run hyp = Hypervisor.All_halted);
   checki "frames returned (minus survivor's)"
     (free0 - Vm.mem_frames survivor)
-    (Frame_alloc.free_count hyp.Hypervisor.host.Host.alloc)
+    (Frame_alloc.free_count (Hypervisor.host hyp).Host.alloc)
 
 let test_run_vm_isolates () =
   let hyp = make_hyp () in
@@ -406,7 +406,7 @@ let test_cycle_accounting_consistent () =
     && slack
        <= Int64.of_int
             ((hyp.Hypervisor.sched_decisions + 1)
-            * hyp.Hypervisor.host.Host.cost.Velum_machine.Cost_model.ctx_switch))
+            * (Hypervisor.host hyp).Host.cost.Velum_machine.Cost_model.ctx_switch))
 
 (* ---------------- progress watchdog ---------------- *)
 
