@@ -74,6 +74,40 @@ let faults_arg =
 let print_faults f =
   if Fault.active f then Format.printf "fault counters:@.%a@?" Fault.pp f
 
+(* ---------------- shared HA detector knobs ---------------- *)
+
+(* One set of dials drives every heartbeat protocol in the tree: the
+   fleet ring detector ('run --hosts N'), the single-host HA
+   supervisor's restart backoff ('run --ha'), and the cluster control
+   plane's hub-and-spoke failure detector ('velum cluster'). *)
+
+let ha_miss_limit_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "ha-miss-limit" ]
+        ~doc:
+          "Consecutive heartbeat misses before a peer is declared dead \
+           (ring detector in fleet mode; failover detector in 'velum \
+           cluster').")
+
+let ha_timeout_arg =
+  Arg.(
+    value & opt int64 0L
+    & info [ "ha-timeout" ]
+        ~doc:
+          "Additional heartbeat-less cycles required on top of the miss \
+           count before declaring death; 0 = the miss count alone \
+           decides.")
+
+let ha_backoff_arg =
+  Arg.(
+    value & opt int64 0L
+    & info [ "ha-backoff" ]
+        ~doc:
+          "Base backoff in cycles, doubled per attempt: restart spacing \
+           for the HA supervisor under --ha, probe spacing for the \
+           cluster detector.  0 = the built-in default.")
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
@@ -219,7 +253,7 @@ let run_cmd =
   in
   let action workload size native paging pv exec_mode engine budget faults watchdog
       watchdog_policy ha checkpoint_every trace_to hosts domains quantum rounds
-      migrate_every fail_host seed =
+      migrate_every fail_host seed ha_miss_limit ha_timeout ha_backoff =
     if hosts > 1 || domains > 1 then begin
       let module P = Velum_cluster.Parallel in
       let setup = build_setup workload ~size ~pv in
@@ -228,6 +262,7 @@ let run_cmd =
       in
       let cfg =
         P.config ~quantum ~rounds ~seed ?faults ~migrate_every ?fail_host
+          ~hb_miss_limit:ha_miss_limit ~hb_timeout:ha_timeout
           ~trace:(trace_to <> None) ~hosts ~mk_vms ()
       in
       let res = P.run ~domains cfg in
@@ -325,7 +360,13 @@ let run_cmd =
               ~sectors:(Store.sectors_for ~image_bytes:(Snapshot.size_bytes probe))
               ?faults ()
           in
-          let sup = Ha.create ~hyp ~store ~vm ?wd_budget:watchdog ~checkpoint_every () in
+          let backoff_base =
+            if Int64.compare ha_backoff 0L > 0 then Some ha_backoff else None
+          in
+          let sup =
+            Ha.create ~hyp ~store ~vm ?wd_budget:watchdog ~checkpoint_every
+              ?backoff_base ()
+          in
           let o = Ha.run sup ~budget in
           let s = Ha.stats sup in
           Printf.printf "ha: %d checkpoints (%d torn), %d restarts, degraded: %b\n"
@@ -372,7 +413,8 @@ let run_cmd =
     Term.(
       const action $ workload $ size $ native $ paging $ pv $ exec_mode $ engine $ budget
       $ faults_arg $ watchdog $ watchdog_policy $ ha $ checkpoint_every $ trace_to
-      $ hosts $ domains $ quantum $ rounds $ migrate_every $ fail_host $ seed)
+      $ hosts $ domains $ quantum $ rounds $ migrate_every $ fail_host $ seed
+      $ ha_miss_limit_arg $ ha_timeout_arg $ ha_backoff_arg)
 
 (* ---------------- trace report ---------------- *)
 
@@ -689,6 +731,128 @@ let consolidate_cmd =
     (Cmd.info "consolidate" ~doc:"Plan a 50-VM consolidation with FFD packing.")
     Term.(const action $ cores $ ram)
 
+(* ---------------- cluster ---------------- *)
+
+let cluster_cmd =
+  let hosts =
+    Arg.(value & opt int 16 & info [ "hosts" ] ~doc:"Fleet size in hosts.")
+  in
+  let vms =
+    Arg.(
+      value & opt int 0
+      & info [ "vms" ]
+          ~doc:"Initial workload size; 0 = two VMs per host.")
+  in
+  let burst =
+    Arg.(
+      value & opt int 0
+      & info [ "burst" ]
+          ~doc:
+            "Overload burst: this many extra VMs arrive together at \
+             --burst-round, exercising shed/balloon degradation.")
+  in
+  let burst_round =
+    Arg.(
+      value & opt int 6
+      & info [ "burst-round" ] ~doc:"Arrival round of the overload burst.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int64 50_000L
+      & info [ "quantum" ] ~doc:"Cycles each host runs between round barriers.")
+  in
+  let rounds =
+    Arg.(value & opt int 24 & info [ "rounds" ] ~doc:"Barrier rounds to run.")
+  in
+  let seed =
+    Arg.(value & opt int64 0L & info [ "seed" ] ~doc:"Fleet seed.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains.  The printed report is byte-identical for \
+             every value.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 4
+      & info [ "checkpoint-every" ]
+          ~doc:"Rounds between durable per-VM checkpoints (the evacuation source).")
+  in
+  let kills =
+    Arg.(
+      value
+      & opt_all (pair int int) []
+      & info [ "kill" ] ~docv:"ROUND,HOST"
+          ~doc:
+            "Kill host HOST at round ROUND (repeatable).  The detector \
+             declares it dead, fences it, and evacuates its VMs from \
+             their last checkpoint onto survivors.")
+  in
+  let drains =
+    Arg.(
+      value
+      & opt_all (pair int int) []
+      & info [ "drain" ] ~docv:"ROUND,HOST"
+          ~doc:
+            "Rolling maintenance on host HOST starting at round ROUND \
+             (repeatable): cordon, live-migrate every VM off, reboot, \
+             refill.")
+  in
+  let action hosts vms burst burst_round quantum rounds seed domains
+      checkpoint_every kills drains faults ha_miss_limit ha_timeout ha_backoff =
+    let module C = Velum_cluster.Control in
+    let setup =
+      Images.plan ~heap_pages:16
+        ~user:(Workloads.dirty_loop ~pages:8 ~delay:1500)
+        ()
+    in
+    let prio i = match i mod 3 with 0 -> C.High | 1 -> C.Normal | _ -> C.Low in
+    let nvms = if vms > 0 then vms else 2 * hosts in
+    (* the first four VMs form an anti-affinity group: the placer must
+       spread them over four distinct hosts *)
+    let mk ~arrives tag i =
+      let group = if arrives <= 0 && i < 4 then Some 0 else None in
+      C.desc ~prio:(prio i) ?group ~arrives
+        ~name:(Printf.sprintf "%s%02d" tag i)
+        setup
+    in
+    let workload =
+      List.init nvms (mk ~arrives:0 "vm")
+      @ List.init burst (mk ~arrives:burst_round "burst")
+    in
+    let knobs =
+      {
+        Ha.Failover.miss_limit = ha_miss_limit;
+        timeout = ha_timeout;
+        takeover_backoff = ha_backoff;
+      }
+    in
+    let cfg =
+      C.config ~quantum ~rounds ~seed ?faults ~knobs
+        ~cap_units:(3 * setup.Images.frames)
+        ~headroom:setup.Images.frames ~checkpoint_every ~kills ~drains ~hosts
+        ~workload ()
+    in
+    let res = C.run ~domains cfg in
+    print_string res.C.report;
+    Option.iter print_faults faults
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the self-healing cluster control plane: FFD admission with \
+          anti-affinity and headroom, heartbeat failure detection, \
+          fence-then-evacuate from durable checkpoints, rolling drain \
+          maintenance, and priority-class overload shedding — \
+          byte-deterministic at any --domains.")
+    Term.(
+      const action $ hosts $ vms $ burst $ burst_round $ quantum $ rounds $ seed
+      $ domains $ checkpoint_every $ kills $ drains $ faults_arg
+      $ ha_miss_limit_arg $ ha_timeout_arg $ ha_backoff_arg)
+
 (* ---------------- info ---------------- *)
 
 let info_cmd =
@@ -731,7 +895,16 @@ let info_cmd =
        backoff and a\n\
       \  crash-loop budget; missed heartbeats drive automatic failover with \
        generation\n\
-      \  fencing against split-brain.\n"
+      \  fencing against split-brain.\n\
+       cluster: 'velum cluster' runs the fleet control plane — FFD \
+       admission with\n\
+      \  anti-affinity + headroom, heartbeat failure detection \
+       (cluster.hb), fence-\n\
+      \  then-evacuate from durable checkpoints (cluster.evac), rolling \
+       drains\n\
+      \  (cluster.drain), priority shedding under overload \
+       (cluster.shed/degraded\n\
+      \  events); byte-deterministic at any --domains.\n"
   in
   Cmd.v (Cmd.info "info" ~doc:"Print architecture and cost-model summary.")
     Term.(const action $ const ())
@@ -742,6 +915,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "velum" ~version:"1.0.0" ~doc)
           [
-            run_cmd; trace_cmd; migrate_cmd; replicate_cmd; snapshot_cmd;
-            recover_cmd; disasm_cmd; consolidate_cmd; info_cmd;
+            run_cmd; cluster_cmd; trace_cmd; migrate_cmd; replicate_cmd;
+            snapshot_cmd; recover_cmd; disasm_cmd; consolidate_cmd; info_cmd;
           ]))

@@ -1,0 +1,143 @@
+(** Self-healing cluster control plane.
+
+    Runs {e on top of} {!Parallel}'s coordinator phase (the [on_round]
+    hook): every decision — admission, failure detection, evacuation,
+    maintenance, overload shedding — executes strictly sequentially
+    while the worker domains are parked, so the whole control plane is
+    byte-deterministic at any domain count.  Responsibilities:
+
+    - {b Admission control}: first-fit-decreasing placement over a
+      {!Velum_vmm.Placement.Pool} with anti-affinity groups and
+      per-host headroom reservations, highest priority class first.
+    - {b Failure detection}: the {!Detector} hub-and-spoke heartbeat
+      protocol ({!Velum_vmm.Ha.Failover.hb_knobs}-tuned, fault-
+      injectable via [cluster.hb] and spoke link sites).
+    - {b Evacuation}: a declared-dead host is fenced {e first} (so a
+      false positive becomes a true positive and split-brain is
+      structurally impossible), then its VMs are restored from their
+      last durable checkpoint ({!Velum_vmm.Store} on shared storage)
+      onto survivors — restart storms rate-limited to [evac_per_round],
+      repeatedly-failing VMs degraded to halted once the crash-loop
+      budget is spent ([E_cluster_degraded]).
+    - {b Rolling maintenance}: {!Drain} per host — cordon → bounded
+      concurrent live migration ({!Velum_vmm.Migrate}, retries
+      accounted, checkpoint cold-move once retries exhaust) → reboot
+      outage (detector disarmed) → refill.
+    - {b Graceful overload degradation}: under admission pressure the
+      lowest class is rejected ([E_cluster_shed]), the middle classes
+      balloon lower-priority residents down via
+      {!Velum_vmm.Mem_mgr.evict} (never above half a victim's
+      reservation, [E_cluster_degraded] per squeeze), and the highest
+      class is never evicted — it waits.
+
+    {!report} is the determinism artifact: control-plane state plus the
+    fleet runner's canonical report, byte-identical across domain
+    counts. *)
+
+type priority = Low | Normal | High
+
+type vm_desc = private {
+  name : string;  (** unique across the workload *)
+  setup : Velum_guests.Images.setup;
+  prio : priority;
+  group : int option;  (** anti-affinity group *)
+  arrives : int;  (** admission round; [<= 0] = placed before cycle 0 *)
+}
+
+val desc :
+  ?prio:priority ->
+  ?group:int ->
+  ?arrives:int ->
+  name:string ->
+  Velum_guests.Images.setup ->
+  vm_desc
+(** Defaults: [Normal] priority, no group, arrives at round 0. *)
+
+type config = private {
+  hosts : int;
+  quantum : int64;
+  rounds : int;
+  seed : int64;
+  faults : Velum_util.Fault.t option;
+  knobs : Velum_vmm.Ha.Failover.hb_knobs;
+  cap_units : int;  (** placement capacity per host, in guest frames *)
+  headroom : int;  (** frames reserved per host for evacuations *)
+  checkpoint_every : int;  (** rounds between durable checkpoints *)
+  evac_per_round : int;  (** restart-storm rate limit *)
+  crash_loop_budget : int;
+      (** failed evacuation attempts per VM before degrade-to-halted *)
+  drain_concurrent : int;  (** max live migrations per drain round *)
+  reboot_rounds : int;  (** maintenance outage length *)
+  drains : (int * int) list;  (** [(round, host)] maintenance schedule *)
+  kills : (int * int) list;  (** [(round, host)] chaos host kills *)
+  workload : vm_desc list;
+  mailbox_capacity : int option;
+  trace : bool;
+}
+
+val config :
+  ?quantum:int64 ->
+  ?rounds:int ->
+  ?seed:int64 ->
+  ?faults:Velum_util.Fault.t ->
+  ?knobs:Velum_vmm.Ha.Failover.hb_knobs ->
+  ?headroom:int ->
+  ?checkpoint_every:int ->
+  ?evac_per_round:int ->
+  ?crash_loop_budget:int ->
+  ?drain_concurrent:int ->
+  ?reboot_rounds:int ->
+  ?drains:(int * int) list ->
+  ?kills:(int * int) list ->
+  ?mailbox_capacity:int ->
+  ?trace:bool ->
+  hosts:int ->
+  cap_units:int ->
+  workload:vm_desc list ->
+  unit ->
+  config
+(** Defaults: quantum 50k cycles, 24 rounds, seed 0, default HA knobs,
+    no headroom, checkpoint every 4 rounds, 2 evacuations per round,
+    crash-loop budget 3, 2 concurrent drain migrations, 2 reboot
+    rounds, no schedules, unbounded mailboxes, no tracing.
+
+    @raise Invalid_argument on inconsistent sizes, duplicate VM names,
+    or a VM that exceeds the admittable per-host capacity. *)
+
+type vm_state = Pending | Placed of int | Evacuating of int | Shed | Degraded
+
+type t
+
+type metrics = {
+  availability : float;  (** up VM-rounds / (up + down) *)
+  slo_violations : int;  (** down rounds + ballooned (degraded) rounds *)
+  migration_bytes : int;  (** bulk bytes on the migration link *)
+  evac_mttr_rounds : float;  (** mean declared-dead → running-again *)
+  consolidation : float;  (** placed VMs per occupied host (E9) *)
+  placed : int;
+  shed : int;
+  degraded : int;
+  evacuated : int;  (** successful checkpoint restores *)
+  fenced_alive : int;  (** false-positive declarations, fenced anyway *)
+  split_brain : int;  (** always 0 — fencing precedes every restore *)
+  cold_moves : int;  (** drain fallbacks via checkpoint *)
+}
+
+type result = { control : t; report : string }
+
+val run : ?domains:int -> config -> result
+(** Initialise the fleet, admit the initial workload (FFD, priority
+    first), and drive {!Parallel.run_fleet} with the control loop as
+    the [on_round] hook.  The report is byte-identical across domain
+    counts. *)
+
+val report : t -> string
+val metrics : t -> metrics
+val fleet : t -> Parallel.fleet
+val detector : t -> Detector.t
+val cluster_monitor : t -> Velum_vmm.Monitor.t
+(** Carries the [E_cluster_shed] / [E_cluster_degraded] events. *)
+
+val entry_state : t -> name:string -> vm_state option
+val entry_host : t -> name:string -> int option
+val entry_evacuations : t -> name:string -> int

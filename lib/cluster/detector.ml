@@ -1,0 +1,215 @@
+open Velum_devices
+open Velum_vmm
+module Fault = Velum_util.Fault
+
+type host_health = Up | Suspect | Dead | Disarmed
+
+type host_lane = {
+  spoke : Link.t;
+  faults : Fault.t; (* this host's pre-wire Cluster_hb plan *)
+  mutable health : host_health;
+  mutable misses : int;
+  mutable last_seen : int; (* round a heartbeat/ack last arrived *)
+  mutable declared_at : int option;
+  mutable next_probe : int;
+  mutable probes_unanswered : int;
+}
+
+type t = {
+  quantum : int64;
+  knobs : Ha.Failover.hb_knobs;
+  timeout_rounds : int;
+  backoff_rounds : int;
+  lanes : host_lane array;
+  mutable hb_sent : int;
+  mutable hb_lost : int;
+  mutable probes_sent : int;
+  mutable acks_seen : int;
+  mutable deaths : int;
+}
+
+(* Same golden-ratio stream mixing as the fleet runner: the detector's
+   per-host plans must be independent of the node/ring/migration streams
+   (streams 0-3), so its stream ids start at 4. *)
+let mix_seed base ~stream ~i =
+  let gold = 0x9E3779B97F4A7C15L in
+  Int64.add base
+    (Int64.mul gold (Int64.of_int (((stream + 1) * 8191) + i + 1)))
+
+let spoke_stream = 4
+let prewire_stream = 5
+
+let rounds_of_cycles ~quantum c =
+  if Int64.compare c 0L <= 0 then 0
+  else
+    Int64.to_int (Int64.div (Int64.add c (Int64.sub quantum 1L)) quantum)
+
+let create ?(knobs = Ha.Failover.default_hb_knobs) ?faults ~hosts ~quantum
+    ~seed () =
+  if hosts <= 0 then invalid_arg "Detector.create: hosts must be positive";
+  if Int64.compare quantum 0L <= 0 then
+    invalid_arg "Detector.create: quantum must be positive";
+  if knobs.Ha.Failover.miss_limit <= 0 then
+    invalid_arg "Detector.create: miss_limit must be positive";
+  let derive ~stream ~i =
+    match faults with
+    | Some f -> Fault.derive f ~seed:(mix_seed seed ~stream ~i)
+    | None -> Fault.none ()
+  in
+  let lanes =
+    Array.init hosts (fun i ->
+        let spoke = Link.create () in
+        Link.set_faults spoke (derive ~stream:spoke_stream ~i);
+        {
+          spoke;
+          faults = derive ~stream:prewire_stream ~i;
+          health = Up;
+          misses = 0;
+          last_seen = -1;
+          declared_at = None;
+          next_probe = 0;
+          probes_unanswered = 0;
+        })
+  in
+  {
+    quantum;
+    knobs;
+    timeout_rounds = rounds_of_cycles ~quantum knobs.Ha.Failover.timeout;
+    backoff_rounds =
+      rounds_of_cycles ~quantum knobs.Ha.Failover.takeover_backoff;
+    lanes;
+    hb_sent = 0;
+    hb_lost = 0;
+    probes_sent = 0;
+    acks_seen = 0;
+    deaths = 0;
+  }
+
+let health t i = t.lanes.(i).health
+let declared_at t i = t.lanes.(i).declared_at
+let faults t i = t.lanes.(i).faults
+let spoke_bytes t = Array.fold_left (fun a l -> a + Link.bytes_sent l.spoke) 0 t.lanes
+
+let disarm t i =
+  let l = t.lanes.(i) in
+  l.health <- Disarmed
+
+let rearm t i ~round =
+  let l = t.lanes.(i) in
+  l.health <- Up;
+  l.misses <- 0;
+  l.last_seen <- round;
+  l.declared_at <- None;
+  l.next_probe <- round + 1;
+  l.probes_unanswered <- 0
+
+let is_hb p = String.length p >= 2 && String.sub p 0 2 = "HB"
+let is_ack p = String.length p >= 3 && String.sub p 0 3 = "ACK"
+let is_probe p = String.length p >= 5 && String.sub p 0 5 = "PROBE"
+
+let observe_round t ~alive ~round =
+  let target = Int64.mul t.quantum (Int64.of_int (round + 1)) in
+  let horizon = Int64.add target t.quantum in
+  let newly_dead = ref [] in
+  Array.iteri
+    (fun i l ->
+      if l.health <> Disarmed then begin
+        let host_up = alive i in
+        (* -- host side (simulated here so the whole protocol runs in
+              the coordinator phase): answer probes, emit heartbeat -- *)
+        let inbound = Link.poll_control l.spoke ~at:`A ~now:target in
+        if host_up then begin
+          List.iter
+            (fun p ->
+              if is_probe p then
+                if Fault.fire l.faults Fault.Cluster_hb ~now:target then begin
+                  t.hb_lost <- t.hb_lost + 1;
+                  Fault.observe l.faults Fault.Cluster_hb
+                end
+                else
+                  ignore
+                    (Link.send_control l.spoke ~from:`A ~now:target
+                       ~payload:(Printf.sprintf "ACK %d %d" i round)))
+            inbound;
+          if Fault.fire l.faults Fault.Cluster_hb ~now:target then begin
+            t.hb_lost <- t.hb_lost + 1;
+            Fault.observe l.faults Fault.Cluster_hb
+          end
+          else begin
+            t.hb_sent <- t.hb_sent + 1;
+            ignore
+              (Link.send_control l.spoke ~from:`A ~now:target
+                 ~payload:(Printf.sprintf "HB %d %d" i round))
+          end
+        end;
+        (* -- hub side: poll this round's arrivals, update suspicion -- *)
+        let arrived = Link.poll_control l.spoke ~at:`B ~now:horizon in
+        let saw = ref false in
+        List.iter
+          (fun p ->
+            if is_hb p then saw := true
+            else if is_ack p then begin
+              saw := true;
+              t.acks_seen <- t.acks_seen + 1
+            end)
+          arrived;
+        if l.health <> Dead then
+          if !saw then begin
+            l.misses <- 0;
+            l.last_seen <- round;
+            l.health <- Up;
+            l.probes_unanswered <- 0
+          end
+          else begin
+            l.misses <- l.misses + 1;
+            if
+              l.misses >= t.knobs.Ha.Failover.miss_limit
+              && round - l.last_seen >= t.timeout_rounds
+            then begin
+              l.health <- Dead;
+              l.declared_at <- Some round;
+              t.deaths <- t.deaths + 1;
+              newly_dead := i :: !newly_dead
+            end
+            else begin
+              (* still suspect: probe with exponential backoff so a
+                 flaky-but-alive host is re-checked without flooding
+                 the control lane *)
+              if l.health = Up then begin
+                l.health <- Suspect;
+                l.next_probe <- round
+              end;
+              if round >= l.next_probe then begin
+                t.probes_sent <- t.probes_sent + 1;
+                ignore
+                  (Link.send_control l.spoke ~from:`B ~now:horizon
+                     ~payload:(Printf.sprintf "PROBE %d %d" i round));
+                l.probes_unanswered <- l.probes_unanswered + 1;
+                let step =
+                  max 1 t.backoff_rounds
+                  * (1 lsl min 8 (l.probes_unanswered - 1))
+                in
+                l.next_probe <- round + step
+              end
+            end
+          end
+      end)
+    t.lanes;
+  List.rev !newly_dead
+
+type stats = {
+  hb_sent : int;
+  hb_lost : int;
+  probes_sent : int;
+  acks_seen : int;
+  deaths : int;
+}
+
+let stats (t : t) =
+  {
+    hb_sent = t.hb_sent;
+    hb_lost = t.hb_lost;
+    probes_sent = t.probes_sent;
+    acks_seen = t.acks_seen;
+    deaths = t.deaths;
+  }

@@ -1,0 +1,81 @@
+(** Fleet-wide heartbeat failure detector for the cluster control plane.
+
+    Hub-and-spoke over the ordinary {!Velum_devices.Link} control lanes:
+    every host owns a spoke link to the control plane.  Each round the
+    host (simulated coordinator-side, so the whole protocol runs in the
+    strictly-sequential barrier phase) answers outstanding probes and
+    emits one cycle-stamped heartbeat; the hub polls the spoke at the
+    round horizon, counts consecutive misses, and — once the miss limit
+    {e and} the timeout have both been exceeded — declares the host dead
+    exactly once.  While a host is merely suspect, the hub probes it
+    with exponential backoff; an answered probe (ACK) clears suspicion
+    like a heartbeat does.
+
+    Tuning reuses {!Velum_vmm.Ha.Failover.hb_knobs} verbatim:
+    [miss_limit] is the consecutive-miss threshold, [timeout] (cycles,
+    converted to rounds) a floor on heartbeat-less time, and
+    [takeover_backoff] (cycles → rounds) the probe backoff base.
+
+    Fault exposure: each spoke derives an independent child plan from
+    the base plan (streams 4/5, disjoint from the fleet runner's 0-3).
+    The [cluster.hb] site eats heartbeats/ACKs {e before} the wire;
+    link-level sites ([drop], [partition], [delay]...) apply on the
+    spoke itself.  Everything is deterministic in the fleet seed. *)
+
+type host_health =
+  | Up
+  | Suspect  (** misses accumulating; probes in flight *)
+  | Dead  (** declared — never spontaneously revived; see {!rearm} *)
+  | Disarmed  (** maintenance reboot in progress; misses don't count *)
+
+type t
+
+val create :
+  ?knobs:Velum_vmm.Ha.Failover.hb_knobs ->
+  ?faults:Velum_util.Fault.t ->
+  hosts:int ->
+  quantum:int64 ->
+  seed:int64 ->
+  unit ->
+  t
+(** One spoke per host.  [quantum] must match the fleet runner's round
+    quantum — heartbeats are stamped at round boundaries.
+
+    @raise Invalid_argument on non-positive hosts, quantum or miss
+    limit. *)
+
+val observe_round : t -> alive:(int -> bool) -> round:int -> int list
+(** Drive one detection round.  [alive i] is ground truth: whether host
+    [i] actually emits a heartbeat this round (dead or rebooting hosts
+    do not).  Returns the hosts newly declared dead this round, in
+    ascending id order.  Must be called from the coordinator phase,
+    once per round, in round order. *)
+
+val health : t -> int -> host_health
+val declared_at : t -> int -> int option
+(** Round the host was declared dead, if it was. *)
+
+val disarm : t -> int -> unit
+(** Stop counting misses for a host the control plane {e knows} is down
+    (cordoned reboot) — a planned outage must not look like a death. *)
+
+val rearm : t -> int -> round:int -> unit
+(** Resume watching a host after reboot/recovery: health [Up], misses
+    cleared, last-seen set to [round]. *)
+
+val faults : t -> int -> Velum_util.Fault.t
+(** Host [i]'s derived pre-wire plan (the [cluster.hb] counters live
+    here). *)
+
+val spoke_bytes : t -> int
+(** Control-lane bytes across all spokes (heartbeats + probes + ACKs). *)
+
+type stats = {
+  hb_sent : int;
+  hb_lost : int;  (** eaten pre-wire by [cluster.hb] (HBs and ACKs) *)
+  probes_sent : int;
+  acks_seen : int;
+  deaths : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,93 @@
+type phase = Cordoned | Draining | Rebooting | Done
+
+type t = {
+  host : int;
+  started_at : int;
+  max_concurrent : int;
+  retry_limit : int;
+  reboot_rounds : int;
+  mutable phase : phase;
+  mutable reboot_left : int;
+  mutable migrations : int;
+  mutable failed_attempts : int;
+  mutable cold_moves : int;
+  mutable completed_at : int option;
+}
+
+let start ?(max_concurrent = 2) ?(retry_limit = 3) ?(reboot_rounds = 2) ~host
+    ~round () =
+  if max_concurrent <= 0 then
+    invalid_arg "Drain.start: max_concurrent must be positive";
+  if retry_limit < 0 then
+    invalid_arg "Drain.start: retry_limit must be non-negative";
+  if reboot_rounds <= 0 then
+    invalid_arg "Drain.start: reboot_rounds must be positive";
+  {
+    host;
+    started_at = round;
+    max_concurrent;
+    retry_limit;
+    reboot_rounds;
+    phase = Cordoned;
+    reboot_left = reboot_rounds;
+    migrations = 0;
+    failed_attempts = 0;
+    cold_moves = 0;
+    completed_at = None;
+  }
+
+let host t = t.host
+let phase t = t.phase
+let retry_limit t = t.retry_limit
+let active t = t.phase <> Done
+
+let step t ~round ~resident ~migrate_one ~on_reboot ~on_refill =
+  match t.phase with
+  | Done -> ()
+  | Rebooting ->
+      t.reboot_left <- t.reboot_left - 1;
+      if t.reboot_left <= 0 then begin
+        on_refill ();
+        t.phase <- Done;
+        t.completed_at <- Some round
+      end
+  | Cordoned | Draining ->
+      t.phase <- Draining;
+      (* bounded concurrent migrations per round; a target shortage
+         stalls the round, not the drain *)
+      let left = ref resident in
+      let budget = ref t.max_concurrent in
+      let stalled = ref false in
+      while !left > 0 && !budget > 0 && not !stalled do
+        decr budget;
+        match migrate_one () with
+        | `Moved ->
+            t.migrations <- t.migrations + 1;
+            decr left
+        | `Cold_moved ->
+            (* live migration exhausted its retries; the control plane
+               fell back to a checkpoint restore on the target *)
+            t.cold_moves <- t.cold_moves + 1;
+            decr left
+        | `Failed -> t.failed_attempts <- t.failed_attempts + 1
+        | `No_target -> stalled := true
+      done;
+      if !left = 0 then begin
+        on_reboot ();
+        t.phase <- Rebooting
+      end
+
+type stats = {
+  migrations : int;
+  failed_attempts : int;
+  cold_moves : int;
+  completed_at : int option;
+}
+
+let stats (t : t) =
+  {
+    migrations = t.migrations;
+    failed_attempts = t.failed_attempts;
+    cold_moves = t.cold_moves;
+    completed_at = t.completed_at;
+  }

@@ -1,23 +1,50 @@
 type frame = { src : int; dst : int; sent_at : int64; payload : string }
 
-type t = { m : Mutex.t; mutable rev_frames : frame list (* newest first *) }
+type t = {
+  m : Mutex.t;
+  capacity : int option;
+  mutable len : int;
+  mutable rev_frames : frame list; (* newest first *)
+  mutable dropped : int;
+}
 
-let create () = { m = Mutex.create (); rev_frames = [] }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Mailbox.create: capacity must be >= 1"
+  | _ -> ());
+  { m = Mutex.create (); capacity; len = 0; rev_frames = []; dropped = 0 }
 
 let post t f =
   Mutex.lock t.m;
-  t.rev_frames <- f :: t.rev_frames;
-  Mutex.unlock t.m
+  let accepted =
+    match t.capacity with
+    | Some c when t.len >= c ->
+        t.dropped <- t.dropped + 1;
+        false
+    | _ ->
+        t.rev_frames <- f :: t.rev_frames;
+        t.len <- t.len + 1;
+        true
+  in
+  Mutex.unlock t.m;
+  accepted
 
 let drain t =
   Mutex.lock t.m;
   let fs = List.rev t.rev_frames in
   t.rev_frames <- [];
+  t.len <- 0;
   Mutex.unlock t.m;
   fs
 
 let length t =
   Mutex.lock t.m;
-  let n = List.length t.rev_frames in
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let dropped t =
+  Mutex.lock t.m;
+  let n = t.dropped in
   Mutex.unlock t.m;
   n

@@ -18,11 +18,23 @@ type frame = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] is an empty mailbox.  Without [capacity] the
+    queue is unbounded (the historical behaviour).  With [capacity] the
+    mailbox holds at most that many undrained frames: further posts are
+    dropped, counted, and reported to the sender — coordinator overload
+    becomes observable backpressure instead of unbounded queue growth.
+    Raises [Invalid_argument] if [capacity < 1]. *)
 
-val post : t -> frame -> unit
+val post : t -> frame -> bool
+(** [post t f] enqueues [f] and returns [true], or — when a bounded
+    mailbox is full — drops it, bumps {!dropped}, and returns [false] so
+    the sender sees the backpressure. *)
 
 val drain : t -> frame list
 (** All pending frames in posting order; the mailbox is left empty. *)
 
 val length : t -> int
+
+val dropped : t -> int
+(** Frames refused because the mailbox was at capacity. *)

@@ -25,18 +25,27 @@ type config = {
   seed : int64;
   faults : Fault.t option;
   hb_miss_limit : int;
+  hb_timeout : int64;
   migrate_every : int;
   fail_host : (int * int) option;
   trace : bool;
+  host_frames : int option;
+  mailbox_capacity : int option;
 }
 
 let config ?(quantum = 200_000L) ?(rounds = 8) ?(seed = 0L) ?faults
-    ?(hb_miss_limit = 3) ?(migrate_every = 0) ?fail_host ?(trace = false) ~hosts
-    ~mk_vms () =
+    ?(hb_miss_limit = 3) ?(hb_timeout = 0L) ?(migrate_every = 0) ?fail_host
+    ?(trace = false) ?host_frames ?mailbox_capacity ~hosts ~mk_vms () =
   if hosts <= 0 then invalid_arg "Parallel.config: hosts must be positive";
   if Int64.compare quantum 0L <= 0 then
     invalid_arg "Parallel.config: quantum must be positive";
   if rounds <= 0 then invalid_arg "Parallel.config: rounds must be positive";
+  if Int64.compare hb_timeout 0L < 0 then
+    invalid_arg "Parallel.config: hb_timeout must be non-negative";
+  (match host_frames with
+  | Some n when n <= 0 ->
+      invalid_arg "Parallel.config: host_frames must be positive"
+  | _ -> ());
   {
     hosts;
     quantum;
@@ -45,9 +54,12 @@ let config ?(quantum = 200_000L) ?(rounds = 8) ?(seed = 0L) ?faults
     seed;
     faults;
     hb_miss_limit;
+    hb_timeout;
     migrate_every;
     fail_host;
     trace;
+    host_frames;
+    mailbox_capacity;
   }
 
 (* ---- fleet state ---- *)
@@ -62,6 +74,7 @@ type node = {
   mutable hb_sent : int;
   mutable hb_recv : int;
   mutable hb_miss_streak : int;
+  mutable last_hb_round : int; (* last round a heartbeat was absorbed *)
   mutable pred_dead_at : int option; (* round the predecessor was declared dead *)
   mutable junk_frames : int; (* corrupted payloads delivered by the wire *)
   mutable error : exn option; (* escaped from a worker; re-raised by the coordinator *)
@@ -97,7 +110,12 @@ let init cfg =
         let frames_needed =
           List.fold_left (fun acc s -> acc + s.setup.Velum_guests.Images.frames) 0 specs
         in
-        let host = Host.create ~frames:(frames_needed + 1024) () in
+        let frames =
+          match cfg.host_frames with
+          | Some n -> n
+          | None -> frames_needed + 1024
+        in
+        let host = Host.create ~frames () in
         let node_faults =
           match derived_faults cfg ~stream:0 ~i with
           | Some f -> f
@@ -126,13 +144,14 @@ let init cfg =
         {
           id = i;
           hyp;
-          inbox = Mailbox.create ();
-          outbox = Mailbox.create ();
+          inbox = Mailbox.create ?capacity:cfg.mailbox_capacity ();
+          outbox = Mailbox.create ?capacity:cfg.mailbox_capacity ();
           alive = true;
           halted = false;
           hb_sent = 0;
           hb_recv = 0;
           hb_miss_streak = 0;
+          last_hb_round = 0;
           pred_dead_at = None;
           junk_frames = 0;
           error = None;
@@ -176,10 +195,22 @@ let step_node fleet node ~round =
     (* 2. failure detection: heartbeats sent at barrier r arrive during
        round r+1, so the detector only arms from round 1 on *)
     if cfg.hosts > 1 && round >= 1 && node.pred_dead_at = None then begin
-      if !saw_hb then node.hb_miss_streak <- 0
+      if !saw_hb then begin
+        node.hb_miss_streak <- 0;
+        node.last_hb_round <- round
+      end
       else begin
         node.hb_miss_streak <- node.hb_miss_streak + 1;
-        if node.hb_miss_streak >= cfg.hb_miss_limit then begin
+        (* a timeout floor (in cycles, converted via the quantum) must
+           also be exceeded before the miss count declares the death;
+           the default 0 keeps the historical miss-count-only rule *)
+        let starved =
+          Int64.unsigned_compare
+            (Int64.mul (Int64.of_int (round - node.last_hb_round)) cfg.quantum)
+            cfg.hb_timeout
+          >= 0
+        in
+        if node.hb_miss_streak >= cfg.hb_miss_limit && starved then begin
           node.pred_dead_at <- Some round;
           (* surface the detection in the ordinary telemetry so the
              fleet report and the monitor counters agree *)
@@ -206,13 +237,16 @@ let step_node fleet node ~round =
        coordinator puts it on the wire at the barrier *)
     if cfg.hosts > 1 then begin
       node.hb_sent <- node.hb_sent + 1;
-      Mailbox.post node.outbox
-        {
-          Mailbox.src = node.id;
-          dst = (node.id + 1) mod cfg.hosts;
-          sent_at = target;
-          payload = Printf.sprintf "HB %d %d" node.id round;
-        }
+      (* a [false] return means a bounded outbox shed the frame; the
+         mailbox's dropped counter keeps the evidence *)
+      ignore
+        (Mailbox.post node.outbox
+           {
+             Mailbox.src = node.id;
+             dst = (node.id + 1) mod cfg.hosts;
+             sent_at = target;
+             payload = Printf.sprintf "HB %d %d" node.id round;
+           })
     end
   end
 
@@ -252,8 +286,9 @@ let exchange fleet ~round =
         let dst = (i + 1) mod cfg.hosts in
         List.iter
           (fun payload ->
-            Mailbox.post fleet.nodes.(dst).inbox
-              { Mailbox.src = i; dst; sent_at = target; payload })
+            ignore
+              (Mailbox.post fleet.nodes.(dst).inbox
+                 { Mailbox.src = i; dst; sent_at = target; payload }))
           (Link.poll_control link ~at:`B ~now:horizon))
       fleet.ring
   end;
@@ -296,7 +331,9 @@ let check_worker_errors fleet =
 
 (* ---- drivers ---- *)
 
-let run_sequential fleet =
+let no_hook (_ : fleet) ~round:(_ : int) = ()
+
+let run_sequential ?(on_round = no_hook) fleet =
   let cfg = fleet.cfg in
   let round = ref 0 in
   let continue = ref true in
@@ -304,11 +341,12 @@ let run_sequential fleet =
     apply_failure fleet ~round:!round;
     Array.iter (fun n -> step_node fleet n ~round:!round) fleet.nodes;
     exchange fleet ~round:!round;
+    on_round fleet ~round:!round;
     if all_done fleet then continue := false;
     incr round
   done
 
-let run_parallel fleet ~domains =
+let run_parallel ?(on_round = no_hook) fleet ~domains =
   let cfg = fleet.cfg in
   let m = min domains cfg.hosts in
   (* workers + coordinator meet at both edges of every worker phase *)
@@ -351,6 +389,7 @@ let run_parallel fleet ~domains =
        Barrier.await done_b;
        check_worker_errors fleet;
        exchange fleet ~round:!round;
+       on_round fleet ~round:!round;
        if all_done fleet then continue := false;
        round := !round + 1
      done
@@ -452,8 +491,17 @@ let traces fleet =
 
 type result = { fleet : fleet; report : string }
 
-let run ?(domains = 1) cfg =
+let set_alive node v = node.alive <- v
+let clear_halted node = node.halted <- false
+
+let run_fleet ?(domains = 1) ?on_round fleet =
+  if domains <= 0 then
+    invalid_arg "Parallel.run_fleet: domains must be positive";
+  if domains = 1 then run_sequential ?on_round fleet
+  else run_parallel ?on_round fleet ~domains
+
+let run ?(domains = 1) ?on_round cfg =
   if domains <= 0 then invalid_arg "Parallel.run: domains must be positive";
   let fleet = init cfg in
-  if domains = 1 then run_sequential fleet else run_parallel fleet ~domains;
+  run_fleet ~domains ?on_round fleet;
   { fleet; report = report fleet }

@@ -57,9 +57,20 @@ type config = private {
   hb_miss_limit : int;
       (** consecutive heartbeat-less rounds before a host declares its
           ring predecessor dead *)
+  hb_timeout : int64;
+      (** additional heartbeat-less cycles (converted to rounds via the
+          quantum) required before the declaration; 0 = the miss count
+          alone decides.  Mirrors {!Velum_vmm.Ha.Failover.hb_knobs}. *)
   migrate_every : int;  (** every k rounds move one VM along the ring; 0 = off *)
   fail_host : (int * int) option;  (** [(round, host)]: kill host at that round *)
   trace : bool;  (** attach a trace sink to every host *)
+  host_frames : int option;
+      (** fixed per-host frame pool; default sizes each host to its own
+          VMs' needs + 1024.  The cluster control plane sets this so
+          every host can absorb evacuated/migrated VMs. *)
+  mailbox_capacity : int option;
+      (** bound every inbox/outbox (see {!Mailbox.create}); [None] =
+          unbounded *)
 }
 
 val config :
@@ -68,18 +79,22 @@ val config :
   ?seed:int64 ->
   ?faults:Velum_util.Fault.t ->
   ?hb_miss_limit:int ->
+  ?hb_timeout:int64 ->
   ?migrate_every:int ->
   ?fail_host:int * int ->
   ?trace:bool ->
+  ?host_frames:int ->
+  ?mailbox_capacity:int ->
   hosts:int ->
   mk_vms:(int -> vm_spec list) ->
   unit ->
   config
 (** Defaults: quantum 200k cycles, 8 rounds, seed 0, no faults, heartbeat
-    miss limit 3, no migrations, no failure, no tracing.
+    miss limit 3, no migrations, no failure, no tracing, per-host frame
+    pools sized to demand, unbounded mailboxes.
 
-    @raise Invalid_argument on a non-positive host count, quantum or
-    round count. *)
+    @raise Invalid_argument on a non-positive host count, quantum,
+    round count or [host_frames]. *)
 
 type node = private {
   id : int;
@@ -91,6 +106,7 @@ type node = private {
   mutable hb_sent : int;
   mutable hb_recv : int;
   mutable hb_miss_streak : int;
+  mutable last_hb_round : int;
   mutable pred_dead_at : int option;
   mutable junk_frames : int;
   mutable error : exn option;
@@ -108,16 +124,41 @@ type fleet = private {
 
 type result = { fleet : fleet; report : string }
 
-val run : ?domains:int -> config -> result
-(** [run ~domains cfg] executes the fleet and returns it together with
-    its canonical report.  [domains = 1] (default) is the sequential
-    reference; any larger value spawns [min domains hosts] worker
-    domains.  The report is byte-identical across domain counts.
+val init : config -> fleet
+(** Build the fleet (hosts, VMs, links) without running it.  A control
+    plane uses this to admit and place VMs before the first round. *)
+
+val run_fleet :
+  ?domains:int -> ?on_round:(fleet -> round:int -> unit) -> fleet -> unit
+(** Execute an already-initialised fleet.  [on_round] is invoked by the
+    coordinator — strictly sequentially, with every worker parked —
+    after the barrier exchange of each round; it may mutate fleet state
+    through the mutators below and the hypervisors directly.  Because it
+    runs only in the coordinator phase, anything it does is
+    byte-deterministic whatever [domains] is.
+
+    @raise Invalid_argument if [domains <= 0]. *)
+
+val run :
+  ?domains:int -> ?on_round:(fleet -> round:int -> unit) -> config -> result
+(** [run ~domains cfg] = {!init} + {!run_fleet} + {!report}.
+    [domains = 1] (default) is the sequential reference; any larger
+    value spawns [min domains hosts] worker domains.  The report is
+    byte-identical across domain counts.
 
     A worker exception is captured, the fleet is shut down cleanly
     (domains joined), and the exception re-raised on the caller.
 
     @raise Invalid_argument if [domains <= 0]. *)
+
+val set_alive : node -> bool -> unit
+(** Coordinator-phase mutator: kill (cordon/reboot) or revive a host.
+    The control plane's drain engine flips this; the records above are
+    [private] so plain assignment is unavailable outside this module. *)
+
+val clear_halted : node -> unit
+(** Coordinator-phase mutator: clear the all-VMs-halted latch after
+    placing fresh VMs on a host so the run loop keeps stepping it. *)
 
 val report : fleet -> string
 (** Recompute the canonical report (it is cheap and side-effect-free

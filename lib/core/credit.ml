@@ -29,7 +29,23 @@ let refill st =
 let create ?(slice = Scheduler.default_slice) ?(period = 3_000_000) () =
   let st = { slice; period; registered = []; queue = []; next_refill = 0L } in
   let register v =
-    if not (List.memq v st.registered) then st.registered <- v :: st.registered
+    if not (List.memq v st.registered) then begin
+      st.registered <- v :: st.registered;
+      (* A vCPU joining after the first refill (restore, migration,
+         hotplug) would otherwise sit in the lowest priority class with
+         zero credits until the period rolls over — starved for up to
+         [period] cycles behind any resident with credits.  Grant a
+         late joiner its pro-rated share immediately; vCPUs registered
+         before the first pick still get everything from that refill,
+         so upfront-created fleets are byte-for-byte unchanged. *)
+      if Int64.compare st.next_refill 0L > 0 && v.Vcpu.credits <= 0 then begin
+        let total_weight =
+          List.fold_left (fun acc x -> acc + max 1 x.Vcpu.weight) 0 st.registered
+        in
+        v.Vcpu.credits <- st.period * max 1 v.Vcpu.weight / total_weight;
+        v.Vcpu.window_used <- 0
+      end
+    end
   in
   let push v =
     register v;

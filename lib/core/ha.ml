@@ -254,6 +254,22 @@ let inject_stall (vm : Vm.t) =
 (* ---- heartbeat-driven host failover ---- *)
 
 module Failover = struct
+  type hb_knobs = {
+    miss_limit : int;
+    timeout : int64;
+    takeover_backoff : int64;
+  }
+
+  let default_hb_knobs = { miss_limit = 3; timeout = 0L; takeover_backoff = 0L }
+
+  let check_hb_knobs k =
+    if k.miss_limit <= 0 then
+      invalid_arg "Ha.Failover: miss_limit must be positive";
+    if Int64.compare k.timeout 0L < 0 then
+      invalid_arg "Ha.Failover: timeout must be non-negative";
+    if Int64.compare k.takeover_backoff 0L < 0 then
+      invalid_arg "Ha.Failover: takeover_backoff must be non-negative"
+
   type t = {
     session : Replicate.session;
     primary : Hypervisor.t;
@@ -261,7 +277,7 @@ module Failover = struct
     prot_vm : Vm.t;
     link : Link.t;
     faults : Fault.t;
-    hb_miss_limit : int;
+    knobs : hb_knobs;
     primary_dies_at : int64 option;
     mutable generation : int; (* backup's view *)
     mutable primary_gen : int; (* primary's view *)
@@ -279,6 +295,8 @@ module Failover = struct
     mutable primary_epochs : int;
     mutable backup_epochs : int;
     mutable split_brain_epochs : int;
+    mutable announces : int; (* TAKEOVER frames actually sent *)
+    mutable next_announce : int64; (* backoff gate; 0 = immediately *)
   }
 
   type stats = {
@@ -303,10 +321,9 @@ module Failover = struct
     | t :: g :: _ when String.equal t tag -> int_of_string_opt g
     | _ -> None
 
-  let create ?faults ~primary ~backup ~vm ~link ?(hb_miss_limit = 3)
+  let create ?faults ~primary ~backup ~vm ~link ?(knobs = default_hb_knobs)
       ?primary_dies_at () =
-    if hb_miss_limit <= 0 then
-      invalid_arg "Ha.Failover.create: hb_miss_limit must be positive";
+    check_hb_knobs knobs;
     let faults = match faults with Some f -> f | None -> Link.faults link in
     let session = Replicate.start ~faults ~primary ~backup ~vm ~link () in
     let now = Replicate.elapsed session in
@@ -317,7 +334,7 @@ module Failover = struct
       prot_vm = vm;
       link;
       faults;
-      hb_miss_limit;
+      knobs;
       primary_dies_at;
       generation = 1;
       primary_gen = 1;
@@ -335,6 +352,8 @@ module Failover = struct
       primary_epochs = 0;
       backup_epochs = 0;
       split_brain_epochs = 0;
+      announces = 0;
+      next_announce = 0L;
     }
 
   (* The returning stale primary has seen a higher generation: it stands
@@ -412,7 +431,10 @@ module Failover = struct
       if Fault.injected t.faults Fault.Hb_loss > Fault.observed t.faults Fault.Hb_loss
       then Fault.observe t.faults Fault.Hb_loss
     end;
-    if t.misses >= t.hb_miss_limit && Replicate.failed_over t.session = None
+    if
+      t.misses >= t.knobs.miss_limit
+      && Int64.unsigned_compare (Int64.sub t.now t.last_hb) t.knobs.timeout >= 0
+      && Replicate.failed_over t.session = None
     then begin
       t.generation <- t.generation + 1;
       (* the primary may in fact be alive across a partition — activate
@@ -429,12 +451,28 @@ module Failover = struct
     match Replicate.failed_over t.session with
     | None -> ()
     | Some _ ->
-        (* announce (and re-announce) until the primary is known gone *)
+        (* announce (and re-announce) until the primary is known gone;
+           a nonzero takeover backoff spaces the re-announcements out
+           exponentially instead of flooding the control lane.  The
+           split-brain clock keeps ticking either way — both instances
+           are running whether or not a frame goes out this epoch. *)
         if t.primary_alive && not t.fenced then begin
-          ignore
-            (Link.send_control t.link ~from:`B ~now:t.now
-               ~payload:(Printf.sprintf "%s %d" takeover_tag t.generation));
-          t.split_brain_epochs <- t.split_brain_epochs + 1
+          t.split_brain_epochs <- t.split_brain_epochs + 1;
+          let due =
+            Int64.compare t.knobs.takeover_backoff 0L <= 0
+            || Int64.unsigned_compare t.now t.next_announce >= 0
+          in
+          if due then begin
+            ignore
+              (Link.send_control t.link ~from:`B ~now:t.now
+                 ~payload:(Printf.sprintf "%s %d" takeover_tag t.generation));
+            t.announces <- t.announces + 1;
+            if Int64.compare t.knobs.takeover_backoff 0L > 0 then
+              t.next_announce <-
+                Int64.add t.now
+                  (Int64.mul t.knobs.takeover_backoff
+                     (Int64.shift_left 1L (min 16 (t.announces - 1))))
+          end
         end;
         ignore (Hypervisor.run t.backup ~budget:run_cycles);
         t.backup_epochs <- t.backup_epochs + 1

@@ -90,6 +90,27 @@ val inject_stall : Vm.t -> unit
 module Failover : sig
   type t
 
+  (** Detector tuning, shared verbatim with the cluster control plane's
+      fleet-wide failure detector ({!Velum_cluster.Detector}): both
+      protocols count consecutive heartbeat misses against the same
+      three dials. *)
+  type hb_knobs = {
+    miss_limit : int;
+        (** consecutive heartbeat misses before takeover (default 3) *)
+    timeout : int64;
+        (** additionally require [now - last_heartbeat >= timeout]
+            cycles before taking over; 0 = miss count alone decides *)
+    takeover_backoff : int64;
+        (** base spacing of TAKEOVER re-announcements, doubled each
+            announcement; 0 = re-announce every epoch (the historical
+            behaviour).  The cluster detector reuses it as its probe
+            backoff. *)
+  }
+
+  val default_hb_knobs : hb_knobs
+  (** [{ miss_limit = 3; timeout = 0L; takeover_backoff = 0L }] —
+      byte-identical to the formerly hard-wired constants. *)
+
   type stats = {
     epochs : int;  (** protocol steps driven *)
     primary_epochs : int;  (** steps the guest ran on the primary *)
@@ -112,7 +133,7 @@ module Failover : sig
     backup:Hypervisor.t ->
     vm:Vm.t ->
     link:Link.t ->
-    ?hb_miss_limit:int ->
+    ?knobs:hb_knobs ->
     ?primary_dies_at:int64 ->
     unit ->
     t
@@ -121,12 +142,16 @@ module Failover : sig
     honours any TAKEOVER announcement, else replicates one epoch and
     sends one heartbeat (unless the [hb.loss] site eats it; link-level
     drop/partition faults apply on the wire too).  The backup polls,
-    counts consecutive misses, and at [hb_miss_limit] (default 3) bumps
-    its generation, activates the twin with
-    [Replicate.failover ~fence_primary:false], and announces TAKEOVER
-    every epoch until the primary fences.  [primary_dies_at] models host
-    death: past that session cycle the primary neither runs nor
-    heartbeats. *)
+    counts consecutive misses, and once [knobs.miss_limit] misses {e and}
+    [knobs.timeout] heartbeat-less cycles have accumulated it bumps its
+    generation, activates the twin with
+    [Replicate.failover ~fence_primary:false], and announces TAKEOVER —
+    every epoch, or on [knobs.takeover_backoff] exponential spacing —
+    until the primary fences.  [primary_dies_at] models host death: past
+    that session cycle the primary neither runs nor heartbeats.
+
+    @raise Invalid_argument on a non-positive miss limit or negative
+    timeout/backoff. *)
 
   val epoch : t -> run_cycles:int64 -> unit
   (** One protocol step (both halves). *)

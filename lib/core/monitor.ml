@@ -20,6 +20,8 @@ type exit_kind =
   | E_ha_restart
   | E_ha_degraded
   | E_ha_failover
+  | E_cluster_shed
+  | E_cluster_degraded
 
 let all_exit_kinds =
   [
@@ -44,6 +46,8 @@ let all_exit_kinds =
     E_ha_restart;
     E_ha_degraded;
     E_ha_failover;
+    E_cluster_shed;
+    E_cluster_degraded;
   ]
 
 let exit_kind_name = function
@@ -68,6 +72,8 @@ let exit_kind_name = function
   | E_ha_restart -> "ha-restart"
   | E_ha_degraded -> "ha-degraded"
   | E_ha_failover -> "ha-failover"
+  | E_cluster_shed -> "cluster-shed"
+  | E_cluster_degraded -> "cluster-degraded"
 
 (* Constant-time constructor -> index map.  This sits on the hottest VMM
    path (every exit bumps a counter and accumulates cycles); the indices
@@ -94,8 +100,10 @@ let kind_index = function
   | E_ha_restart -> 18
   | E_ha_degraded -> 19
   | E_ha_failover -> 20
+  | E_cluster_shed -> 21
+  | E_cluster_degraded -> 22
 
-let nkinds = 21
+let nkinds = 23
 
 type t = {
   counts : int array;

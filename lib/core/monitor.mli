@@ -31,6 +31,14 @@ type exit_kind =
           and degraded the VM to halted *)
   | E_ha_failover
       (** this VM is a backup twin activated by missed heartbeats *)
+  | E_cluster_shed
+      (** cluster admission rejected (or evicted) this VM under overload:
+          the lowest priority class is shed rather than breaching
+          headroom *)
+  | E_cluster_degraded
+      (** the cluster control plane gave up evacuating a crash-looping VM
+          and degraded it to halted (fleet-level analogue of
+          [E_ha_degraded]) *)
 
 val exit_kind_name : exit_kind -> string
 val all_exit_kinds : exit_kind list

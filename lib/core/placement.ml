@@ -84,6 +84,109 @@ let consolidation_ratio plan =
   if plan.hosts_used = 0 then 0.0
   else float_of_int (List.length plan.assignments) /. float_of_int plan.hosts_used
 
+(* ---- incremental placement for a live cluster ----
+
+   [first_fit_decreasing] above is single-shot: it owns all the bins and
+   sees every request at once.  A control plane instead holds a pool of
+   *fixed* hosts whose occupancy changes as VMs are admitted, evacuated
+   and drained, and needs first-fit decisions one at a time — with two
+   datacenter policies layered on: anti-affinity groups (no two replicas
+   of one service on the same host) and per-host headroom reservations
+   (capacity admission may not touch, kept free to absorb evacuations). *)
+
+module Pool = struct
+  type host_state = {
+    host_id : int;
+    cap_units : int;
+    headroom : int;
+    mutable used_units : int;
+    mutable placed : int;
+    mutable open_ : bool;
+    mutable groups : int list;
+  }
+
+  type t = { hosts : host_state array }
+
+  let create ~hosts ~cap_units ~headroom =
+    if hosts <= 0 then invalid_arg "Placement.Pool.create: hosts";
+    if cap_units <= 0 then invalid_arg "Placement.Pool.create: cap_units";
+    if headroom < 0 || headroom >= cap_units then
+      invalid_arg "Placement.Pool.create: headroom must be in [0, cap_units)";
+    {
+      hosts =
+        Array.init hosts (fun host_id ->
+            {
+              host_id;
+              cap_units;
+              headroom;
+              used_units = 0;
+              placed = 0;
+              open_ = true;
+              groups = [];
+            });
+    }
+
+  let host t i = t.hosts.(i)
+  let nhosts t = Array.length t.hosts
+  let cordon t i = t.hosts.(i).open_ <- false
+  let uncordon t i = t.hosts.(i).open_ <- true
+
+  let fits h ~units ~group ~use_headroom =
+    let cap = if use_headroom then h.cap_units else h.cap_units - h.headroom in
+    h.open_
+    && h.used_units + units <= cap
+    && match group with None -> true | Some g -> not (List.mem g h.groups)
+
+  let choose ?(use_headroom = false) ?group t ~units =
+    let n = Array.length t.hosts in
+    let rec go i =
+      if i >= n then None
+      else if fits t.hosts.(i) ~units ~group ~use_headroom then Some i
+      else go (i + 1)
+    in
+    go 0
+
+  let commit t i ~units ~group =
+    let h = t.hosts.(i) in
+    h.used_units <- h.used_units + units;
+    h.placed <- h.placed + 1;
+    match group with
+    | Some g when not (List.mem g h.groups) -> h.groups <- g :: h.groups
+    | _ -> ()
+
+  let shrink t i ~units =
+    let h = t.hosts.(i) in
+    h.used_units <- max 0 (h.used_units - units)
+
+  let release t i ~units ~group =
+    let h = t.hosts.(i) in
+    h.used_units <- max 0 (h.used_units - units);
+    h.placed <- max 0 (h.placed - 1);
+    match group with
+    | Some g -> h.groups <- List.filter (fun g' -> g' <> g) h.groups
+    | None -> ()
+
+  let consolidation t =
+    let vms = Array.fold_left (fun acc h -> acc + h.placed) 0 t.hosts in
+    let used =
+      Array.fold_left (fun acc h -> acc + if h.placed > 0 then 1 else 0) 0 t.hosts
+    in
+    if used = 0 then 0.0 else float_of_int vms /. float_of_int used
+end
+
+let sort_decreasing reqs =
+  (* FFD ordering for incremental admission: largest first, name as the
+     deterministic tiebreak so equal-size requests keep a fixed order. *)
+  List.sort
+    (fun a b ->
+      match compare b.cpu_units a.cpu_units with
+      | 0 -> (
+          match compare b.mem_mb a.mem_mb with
+          | 0 -> compare a.vm_name b.vm_name
+          | c -> c)
+      | c -> c)
+    reqs
+
 type cost_report = {
   unconsolidated_hosts : int;
   consolidated_hosts : int;

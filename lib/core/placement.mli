@@ -37,6 +37,64 @@ val first_fit_decreasing : host_spec -> vm_req list -> plan
 val consolidation_ratio : plan -> float
 (** VMs per used host. *)
 
+(** Incremental placement for a live cluster: a pool of fixed hosts
+    whose occupancy changes one admission/evacuation/drain at a time.
+    Generalizes the single-shot FFD with anti-affinity groups (no two
+    members of one group share a host) and per-host headroom
+    reservations (units admission may not touch — kept free so
+    evacuations always have somewhere to land).  All state is explicit
+    and deterministic; the control plane drives it from the coordinator
+    phase. *)
+module Pool : sig
+  type host_state = private {
+    host_id : int;
+    cap_units : int;  (** total capacity, in caller-chosen units *)
+    headroom : int;  (** reserved units at the top of each host *)
+    mutable used_units : int;
+    mutable placed : int;  (** VMs currently on this host *)
+    mutable open_ : bool;  (** cordoned hosts are closed to placement *)
+    mutable groups : int list;  (** anti-affinity groups present *)
+  }
+
+  type t
+
+  val create : hosts:int -> cap_units:int -> headroom:int -> t
+  (** Uniform pool.  @raise Invalid_argument unless
+      [0 <= headroom < cap_units] and both counts are positive. *)
+
+  val host : t -> int -> host_state
+  val nhosts : t -> int
+
+  val cordon : t -> int -> unit
+  (** Close a host to new placements (maintenance intent). *)
+
+  val uncordon : t -> int -> unit
+
+  val choose : ?use_headroom:bool -> ?group:int -> t -> units:int -> int option
+  (** First-fit: lowest-indexed open host with room and no anti-affinity
+      conflict.  Ordinary admission respects headroom; evacuation passes
+      [~use_headroom:true] to spend the reserve it exists for.  Returns
+      the host index without committing. *)
+
+  val commit : t -> int -> units:int -> group:int option -> unit
+
+  val release : t -> int -> units:int -> group:int option -> unit
+  (** [release] assumes at most one member of a group per host — which
+      [choose] enforced on the way in. *)
+
+  val shrink : t -> int -> units:int -> unit
+  (** Reduce a host's used units without unplacing anything — the
+      accounting half of ballooning a resident VM down under overload. *)
+
+  val consolidation : t -> float
+  (** Placed VMs per host actually holding at least one VM (the live
+      analogue of {!consolidation_ratio}, E9's headline number). *)
+end
+
+val sort_decreasing : vm_req list -> vm_req list
+(** FFD admission order: by cpu then memory, largest first, VM name as
+    the deterministic tiebreak. *)
+
 type cost_report = {
   unconsolidated_hosts : int;  (** one VM per host *)
   consolidated_hosts : int;

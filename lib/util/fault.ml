@@ -9,11 +9,14 @@ type site =
   | Store_torn
   | Store_csum
   | Hb_loss
+  | Cluster_hb
+  | Cluster_evac
+  | Cluster_drain
 
 let all_sites =
   [
     Drop; Corrupt; Duplicate; Delay; Blk_transient; Blk_permanent; Partition;
-    Store_torn; Store_csum; Hb_loss;
+    Store_torn; Store_csum; Hb_loss; Cluster_hb; Cluster_evac; Cluster_drain;
   ]
 
 let nsites = List.length all_sites
@@ -29,6 +32,9 @@ let site_index = function
   | Store_torn -> 7
   | Store_csum -> 8
   | Hb_loss -> 9
+  | Cluster_hb -> 10
+  | Cluster_evac -> 11
+  | Cluster_drain -> 12
 
 let site_name = function
   | Drop -> "drop"
@@ -41,6 +47,9 @@ let site_name = function
   | Store_torn -> "store.torn"
   | Store_csum -> "store.csum"
   | Hb_loss -> "hb.loss"
+  | Cluster_hb -> "cluster.hb"
+  | Cluster_evac -> "cluster.evac"
+  | Cluster_drain -> "cluster.drain"
 
 type t = {
   rng : Rng.t;
@@ -119,6 +128,9 @@ let site_of_name = function
   | "store.torn" -> Some Store_torn
   | "store.csum" -> Some Store_csum
   | "hb.loss" -> Some Hb_loss
+  | "cluster.hb" -> Some Cluster_hb
+  | "cluster.evac" -> Some Cluster_evac
+  | "cluster.drain" -> Some Cluster_drain
   | _ -> None
 
 let parse spec =

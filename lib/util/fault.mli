@@ -30,6 +30,18 @@ type site =
       (** latent store corruption: a committed record rots and fails its
           checksum on the next recovery scan *)
   | Hb_loss  (** an HA heartbeat is lost before reaching the wire *)
+  | Cluster_hb
+      (** a cluster control-plane heartbeat or probe is lost before
+          reaching its spoke link — drives the fleet failure detector's
+          suspicion counters *)
+  | Cluster_evac
+      (** one evacuation restore attempt fails (bad read from the
+          checkpoint store); the control plane retries next round and
+          counts it against the VM's crash-loop budget *)
+  | Cluster_drain
+      (** one maintenance-drain migration attempt fails before it
+          starts; the drain engine retries, then aborts the host's
+          maintenance past its retry budget *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -89,7 +101,7 @@ val parse : string -> (t, string) result
     ["seed=42,drop=0.05,corrupt=0.01,partition@10000-20000"].  Each clause
     is [seed=N], [SITE=PROB], or [SITE@LO-HI] (a cycle window).  Site
     names: drop corrupt dup delay blk blkperm partition store.torn
-    store.csum hb.loss. *)
+    store.csum hb.loss cluster.hb cluster.evac cluster.drain. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the per-site injected/observed counters (nonzero sites only). *)

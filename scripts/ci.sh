@@ -163,4 +163,32 @@ grep -q "migrations=" "$tmp/chaos1.txt" || {
 grep -q '"name": "par/domains-4"' BENCH_par.json || {
   echo "FAIL: BENCH_par.json missing the 4-domain row"; exit 1; }
 
+echo "== cluster control plane: chaos determinism and availability gate =="
+# The self-healing control plane under scripted chaos — two host kills,
+# a rolling drain, an overload burst, plus heartbeat/evacuation/drain
+# faults — must print a byte-identical report at 4 domains vs 1, keep
+# fleet availability >= 0.95, and record zero split-brain epochs.
+cchaos="--hosts 16 --kill 5,1 --kill 8,9 --burst 6 --drain 12,3 --rounds 24 \
+  --seed 11 --faults seed=7,cluster.hb=0.05,cluster.evac=0.1,cluster.drain=0.1,drop=0.02"
+dune exec bin/velum.exe -- cluster $cchaos --domains 1 >"$tmp/cluster1.txt"
+dune exec bin/velum.exe -- cluster $cchaos --domains 4 >"$tmp/cluster4.txt"
+diff "$tmp/cluster1.txt" "$tmp/cluster4.txt" || {
+  echo "FAIL: cluster report diverged between 1 and 4 domains"; exit 1; }
+avail=$(sed -n 's/^metrics availability=\([0-9.]*\).*/\1/p' "$tmp/cluster1.txt")
+[ -n "$avail" ] || { echo "FAIL: cluster report carries no availability metric"; exit 1; }
+awk -v a="$avail" 'BEGIN { exit !(a + 0 >= 0.95) }' || {
+  echo "FAIL: fleet availability $avail below the 0.95 gate"; exit 1; }
+echo "fleet availability under chaos: $avail"
+grep -q "split_brain=0" "$tmp/cluster1.txt" || {
+  echo "FAIL: split-brain epoch observed"; exit 1; }
+grep -q "state=shed" "$tmp/cluster1.txt" || {
+  echo "FAIL: overload burst shed nothing"; exit 1; }
+
+# E20's BENCH_cluster.json is all simulated metrics (no wall clock), so
+# the regenerated file must be byte-identical to the committed one.
+cp BENCH_cluster.json "$tmp/BENCH_cluster.ref.json"
+dune exec bench/main.exe -- --only E20 >"$tmp/e20.txt"
+diff "$tmp/BENCH_cluster.ref.json" BENCH_cluster.json || {
+  echo "FAIL: BENCH_cluster.json diverged from the committed copy"; exit 1; }
+
 echo "CI gate passed."

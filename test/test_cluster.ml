@@ -63,13 +63,13 @@ let test_mailbox () =
     { Mailbox.src = 0; dst = 1; sent_at = Int64.of_int i; payload = string_of_int i }
   in
   for i = 1 to 5 do
-    Mailbox.post mb (mk i)
+    checkb "unbounded post accepted" true (Mailbox.post mb (mk i))
   done;
   checks "FIFO order" "1 2 3 4 5"
     (String.concat " " (List.map (fun f -> f.Mailbox.payload) (Mailbox.drain mb)));
   checki "drained" 0 (Mailbox.length mb);
   let n = 1000 in
-  let poster () = for i = 1 to n do Mailbox.post mb (mk i) done in
+  let poster () = for i = 1 to n do ignore (Mailbox.post mb (mk i)) done in
   let d1 = Domain.spawn poster and d2 = Domain.spawn poster in
   Domain.join d1;
   Domain.join d2;
@@ -222,6 +222,318 @@ let test_failure_detection () =
        (List.hd n2.Parallel.hyp.Hypervisor.vms).Vm.monitor Monitor.E_ha_failover
     = 1)
 
+(* --- self-healing control plane --- *)
+
+module Control = Velum_cluster.Control
+module Detector = Velum_cluster.Detector
+module Placement = Velum_vmm.Placement
+module Ha = Velum_vmm.Ha
+
+let ctl_setup () =
+  (* never halts: long-running service VMs for chaos scenarios *)
+  Images.plan ~heap_pages:16 ~user:(Workloads.dirty_loop ~pages:8 ~delay:1500) ()
+
+(* Bounded mailboxes: a full box refuses the frame, counts the drop, and
+   the sender sees the backpressure in the return value. *)
+let test_mailbox_bounded () =
+  let mb = Mailbox.create ~capacity:2 () in
+  let mk i = { Mailbox.src = 0; dst = 1; sent_at = 0L; payload = string_of_int i } in
+  checkb "first accepted" true (Mailbox.post mb (mk 0));
+  checkb "second accepted" true (Mailbox.post mb (mk 1));
+  checkb "third refused" false (Mailbox.post mb (mk 2));
+  checki "one drop counted" 1 (Mailbox.dropped mb);
+  checki "capacity frames retained" 2 (List.length (Mailbox.drain mb));
+  checkb "drained box accepts again" true (Mailbox.post mb (mk 3));
+  checki "drop counter survives drain" 1 (Mailbox.dropped mb);
+  (try
+     ignore (Mailbox.create ~capacity:0 ());
+     Alcotest.fail "capacity 0 must be rejected"
+   with Invalid_argument _ -> ())
+
+(* Placement.Pool: anti-affinity and headroom are enforced exactly. *)
+let test_pool_placement () =
+  let p = Placement.Pool.create ~hosts:3 ~cap_units:10 ~headroom:2 in
+  (* admission may not touch the top [headroom] units... *)
+  Alcotest.(check (option int)) "9 units exceed the admittable 8" None
+    (Placement.Pool.choose p ~units:9);
+  (* ...but evacuation may *)
+  Alcotest.(check (option int)) "evacuation spends the reserve" (Some 0)
+    (Placement.Pool.choose ~use_headroom:true p ~units:9);
+  (* anti-affinity: one member of a group per host *)
+  Alcotest.(check (option int)) "group lands on host 0" (Some 0)
+    (Placement.Pool.choose ~group:7 p ~units:4);
+  Placement.Pool.commit p 0 ~units:4 ~group:(Some 7);
+  Alcotest.(check (option int)) "second member skips host 0" (Some 1)
+    (Placement.Pool.choose ~group:7 p ~units:4);
+  (* no conflict for ungrouped requests *)
+  Alcotest.(check (option int)) "ungrouped still fits host 0" (Some 0)
+    (Placement.Pool.choose p ~units:4);
+  Placement.Pool.cordon p 1;
+  Alcotest.(check (option int)) "cordoned host skipped" (Some 2)
+    (Placement.Pool.choose ~group:7 p ~units:4);
+  Placement.Pool.uncordon p 1;
+  Placement.Pool.release p 0 ~units:4 ~group:(Some 7);
+  Alcotest.(check (option int)) "release clears the group" (Some 0)
+    (Placement.Pool.choose ~group:7 p ~units:4)
+
+(* Host kill → exact detection round → fence → evacuation from the last
+   checkpoint onto survivors; anti-affinity respected; zero split-brain. *)
+let test_evacuation_exact () =
+  let setup = ctl_setup () in
+  let f = setup.Images.frames in
+  let workload =
+    List.init 12 (fun i ->
+        Control.desc
+          ~prio:
+            (match i mod 3 with
+            | 0 -> Control.High
+            | 1 -> Control.Normal
+            | _ -> Control.Low)
+          ?group:(if i < 4 then Some 0 else None)
+          ~name:(Printf.sprintf "vm%02d" i) setup)
+  in
+  let cfg =
+    Control.config ~hosts:6 ~cap_units:(3 * f) ~headroom:f ~rounds:20
+      ~kills:[ (5, 1) ] ~workload ()
+  in
+  let r = Control.run ~domains:1 cfg in
+  let t = r.Control.control in
+  let det = Control.detector t in
+  (* killed at round 5: last HB seen round 4, misses at 5,6,7 = limit 3 *)
+  Alcotest.(check (option int)) "declared dead exactly at round 7" (Some 7)
+    (Detector.declared_at det 1);
+  checki "one death" 1 (Detector.stats det).Detector.deaths;
+  let m = Control.metrics t in
+  checki "every VM ends placed" 12 m.Control.placed;
+  checki "nothing shed" 0 m.Control.shed;
+  checkb "both victims restored from checkpoints" true
+    (m.Control.evacuated = 2);
+  checki "no split-brain epoch, by construction" 0 m.Control.split_brain;
+  checki "no false positives fenced" 0 m.Control.fenced_alive;
+  checkb "fleet availability under a clean kill" true
+    (m.Control.availability >= 0.95);
+  (* no survivor VM sits on the dead host *)
+  List.iter
+    (fun d ->
+      match Control.entry_host t ~name:d.Control.name with
+      | Some 1 -> Alcotest.failf "%s left on the dead host" d.Control.name
+      | _ -> ())
+    workload;
+  (* the anti-affinity group stayed spread: four members, four hosts *)
+  let hosts_of_group =
+    List.filter_map
+      (fun d ->
+        if d.Control.group = Some 0 then
+          Control.entry_host t ~name:d.Control.name
+        else None)
+      workload
+  in
+  checki "group members on distinct hosts" 4
+    (List.length (List.sort_uniq compare hosts_of_group));
+  checkb "reports byte-identical to a 4-domain run" true
+    (String.equal r.Control.report (Control.run ~domains:4 cfg).Control.report)
+
+(* Rolling maintenance: cordon → live-migrate everything off → reboot →
+   refill, nothing left behind, migrations accounted. *)
+let test_drain_completeness () =
+  let setup = ctl_setup () in
+  let f = setup.Images.frames in
+  let workload =
+    List.init 8 (fun i -> Control.desc ~name:(Printf.sprintf "vm%02d" i) setup)
+  in
+  let cfg =
+    Control.config ~hosts:4 ~cap_units:(3 * f) ~headroom:f ~rounds:16
+      ~drains:[ (4, 2) ] ~workload ()
+  in
+  let r = Control.run ~domains:1 cfg in
+  let t = r.Control.control in
+  checkb "drain completed" true (has_sub r.Control.report "drain host 2: done=true");
+  List.iter
+    (fun d ->
+      match Control.entry_host t ~name:d.Control.name with
+      | Some 2 -> Alcotest.failf "%s still on the drained host" d.Control.name
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s not placed after the drain" d.Control.name)
+    workload;
+  let m = Control.metrics t in
+  checki "all placed" 8 m.Control.placed;
+  checkb "live migrations moved real bytes" true (m.Control.migration_bytes > 0);
+  checki "no cold-move fallbacks on a clean link" 0 m.Control.cold_moves;
+  checkb "maintenance outage stays inside the SLO gate" true
+    (m.Control.availability >= 0.95)
+
+(* Overload: lowest class rejected, middle class balloons victims down,
+   highest class is never evicted and always lands. *)
+let test_shed_order () =
+  let setup = ctl_setup () in
+  let f = setup.Images.frames in
+  let workload =
+    [
+      Control.desc ~prio:Control.High ~name:"hi-a" setup;
+      Control.desc ~prio:Control.Normal ~name:"no-b" setup;
+      Control.desc ~prio:Control.Normal ~name:"no-c" setup;
+      Control.desc ~prio:Control.Normal ~name:"no-d" setup;
+      Control.desc ~prio:Control.Low ~name:"lo-e" setup;
+      Control.desc ~prio:Control.Low ~name:"lo-f" setup;
+      (* the overload burst: a High arrival into a full cluster *)
+      Control.desc ~prio:Control.High ~arrives:2 ~name:"hi-g" setup;
+    ]
+  in
+  let cfg = Control.config ~hosts:2 ~cap_units:(2 * f) ~rounds:10 ~workload () in
+  let r = Control.run ~domains:1 cfg in
+  let t = r.Control.control in
+  Alcotest.(check (option bool)) "low class rejected" (Some true)
+    (Option.map (fun s -> s = Control.Shed) (Control.entry_state t ~name:"lo-e"));
+  Alcotest.(check (option bool)) "second low rejected" (Some true)
+    (Option.map (fun s -> s = Control.Shed) (Control.entry_state t ~name:"lo-f"));
+  checkb "late high-priority VM placed via ballooning" true
+    (Control.entry_host t ~name:"hi-g" <> None);
+  checkb "resident high-priority VM untouched" true
+    (Control.entry_host t ~name:"hi-a" <> None);
+  let mon = Control.cluster_monitor t in
+  checki "two shed events" 2 (Monitor.count mon Monitor.E_cluster_shed);
+  checkb "balloon squeezes recorded" true
+    (Monitor.count mon Monitor.E_cluster_degraded >= 1);
+  let m = Control.metrics t in
+  checki "shed metric agrees" 2 m.Control.shed;
+  checkb "ballooned rounds count as SLO violations" true
+    (m.Control.slo_violations > 0)
+
+(* Detector knobs: timeout delays declaration; probe backoff thins the
+   probe stream.  Mirrors the Ha.Failover dials exactly. *)
+let test_detector_knobs () =
+  let quantum = 50_000L in
+  let alive_until k i = not (i = 1 && k <= 0) in
+  let run_det ~knobs ~rounds =
+    let det = Detector.create ~knobs ~hosts:2 ~quantum ~seed:3L () in
+    let declared = ref None in
+    for round = 0 to rounds - 1 do
+      let dead =
+        Detector.observe_round det ~alive:(alive_until (3 - round)) ~round
+      in
+      if List.mem 1 dead && !declared = None then declared := Some round
+    done;
+    (det, !declared)
+  in
+  let base = { Ha.Failover.miss_limit = 3; timeout = 0L; takeover_backoff = 0L } in
+  let _, d0 = run_det ~knobs:base ~rounds:14 in
+  (* dead from round 3: misses 3,4,5 → declared at round 5 *)
+  Alcotest.(check (option int)) "miss limit alone declares at round 5" (Some 5) d0;
+  (* a timeout floor of 6 quanta delays the declaration *)
+  let _, d1 =
+    run_det ~knobs:{ base with Ha.Failover.timeout = Int64.mul 6L quantum } ~rounds:14
+  in
+  (match d1 with
+  | Some r -> checkb "timeout floor delays declaration" true (r > 5)
+  | None -> Alcotest.fail "timeout variant must still declare");
+  (* probe backoff: suspect-but-undeclared host is probed ever more
+     sparsely when the backoff knob is set *)
+  let probes ~backoff =
+    let knobs =
+      { Ha.Failover.miss_limit = 99; timeout = 0L; takeover_backoff = backoff }
+    in
+    let det, _ = (run_det ~knobs ~rounds:14 |> fun (d, x) -> (d, x)) in
+    (Detector.stats det).Detector.probes_sent
+  in
+  let eager = probes ~backoff:0L in
+  let lazy_ = probes ~backoff:(Int64.mul 4L quantum) in
+  checkb "backoff thins the probe stream" true (lazy_ < eager);
+  checkb "probes still flow" true (lazy_ >= 1)
+
+(* Ha.Failover honours the same knobs: a timeout floor postpones the
+   takeover decision past the pure miss-count point. *)
+let test_failover_knobs () =
+  let mk () =
+    let setup =
+      Images.plan ~heap_pages:32 ~user:(Workloads.dirty_loop ~pages:16 ~delay:50) ()
+    in
+    let mk_hyp () =
+      let host = Velum_vmm.Host.create ~frames:(setup.Images.frames + 512) () in
+      Hypervisor.create ~ctx:(Velum_vmm.Host_ctx.create ~host ()) ()
+    in
+    let primary = mk_hyp () in
+    let backup = mk_hyp () in
+    let vm =
+      Hypervisor.create_vm primary ~name:"prot" ~mem_frames:setup.Images.frames
+        ~entry:Images.entry ()
+    in
+    Images.load_vm vm setup;
+    ignore (Hypervisor.run primary ~budget:1_000_000L);
+    (primary, backup, vm, Velum_devices.Link.create ())
+  in
+  let failover_at ~knobs =
+    let primary, backup, vm, link = mk () in
+    let fo =
+      Ha.Failover.create ~primary ~backup ~vm ~link ?knobs
+        ~primary_dies_at:1_500_000L ()
+    in
+    let _, s = Ha.Failover.run fo ~epoch_cycles:150_000L ~epochs:24 in
+    s.Ha.Failover.failover_at
+  in
+  let default_at = failover_at ~knobs:None in
+  let slow_at =
+    failover_at
+      ~knobs:
+        (Some
+           {
+             Ha.Failover.miss_limit = 3;
+             timeout = 1_200_000L;
+             takeover_backoff = 300_000L;
+           })
+  in
+  match (default_at, slow_at) with
+  | Some d, Some s ->
+      checkb "timeout floor postpones the takeover" true (Int64.compare s d > 0)
+  | _ -> Alcotest.fail "both configurations must fail over"
+
+(* The whole control plane — detection, evacuation, maintenance, shed,
+   fault injection on its own sites — is byte-deterministic at 1/2/4
+   domains. *)
+let control_invariance_prop =
+  QCheck2.Test.make ~count:4
+    ~name:"cluster control report is byte-identical for domains 1/2/4"
+    QCheck2.Gen.(
+      tup5 (int_range 0 9999) (int_range 3 4) (int_range 2 5) bool bool)
+    (fun (seed, hosts, kill_round, with_faults, with_burst) ->
+      let setup = ctl_setup () in
+      let f = setup.Images.frames in
+      let workload =
+        List.init (2 * hosts) (fun i ->
+            Control.desc
+              ~prio:
+                (match i mod 3 with
+                | 0 -> Control.High
+                | 1 -> Control.Normal
+                | _ -> Control.Low)
+              ?group:(if i < 3 then Some 0 else None)
+              ~arrives:(if with_burst && i >= 2 * hosts - 2 then 6 else 0)
+              ~name:(Printf.sprintf "vm%02d" i) setup)
+      in
+      let faults =
+        if with_faults then
+          match
+            Fault.parse
+              (Printf.sprintf
+                 "seed=%d,cluster.hb=0.2,cluster.evac=0.25,cluster.drain=0.25,drop=0.05"
+                 seed)
+          with
+          | Ok fp -> Some fp
+          | Error e -> failwith e
+        else None
+      in
+      let cfg =
+        Control.config ~hosts ~cap_units:(3 * f) ~headroom:f ~rounds:14
+          ~seed:(Int64.of_int seed) ?faults
+          ~kills:[ (kill_round, 1) ]
+          ~drains:[ (kill_round + 2, 0) ]
+          ~workload ()
+      in
+      let r1 = Control.run ~domains:1 cfg in
+      let r2 = Control.run ~domains:2 cfg in
+      let r4 = Control.run ~domains:4 cfg in
+      String.equal r1.Control.report r2.Control.report
+      && String.equal r1.Control.report r4.Control.report)
+
 let () =
   Alcotest.run "cluster"
     [
@@ -245,4 +557,22 @@ let () =
         Alcotest.test_case "ring failure detection is exact" `Quick
           test_failure_detection
         :: qsuite [ fleet_invariance_prop ] );
+      ( "control-plane",
+        [
+          Alcotest.test_case "bounded mailboxes backpressure and count drops"
+            `Quick test_mailbox_bounded;
+          Alcotest.test_case "pool placement: anti-affinity and headroom"
+            `Quick test_pool_placement;
+          Alcotest.test_case "kill → exact detection → evacuation, no split-brain"
+            `Quick test_evacuation_exact;
+          Alcotest.test_case "rolling drain leaves nothing behind" `Quick
+            test_drain_completeness;
+          Alcotest.test_case "overload sheds by priority class" `Quick
+            test_shed_order;
+          Alcotest.test_case "detector knobs: timeout floor and probe backoff"
+            `Quick test_detector_knobs;
+          Alcotest.test_case "failover knobs: timeout floor postpones takeover"
+            `Quick test_failover_knobs;
+        ]
+        @ qsuite [ control_invariance_prop ] );
     ]
