@@ -2042,6 +2042,7 @@ let engine_bench () =
       let cycles = ref 0L in
       let instret = ref 0L in
       let chains = ref 0 in
+      let traces = ref 0 in
       for _ = 1 to reps do
         let t0 = Sys.time () in
         let vm, total = run_vm ~engine setup in
@@ -2051,26 +2052,29 @@ let engine_bench () =
           Array.fold_left
             (fun acc v -> Int64.add acc v.Vcpu.state.Velum_machine.Cpu.instret)
             0L vm.Vm.vcpus;
-        chains :=
-          (match vm.Vm.engine.Velum_machine.Engine.cache with
-          | Some c -> Velum_machine.Trans_cache.chain_follows c
-          | None -> 0);
+        (match vm.Vm.engine.Velum_machine.Engine.cache with
+        | Some c ->
+            chains := Velum_machine.Trans_cache.chain_follows c;
+            traces := Velum_machine.Trans_cache.trace_follows c
+        | None ->
+            chains := 0;
+            traces := 0);
         if dt < !best then best := dt
       done;
-      (!best, !cycles, !instret, !chains)
+      (!best, !cycles, !instret, !chains, !traces)
     in
     let t =
       Tablefmt.create
         [ ("workload", Tablefmt.Left); ("interp s", Tablefmt.Right);
           ("block s", Tablefmt.Right); ("speedup", Tablefmt.Right);
           ("block MIPS", Tablefmt.Right); ("chains", Tablefmt.Right);
-          ("sim cycles", Tablefmt.Right) ]
+          ("traces", Tablefmt.Right); ("sim cycles", Tablefmt.Right) ]
     in
     let results =
       List.map
         (fun (name, setup) ->
-          let si, ci, ri, _ = time_engine ~engine:Velum_machine.Engine.Interp setup in
-          let sb, cb, rb, chains =
+          let si, ci, ri, _, _ = time_engine ~engine:Velum_machine.Engine.Interp setup in
+          let sb, cb, rb, chains, traces =
             time_engine ~engine:Velum_machine.Engine.Block setup
           in
           if ci <> cb then
@@ -2089,20 +2093,20 @@ let engine_bench () =
           Tablefmt.add_row t
             [ name; Tablefmt.cell_f ~decimals:3 si; Tablefmt.cell_f ~decimals:3 sb;
               Tablefmt.cell_f ~decimals:2 speedup; Tablefmt.cell_f ~decimals:1 mips;
-              string_of_int chains; Int64.to_string ci ];
-          (name, si, sb, speedup, mips, chains, ci))
+              string_of_int chains; string_of_int traces; Int64.to_string ci ];
+          (name, si, sb, speedup, mips, chains, traces, ci))
         cases
     in
     Tablefmt.print t;
     let oc = open_out "BENCH_engine.json" in
     output_string oc "{\n  \"benchmarks\": [\n";
     List.iteri
-      (fun i (name, si, sb, speedup, mips, chains, cycles) ->
+      (fun i (name, si, sb, speedup, mips, chains, traces, cycles) ->
         Printf.fprintf oc
           "    {\"name\": \"engine/%s\", \"interp_s\": %.6f, \"block_s\": %.6f, \
            \"speedup\": %.3f, \"block_mips\": %.2f, \"chain_follows\": %d, \
-           \"sim_cycles\": %Ld}%s\n"
-          name si sb speedup mips chains cycles
+           \"trace_follows\": %d, \"sim_cycles\": %Ld}%s\n"
+          name si sb speedup mips chains traces cycles
           (if i = List.length results - 1 then "" else ","))
       results;
     output_string oc "  ]\n}\n";
@@ -2110,7 +2114,8 @@ let engine_bench () =
     Printf.printf
       "\nSimulated cycles and retired instructions are identical by construction\n\
        (asserted above); the speedup is pure host wall clock.  'chains' counts\n\
-       block->block dispatches that skipped the hashtable.  Written to\n\
+       block->block dispatches that skipped the hashtable, 'traces' counts\n\
+       dispatches absorbed by compiled superblock traces.  Written to\n\
        BENCH_engine.json.\n"
   end
 

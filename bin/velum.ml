@@ -332,7 +332,14 @@ let run_cmd =
              %d\n"
             (Trans_cache.chains_patched c)
             (Trans_cache.chain_follows c)
-            (Trans_cache.chains_severed c));
+            (Trans_cache.chains_severed c);
+          Printf.printf
+            "engine.trace.built: %d\nengine.trace.follows: %d\nengine.trace.severed: \
+             %d\nengine.trace.side_exits: %d\n"
+            (Trans_cache.traces_built c)
+            (Trans_cache.trace_follows c)
+            (Trans_cache.traces_severed c)
+            (Trans_cache.trace_side_exits c));
       match (trace_to, tr) with
       | Some file, Some tr -> export_trace tr file
       | _ -> ()
@@ -874,6 +881,7 @@ let info_cmd =
       "engine/TLB gauges (printed by 'run', set/dotted names):\n\
       \  engine.cache.{entries,hits,misses,invalidations,evictions}\n\
       \  engine.chain.{patched,follows,severed}\n\
+      \  engine.trace.{built,follows,severed,side_exits}\n\
       \  tlb.{hits,misses,evictions,flushes}  dtlb.{hits,misses,fills}\n";
     Printf.printf "fault-injection sites (--faults SPEC):\n  %s\n"
       (String.concat " " (List.map Fault.site_name Fault.all_sites));

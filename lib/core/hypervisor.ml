@@ -226,6 +226,18 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
       | Some tr when consumed > 0 ->
           Trace.add_guest_cycles tr ~vm_id:vm.Vm.id ~name:vm.Vm.name consumed
       | _ -> ());
+      (* Surface superblock-trace compilation in the event ring: the
+         promotion happens deep inside the engine, so poll the cache
+         counter across the chunk and record the delta. *)
+      (match vm.Vm.trace with
+      | Some tr ->
+          let built = Vm.traces_built vm in
+          if built > vm.Vm.traces_seen then begin
+            Trace.record tr ~vm_id:vm.Vm.id ~name:vm.Vm.name ~at:(now_fn ())
+              (Trace.Trace_formed { count = built - vm.Vm.traces_seen });
+            vm.Vm.traces_seen <- built
+          end
+      | None -> ());
       match stop with
       | Cpu.Budget -> inject ()
       | Cpu.Halted ->

@@ -38,6 +38,7 @@ type event =
   | Device_io of { write : bool; addr : int64 }
   | Migration_round of { round : int; pages : int }
   | Ha_event of { what : ha_what; detail : int64 }
+  | Trace_formed of { count : int }
 
 type record = { at : int64; ev : event }
 
@@ -173,7 +174,8 @@ let add_event buf vm_id { at; ev } =
   | Migration_round { round; pages } ->
       p "\"ev\":\"migration-round\",\"round\":%d,\"pages\":%d" round pages
   | Ha_event { what; detail } ->
-      p "\"ev\":\"ha\",\"what\":\"%s\",\"detail\":%Ld" (ha_what_name what) detail);
+      p "\"ev\":\"ha\",\"what\":\"%s\",\"detail\":%Ld" (ha_what_name what) detail
+  | Trace_formed { count } -> p "\"ev\":\"trace-formed\",\"count\":%d" count);
   p "}\n"
 
 let export_buf t buf =
@@ -340,6 +342,13 @@ let render_report_lines lines =
     hists;
   Buffer.add_string buf (Tablefmt.render latency);
   Buffer.add_char buf '\n';
+  let formed = List.filter (fun l -> field_str l "ev" = "trace-formed") events in
+  if formed <> [] then begin
+    let total = List.fold_left (fun acc l -> acc + field_int l "count") 0 formed in
+    Buffer.add_string buf
+      (Printf.sprintf "superblock traces formed: %d (%d formation events)\n" total
+         (List.length formed))
+  end;
   (match List.find_opt (fun l -> field_str l "type" = "meta") lines with
   | Some meta ->
       Buffer.add_string buf

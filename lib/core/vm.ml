@@ -43,6 +43,10 @@ type t = {
   event_channels : (int64, t) Hashtbl.t;  (* local port -> peer VM *)
   mutable event_pending : bool;
   mutable trace : Trace.t option;
+  mutable traces_seen : int;
+      (* superblock traces already reported to the trace ring; the
+         hypervisor polls [traces_built] after each vCPU slice and
+         records a formation event for the delta *)
 }
 
 let engine_kind t = t.engine.Engine.kind
@@ -60,6 +64,11 @@ let revoke_exec_frame t ~ppn =
 
 let note_tlb_flush t =
   match t.engine.Engine.cache with Some c -> Trans_cache.note_flush c | None -> ()
+
+let traces_built t =
+  match t.engine.Engine.cache with
+  | Some c -> Trans_cache.traces_built c
+  | None -> 0
 
 let page = Arch.page_size
 let frame_base ppn = Int64.shift_left ppn Arch.page_shift
@@ -323,6 +332,7 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
       event_channels = Hashtbl.create 4;
       event_pending = false;
       trace = None;
+      traces_seen = 0;
     }
   in
   (* Rebuild the devices now that [t] exists, wiring DMA through the VM's
@@ -573,4 +583,8 @@ let publish_stats t =
       g "engine.cache.evictions" (Trans_cache.evictions c);
       g "engine.chain.patched" (Trans_cache.chains_patched c);
       g "engine.chain.follows" (Trans_cache.chain_follows c);
-      g "engine.chain.severed" (Trans_cache.chains_severed c)
+      g "engine.chain.severed" (Trans_cache.chains_severed c);
+      g "engine.trace.built" (Trans_cache.traces_built c);
+      g "engine.trace.follows" (Trans_cache.trace_follows c);
+      g "engine.trace.severed" (Trans_cache.traces_severed c);
+      g "engine.trace.side_exits" (Trans_cache.trace_side_exits c)

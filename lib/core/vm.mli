@@ -77,6 +77,10 @@ type t = {
       (** tracing sink shared with the hypervisor ([None] = tracing off;
           set by {!Hypervisor.set_trace}, inherited at
           {!Hypervisor.create_vm}) *)
+  mutable traces_seen : int;
+      (** superblock traces already reported to the [trace] ring — the
+          hypervisor polls {!traces_built} after each vCPU slice and
+          records a formation event for the delta *)
 }
 
 val create :
@@ -178,6 +182,12 @@ val revoke_exec_frame : t -> ppn:int64 -> unit
     call: the cache subscribes to {!Velum_machine.Phys_mem} write
     listeners.  No-op on the interpreter engine. *)
 
+val traces_built : t -> int
+(** Superblock traces compiled so far by this VM's block engine (0 on
+    the interpreter).  The hypervisor compares this against
+    [traces_seen] after each vCPU slice to emit trace-formation events
+    into the {!Trace} ring. *)
+
 (** {1 Ballooning} *)
 
 val balloon_out : t -> int64 -> bool
@@ -196,7 +206,7 @@ val console_output : t -> string
 val pp : Format.formatter -> t -> unit
 
 val publish_stats : t -> unit
-(** Snapshot engine dispatch, chain, TLB and micro-TLB counters into the
-    monitor as gauges ([engine.*], [tlb.*], [dtlb.*]).  Presentation
+(** Snapshot engine dispatch, chain, trace, TLB and micro-TLB counters
+    into the monitor as gauges ([engine.*], [tlb.*], [dtlb.*]).  Presentation
     paths call this right before printing; the run loop never does, so
     raw monitor state stays comparable across engines. *)

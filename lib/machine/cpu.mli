@@ -175,6 +175,22 @@ val run : state -> ctx -> budget:int -> int * stop
 
 val is_deprivileged : ctx -> bool
 
+val alu_cycles : Cost_model.t -> Instr.alu_op -> int
+(** Extra cycles (beyond [base_instr]) an ALU sub-op costs — nonzero
+    only for [Mul]/[Div]/[Rem]. *)
+
+val eval_alu : Instr.alu_op -> int64 -> int64 -> int64
+(** The pure ALU evaluation [run] uses, exported so trace compilers
+    ({!Trace_ir}) reuse the reference semantics instead of copying
+    them. *)
+
+val alui_imm : Instr.alu_op -> int64 -> int64
+(** Fold an ALU-immediate operand to the value {!eval_alu} must see:
+    bitwise ops zero-extend the low 32 bits, shifts keep the low 6 bits,
+    arithmetic/compares pass the sign-extended immediate through. *)
+
+val eval_branch : Instr.branch_op -> int64 -> int64 -> bool
+
 val trap_or_exit : state -> ctx -> Arch.cause -> int64 -> int -> step
 (** [trap_or_exit s ctx cause tval cycles] — deliver a guest-level trap:
     natively via {!deliver_trap} (folded into [Retired], adding

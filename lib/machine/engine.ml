@@ -41,7 +41,22 @@ type wstate = {
   mutable cur_gen : int;
   mutable cur_block : Trans_cache.block option;
   mutable pending : (Trans_cache.block * bool) option;
+  (* Victim cache of recently displaced fetch windows.  A slot holds the
+     same facts as the primary window fields (vpn, user, frame, and the
+     micro-TLB generation they were certified under); it is usable
+     exactly while the current generation equals the recorded one — the
+     same certificate the primary window relies on.  This is what makes
+     page ping-pong (user code <-> trap vector on every syscall) cheap:
+     re-entering a recently-left page skips the whole translate chain
+     when nothing in the TLB moved. *)
+  v_vpns : int64 array;
+  v_frames : int64 array;
+  v_users : bool array;
+  v_gens : int array;
+  mutable v_next : int;
 }
+
+let num_victims = 8
 
 let new_wstate () =
   {
@@ -53,7 +68,27 @@ let new_wstate () =
     cur_gen = 0;
     cur_block = None;
     pending = None;
+    v_vpns = Array.make num_victims (-1L);
+    v_frames = Array.make num_victims (-1L);
+    v_users = Array.make num_victims false;
+    v_gens = Array.make num_victims 0;
+    v_next = 0;
   }
+
+(* Save the primary window into the victim ring before it is replaced. *)
+let stash_window w =
+  if w.fresh then begin
+    let k = w.v_next in
+    w.v_vpns.(k) <- w.cur_vpn;
+    w.v_frames.(k) <- w.cur_frame;
+    w.v_users.(k) <- w.cur_user;
+    w.v_gens.(k) <- w.cur_gen;
+    w.v_next <- (k + 1) land (num_victims - 1)
+  end
+
+let clear_victims w =
+  Array.fill w.v_vpns 0 num_victims (-1L);
+  w.v_next <- 0
 
 (* The block engine's driver loop.  It mirrors [Cpu.run] stop for stop
    and cycle for cycle; the only liberty it takes is {e skipping}
@@ -127,7 +162,8 @@ let block_step cache states s ctx ~fuel =
         w.fresh <- false;
         w.cur_frame <- -1L;
         w.cur_block <- None;
-        w.pending <- None);
+        w.pending <- None;
+        clear_victims w);
     let consumed = ref 0 in
     let result = ref None in
     let collapse_window () =
@@ -193,39 +229,70 @@ let block_step cache states s ctx ~fuel =
                | None -> true)
             && Int64.logand pc align_mask = 0L
           in
+          (* adopt a fresh window for [vpn] -> [frame], stashing the
+             displaced one in the victim ring and keeping the decoded
+             block when the refetch landed in the same frame and
+             regime: a collapsed window then costs one translate (or a
+             victim probe), not a hashtable round trip *)
+          let adopt_window ~vpn ~frame =
+            stash_window w;
+            w.cur_vpn <- vpn;
+            w.cur_user <- user;
+            (match dtlb with
+            | Some d -> w.cur_gen <- Dtlb.generation d
+            | None -> ());
+            w.fresh <- true;
+            (if frame <> w.cur_frame then w.cur_block <- None
+             else
+               match w.cur_block with
+               | Some b
+                 when not
+                        (Trans_cache.same_regime_key b
+                           (Trans_cache.key ~ppn:frame ~off:0 ~user
+                              ~paging:(Arch.satp_enabled (Cpu.get_csr s Arch.Satp))))
+                 ->
+                   w.cur_block <- None
+               | _ -> ());
+            w.cur_frame <- frame
+          in
           let xl =
             if win_ok then Some 0
-            else
-              match Cpu.fetch_prelude s ctx with
-              | Error step ->
-                  finish step;
-                  collapse_window ();
-                  None
-              | Ok { Cpu.pa; xlate_cycles; _ } ->
-                  let frame = Int64.shift_right_logical pa Arch.page_shift in
-                  w.cur_vpn <- Int64.shift_right_logical pc Arch.page_shift;
-                  w.cur_user <- user;
-                  (match dtlb with
-                  | Some d -> w.cur_gen <- Dtlb.generation d
-                  | None -> ());
-                  w.fresh <- true;
-                  (* keep the decoded block when the refetch landed in
-                     the same frame and regime: a collapsed window then
-                     costs one translate, not a hashtable round trip *)
-                  (if frame <> w.cur_frame then w.cur_block <- None
-                   else
-                     match w.cur_block with
-                     | Some b
-                       when not
-                              (Trans_cache.same_regime_key b
-                                 (Trans_cache.key ~ppn:frame ~off:0 ~user
-                                    ~paging:
-                                      (Arch.satp_enabled (Cpu.get_csr s Arch.Satp))))
-                       ->
-                         w.cur_block <- None
-                     | _ -> ());
-                  w.cur_frame <- frame;
-                  Some xlate_cycles
+            else begin
+              let vpn = Int64.shift_right_logical pc Arch.page_shift in
+              (* A victim window for this (vpn, mode) whose generation
+                 is still current carries the same certificate the
+                 primary window does: the fetch translation would be a
+                 zero-cycle TLB hit, so it is skipped outright. *)
+              let victim =
+                match dtlb with
+                | Some d when Int64.logand pc align_mask = 0L ->
+                    let gen = Dtlb.generation d in
+                    let rec probe k =
+                      if k >= num_victims then -1
+                      else if
+                        w.v_vpns.(k) = vpn && w.v_users.(k) = user
+                        && w.v_gens.(k) = gen
+                      then k
+                      else probe (k + 1)
+                    in
+                    probe 0
+                | _ -> -1
+              in
+              if victim >= 0 then begin
+                adopt_window ~vpn ~frame:w.v_frames.(victim);
+                Some 0
+              end
+              else
+                match Cpu.fetch_prelude s ctx with
+                | Error step ->
+                    finish step;
+                    collapse_window ();
+                    None
+                | Ok { Cpu.pa; xlate_cycles; _ } ->
+                    adopt_window ~vpn
+                      ~frame:(Int64.shift_right_logical pa Arch.page_shift);
+                    Some xlate_cycles
+            end
           in
           match xl with
           | None -> ()
@@ -307,6 +374,65 @@ let block_step cache states s ctx ~fuel =
               match blk with
               | None -> ()
               | Some b ->
+                  (* 2b. The trace tier (deprivileged only).  A live
+                     superblock trace installed at this block, built
+                     against this very cost model, absorbs the dispatch:
+                     execution enters the trace at the op matching
+                     [off] and stays inside it across block boundaries
+                     and loop back-edges.  No further guards are needed
+                     at entry — the window checks above certify exactly
+                     the facts the trace's eliminated interior guards
+                     rely on (see {!Trace_ir}).  A [Bail] means zero
+                     progress was made; fall through to the plain block
+                     path in the same dispatch so progress is always
+                     guaranteed. *)
+                  let ran_trace =
+                    deprivileged
+                    && (match (b.Trans_cache.trace_at, dtlb) with
+                       | Some tr, Some d
+                         when !(tr.Trans_cache.t_prog.Trace_ir.live)
+                              && tr.Trans_cache.t_cost == cost -> (
+                           let start =
+                             (off - b.Trans_cache.start_off) / Arch.instr_bytes
+                           in
+                           let page_base =
+                             Int64.shift_left w.cur_vpn Arch.page_shift
+                           in
+                           match
+                             Trace_ir.exec tr.Trans_cache.t_prog ~start ~s ~dtlb:d
+                               ~read_ram:ctx.Cpu.read_ram
+                               ~write_ram:ctx.Cpu.write_ram ~user ~page_base
+                               ~fuel_left:(fuel - !consumed) ~xl
+                           with
+                           | Trace_ir.Bail ->
+                               Trans_cache.note_trace_side_exit cache;
+                               false
+                           | Trace_ir.Fall { cycles; early } ->
+                               consumed := !consumed + cycles;
+                               Trans_cache.note_trace_follow cache;
+                               if early then Trans_cache.note_trace_side_exit cache;
+                               true
+                           | Trace_ir.Stop { cycles; stop } ->
+                               consumed := !consumed + cycles;
+                               Trans_cache.note_trace_follow cache;
+                               result := Some stop;
+                               true)
+                       | _ ->
+                           (* hotness accounting: promotion triggers on
+                              dispatch count, which also sees in-block
+                              loops that never cross a chain edge *)
+                           (if dtlb <> None then begin
+                              b.Trans_cache.heat <- b.Trans_cache.heat + 1;
+                              if b.Trans_cache.heat >= Trans_cache.promote_threshold
+                              then begin
+                                b.Trans_cache.heat <- 0;
+                                ignore (Trans_cache.try_promote cache ~head:b ~cost)
+                              end
+                            end);
+                           false)
+                  in
+                  if ran_trace then ()
+                  else
                   (* 3. The inner loop: run instructions back to back
                      inside the block while that is provably equivalent
                      to re-dispatching (see the header comment). *)

@@ -1,0 +1,139 @@
+(** Superblock trace IR: the compiled form of a hot multi-block path.
+
+    The block engine's next tier above chaining ({!Trans_cache}):
+    instead of dispatching block→block through the cache, a hot chain of
+    decoded blocks is lowered once into a small linear IR and then
+    executed op after op with {e no} per-instruction dispatch overhead.
+    The lowering bakes in everything that is static along the trace:
+
+    - {b Cost fusion.}  Every op carries its exact interpreter cycle
+      cost as a constant (base, ALU sub-op extra, memory access); the
+      executor accumulates a single int and charges it in one piece at
+      the exit, reconciled per-op only against the fuel budget.
+    - {b Guard elimination.}  Interior ops carry no mode/paging/
+      generation guards.  This is sound because traces run only
+      deprivileged (no interrupt window between instructions), interior
+      ops are all [Fast]-class (mode and [satp] cannot change — every
+      slow instruction is lowered as a trace-terminating {!uop.U_exit}
+      with a fully static exit payload), and loads/stores execute only
+      on a micro-TLB hit, which by construction cannot move the
+      {!Tlb.generation} the entry guard certified.
+    - {b Micro-TLB inlining.}  Trace loads/stores call {!Dtlb.lookup}
+      directly; any miss (or misalignment, or MMIO) side-exits {e
+      before} executing the op, so the interpreter-equivalent slow path
+      in the engine handles it with identical observable behaviour.
+    - {b Static PCs.}  Every op's PC is a build-time page offset; the
+      architectural [pc] is written only at (side) exits, never per op.
+      Branch/jump targets inside the trace are resolved to op indices
+      (loops run entirely inside the trace); all others leave with the
+      target PC materialised from the entry page base.
+
+    The module is pure with respect to {!Trans_cache}: it sees only
+    instruction arrays with their page offsets.  The cache owns trace
+    storage, promotion and invalidation; the engine owns dispatch. *)
+
+open Velum_isa
+
+(** Where a lowered control transfer lands: an op index inside the trace
+    (resolved statically, including loop back-edges), or outside the
+    trace at a byte delta from the entry page base (possibly negative or
+    beyond the page for cross-page targets). *)
+type tgt = Op of int | Out of int
+
+type uop =
+  | U_nop of int  (** cycles *)
+  | U_alu of { op : Instr.alu_op; rd : int; rs1 : int; rs2 : int; cyc : int }
+  | U_alui of { op : Instr.alu_op; rd : int; rs1 : int; imm : int64; cyc : int }
+      (** [imm] already folded through {!Cpu.alui_imm} *)
+  | U_lui of { rd : int; v : int64; cyc : int }  (** [v] already shifted *)
+  | U_load of {
+      rd : int;
+      base : int;
+      off : int64;
+      width : Instr.width;
+      amask : int64;  (** alignment mask ([width_bytes - 1]) *)
+      cyc : int;  (** micro-TLB-hit cost: base + mem_access *)
+    }
+  | U_store of {
+      src : int;
+      base : int;
+      off : int64;
+      width : Instr.width;
+      amask : int64;
+      cyc : int;
+    }
+  | U_branch of {
+      op : Instr.branch_op;
+      rs1 : int;
+      rs2 : int;
+      t_tgt : tgt;
+      f_tgt : tgt;
+      cyc : int;
+    }
+  | U_jal of { rd : int; link : int; tgt : tgt; cyc : int }
+      (** [link] is the static return page offset (op offset + 8) *)
+  | U_jalr of { rd : int; link : int; rs1 : int; imm : int64; cyc : int }
+      (** always leaves the trace (dynamic target) *)
+  | U_exit of { stop : Cpu.stop; cyc : int }
+      (** a deprivileged slow instruction: the exact static
+          [Stop_exec] payload the interpreter would produce, with the PC
+          left {e at} the instruction *)
+
+type prog = {
+  ops : uop array;
+  offs : int array;  (** static page offset of each op *)
+  entry_off : int;  (** page offset of [ops.(0)] *)
+  live : bool ref;
+      (** cleared by the owning cache when any constituent block is
+          invalidated; checked at entry and after every store *)
+}
+
+(** One constituent decoded block: its instructions and the page offset
+    of the first one.  All segments of a trace live in the same physical
+    frame and execution regime. *)
+type segment = { seg_insns : Instr.t array; seg_off : int }
+
+val build : cost:Cost_model.t -> segments:segment list -> prog option
+(** Lower [segments] (in predicted execution order) into a trace
+    program.  Junctions are wired statically: each segment must end in a
+    terminator (branch, jal, jalr or a slow instruction); branch/jal
+    targets falling inside any segment's span become in-trace op-index
+    transfers, everything else an [Out] side exit.  Returns [None] when
+    the segments are not lowerable (an unterminated segment, or a slow
+    instruction in a non-final position) — callers treat that as
+    "promotion refused", never as an error. *)
+
+(** Result of one trace execution.  [Fall]: the trace was left with the
+    PC written and [instret] flushed; [cycles] includes the fetch
+    translation cycles passed as [xl].  [early] marks a side exit (a
+    micro-TLB miss, misalignment, or the trace being severed mid-run)
+    as opposed to an architectural exit or fuel expiry.  [Stop]: a
+    lowered slow instruction produced its static stop.  [Bail]: zero
+    ops executed and {e nothing} was touched (the caller must fall back
+    to the plain block path to guarantee progress). *)
+type outcome =
+  | Fall of { cycles : int; early : bool }
+  | Stop of { cycles : int; stop : Cpu.stop }
+  | Bail
+
+val exec :
+  prog ->
+  start:int ->
+  s:Cpu.state ->
+  dtlb:Dtlb.t ->
+  read_ram:(int64 -> Instr.width -> int64) ->
+  write_ram:(int64 -> Instr.width -> int64 -> unit) ->
+  user:bool ->
+  page_base:int64 ->
+  fuel_left:int ->
+  xl:int ->
+  outcome
+(** Run the trace from op index [start] (the dispatcher maps the entry
+    PC's page offset into the first segment).  The caller certifies at
+    entry exactly what the block engine's reuse window certifies for a
+    block: the PC is aligned in a page whose fetch translation is a
+    zero-cycle hit under the current micro-TLB generation, [user]
+    matches the trace's regime, and [cost] is the model the trace was
+    built with.  [fuel_left] must be positive; [xl] is charged on the
+    first executed op, exactly as the engine charges fetch-translation
+    cycles. *)

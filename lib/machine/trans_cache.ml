@@ -15,6 +15,27 @@ type block = {
       (* incoming chain edges: [(p, taken)] means [p]'s fall-through
          (false) or taken (true) successor slot points at this block, so
          invalidating this block can sever every such edge *)
+  mutable heat : int;
+      (* dispatches since the last promotion attempt; the trace tier's
+         hotness signal (covers in-block loops that never cross a chain
+         edge) *)
+  mutable hot_fall : int;
+  mutable hot_taken : int;
+      (* per-direction chain-follow counts, guiding which way the
+         promotion walker extends through a branch junction *)
+  mutable trace_at : trace option;
+      (* the superblock trace headed by this block, if promoted *)
+  mutable in_traces : trace list;
+      (* every trace this block is a constituent of; invalidating the
+         block severs them all *)
+}
+
+and trace = {
+  t_prog : Trace_ir.prog;
+  t_cost : Cost_model.t;
+      (* the cost model the per-op cycle constants were baked against;
+         dispatch requires physical equality with the live ctx's model *)
+  t_blocks : block list;  (* constituents, head first *)
 }
 
 (* Packed key: frame number, byte offset within the frame (multiple of
@@ -58,6 +79,10 @@ type t = {
   mutable chains_patched : int;
   mutable chain_follows : int;
   mutable chains_severed : int;
+  mutable traces_built : int;
+  mutable trace_follows : int;
+  mutable traces_severed : int;
+  mutable trace_side_exits : int;
 }
 
 let create ?(capacity = 1024) () =
@@ -75,6 +100,10 @@ let create ?(capacity = 1024) () =
     chains_patched = 0;
     chain_follows = 0;
     chains_severed = 0;
+    traces_built = 0;
+    trace_follows = 0;
+    traces_severed = 0;
+    trace_side_exits = 0;
   }
 
 let find t k =
@@ -98,6 +127,37 @@ let find t k =
    evicted/invalidated blocks unreachable through any predecessor. *)
 
 let slot_of b ~taken = if taken then b.succ_taken else b.succ_fall
+
+(* ---- trace severing ----
+
+   A trace is only as alive as its weakest constituent: any block being
+   invalidated, evicted or replaced takes every trace containing it
+   down with it.  The [live] ref is shared with the executing engine,
+   which observes the severing mid-trace (after the very store that
+   caused it).  The head's [heat] is reset so re-promotion requires the
+   path to prove itself hot again over fresh code. *)
+
+let sever_traces t b =
+  match b.in_traces with
+  | [] -> ()
+  | traces ->
+      List.iter
+        (fun tr ->
+          if !(tr.t_prog.Trace_ir.live) then begin
+            tr.t_prog.Trace_ir.live := false;
+            t.traces_severed <- t.traces_severed + 1;
+            List.iter
+              (fun cb ->
+                cb.in_traces <- List.filter (fun x -> not (x == tr)) cb.in_traces;
+                match cb.trace_at with
+                | Some x when x == tr ->
+                    cb.trace_at <- None;
+                    cb.heat <- 0
+                | _ -> ())
+              tr.t_blocks
+          end)
+        traces;
+      b.in_traces <- []
 
 let sever_incoming t b =
   List.iter
@@ -146,6 +206,8 @@ let follow t ~from ~taken ~key:k ~off =
       t.tick <- t.tick + 1;
       b.stamp <- t.tick;
       t.chain_follows <- t.chain_follows + 1;
+      if taken then from.hot_taken <- from.hot_taken + 1
+      else from.hot_fall <- from.hot_fall + 1;
       Some b
   | _ -> None
 
@@ -154,6 +216,7 @@ let unlink t k =
   | None -> ()
   | Some b ->
       b.valid <- false;
+      sever_traces t b;
       sever_incoming t b;
       drop_outgoing b;
       Hashtbl.remove t.table k;
@@ -192,6 +255,11 @@ let insert t ~key:k ~ppn ~insns ~classes ~start_off =
       succ_fall = None;
       succ_taken = None;
       preds = [];
+      heat = 0;
+      hot_fall = 0;
+      hot_taken = 0;
+      trace_at = None;
+      in_traces = [];
     }
   in
   (* Replacing a dead entry under the same key is possible after an
@@ -252,10 +320,129 @@ let flush t =
       if b.succ_taken <> None then t.chains_severed <- t.chains_severed + 1;
       b.succ_fall <- None;
       b.succ_taken <- None;
-      b.preds <- [])
+      b.preds <- [];
+      (* count each live trace once, via its head *)
+      (match b.trace_at with
+      | Some tr when !(tr.t_prog.Trace_ir.live) ->
+          tr.t_prog.Trace_ir.live := false;
+          t.traces_severed <- t.traces_severed + 1
+      | _ -> ());
+      b.trace_at <- None;
+      b.in_traces <- [])
     t.table;
   Hashtbl.reset t.table;
   Hashtbl.reset t.by_frame
+
+(* ---- superblock trace promotion ----
+
+   The walker turns a hot head block into a predicted execution path:
+   starting from the head, it repeatedly steps through the terminator's
+   most likely continuation — the chain direction with the higher
+   follow count, the static jal target — collecting whole blocks as
+   segments, and stops at a dynamic jump (jalr), a slow instruction
+   (the trace then ends in a static exit), an unknown or unterminated
+   successor, a block already in the trace (the builder wires the back
+   edge into an in-trace loop) or the size caps.  Everything it decides
+   is a prediction only: the builder resolves every branch direction to
+   either an in-trace op or a side exit, so a wrong guess costs a trace
+   exit, never wrong execution. *)
+
+let max_trace_segments = 8
+let max_trace_ops = 96
+let promote_threshold = 16
+
+(* the block's key with its offset bits replaced by [off] *)
+let key_at b off = (b.key land regime_mask) lor (off lsl 2)
+
+let block_terminated b =
+  let len = Array.length b.insns in
+  len > 0 && Block.is_terminator b.insns.(len - 1)
+
+(* The block (if any) to continue the trace through for a control
+   transfer landing at page offset [tgt_off]: an exact-start table entry
+   first, else the chained successor when its span contains the target.
+   Must be valid and terminated, and must not restart a block already
+   collected (loops stay inside the trace). *)
+let successor_for t b ~taken ~tgt_off ~collected =
+  if tgt_off < 0 || tgt_off >= Arch.page_size || tgt_off land (Arch.instr_bytes - 1) <> 0
+  then None
+  else
+    let candidate =
+      match Hashtbl.find_opt t.table (key_at b tgt_off) with
+      | Some s when s.valid -> Some s
+      | _ -> (
+          match slot_of b ~taken with
+          | Some s
+            when s.valid && tgt_off >= s.start_off
+                 && tgt_off < s.start_off + (Arch.instr_bytes * Array.length s.insns) ->
+              Some s
+          | _ -> None)
+    in
+    match candidate with
+    | Some s when block_terminated s && not (List.exists (fun x -> x == s) collected) ->
+        Some s
+    | _ -> None
+
+let try_promote t ~head ~cost =
+  if (not head.valid) || head.trace_at <> None || not (block_terminated head) then false
+  else begin
+    let ib = Arch.instr_bytes in
+    let rec walk rev_blocks nops b =
+      let len = Array.length b.insns in
+      let term = b.insns.(len - 1) in
+      let term_off = b.start_off + ((len - 1) * ib) in
+      let accept () = List.rev rev_blocks in
+      let extend ~taken ~tgt_off =
+        match successor_for t b ~taken ~tgt_off ~collected:rev_blocks with
+        | Some s
+          when List.length rev_blocks < max_trace_segments
+               && nops + Array.length s.insns <= max_trace_ops ->
+            walk (s :: rev_blocks) (nops + Array.length s.insns) s
+        | _ -> accept ()
+      in
+      match term with
+      | Instr.Jal (_, delta) ->
+          let delta = Int64.to_int delta in
+          extend ~taken:(delta <> ib) ~tgt_off:(term_off + delta)
+      | Instr.Branch (_, _, _, delta) ->
+          let t_off = term_off + Int64.to_int delta and f_off = term_off + ib in
+          (* follow the observed-hotter direction; cold branches guess
+             backward-taken (a loop) over fall-through *)
+          let prefer_taken =
+            if b.hot_taken <> b.hot_fall then b.hot_taken > b.hot_fall
+            else t_off <= term_off
+          in
+          if prefer_taken then extend ~taken:true ~tgt_off:t_off
+          else extend ~taken:false ~tgt_off:f_off
+      | _ ->
+          (* jalr (dynamic) or a slow instruction (static exit) *)
+          accept ()
+    in
+    let blocks = walk [ head ] (Array.length head.insns) head in
+    let segments =
+      List.map
+        (fun b -> { Trace_ir.seg_insns = b.insns; seg_off = b.start_off })
+        blocks
+    in
+    match Trace_ir.build ~cost ~segments with
+    | None -> false
+    | Some prog ->
+        let tr = { t_prog = prog; t_cost = cost; t_blocks = blocks } in
+        List.iter
+          (fun b ->
+            b.in_traces <- tr :: b.in_traces;
+            (* keep constituents warm so LRU churn does not sever a hot
+               trace from under itself *)
+            t.tick <- t.tick + 1;
+            b.stamp <- t.tick)
+          blocks;
+        head.trace_at <- Some tr;
+        t.traces_built <- t.traces_built + 1;
+        true
+  end
+
+let note_trace_follow t = t.trace_follows <- t.trace_follows + 1
+let note_trace_side_exit t = t.trace_side_exits <- t.trace_side_exits + 1
 
 let entries t = Hashtbl.length t.table
 let hits t = t.hits
@@ -266,3 +453,7 @@ let tlb_flushes t = t.tlb_flushes
 let chains_patched t = t.chains_patched
 let chain_follows t = t.chain_follows
 let chains_severed t = t.chains_severed
+let traces_built t = t.traces_built
+let trace_follows t = t.trace_follows
+let traces_severed t = t.traces_severed
+let trace_side_exits t = t.trace_side_exits

@@ -39,6 +39,30 @@ type block = {
   mutable preds : (block * bool) list;
       (** incoming chain edges [(pred, taken)], kept so invalidation can
           sever every edge pointing here *)
+  mutable heat : int;
+      (** dispatch count since the last promotion attempt; the engine
+          bumps it and calls {!try_promote} when it crosses
+          {!promote_threshold} *)
+  mutable hot_fall : int;  (** fall-through chain follows (see {!follow}) *)
+  mutable hot_taken : int;  (** taken-edge chain follows *)
+  mutable trace_at : trace option;
+      (** the superblock trace headed by this block, if one is
+          installed; dispatch checks it right after block resolution *)
+  mutable in_traces : trace list;
+      (** every trace this block is a constituent of — invalidating,
+          evicting or replacing the block severs them all *)
+}
+
+(** A compiled superblock trace: the lowered program, the cost model its
+    per-op cycle constants were baked against (dispatch requires
+    physical equality with the live context's model), and the
+    constituent blocks (head first) whose bytes it was built from.
+    Liveness is the shared [t_prog.live] ref — severed in place so an
+    engine mid-trace observes it after the very store that killed it. *)
+and trace = {
+  t_prog : Trace_ir.prog;
+  t_cost : Cost_model.t;
+  t_blocks : block list;
 }
 
 type t
@@ -85,6 +109,28 @@ val invalidate_frame : t -> ppn:int64 -> unit
 (** [invalidate_range] over the whole frame — for events where the
     changed range is unknown (frame replaced, revoked, or restored). *)
 
+(** {1 Superblock traces} *)
+
+val promote_threshold : int
+(** Dispatches of a block between promotion attempts (engines compare
+    [heat] against this). *)
+
+val try_promote : t -> head:block -> cost:Cost_model.t -> bool
+(** Promote the hot path headed at [head] into a trace: walk the
+    predicted continuation (hotter chain direction, static jal targets)
+    up to the size caps, lower it via {!Trace_ir.build}, and install the
+    result on [head.trace_at] (registering every constituent's
+    [in_traces] and refreshing their LRU stamps).  Returns [false] when
+    [head] is invalid, already promoted, or the path is not lowerable —
+    promotion is always a best-effort optimisation, never an error. *)
+
+val note_trace_follow : t -> unit
+(** Count a dispatch absorbed by executing a trace. *)
+
+val note_trace_side_exit : t -> unit
+(** Count a guard-driven trace side exit (micro-TLB miss, misalignment,
+    mid-run severing, or a zero-progress bail). *)
+
 val note_flush : t -> unit
 (** Record a TLB/[satp] flush event.  Because entries are keyed by
     physical frame, a translation flush cannot stale them, so nothing is
@@ -114,3 +160,17 @@ val chain_follows : t -> int
 val chains_severed : t -> int
 (** Chain edges cleared because their target (or, on {!flush},
     everything) was invalidated or evicted. *)
+
+val traces_built : t -> int
+(** Superblock traces compiled by {!try_promote}. *)
+
+val trace_follows : t -> int
+(** Dispatches served by executing a trace (see {!note_trace_follow}). *)
+
+val traces_severed : t -> int
+(** Traces killed because a constituent block was invalidated, evicted
+    or replaced (SMC, frame revocation, eviction, {!flush}). *)
+
+val trace_side_exits : t -> int
+(** Guard-driven early exits out of executing traces
+    (see {!note_trace_side_exit}). *)

@@ -37,32 +37,54 @@ echo "== engine equivalence (interp vs block) =="
 # and retired-instruction counts, same per-kind exit accounting.  Only
 # the engine-local statistics gauges (tlb.* / dtlb.* / engine.* lines)
 # may differ — the block engine exists to skip redundant translations —
-# so those are filtered out before the diff.
+# so those are filtered out before the diff.  The virtualized legs run
+# hot enough that the superblock trace tier kicks in (promotion
+# threshold is a handful of dispatches), so this diff also certifies
+# trace execution against the interpreter; the engine.trace.built gauge
+# is checked below to prove traces really formed.
 for w in hello spin syscalls memwalk pt-churn blk vblk; do
   for cfg in "--native" "--paging nested" "--paging shadow"; do
     for eng in interp block; do
       dune exec bin/velum.exe -- run -w "$w" -n 24 $cfg --engine "$eng" \
-        | grep -v -E '^(engine|tlb|dtlb)\.' >"$tmp/$w.$eng.txt"
+        >"$tmp/$w.$eng.raw.txt"
+      grep -v -E '^(engine|tlb|dtlb)\.' <"$tmp/$w.$eng.raw.txt" >"$tmp/$w.$eng.txt"
     done
     diff "$tmp/$w.interp.txt" "$tmp/$w.block.txt" || {
       echo "FAIL: interp/block divergence on $w ($cfg)"; exit 1; }
+    case "$w/$cfg" in
+      spin/--paging*|syscalls/--paging*|memwalk/--paging*|pt-churn/--paging*)
+        built=$(awk -F': ' '/^engine\.trace\.built/ { print $2 }' "$tmp/$w.block.raw.txt")
+        [ "${built:-0}" -gt 0 ] || {
+          echo "FAIL: no superblock traces formed on $w ($cfg)"; exit 1; }
+        ;;
+      *) ;;
+    esac
   done
 done
 
-echo "== engine speedup gate (cpu-spin >= 4x) =="
+echo "== engine speedup gate (cpu-spin >= 8x, >= 60 MIPS) =="
 # Re-measure the engine suite (it also re-asserts cycle/instret
-# lockstep internally) and require the headline cpu-spin speedup to
-# hold; the committed BENCH_engine.json is restored afterwards so the
-# gate never dirties the tree with machine-local wall-clock numbers.
+# lockstep internally) and require the headline cpu-spin numbers with
+# the superblock trace tier to hold; the committed BENCH_engine.json is
+# restored afterwards so the gate never dirties the tree with
+# machine-local wall-clock numbers.
 cp BENCH_engine.json "$tmp/BENCH_engine.ref.json"
 dune exec bench/main.exe -- --only ENGINE >"$tmp/engine_bench.txt"
 spin=$(awk -F'"speedup": ' '/"name": "engine\/cpu-spin"/ { split($2, a, ","); print a[1] }' \
   BENCH_engine.json)
+mips=$(awk -F'"block_mips": ' '/"name": "engine\/cpu-spin"/ { split($2, a, ","); print a[1] }' \
+  BENCH_engine.json)
+traces=$(awk -F'"trace_follows": ' '/"name": "engine\/cpu-spin"/ { split($2, a, ","); print a[1] }' \
+  BENCH_engine.json)
 cp "$tmp/BENCH_engine.ref.json" BENCH_engine.json
 [ -n "$spin" ] || { echo "FAIL: no cpu-spin row in BENCH_engine.json"; exit 1; }
-awk -v s="$spin" 'BEGIN { exit !(s + 0 >= 4.0) }' || {
-  echo "FAIL: cpu-spin block-engine speedup $spin regressed below 4x"; exit 1; }
-echo "cpu-spin block-engine speedup: ${spin}x"
+awk -v s="$spin" 'BEGIN { exit !(s + 0 >= 8.0) }' || {
+  echo "FAIL: cpu-spin block-engine speedup $spin regressed below 8x"; exit 1; }
+awk -v m="$mips" 'BEGIN { exit !(m + 0 >= 60.0) }' || {
+  echo "FAIL: cpu-spin block-engine MIPS $mips regressed below 60"; exit 1; }
+[ "${traces:-0}" -gt 0 ] || {
+  echo "FAIL: cpu-spin bench ran without trace-tier dispatches"; exit 1; }
+echo "cpu-spin block-engine speedup: ${spin}x at ${mips} MIPS (${traces} trace dispatches)"
 
 cp BENCH_fault.json "$tmp/BENCH_fault.ref.json"
 dune exec bench/main.exe -- --quick E16 >"$tmp/e16a.txt"

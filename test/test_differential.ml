@@ -207,7 +207,7 @@ let observe_vm (vm : Vm.t) outcome =
     (Printf.sprintf "guest=%Ld vmm=%Ld\n" (Vm.guest_cycles vm) (Vm.vmm_cycles vm));
   Buffer.contents b
 
-let run_observed ~engine ~paging setup =
+let run_observed_vm ~engine ~paging setup =
   let host = Host.create ~frames:(setup.Images.frames + 1024) () in
   let hyp = Hypervisor.create ~host () in
   let vm =
@@ -222,7 +222,9 @@ let run_observed ~engine ~paging setup =
     | Hypervisor.Idle_deadlock -> "deadlock"
     | Hypervisor.Until_satisfied -> "satisfied"
   in
-  observe_vm vm outcome
+  (observe_vm vm outcome, vm)
+
+let run_observed ~engine ~paging setup = fst (run_observed_vm ~engine ~paging setup)
 
 let workload_setups () =
   List.map
@@ -248,6 +250,47 @@ let engine_lockstep () =
             (run_observed ~engine:Engine.Block ~paging setup))
         [ ("nested", Vm.Nested_paging); ("shadow", Vm.Shadow_paging) ])
     (workload_setups ())
+
+(* The five ENGINE bench workloads at a scale where the superblock
+   trace tier actually kicks in (hot heads cross the promotion
+   threshold).  The full lockstep oracle must hold with traces running
+   most of the guest's instructions, and each block run must really
+   have built and followed traces — otherwise this test would silently
+   degrade into re-testing plain chaining. *)
+let engine_trace_workloads () =
+  let setups =
+    [
+      ("cpu-spin", Images.plan ~user:(Workloads.cpu_spin ~iters:5_000L) ());
+      ("branch-mix", Images.plan ~user:(Workloads.branch_mix ~iters:3_000L) ());
+      ( "memcpy",
+        Images.plan ~heap_pages:18
+          ~user:(Workloads.stream_copy ~words:1024 ~iters:4)
+          () );
+      ("null-syscall", Images.plan ~user:(Workloads.syscall_loop ~count:200L) ());
+      ( "pgtable-churn",
+        Images.plan ~user:(Workloads.pt_churn ~batch:16 ~count:60 ()) () );
+    ]
+  in
+  List.iter
+    (fun (name, setup) ->
+      List.iter
+        (fun (pname, paging) ->
+          let obs_i = run_observed ~engine:Engine.Interp ~paging setup in
+          let obs_b, vm = run_observed_vm ~engine:Engine.Block ~paging setup in
+          Alcotest.(check string) (Printf.sprintf "%s/%s" name pname) obs_i obs_b;
+          match vm.Vm.engine.Engine.cache with
+          | None -> Alcotest.fail "block engine has no cache"
+          | Some c ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s traces built" name pname)
+                true
+                (Trans_cache.traces_built c > 0);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s traces followed" name pname)
+                true
+                (Trans_cache.trace_follows c > 0))
+        [ ("nested", Vm.Nested_paging); ("shadow", Vm.Shadow_paging) ])
+    setups
 
 (* Literal exit sequences: a stripped-down copy of the hypervisor's
    exec_vcpu loop that records every [Stop_exec] reason the engine
@@ -457,6 +500,58 @@ let native_chain_smc () =
       Alcotest.(check bool) "chains followed" true (Trans_cache.chain_follows c > 0);
       Alcotest.(check bool) "chains severed" true (Trans_cache.chains_severed c > 0)
 
+(* SMC into the interior of a formed superblock trace: a three-block
+   loop runs hot enough (40 passes, threshold 16) for the trace tier to
+   promote it, then one pass stores over an instruction in a {e
+   non-head} constituent block.  The write listener must sever the
+   whole trace (not just the patched block), and the remaining passes
+   must execute the new bytes — the interpreter-equality check catches
+   any stale trace execution, the counters prove a trace really formed
+   and really died. *)
+let vm_trace_smc () =
+  let patched = Instr.Alui (Instr.Add, 2, 2, 100L) in
+  let user =
+    Asm.assemble ~origin:Abi.user_base
+      [
+        label "u_entry";
+        li r2 0L;
+        li r5 40L;
+        li r10 10L;
+        la r13 "patchme";
+        li r9 (Instr.encode patched);
+        label "pass";
+        addi r2 r2 1L;
+        jmp "mid";
+        label "mid";
+        label "patchme";
+        nop;
+        addi r2 r2 10L;
+        bne r5 r10 "skip";
+        sd r9 r13 0L;
+        label "skip";
+        addi r5 r5 (-1L);
+        bne r5 r0 "pass";
+        li r1 Abi.sys_exit;
+        ecall;
+      ]
+  in
+  let setup = Images.plan ~user () in
+  List.iter
+    (fun (pname, paging) ->
+      let obs_i = run_observed ~engine:Engine.Interp ~paging setup in
+      let obs_b, vm = run_observed_vm ~engine:Engine.Block ~paging setup in
+      Alcotest.(check string) ("trace SMC " ^ pname) obs_i obs_b;
+      match vm.Vm.engine.Engine.cache with
+      | None -> Alcotest.fail "block engine has no cache"
+      | Some c ->
+          Alcotest.(check bool) (pname ^ " trace formed") true
+            (Trans_cache.traces_built c > 0);
+          Alcotest.(check bool) (pname ^ " trace followed") true
+            (Trans_cache.trace_follows c > 0);
+          Alcotest.(check bool) (pname ^ " trace severed by interior SMC") true
+            (Trans_cache.traces_severed c > 0))
+    [ ("nested", Vm.Nested_paging); ("shadow", Vm.Shadow_paging) ]
+
 (* Random programs that also store encoded instructions over a patch
    slab inside their own (RWX-mapped) code page, then fall through and
    execute it — user-mode SMC under every engine/paging combination. *)
@@ -564,7 +659,7 @@ let gen_chain_program =
     (array_size (return 10) (map Int64.of_int int))
     (pair (list_size (int_range 3 25) gen_chain_op) (list_size (int_range 3 25) gen_chain_op))
 
-let compile_chain (seeds, (ops_a, ops_b)) =
+let compile_chain ?(passes = 4) (seeds, (ops_a, ops_b)) =
   let seed_items = List.mapi (fun i v -> li (i + 2) v) (Array.to_list seeds) in
   (* [own]/[other] are the registers holding this page's and the other
      page's patch-slab base (r13 = slab_a, r12 = slab_b). *)
@@ -616,7 +711,7 @@ let compile_chain (seeds, (ops_a, ops_b)) =
     @ seed_items
     (* the pass counter lives in the heap past the random Store/Load
        slots — every architectural register is spoken for *)
-    @ [ li r1 4L; sd r1 r15 1024L; label "pass" ]
+    @ [ li r1 (Int64.of_int passes); sd r1 r15 1024L; label "pass" ]
     @ ops "ca" r13 r12 ops_a
     @ [ label "slab_a" ] @ slab
     @ [ jmp "b_entry" ]
@@ -651,6 +746,31 @@ let engine_chain_smc_prop =
       && run_observed ~engine:Engine.Interp ~paging:Vm.Shadow_paging setup
          = run_observed ~engine:Engine.Block ~paging:Vm.Shadow_paging setup)
 
+(* The same random block graphs, run long enough (24 passes vs the
+   promotion threshold of 16) that hot heads get promoted into
+   superblock traces {e before} the later passes' patch stores land —
+   randomized SMC into interior frames of formed traces.  The digest
+   and full observable state only match the interpreter if severing a
+   constituent kills the whole trace (no stale multi-block execution),
+   and the nested block run must actually have compiled traces. *)
+let engine_trace_smc_prop =
+  QCheck2.Test.make ~count:15
+    ~name:"interp = block for SMC into interior blocks of formed traces"
+    gen_chain_program
+    (fun prog ->
+      let user = compile_chain ~passes:24 prog in
+      let setup = Images.plan ~heap_pages:1 ~user () in
+      let obs_i = run_observed ~engine:Engine.Interp ~paging:Vm.Nested_paging setup in
+      let obs_b, vm = run_observed_vm ~engine:Engine.Block ~paging:Vm.Nested_paging setup in
+      let traced =
+        match vm.Vm.engine.Engine.cache with
+        | Some c -> Trans_cache.traces_built c > 0
+        | None -> false
+      in
+      obs_i = obs_b && traced
+      && run_observed ~engine:Engine.Interp ~paging:Vm.Shadow_paging setup
+         = run_observed ~engine:Engine.Block ~paging:Vm.Shadow_paging setup)
+
 (* The random ALU/heap sweep, replayed on the block engine. *)
 let engine_differential_prop =
   QCheck2.Test.make ~count:25 ~name:"block engine matches native/shadow/nested sweep"
@@ -675,12 +795,16 @@ let () =
       ( "engines",
         [
           Alcotest.test_case "lockstep on all workloads" `Quick engine_lockstep;
+          Alcotest.test_case "lockstep with traces on ENGINE workloads" `Quick
+            engine_trace_workloads;
           Alcotest.test_case "exit sequences identical" `Quick exit_sequences;
           Alcotest.test_case "native self-modifying code" `Quick native_smc;
           Alcotest.test_case "native cache hit path" `Quick native_cache_hits;
           Alcotest.test_case "chain severed by SMC" `Quick native_chain_smc;
+          Alcotest.test_case "trace severed by interior SMC" `Quick vm_trace_smc;
           QCheck_alcotest.to_alcotest engine_smc_prop;
           QCheck_alcotest.to_alcotest engine_chain_smc_prop;
+          QCheck_alcotest.to_alcotest engine_trace_smc_prop;
           QCheck_alcotest.to_alcotest engine_differential_prop;
         ] );
     ]
