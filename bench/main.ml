@@ -1431,25 +1431,18 @@ let e17 () =
       vm_instret vm
     in
     let expect_finish = reference_finish img1 in
+    let sectors = Store.sectors_for ~image_bytes:(Bytes.length img2) in
+    (* delta-commit sweep: baseline prepared once, byte-cloned per offset *)
     let sweep () =
-      let store =
-        Store.create
-          ~sectors:(Store.sectors_for ~image_bytes:(Bytes.length img2)) ()
-      in
-      (match Store.commit store img1 with
-      | Store.Committed 1 -> ()
+      let base = Store.create ~sectors () in
+      (match Store.commit base img1 with
+      | Store.Committed { gen = 1; _ } -> ()
       | _ -> failwith "E17: baseline commit failed");
-      let total = Store.commit_bytes store img2 in
+      let total = Store.commit_bytes base img2 in
       let offsets = ref 0 and prev = ref 0 and bad = ref 0 in
       let off = ref 0 in
       while !off < total do
-        let probe =
-          Store.create
-            ~sectors:(Store.sectors_for ~image_bytes:(Bytes.length img2)) ()
-        in
-        (match Store.commit probe img1 with
-        | Store.Committed 1 -> ()
-        | _ -> failwith "E17: sweep baseline commit failed");
+        let probe = Store.clone base in
         (match Store.commit ~crash_at:!off probe img2 with
         | Store.Torn _ -> ()
         | Store.Committed _ -> incr bad);
@@ -1463,19 +1456,51 @@ let e17 () =
       if reference_finish img1 <> expect_finish then incr bad;
       (!offsets, !prev, !bad, total)
     in
+    (* GC-compaction sweep: two live generations, cut the compaction —
+       the newest one must survive every offset *)
+    let gc_sweep () =
+      let base = Store.create ~sectors () in
+      (match Store.commit base img1 with
+      | Store.Committed { gen = 1; _ } -> ()
+      | _ -> failwith "E17: gc baseline commit failed");
+      (match Store.commit base img2 with
+      | Store.Committed { gen = 2; _ } -> ()
+      | _ -> failwith "E17: gc second commit failed");
+      let total = Store.gc_bytes base in
+      let offsets = ref 0 and prev = ref 0 and bad = ref 0 in
+      let off = ref 0 in
+      while !off < total do
+        let probe = Store.clone base in
+        (match Store.gc ~crash_at:!off probe with
+        | Store.Gc_torn _ -> ()
+        | Store.Gc_committed _ -> incr bad);
+        (match Store.recover (Store.mount (Store.device probe)) with
+        | Some (img, 2) when Bytes.equal img img2 -> incr prev
+        | _ -> incr bad);
+        incr offsets;
+        off := !off + sweep_stride
+      done;
+      (!offsets, !prev, !bad, total)
+    in
     let offsets, prev, bad, commit_total = sweep () in
+    let gc_offsets, gc_prev, gc_bad, gc_total = gc_sweep () in
     let t =
       Tablefmt.create
-        [ ("commit bytes", Tablefmt.Right); ("offsets swept", Tablefmt.Right);
-          ("recover previous", Tablefmt.Right); ("torn/hybrid", Tablefmt.Right);
-          ("restored lockstep", Tablefmt.Left) ]
+        [ ("stream", Tablefmt.Left); ("bytes", Tablefmt.Right);
+          ("offsets swept", Tablefmt.Right);
+          ("recover newest complete", Tablefmt.Right);
+          ("torn/hybrid", Tablefmt.Right); ("restored lockstep", Tablefmt.Left) ]
     in
     Tablefmt.add_row t
-      [ Tablefmt.cell_i commit_total; Tablefmt.cell_i offsets;
+      [ "delta commit"; Tablefmt.cell_i commit_total; Tablefmt.cell_i offsets;
         Tablefmt.cell_i prev; Tablefmt.cell_i bad;
         (if bad = 0 then "yes" else "NO") ];
+    Tablefmt.add_row t
+      [ "gc compaction"; Tablefmt.cell_i gc_total; Tablefmt.cell_i gc_offsets;
+        Tablefmt.cell_i gc_prev; Tablefmt.cell_i gc_bad; "-" ];
     Tablefmt.print t;
     if bad > 0 then failwith "E17: power-failure sweep recovered a torn image";
+    if gc_bad > 0 then failwith "E17: GC sweep lost or tore the newest generation";
     (* --- (2) supervisor restart: MTTR and checkpoint tax --------------- *)
     let work = 1_200_000 in
     let reference =
@@ -1520,7 +1545,8 @@ let e17 () =
     let t2 =
       Tablefmt.create
         [ ("cadence kcyc", Tablefmt.Right); ("checkpoints", Tablefmt.Right);
-          ("ckpt tax %", Tablefmt.Right); ("restarts", Tablefmt.Right);
+          ("ckpt tax %", Tablefmt.Right); ("ckpt KiB", Tablefmt.Right);
+          ("dedup", Tablefmt.Right); ("restarts", Tablefmt.Right);
           ("MTTR kcyc", Tablefmt.Right); ("availability %", Tablefmt.Right) ]
     in
     let sup_rows =
@@ -1531,15 +1557,24 @@ let e17 () =
             if s.Ha.mttr_events = 0 then 0L
             else Int64.div s.Ha.mttr_total (Int64.of_int s.Ha.mttr_events)
           in
+          let dedup =
+            if s.Ha.ckpt_bytes = 0 then 1.0
+            else
+              float_of_int s.Ha.ckpt_logical_bytes
+              /. float_of_int s.Ha.ckpt_bytes
+          in
           Tablefmt.add_row t2
             [ Tablefmt.cell_f ~decimals:0 (Int64.to_float cadence /. 1000.0);
               string_of_int s.Ha.checkpoints;
               Tablefmt.cell_f ~decimals:2 (overhead *. 100.0);
+              Tablefmt.cell_f ~decimals:0
+                (float_of_int s.Ha.ckpt_bytes /. 1024.0);
+              Tablefmt.cell_f ~decimals:1 dedup;
               string_of_int s.Ha.restarts;
               Tablefmt.cell_f ~decimals:1 (Int64.to_float mttr /. 1000.0);
               Tablefmt.cell_f ~decimals:3 (avail *. 100.0) ];
           if s.Ha.restarts <> 1 then failwith "E17: expected exactly one restart";
-          (cadence, s, elapsed, avail, overhead, mttr))
+          (cadence, s, elapsed, avail, overhead, mttr, dedup))
         cadences
     in
     Tablefmt.print t2;
@@ -1638,14 +1673,20 @@ let e17 () =
       "    {\"name\": \"ha/crash_sweep\", \"commit_bytes\": %d, \"offsets\": %d, \
        \"recover_previous\": %d, \"failures\": %d},\n"
       commit_total offsets prev bad;
+    Printf.fprintf oc
+      "    {\"name\": \"ha/crash_sweep_gc\", \"gc_bytes\": %d, \"offsets\": %d, \
+       \"recover_newest\": %d, \"failures\": %d},\n"
+      gc_total gc_offsets gc_prev gc_bad;
     List.iter
-      (fun (cadence, (s : Ha.stats), elapsed, avail, overhead, mttr) ->
+      (fun (cadence, (s : Ha.stats), elapsed, avail, overhead, mttr, dedup) ->
         Printf.fprintf oc
           "    {\"name\": \"ha/supervisor/cadence_%Ld\", \"checkpoints\": %d, \
-           \"torn\": %d, \"checkpoint_cycles\": %Ld, \"restarts\": %d, \
-           \"mttr_cycles\": %Ld, \"elapsed_cycles\": %Ld, \"availability\": \
-           %.6f, \"checkpoint_overhead\": %.6f},\n"
+           \"torn\": %d, \"checkpoint_cycles\": %Ld, \"bytes_written\": %d, \
+           \"logical_bytes\": %d, \"dedup_ratio\": %.3f, \"frames_churned\": \
+           %d, \"restarts\": %d, \"mttr_cycles\": %Ld, \"elapsed_cycles\": \
+           %Ld, \"availability\": %.6f, \"checkpoint_overhead\": %.6f},\n"
           cadence s.Ha.checkpoints s.Ha.torn_checkpoints s.Ha.checkpoint_cycles
+          s.Ha.ckpt_bytes s.Ha.ckpt_logical_bytes dedup s.Ha.frames_churned
           s.Ha.restarts mttr elapsed avail overhead)
       sup_rows;
     List.iteri
@@ -1665,10 +1706,14 @@ let e17 () =
     output_string oc "  ]\n}\n";
     close_out oc;
     Printf.printf
-      "\nExpected shape: every swept power-failure offset recovers the previous\n\
-       complete generation (the superblock flip is the commit point) and the\n\
-       recovered image restores to a lockstep-identical guest.  A shorter\n\
-       checkpoint cadence buys a smaller restart MTTR at a higher pause tax.\n\
+      "\nExpected shape: every swept power-failure offset — of a delta commit\n\
+       AND of a GC compaction — recovers the newest complete generation (the\n\
+       superblock flip is the commit point; the pre-GC space is never\n\
+       written) and the recovered image restores to a lockstep-identical\n\
+       guest.  Checkpoints are content-addressed deltas, so the pause tax\n\
+       tracks churn (see the dedup column), not the image footprint.  A\n\
+       shorter checkpoint cadence buys a smaller restart MTTR at a higher\n\
+       pause tax.\n\
        Heartbeat loss below the miss limit never fails over; total loss fails\n\
        over in ~hb_miss_limit epochs and generation-fences the stale primary;\n\
        host death recovers without fencing (nobody is left to fence).  Written\n\
@@ -2007,6 +2052,195 @@ let e20 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* E22: the content-addressed checkpoint store itself — what a commit
+   costs as a function of churn, what chunk sharing buys across VMs
+   committed to the same store, and what a GC compaction reclaims.
+   Every number is a deterministic byte count (no wall clock), so
+   BENCH_store.json is byte-identical across runs. *)
+
+let e22 () =
+  if section "E22" "Incremental store: churn cost, cross-VM dedup, GC reclaim" then begin
+    let scale l q = if !quick then q else l in
+    let pages = scale 256 64 in
+    let image_bytes = pages * 4096 in
+    let fill_page img i tag =
+      (* a unique stamp per (page, tag) pair, so distinct pages never
+         collide into the same chunk by accident *)
+      Bytes.set_int64_le img (i * 4096)
+        (Int64.of_int ((i * 65599) + (tag * 2654435761)));
+      for j = 8 to 4095 do
+        Bytes.unsafe_set img
+          ((i * 4096) + j)
+          (Char.chr ((((i * 31) + (j * 7) + tag) land 0x7f) + 1))
+      done
+    in
+    let base () =
+      let b = Bytes.create image_bytes in
+      for i = 0 to pages - 1 do
+        fill_page b i 0
+      done;
+      b
+    in
+    (* --- (1) commit cost vs churn: one stream, 8 delta commits ------- *)
+    let commits_n = 8 in
+    let churn_levels = [ 1; 4; 16; pages / 4; pages ] in
+    let t1 =
+      Tablefmt.create
+        [ ("churned pages", Tablefmt.Right); ("bytes/commit", Tablefmt.Right);
+          ("pause kcyc", Tablefmt.Right); ("dedup", Tablefmt.Right);
+          ("auto-GC runs", Tablefmt.Right) ]
+    in
+    let churn_rows =
+      List.map
+        (fun k ->
+          let store =
+            Store.create ~sectors:(Store.sectors_for ~image_bytes) ()
+          in
+          let img = base () in
+          (match Store.commit store img with
+          | Store.Committed _ -> ()
+          | Store.Torn _ -> failwith "E22: baseline commit torn");
+          let delta_bytes = ref 0 in
+          for n = 1 to commits_n do
+            for c = 0 to k - 1 do
+              fill_page img (((c * 97) + (n * 13)) mod pages) n
+            done;
+            match Store.commit store img with
+            | Store.Committed { bytes; _ } -> delta_bytes := !delta_bytes + bytes
+            | Store.Torn _ -> failwith "E22: churn commit torn"
+          done;
+          let per_commit = !delta_bytes / commits_n in
+          let dedup =
+            float_of_int (Store.logical_bytes store)
+            /. float_of_int (Store.bytes_written store)
+          in
+          Tablefmt.add_row t1
+            [ Tablefmt.cell_i k; Tablefmt.cell_i per_commit;
+              Tablefmt.cell_f ~decimals:1
+                (Int64.to_float (Store.commit_cycles ~bytes:per_commit)
+                /. 1000.0);
+              Tablefmt.cell_f ~decimals:2 dedup;
+              string_of_int (Store.gc_runs store) ];
+          (k, per_commit, dedup, Store.gc_runs store))
+        churn_levels
+    in
+    Tablefmt.print t1;
+    (* a 1-page delta must cost a small constant over one chunk, not the
+       image footprint *)
+    (match churn_rows with
+    | (1, per_commit, _, _) :: _ ->
+        if per_commit > 4 * 4096 then
+          failwith "E22: single-page churn commit cost scales with the image"
+    | _ -> ());
+    (* --- (2) cross-VM sharing: one fleet store, 6 streams ----------- *)
+    let streams = 6 in
+    let shared =
+      Store.create
+        ~sectors:(Store.fleet_sectors_for ~streams ~image_bytes)
+        ()
+    in
+    let t2 =
+      Tablefmt.create
+        [ ("stream", Tablefmt.Left); ("commit bytes", Tablefmt.Right);
+          ("chunks new", Tablefmt.Right); ("chunks shared", Tablefmt.Right) ]
+    in
+    let stream_rows =
+      List.init streams (fun s ->
+          let img = base () in
+          (* each VM diverges on four private pages *)
+          for c = 0 to 3 do
+            fill_page img (((s * 17) + (c * 53)) mod pages) (100 + s)
+          done;
+          match Store.commit ~id:(Printf.sprintf "vm%d" s) shared img with
+          | Store.Committed { bytes; chunks_new; chunks_shared; _ } ->
+              Tablefmt.add_row t2
+                [ Printf.sprintf "vm%d" s; Tablefmt.cell_i bytes;
+                  Tablefmt.cell_i chunks_new; Tablefmt.cell_i chunks_shared ];
+              (s, bytes, chunks_new, chunks_shared)
+          | Store.Torn _ -> failwith "E22: cross-VM commit torn")
+    in
+    Tablefmt.print t2;
+    (match stream_rows with
+    | (_, first_bytes, _, _) :: rest ->
+        List.iter
+          (fun (_, bytes, _, shared_chunks) ->
+            if bytes * 4 > first_bytes then
+              failwith "E22: sibling VM commit did not share the base image";
+            if shared_chunks = 0 then
+              failwith "E22: sibling VM commit shared no chunks")
+          rest
+    | [] -> ());
+    (* --- (3) GC compaction: two live generations, compact, measure --- *)
+    let store = Store.create ~sectors:(Store.sectors_for ~image_bytes) () in
+    let img = base () in
+    (match Store.commit store img with
+    | Store.Committed _ -> ()
+    | Store.Torn _ -> failwith "E22: gc baseline torn");
+    for c = 0 to (pages / 2) - 1 do
+      fill_page img (c * 2) 7
+    done;
+    (match Store.commit store img with
+    | Store.Committed _ -> ()
+    | Store.Torn _ -> failwith "E22: gc second commit torn");
+    let before = Store.gc_bytes store in
+    let gc_bytes, gc_live, gc_reclaimed =
+      match Store.gc store with
+      | Store.Gc_committed { bytes; live_chunks; reclaimed } ->
+          (bytes, live_chunks, reclaimed)
+      | Store.Gc_torn _ -> failwith "E22: gc torn without a fault plan"
+    in
+    let t3 =
+      Tablefmt.create
+        [ ("gc stream bytes", Tablefmt.Right); ("live chunks", Tablefmt.Right);
+          ("reclaimed bytes", Tablefmt.Right); ("recovers", Tablefmt.Left) ]
+    in
+    let recovers =
+      match Store.recover (Store.mount (Store.device store)) with
+      | Some (rimg, _) when Bytes.equal rimg img -> "newest"
+      | _ -> "BROKEN"
+    in
+    Tablefmt.add_row t3
+      [ Tablefmt.cell_i gc_bytes; Tablefmt.cell_i gc_live;
+        Tablefmt.cell_i gc_reclaimed; recovers ];
+    Tablefmt.print t3;
+    if recovers <> "newest" then
+      failwith "E22: compaction lost the newest generation";
+    ignore before;
+    let oc = open_out "BENCH_store.json" in
+    output_string oc "{\n  \"benchmarks\": [\n";
+    List.iter
+      (fun (k, per_commit, dedup, gcs) ->
+        Printf.fprintf oc
+          "    {\"name\": \"store/churn_%d\", \"bytes_per_commit\": %d, \
+           \"dedup_ratio\": %.3f, \"auto_gc_runs\": %d},\n"
+          k per_commit dedup gcs)
+      churn_rows;
+    List.iter
+      (fun (s, bytes, chunks_new, chunks_shared) ->
+        Printf.fprintf oc
+          "    {\"name\": \"store/stream_vm%d\", \"commit_bytes\": %d, \
+           \"chunks_new\": %d, \"chunks_shared\": %d},\n"
+          s bytes chunks_new chunks_shared)
+      stream_rows;
+    Printf.fprintf oc
+      "    {\"name\": \"store/gc\", \"stream_bytes\": %d, \"live_chunks\": \
+       %d, \"reclaimed_bytes\": %d}\n"
+      gc_bytes gc_live gc_reclaimed;
+    output_string oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf
+      "\nExpected shape: a delta commit costs its churned chunks plus fixed\n\
+       metadata — a 1-page delta is hundreds of times cheaper than the image\n\
+       footprint (asserted), so the checkpoint pause tax tracks churn.  A\n\
+       sibling VM committed to the same store shares the whole base image\n\
+       and writes only its divergent pages (asserted).  GC copies exactly\n\
+       the live chunks into the idle space and reclaims the dead ones, and\n\
+       the newest generation survives the flip (asserted).  Written to\n\
+       BENCH_store.json (deterministic byte counts, no wall clock).\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+
 (* The block engine is a pure mechanism change: simulated cycles must be
    bit-identical to the interpreter on every workload (asserted here),
    while host wall-clock time drops because straight-line runs skip
@@ -2253,6 +2487,7 @@ let () =
   e18 ();
   e19 ();
   e20 ();
+  e22 ();
   a1 ();
   a2 ();
   a3 ();

@@ -69,7 +69,7 @@ let faults_arg =
            'seed=42,drop=0.05,corrupt=0.01,blk=0.02,partition@10000-20000'. \
            Clauses: seed=N, SITE=PROB, SITE@LO-HI (always-fire cycle \
            window).  Sites: drop corrupt dup delay blk blkperm partition \
-           store.torn store.csum hb.loss.")
+           store.torn store.csum store.gc store.ref hb.loss.")
 
 let print_faults f =
   if Fault.active f then Format.printf "fault counters:@.%a@?" Fault.pp f
@@ -571,70 +571,148 @@ let snapshot_cmd =
 (* ---------------- recover ---------------- *)
 
 (* Crash-recovery exercise for the durable snapshot store: commit one
-   generation intact, cut the next commit's byte stream at a chosen (or
-   swept) offset, power-cycle (remount the raw device), and verify the
-   recovered image is byte-identical to one of the two generations —
-   never a torn hybrid.  `--sweep` is the CI crash matrix; it exits
-   nonzero on any torn or empty recovery. *)
+   generation intact, cut the next (delta) commit's byte stream — or,
+   with `--gc`, a GC compaction's stream — at a chosen (or swept)
+   offset, power-cycle (remount the raw device), and verify the
+   recovered image is byte-identical to a complete generation — never a
+   torn hybrid, never a manifest pointing at reclaimed chunks.
+   `--sweep` is the CI crash matrix; it exits nonzero on any torn or
+   empty recovery.  The prepared baseline store is built once and
+   byte-cloned per offset, so a stride-1 sweep of every offset stays
+   cheap. *)
 let recover_cmd =
   let sweep =
     Arg.(
       value & flag
       & info [ "sweep" ]
           ~doc:
-            "Sweep power-failure offsets across a full commit and verify \
-             recovery at each.")
+            "Sweep power-failure offsets across the full write stream and \
+             verify recovery at each.")
+  in
+  let gc =
+    Arg.(
+      value & flag
+      & info [ "gc" ]
+          ~doc:
+            "Crash during a GC compaction instead of a delta commit: fill \
+             two generations, cut the compaction stream, and verify the \
+             newest generation still recovers.")
   in
   let stride =
     Arg.(value & opt int 997 & info [ "stride" ] ~doc:"Sweep stride in bytes.")
+  in
+  let size =
+    Arg.(
+      value & opt int 16
+      & info [ "size" ]
+          ~doc:
+            "Dirty-workload size; smaller sizes shrink the write stream so \
+             a stride-1 sweep of every byte offset stays fast.")
+  in
+  let pages =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pages" ]
+          ~doc:
+            "Use synthetic patterned images of this many 4 KiB pages \
+             instead of VM snapshots.  A megabyte-scale VM image makes a \
+             stride-1 sweep take hours; a handful of synthetic pages \
+             exercises the identical write stream (chunks, manifest, \
+             catalog, reftable, superblock) in seconds, so CI covers \
+             EVERY byte offset.")
   in
   let crash_at =
     Arg.(
       value
       & opt (some int) None
       & info [ "crash-at" ]
-          ~doc:"Cut the second commit after this many bytes, then recover.")
+          ~doc:"Cut the write stream after this many bytes, then recover.")
   in
-  let action sweep stride crash_at =
+  let action sweep gc stride size pages crash_at =
     if stride <= 0 then failwith "recover: stride must be positive";
-    (* two generations of a real VM image, some execution apart *)
-    let setup = build_setup W_dirty ~size:16 ~pv:false in
-    let host = Host.create ~frames:(setup.Images.frames + 1024) () in
-    let hyp = Hypervisor.create ~host () in
-    let vm =
-      Hypervisor.create_vm hyp ~name:"durable" ~mem_frames:setup.Images.frames
-        ~entry:Images.entry ()
+    if size <= 0 then failwith "recover: size must be positive";
+    let img1, img2 =
+      match pages with
+      | Some n ->
+          if n <= 0 then failwith "recover: pages must be positive";
+          (* patterned pages, with a deliberate duplicate so intra-image
+             dedup is on the swept path; generation 2 churns a quarter
+             of them (at least one) *)
+          let page i tag =
+            let b = Bytes.create 4096 in
+            for j = 0 to 4095 do
+              Bytes.unsafe_set b j
+                (Char.chr ((((i * 131) + (j * 7) + tag) land 0x7f) + 1))
+            done;
+            b
+          in
+          let mk tag churned =
+            let b = Buffer.create (n * 4096) in
+            for i = 0 to n - 1 do
+              let dup = if i = n - 1 && n > 1 then 0 else i in
+              Buffer.add_bytes b
+                (page dup (if churned i then tag else 0))
+            done;
+            Buffer.to_bytes b
+          in
+          (mk 0 (fun _ -> false), mk 17 (fun i -> i mod 4 = 1 || n = 1))
+      | None ->
+          (* two generations of a real VM image, some execution apart *)
+          let setup = build_setup W_dirty ~size ~pv:false in
+          let host = Host.create ~frames:(setup.Images.frames + 1024) () in
+          let hyp = Hypervisor.create ~host () in
+          let vm =
+            Hypervisor.create_vm hyp ~name:"durable"
+              ~mem_frames:setup.Images.frames ~entry:Images.entry ()
+          in
+          Images.load_vm vm setup;
+          ignore (Hypervisor.run hyp ~budget:2_000_000L);
+          let img1 = Snapshot.capture vm in
+          ignore (Hypervisor.run hyp ~budget:2_000_000L);
+          (img1, Snapshot.capture vm)
     in
-    Images.load_vm vm setup;
-    ignore (Hypervisor.run hyp ~budget:2_000_000L);
-    let img1 = Snapshot.capture vm in
-    ignore (Hypervisor.run hyp ~budget:2_000_000L);
-    let img2 = Snapshot.capture vm in
-    let image_bytes = max (Snapshot.size_bytes img1) (Snapshot.size_bytes img2) in
+    let image_bytes = max (Bytes.length img1) (Bytes.length img2) in
     let sectors = Store.sectors_for ~image_bytes in
-    let commit_bytes =
-      let s = Store.create ~sectors () in
-      Store.commit_bytes s img2
-    in
-    let check offset =
-      let store = Store.create ~sectors () in
-      (match Store.commit store img1 with
+    (* prepared baseline, cloned per offset instead of replayed *)
+    let base = Store.create ~sectors () in
+    (match Store.commit base img1 with
+    | Store.Committed _ -> ()
+    | Store.Torn _ -> failwith "recover: baseline commit torn");
+    if gc then
+      (* the compaction needs a second live generation so dead chunks
+         from gen 1 actually exist to reclaim *)
+      match Store.commit base img2 with
       | Store.Committed _ -> ()
-      | Store.Torn _ -> failwith "recover: baseline commit torn");
-      ignore (Store.commit ~crash_at:offset store img2);
+      | Store.Torn _ -> failwith "recover: second baseline commit torn"
+    else ();
+    let stream_bytes =
+      if gc then Store.gc_bytes base else Store.commit_bytes base img2
+    in
+    let base_gen = Store.generation base in
+    let check offset =
+      let store = Store.clone base in
+      if gc then ignore (Store.gc ~crash_at:offset store)
+      else ignore (Store.commit ~crash_at:offset store img2);
       (* power cycle: remount the raw device, discarding memory state *)
       let store = Store.mount (Store.device store) in
       match Store.recover store with
       | None -> `Nothing
       | Some (img, _gen) ->
-          if Bytes.equal img img2 then `New
+          if gc then
+            (* GC must preserve the newest generation at every cut *)
+            if Bytes.equal img img2 then
+              if Store.generation store > base_gen then `New else `Old
+            else `Torn
+          else if Bytes.equal img img2 then `New
           else if Bytes.equal img img1 then `Old
           else `Torn
     in
+    let what = if gc then "gc" else "commit" in
     if sweep then begin
       let failures = ref 0 and old_n = ref 0 and new_n = ref 0 and offsets = ref 0 in
       let off = ref 0 in
-      while !off < commit_bytes do
+      while !off < stream_bytes do
         incr offsets;
         (match check !off with
         | `Old -> incr old_n
@@ -648,31 +726,35 @@ let recover_cmd =
         off := !off + stride
       done;
       Printf.printf
-        "crash sweep: %d offsets over %d commit bytes -> %d recover previous, %d \
+        "crash sweep: %d offsets over %d %s bytes -> %d recover previous, %d \
          recover new, %d failures\n"
-        !offsets commit_bytes !old_n !new_n !failures;
+        !offsets stream_bytes what !old_n !new_n !failures;
       if !failures > 0 then exit 1
     end
     else begin
       let offset =
-        match crash_at with Some o -> o | None -> commit_bytes / 2
+        match crash_at with Some o -> o | None -> stream_bytes / 2
       in
       let verdict =
         match check offset with
-        | `Old -> "previous generation (commit lost, image intact)"
-        | `New -> "new generation (commit landed before the cut)"
+        | `Old ->
+            if gc then "newest generation (compaction lost, image intact)"
+            else "previous generation (commit lost, image intact)"
+        | `New ->
+            if gc then "newest generation (compaction flipped before the cut)"
+            else "new generation (commit landed before the cut)"
         | `Torn -> "TORN HYBRID — crash consistency violated"
         | `Nothing -> "NOTHING — crash consistency violated"
       in
-      Printf.printf "power failure at byte %d of %d: recovered %s\n" offset
-        commit_bytes verdict;
+      Printf.printf "power failure at byte %d of %d (%s): recovered %s\n"
+        offset stream_bytes what verdict;
       match check offset with `Old | `New -> () | _ -> exit 1
     end
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Verify crash-consistent snapshot-store recovery across power-failure offsets.")
-    Term.(const action $ sweep $ stride $ crash_at)
+    Term.(const action $ sweep $ gc $ stride $ size $ pages $ crash_at)
 
 (* ---------------- disasm ---------------- *)
 
@@ -893,12 +975,20 @@ let info_cmd =
       \  exhaustion; replication commits checkpoints atomically; guest block \
        drivers\n\
       \  retry 3 times; the hypervisor watchdog counts under 'watchdog'.\n\
-       high availability: the snapshot store commits via a two-slot \
-       superblock flip\n\
-      \  (a commit torn at any byte offset recovers the previous or new \
-       image, never\n\
-      \  a hybrid — see 'velum recover --sweep'); the HA supervisor \
-       ('run --ha')\n\
+       high availability: the snapshot store is content-addressed — \
+       images are\n\
+      \  chunked, deduplicated across generations and VMs, and refcounted; \
+       GC\n\
+      \  compacts live chunks into the idle log space and flips \
+       (store.gc cuts\n\
+      \  the compaction, store.ref rots the refcount table); commits land \
+       via a\n\
+      \  two-slot superblock flip, so a cut at any byte offset of a delta \
+       commit\n\
+      \  or a compaction recovers the previous or new image, never a hybrid \
+       and\n\
+      \  never a dangling chunk — see 'velum recover --sweep [--gc]'; the \
+       HA supervisor ('run --ha')\n\
       \  restores wedged VMs from the last checkpoint with exponential \
        backoff and a\n\
       \  crash-loop budget; missed heartbeats drive automatic failover with \

@@ -100,7 +100,6 @@ type vm_state = Pending | Placed of int | Evacuating of int | Shed | Degraded
 type entry = {
   desc : vm_desc;
   units : int;
-  store : Store.t; (* shared (network-attached) checkpoint storage *)
   mutable state : vm_state;
   mutable vm : Vm.t option;
   mutable checkpoints : int;
@@ -119,6 +118,11 @@ type t = {
   fleet : Parallel.fleet;
   det : Detector.t;
   pool : Pool.t;
+  store : Store.t;
+      (* ONE shared (network-attached) content-addressed checkpoint
+         store for the whole fleet: each VM is a named stream, and
+         identical pages — across generations and across VMs booted
+         from the same image — are stored once *)
   entries : entry array;
   monitor : Monitor.t; (* cluster-level shed/degrade events *)
   evac_faults : Fault.t;
@@ -164,26 +168,29 @@ let create cfg =
     Detector.create ~knobs:cfg.knobs ?faults:cfg.faults ~hosts:cfg.hosts
       ~quantum:cfg.quantum ~seed:cfg.seed ()
   in
+  let store =
+    Store.create
+      ~sectors:
+        (Store.fleet_sectors_for
+           ~streams:(max 1 (List.length cfg.workload))
+           ~image_bytes:
+             (List.fold_left
+                (fun acc d -> max acc ((d.setup.Images.frames + 8) * 4096))
+                4096 cfg.workload))
+      ()
+  in
+  (match cfg.faults with
+  | Some f ->
+      Store.set_faults store
+        (Fault.derive f ~seed:(mix_seed cfg.seed ~stream:store_stream ~i:0))
+  | None -> ());
   let entries =
     Array.of_list
-      (List.mapi
-         (fun i d ->
-           let store =
-             Store.create
-               ~sectors:
-                 (Store.sectors_for
-                    ~image_bytes:((d.setup.Images.frames + 8) * 4096))
-               ()
-           in
-           (match cfg.faults with
-           | Some f ->
-               Store.set_faults store
-                 (Fault.derive f ~seed:(mix_seed cfg.seed ~stream:store_stream ~i))
-           | None -> ());
+      (List.map
+         (fun d ->
            {
              desc = d;
              units = d.setup.Images.frames;
-             store;
              state = Pending;
              vm = None;
              checkpoints = 0;
@@ -204,6 +211,7 @@ let create cfg =
     det;
     pool = Pool.create ~hosts:cfg.hosts ~cap_units:cfg.cap_units
         ~headroom:cfg.headroom;
+    store;
     entries;
     monitor = Monitor.create ();
     evac_faults = derive_or_none cfg.faults ~seed:cfg.seed ~stream:evac_stream ~i:0;
@@ -218,19 +226,22 @@ let create cfg =
 
 (* ---- checkpointing (shared-storage) ----
 
-   The commit streams asynchronously to network-attached storage from a
-   copy-on-write view (the {!Snapshot.capture_live} model), so the guest
-   pause charged here is only the fixed metadata pass + superblock
-   flush — [Store.commit_cycles ~bytes:0] — not the full image stream.
-   Charging the stream would stall a host for dozens of rounds per
-   multi-megabyte image and starve every guest on it; the streamed bytes
-   are still accounted by the store itself. *)
+   Every VM checkpoints into the ONE fleet store as its own named
+   stream, so unchanged pages — across a VM's generations and across
+   sibling VMs cloned from the same image — land on the network array
+   exactly once.  The commit streams asynchronously from a
+   copy-on-write view (the {!Snapshot.capture_live} model), so the
+   guest pause charged here is only the fixed metadata pass +
+   superblock flush — [Store.commit_cycles ~bytes:0] — not the full
+   image stream.  Charging the stream would stall a host for dozens of
+   rounds per multi-megabyte image and starve every guest on it; the
+   streamed bytes are still accounted by the store itself. *)
 
 let commit_checkpoint t e ~host =
   match e.vm with
   | Some vm when not (Vm.halted vm) ->
       let img = Snapshot.capture vm in
-      (match Store.commit e.store img with
+      (match Store.commit ~id:e.desc.name t.store img with
       | Store.Committed _ -> e.checkpoints <- e.checkpoints + 1
       | Store.Torn _ -> () (* previous generation still rules; retried *));
       let hyp = t.fleet.Parallel.nodes.(host).Parallel.hyp in
@@ -377,7 +388,7 @@ let evacuate_one t idx ~round =
             fail ()
           end
           else (
-            match Store.recover e.store with
+            match Store.recover ~id:e.desc.name t.store with
             | None -> fail ()
             | Some (img, _gen) -> (
                 let node = t.fleet.Parallel.nodes.(h) in
@@ -733,6 +744,12 @@ let report t =
   in
   Printf.bprintf buf "events %s\n" (Monitor.to_json t.monitor);
   Printf.bprintf buf "mailbox_dropped=%d\n" dropped;
+  Printf.bprintf buf
+    "store commits=%d torn=%d gc=%d bytes_written=%d logical=%d \
+     chunks_live=%d\n"
+    (Store.commits t.store) (Store.torn_commits t.store)
+    (Store.gc_runs t.store) (Store.bytes_written t.store)
+    (Store.logical_bytes t.store) (Store.chunks_live t.store);
   let m = metrics t in
   Printf.bprintf buf
     "metrics availability=%.4f slo=%d mig_bytes=%d evac_mttr=%.2f \

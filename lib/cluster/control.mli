@@ -15,7 +15,9 @@
     - {b Evacuation}: a declared-dead host is fenced {e first} (so a
       false positive becomes a true positive and split-brain is
       structurally impossible), then its VMs are restored from their
-      last durable checkpoint ({!Velum_vmm.Store} on shared storage)
+      last durable checkpoint (one shared content-addressed
+      {!Velum_vmm.Store} holding a named stream per VM, so sibling VMs
+      dedup into the same chunks)
       onto survivors — restart storms rate-limited to [evac_per_round],
       repeatedly-failing VMs degraded to halted once the crash-loop
       budget is spent ([E_cluster_degraded]).

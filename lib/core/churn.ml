@@ -1,0 +1,36 @@
+module Phys_mem = Velum_machine.Phys_mem
+
+type t = {
+  mem : Phys_mem.t;
+  mutable listener : int;
+  dirty : Bytes.t; (* one byte per frame; O(1) clear on drain *)
+  mutable dirty_count : int;
+  mutable total : int;
+}
+
+let attach mem =
+  let n = Phys_mem.frames mem in
+  let t =
+    { mem; listener = -1; dirty = Bytes.make n '\000'; dirty_count = 0; total = 0 }
+  in
+  t.listener <-
+    Phys_mem.add_write_listener mem (fun ~ppn ~lo:_ ~hi:_ ->
+        let i = Int64.to_int ppn in
+        if i >= 0 && i < n && Bytes.get t.dirty i = '\000' then begin
+          Bytes.set t.dirty i '\001';
+          t.dirty_count <- t.dirty_count + 1;
+          t.total <- t.total + 1
+        end);
+  t
+
+let detach t = Phys_mem.remove_write_listener t.mem t.listener
+let churned t = t.dirty_count
+let total t = t.total
+
+let drain t =
+  let n = t.dirty_count in
+  if n > 0 then begin
+    Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+    t.dirty_count <- 0
+  end;
+  n

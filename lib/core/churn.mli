@@ -1,0 +1,32 @@
+(** Dirty-frame tracking for incremental checkpoints.
+
+    A churn tracker rides the same {!Velum_machine.Phys_mem} write
+    listener hook the translation cache uses for SMC invalidation: every
+    guest store, DMA write, or VMM poke into physical memory marks the
+    frame dirty.  The HA supervisor consults it to decide whether a
+    cadence tick has anything to checkpoint — instruction progress alone
+    misses device DMA, and a pure-idle guest needs no commit at all —
+    and reports how many frames of churn each checkpoint covered.  The
+    byte-exact delta itself is computed by {!Store.commit}'s
+    content-addressed dedup, which the tracker makes cheap to invoke
+    only when something actually changed. *)
+
+type t
+
+val attach : Velum_machine.Phys_mem.t -> t
+(** Register a write listener on [mem] with every frame initially clean
+    (the first checkpoint after attach is driven by instruction
+    progress, which a fresh boot always shows). *)
+
+val detach : t -> unit
+(** Unregister the listener. *)
+
+val churned : t -> int
+(** Frames dirtied since the last {!drain}. *)
+
+val total : t -> int
+(** Frames dirtied over the tracker's lifetime (monotonic). *)
+
+val drain : t -> int
+(** Clear the bitmap and return how many frames were dirty — called by
+    the supervisor at each committed checkpoint. *)

@@ -12,6 +12,7 @@ module Log = (val Logs.src_log log_src)
 type t = {
   hyp : Hypervisor.t;
   store : Store.t;
+  churn : Churn.t; (* dirty-frame tracker on the host's physical memory *)
   checkpoint_every : int64;
   max_restarts : int;
   restart_window : int64;
@@ -29,6 +30,8 @@ type t = {
   mutable mttr_total : int64;
   mutable mttr_events : int;
   mutable last_ckpt_instret : int64;
+  mutable ckpt_bytes : int;
+  mutable frames_churned : int;
 }
 
 type stats = {
@@ -39,6 +42,9 @@ type stats = {
   degraded : bool;
   mttr_total : int64;
   mttr_events : int;
+  ckpt_bytes : int;
+  ckpt_logical_bytes : int;
+  frames_churned : int;
 }
 
 let vm_instret (vm : Vm.t) =
@@ -135,15 +141,31 @@ let checkpoint (t : t) =
     && checkpointable t.vm
   then begin
     let instret = vm_instret t.vm in
-    if Int64.compare instret t.last_ckpt_instret <> 0 then begin
+    (* A cadence tick with no retired instructions AND no dirtied frames
+       has nothing new to persist; device DMA dirties memory without
+       retiring guest instructions, which the churn tracker catches. *)
+    if Int64.compare instret t.last_ckpt_instret <> 0 || Churn.churned t.churn > 0
+    then begin
       t.last_ckpt_instret <- instret;
       let image = Snapshot.capture t.vm in
-      let cost = Store.commit_cycles ~bytes:(Store.commit_bytes t.store image) in
-      (match Store.commit t.store image with
-      | Store.Committed _ ->
-          t.checkpoints <- t.checkpoints + 1;
-          trace_ha t.hyp t.vm Trace.Ha_checkpoint ~detail:cost
-      | Store.Torn _ -> t.torn_checkpoints <- t.torn_checkpoints + 1);
+      (* The pause is charged on the bytes the commit actually streamed —
+         the churned delta (or the torn prefix), not the full image. *)
+      let outcome = Store.commit t.store image in
+      let bytes =
+        match outcome with
+        | Store.Committed { bytes; _ } ->
+            t.checkpoints <- t.checkpoints + 1;
+            t.ckpt_bytes <- t.ckpt_bytes + bytes;
+            t.frames_churned <- t.frames_churned + Churn.drain t.churn;
+            bytes
+        | Store.Torn cut ->
+            t.torn_checkpoints <- t.torn_checkpoints + 1;
+            cut
+      in
+      let cost = Store.commit_cycles ~bytes in
+      (match outcome with
+      | Store.Committed _ -> trace_ha t.hyp t.vm Trace.Ha_checkpoint ~detail:cost
+      | Store.Torn _ -> ());
       t.checkpoint_cycles <- Int64.add t.checkpoint_cycles cost;
       (* the guest is paused while the commit streams out *)
       Hypervisor.advance_idle t.hyp ~to_:(Int64.add (Hypervisor.now t.hyp) cost)
@@ -158,6 +180,7 @@ let create ~hyp ~store ~vm ?(checkpoint_every = 300_000L) ?(wd_budget = 150_000L
     {
       hyp;
       store;
+      churn = Churn.attach (Hypervisor.host hyp).Host.mem;
       checkpoint_every;
       max_restarts;
       restart_window;
@@ -175,6 +198,8 @@ let create ~hyp ~store ~vm ?(checkpoint_every = 300_000L) ?(wd_budget = 150_000L
       mttr_total = 0L;
       mttr_events = 0;
       last_ckpt_instret = Int64.minus_one;
+      ckpt_bytes = 0;
+      frames_churned = 0;
     }
   in
   Hypervisor.set_watchdog hyp ~budget:wd_budget ~policy:Hypervisor.Wd_restart;
@@ -244,6 +269,9 @@ let stats (t : t) =
     degraded = t.degraded;
     mttr_total = t.mttr_total;
     mttr_events = t.mttr_events;
+    ckpt_bytes = t.ckpt_bytes;
+    ckpt_logical_bytes = Store.logical_bytes t.store;
+    frames_churned = t.frames_churned;
   }
 
 let inject_stall (vm : Vm.t) =

@@ -28,11 +28,19 @@ type t
 type stats = {
   checkpoints : int;  (** durably committed *)
   torn_checkpoints : int;  (** cut by a power failure; retried next cadence *)
-  checkpoint_cycles : int64;  (** guest pause charged for commits *)
+  checkpoint_cycles : int64;
+      (** guest pause charged for commits — on the delta's actual byte
+          count, so an incremental commit pauses for its churn, not the
+          image footprint *)
   restarts : int;  (** successful destroy-and-restore cycles *)
   degraded : bool;  (** crash-loop budget exhausted (or store empty) *)
   mttr_total : int64;  (** summed stall-detection → running-again time *)
   mttr_events : int;
+  ckpt_bytes : int;  (** bytes the committed checkpoints actually wrote *)
+  ckpt_logical_bytes : int;
+      (** image bytes those checkpoints represent; the ratio to
+          [ckpt_bytes] is the store's dedup win *)
+  frames_churned : int;  (** dirty frames covered by committed checkpoints *)
 }
 
 val create :

@@ -8,6 +8,8 @@ type site =
   | Partition
   | Store_torn
   | Store_csum
+  | Store_gc
+  | Store_ref
   | Hb_loss
   | Cluster_hb
   | Cluster_evac
@@ -16,7 +18,8 @@ type site =
 let all_sites =
   [
     Drop; Corrupt; Duplicate; Delay; Blk_transient; Blk_permanent; Partition;
-    Store_torn; Store_csum; Hb_loss; Cluster_hb; Cluster_evac; Cluster_drain;
+    Store_torn; Store_csum; Store_gc; Store_ref; Hb_loss; Cluster_hb;
+    Cluster_evac; Cluster_drain;
   ]
 
 let nsites = List.length all_sites
@@ -31,10 +34,12 @@ let site_index = function
   | Partition -> 6
   | Store_torn -> 7
   | Store_csum -> 8
-  | Hb_loss -> 9
-  | Cluster_hb -> 10
-  | Cluster_evac -> 11
-  | Cluster_drain -> 12
+  | Store_gc -> 9
+  | Store_ref -> 10
+  | Hb_loss -> 11
+  | Cluster_hb -> 12
+  | Cluster_evac -> 13
+  | Cluster_drain -> 14
 
 let site_name = function
   | Drop -> "drop"
@@ -46,6 +51,8 @@ let site_name = function
   | Partition -> "partition"
   | Store_torn -> "store.torn"
   | Store_csum -> "store.csum"
+  | Store_gc -> "store.gc"
+  | Store_ref -> "store.ref"
   | Hb_loss -> "hb.loss"
   | Cluster_hb -> "cluster.hb"
   | Cluster_evac -> "cluster.evac"
@@ -127,6 +134,8 @@ let site_of_name = function
   | "partition" -> Some Partition
   | "store.torn" -> Some Store_torn
   | "store.csum" -> Some Store_csum
+  | "store.gc" -> Some Store_gc
+  | "store.ref" -> Some Store_ref
   | "hb.loss" -> Some Hb_loss
   | "cluster.hb" -> Some Cluster_hb
   | "cluster.evac" -> Some Cluster_evac

@@ -29,6 +29,14 @@ type site =
   | Store_csum
       (** latent store corruption: a committed record rots and fails its
           checksum on the next recovery scan *)
+  | Store_gc
+      (** power fails mid-compaction in the checkpoint store's garbage
+          collector: the relocation stream is cut at an arbitrary byte
+          offset; the pre-GC space must still rule *)
+  | Store_ref
+      (** a refcount-table update is lost or rots after a commit; the
+          next mount must detect the mismatch and rebuild refcounts from
+          the live manifests *)
   | Hb_loss  (** an HA heartbeat is lost before reaching the wire *)
   | Cluster_hb
       (** a cluster control-plane heartbeat or probe is lost before
@@ -101,7 +109,8 @@ val parse : string -> (t, string) result
     ["seed=42,drop=0.05,corrupt=0.01,partition@10000-20000"].  Each clause
     is [seed=N], [SITE=PROB], or [SITE@LO-HI] (a cycle window).  Site
     names: drop corrupt dup delay blk blkperm partition store.torn
-    store.csum hb.loss cluster.hb cluster.evac cluster.drain. *)
+    store.csum store.gc store.ref hb.loss cluster.hb cluster.evac
+    cluster.drain. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the per-site injected/observed counters (nonzero sites only). *)

@@ -96,14 +96,29 @@ diff "$tmp/e16a.txt" "$tmp/e16b.txt" || {
   echo "FAIL: E16 output diverged between identical-seed runs"; exit 1; }
 cp "$tmp/BENCH_fault.ref.json" BENCH_fault.json
 
-echo "== crash-recovery matrix (power-failure offset sweep) =="
-# Cut the checkpoint write stream at a lattice of byte offsets; every
-# single cut must recover the previous complete generation.  The command
-# exits nonzero on any torn or hybrid recovery, and two identical-seed
-# sweeps must report byte-identical results.
-dune exec bin/velum.exe -- recover --sweep --stride 50021 >"$tmp/sweep1.txt" || {
+echo "== crash-recovery matrix (EVERY power-failure offset) =="
+# Cut the write stream at EVERY byte offset — of a delta commit and of
+# a GC compaction — and verify each cut recovers the newest complete
+# generation.  Synthetic patterned images keep the streams small enough
+# to sweep exhaustively (stride 1); the commands exit nonzero on any
+# torn, hybrid, or dangling-chunk recovery.
+dune exec bin/velum.exe -- recover --sweep --pages 8 --stride 1 \
+  >"$tmp/sweep_delta.txt" || {
+  echo "FAIL: delta-commit crash sweep recovered a torn image"; exit 1; }
+grep -q "0 failures" "$tmp/sweep_delta.txt" || {
+  echo "FAIL: delta-commit crash sweep reported failures"; exit 1; }
+dune exec bin/velum.exe -- recover --sweep --gc --pages 8 --stride 1 \
+  >"$tmp/sweep_gc.txt" || {
+  echo "FAIL: GC-compaction crash sweep lost a live generation"; exit 1; }
+grep -q "0 failures" "$tmp/sweep_gc.txt" || {
+  echo "FAIL: GC-compaction crash sweep reported failures"; exit 1; }
+
+# A coarser lattice over a real VM snapshot delta keeps the end-to-end
+# path (capture -> chunk -> commit -> recover) honest, and two
+# identical-seed sweeps must report byte-identical results.
+dune exec bin/velum.exe -- recover --sweep --stride 4099 >"$tmp/sweep1.txt" || {
   echo "FAIL: crash sweep recovered a torn image"; exit 1; }
-dune exec bin/velum.exe -- recover --sweep --stride 50021 >"$tmp/sweep2.txt" || {
+dune exec bin/velum.exe -- recover --sweep --stride 4099 >"$tmp/sweep2.txt" || {
   echo "FAIL: crash sweep recovered a torn image"; exit 1; }
 diff "$tmp/sweep1.txt" "$tmp/sweep2.txt" || {
   echo "FAIL: crash sweep diverged between identical runs"; exit 1; }
@@ -127,6 +142,30 @@ diff "$tmp/BENCH_ha.a.json" BENCH_ha.json || {
 diff "$tmp/e17a.txt" "$tmp/e17b.txt" || {
   echo "FAIL: E17 output diverged between identical-seed runs"; exit 1; }
 cp "$tmp/BENCH_ha.ref.json" BENCH_ha.json
+
+# The committed BENCH_ha.json must carry the incremental-store columns
+# and show a checkpoint pause tax under 20% at the 100k-cycle cadence —
+# the delta commits are the point of the content-addressed store.
+grep -q '"name": "ha/crash_sweep_gc"' BENCH_ha.json || {
+  echo "FAIL: BENCH_ha.json missing the GC crash-sweep row"; exit 1; }
+grep -q '"dedup_ratio"' BENCH_ha.json || {
+  echo "FAIL: BENCH_ha.json missing the dedup_ratio column"; exit 1; }
+grep -q '"bytes_written"' BENCH_ha.json || {
+  echo "FAIL: BENCH_ha.json missing the bytes_written column"; exit 1; }
+overhead=$(awk -F'"checkpoint_overhead": ' '/"name": "ha\/supervisor\/cadence_100000"/ \
+  { split($2, a, "}"); print a[1] }' BENCH_ha.json)
+[ -n "$overhead" ] || {
+  echo "FAIL: BENCH_ha.json missing the cadence_100000 row"; exit 1; }
+awk -v o="$overhead" 'BEGIN { exit !(o + 0 < 0.20) }' || {
+  echo "FAIL: cadence_100000 checkpoint overhead $overhead >= 0.20"; exit 1; }
+echo "cadence_100000 checkpoint overhead: $overhead"
+
+# E22's BENCH_store.json is all deterministic byte counts (no wall
+# clock), so the regenerated file must match the committed one exactly.
+cp BENCH_store.json "$tmp/BENCH_store.ref.json"
+dune exec bench/main.exe -- --only E22 >"$tmp/e22.txt"
+diff "$tmp/BENCH_store.ref.json" BENCH_store.json || {
+  echo "FAIL: BENCH_store.json diverged from the committed copy"; exit 1; }
 
 echo "== trace determinism and zero-overhead gate =="
 # Tracing is host-side observation only: two identical seeded runs must

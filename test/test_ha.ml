@@ -55,7 +55,7 @@ let store_crash_sweep_prop =
       let image_bytes = max (Bytes.length img1) (Bytes.length img2) in
       let store = store_for ~image_bytes () in
       (match Store.commit store img1 with
-      | Store.Committed 1 -> ()
+      | Store.Committed { gen = 1; _ } -> ()
       | _ -> failwith "baseline commit failed");
       let total = Store.commit_bytes store img2 in
       let off = off_seed mod total in
@@ -75,7 +75,7 @@ let test_store_generations () =
   List.iteri
     (fun i img ->
       match Store.commit store img with
-      | Store.Committed g -> checki "generation increments" (i + 1) g
+      | Store.Committed { gen; _ } -> checki "generation increments" (i + 1) gen
       | Store.Torn _ -> Alcotest.fail "unexpected torn commit")
     imgs;
   (match Store.recover store with
@@ -91,7 +91,7 @@ let test_store_torn_site () =
   let store = store_for ~faults:f ~image_bytes:8_000 () in
   let img1 = Bytes.make 8_000 'x' and img2 = Bytes.make 8_000 'y' in
   (match Store.commit store img1 with
-  | Store.Committed 1 -> ()
+  | Store.Committed { gen = 1; _ } -> ()
   | _ -> Alcotest.fail "first commit must land");
   (match Store.commit store img2 with
   | Store.Torn _ -> ()
@@ -109,10 +109,10 @@ let test_store_csum_rot () =
   let store = store_for ~faults:f ~image_bytes:8_000 () in
   let img1 = Bytes.make 8_000 'x' and img2 = Bytes.make 8_000 'y' in
   (match Store.commit store img1 with
-  | Store.Committed 1 -> ()
+  | Store.Committed { gen = 1; _ } -> ()
   | _ -> Alcotest.fail "first commit must land");
   (match Store.commit store img2 with
-  | Store.Committed 2 -> ()
+  | Store.Committed { gen = 2; _ } -> ()
   | _ -> Alcotest.fail "rot happens after the commit lands");
   (match Store.recover store with
   | Some (img, 1) -> checkb "rot falls back a generation" true (Bytes.equal img img1)
@@ -121,13 +121,192 @@ let test_store_csum_rot () =
     (Fault.observed f Fault.Store_csum + Fault.observed f Fault.Store_torn >= 1)
 
 let test_new_sites_parse () =
-  match Fault.parse "seed=5,store.torn=0.25,store.csum=0.1,hb.loss@100-200" with
+  match
+    Fault.parse
+      "seed=5,store.torn=0.25,store.csum=0.1,store.gc=0.5,store.ref@2-3,hb.loss@100-200"
+  with
   | Error e -> Alcotest.fail e
   | Ok f ->
       checkb "torn prob" true (Fault.prob f Fault.Store_torn = 0.25);
       checkb "csum prob" true (Fault.prob f Fault.Store_csum = 0.1);
+      checkb "gc prob" true (Fault.prob f Fault.Store_gc = 0.5);
+      checkb "ref window" true (Fault.fire f Fault.Store_ref ~now:2L);
+      checkb "ref outside window" false (Fault.fire f Fault.Store_ref ~now:4L);
       checkb "hb window" true (Fault.fire f Fault.Hb_loss ~now:150L);
       checkb "hb outside window" false (Fault.fire f Fault.Hb_loss ~now:250L)
+
+(* ---------------- store: content-addressed deltas and GC ---------------- *)
+
+(* Deterministic patterned pages: content is a pure function of the
+   tag, so shared tags dedup across streams and generations. *)
+let fill_page img i tag =
+  Bytes.set_int64_le img (i * 4096) (Int64.of_int tag);
+  for j = 8 to 4095 do
+    Bytes.unsafe_set img ((i * 4096) + j)
+      (Char.chr (((tag + (j * 7)) land 0x7f) + 1))
+  done
+
+(* Multi-stream fleet store under GC: cut a compaction at any byte
+   offset (or let it complete), power-cycle, and every stream's newest
+   generation must still restore byte-identically — GC must never
+   reclaim a chunk any live manifest can reach. *)
+let store_gc_live_prop =
+  QCheck2.Test.make ~count:60
+    ~name:"GC at any cut offset never loses a live generation"
+    QCheck2.Gen.(triple (int_range 2 4) (int_range 1 3) nat)
+    (fun (streams, gens, off_seed) ->
+      let pages = 6 in
+      let image_bytes = pages * 4096 in
+      let image s g =
+        let b = Bytes.create image_bytes in
+        for i = 0 to pages - 1 do
+          (* low pages shared by every stream of the same generation,
+             high pages private to the stream *)
+          let tag =
+            if i < 3 then (g * 1009) + i
+            else (s * 65599) + (g * 1009) + i
+          in
+          fill_page b i tag
+        done;
+        b
+      in
+      let store =
+        Store.create
+          ~sectors:(Store.fleet_sectors_for ~streams ~image_bytes)
+          ()
+      in
+      let last = Array.make streams Bytes.empty in
+      for g = 1 to gens do
+        for s = 0 to streams - 1 do
+          let img = image s g in
+          (match Store.commit ~id:(string_of_int s) store img with
+          | Store.Committed _ -> ()
+          | Store.Torn _ -> failwith "commit torn without a fault plan");
+          last.(s) <- img
+        done
+      done;
+      let total = Store.gc_bytes store in
+      let cut = off_seed mod (total + 1) in
+      (if cut >= total then (
+         match Store.gc store with
+         | Store.Gc_committed _ -> ()
+         | Store.Gc_torn _ -> failwith "gc torn without a fault plan")
+       else
+         match Store.gc ~crash_at:cut store with
+         | Store.Gc_torn c when c = cut -> ()
+         | _ -> failwith "crash_at must tear the compaction");
+      (* power cycle: all in-memory state is lost *)
+      let store = Store.mount (Store.device store) in
+      let ok = ref true in
+      for s = 0 to streams - 1 do
+        match Store.recover ~id:(string_of_int s) store with
+        | Some (img, g) ->
+            if g <> gens || not (Bytes.equal img last.(s)) then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+(* A chain of delta commits must reassemble the exact same bytes as a
+   fresh store holding only the final image — chunk sharing is a
+   storage optimisation, never a semantic one.  Half the runs remount
+   the device mid-chain so the rebuilt index is on the committing
+   path too. *)
+let store_delta_oracle_prop =
+  QCheck2.Test.make ~count:60
+    ~name:"delta-chain recover equals single-commit recover"
+    QCheck2.Gen.(
+      quad
+        (string_size ~gen:char (int_range 4096 20_000))
+        (list_size (int_range 1 6)
+           (list_size (int_range 1 8) (pair nat (int_range 1 255))))
+        bool bool)
+    (fun (base, steps, remount, grow) ->
+      let image_bytes = String.length base + 4096 in
+      let store = store_for ~image_bytes () in
+      let img = ref (Bytes.of_string base) in
+      (match Store.commit store !img with
+      | Store.Committed { gen = 1; _ } -> ()
+      | _ -> failwith "baseline commit failed");
+      let store = ref store in
+      List.iteri
+        (fun i muts ->
+          let next =
+            if grow && i = 0 then (
+              (* a generation that changes length exercises the tail chunk *)
+              let b = Bytes.create (Bytes.length !img + 811) in
+              Bytes.blit !img 0 b 0 (Bytes.length !img);
+              b)
+            else Bytes.copy !img
+          in
+          List.iter
+            (fun (pos, v) ->
+              Bytes.set next
+                (pos mod Bytes.length next)
+                (Char.chr v))
+            muts;
+          (match Store.commit !store next with
+          | Store.Committed _ -> ()
+          | Store.Torn _ -> failwith "chain commit torn without a fault plan");
+          if remount && i mod 2 = 0 then
+            store := Store.mount (Store.device !store);
+          img := next)
+        steps;
+      let final = !img in
+      let oracle = store_for ~image_bytes:(Bytes.length final) () in
+      (match Store.commit oracle final with
+      | Store.Committed { gen = 1; _ } -> ()
+      | _ -> failwith "oracle commit failed");
+      match
+        (Store.recover !store, Store.recover oracle)
+      with
+      | Some (a, _), Some (b, _) ->
+          Bytes.equal a final && Bytes.equal b final && Bytes.equal a b
+      | _ -> false)
+
+let test_store_gc_site () =
+  let f = Fault.create ~seed:11L () in
+  (* [now] for store sites is the successful-commit ordinal *)
+  Fault.add_window f Fault.Store_gc ~lo:2L ~hi:2L;
+  let store = store_for ~faults:f ~image_bytes:16_000 () in
+  let img1 = Bytes.make 16_000 'x' and img2 = Bytes.make 16_000 'y' in
+  (match Store.commit store img1 with
+  | Store.Committed { gen = 1; _ } -> ()
+  | _ -> Alcotest.fail "first commit must land");
+  (match Store.commit store img2 with
+  | Store.Committed { gen = 2; _ } -> ()
+  | _ -> Alcotest.fail "second commit must land");
+  (match Store.gc store with
+  | Store.Gc_torn _ -> ()
+  | Store.Gc_committed _ -> Alcotest.fail "the window must cut the compaction");
+  checki "torn gc counted" 1 (Store.torn_gc store);
+  checki "injected counted" 1 (Fault.injected f Fault.Store_gc);
+  let store = Store.mount (Store.device store) in
+  (match Store.recover store with
+  | Some (img, 2) ->
+      checkb "newest generation survives the torn compaction" true
+        (Bytes.equal img img2)
+  | _ -> Alcotest.fail "must recover generation 2")
+
+let test_store_ref_site () =
+  let f = Fault.create ~seed:21L () in
+  Fault.add_window f Fault.Store_ref ~lo:1L ~hi:1L;
+  let store = store_for ~faults:f ~image_bytes:16_000 () in
+  let img1 = Bytes.make 16_000 'x' and img2 = Bytes.make 16_000 'y' in
+  (match Store.commit store img1 with
+  | Store.Committed { gen = 1; _ } -> ()
+  | _ -> Alcotest.fail "first commit must land");
+  (match Store.commit store img2 with
+  | Store.Committed { gen = 2; _ } -> ()
+  | _ -> Alcotest.fail "rot happens after the commit lands");
+  checki "rot injected" 1 (Fault.injected f Fault.Store_ref);
+  (* the reboot path must detect the rotted table and rebuild it from
+     the live manifests instead of trusting it *)
+  let store = Store.mount ~faults:f (Store.device store) in
+  checki "refcount table rebuilt" 1 (Store.ref_rebuilds store);
+  checkb "rot observed" true (Fault.observed f Fault.Store_ref >= 1);
+  (match Store.recover store with
+  | Some (img, 2) -> checkb "newest image intact" true (Bytes.equal img img2)
+  | _ -> Alcotest.fail "recovery must be unaffected by refcount rot")
 
 (* ---------------- snapshot: rejected restores leave no trace ---------------- *)
 
@@ -297,7 +476,9 @@ let test_ha_restart_recovers () =
   let prog = spin_n_then_halt 100_000 in
   let base = reference_instret prog in
   let _hyp, sup = supervised prog in
-  (match Ha.run sup ~budget:250_000L with
+  (* incremental commits pause the guest for the delta only, so keep the
+     budget well short of the ~200k instructions the program needs *)
+  (match Ha.run sup ~budget:150_000L with
   | Hypervisor.Out_of_budget -> ()
   | _ -> Alcotest.fail "guest should still be running");
   checkb "checkpoints committed" true ((Ha.stats sup).Ha.checkpoints >= 1);
@@ -452,7 +633,15 @@ let () =
         :: Alcotest.test_case "store.csum rot falls back a generation" `Quick
              test_store_csum_rot
         :: Alcotest.test_case "new fault sites parse" `Quick test_new_sites_parse
-        :: qsuite [ store_crash_sweep_prop ] );
+        :: Alcotest.test_case "store.gc window tears a compaction" `Quick
+             test_store_gc_site
+        :: Alcotest.test_case "store.ref rot is detected and rebuilt" `Quick
+             test_store_ref_site
+        :: qsuite
+             [
+               store_crash_sweep_prop; store_gc_live_prop;
+               store_delta_oracle_prop;
+             ] );
       ( "snapshot",
         Alcotest.test_case "truncated image rejected without trace" `Quick
           test_truncated_restore_rejected
