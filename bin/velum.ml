@@ -942,6 +942,175 @@ let cluster_cmd =
       $ domains $ checkpoint_every $ kills $ drains $ faults_arg
       $ ha_miss_limit_arg $ ha_timeout_arg $ ha_backoff_arg)
 
+(* ---------------- net ---------------- *)
+
+(* A switched virtio-net fleet: per host, one load-balancer VM fanning
+   requests out over backend VMs, driven by open-loop clients, all
+   connected through the learning switch.  The printed fleet report and
+   per-host fabric digest are byte-identical at any --domains, so CI
+   diffs the output across domain counts (clean and under --faults). *)
+
+let net_cmd =
+  let hosts =
+    Arg.(value & opt int 2 & info [ "hosts" ] ~doc:"Fleet cells (one switch + LB + backends + clients each).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:"Worker domains.  Output is byte-identical for every value.")
+  in
+  let backends =
+    Arg.(value & opt int 2 & info [ "backends" ] ~doc:"Backend VMs per cell.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client VMs per cell.")
+  in
+  let requests =
+    Arg.(value & opt int 16 & info [ "requests" ] ~doc:"Requests per client.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ]
+          ~doc:"Requests staged per doorbell (one VM exit per batch).")
+  in
+  let service =
+    Arg.(value & opt int 150 & info [ "service" ] ~doc:"Backend service time in spin iterations.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int64 400_000L
+      & info [ "quantum" ] ~doc:"Cycles each host runs between round barriers.")
+  in
+  let rounds =
+    Arg.(value & opt int 16 & info [ "rounds" ] ~doc:"Maximum barrier rounds.")
+  in
+  let seed = Arg.(value & opt int64 23L & info [ "seed" ] ~doc:"Fleet seed.") in
+  let action hosts domains backends clients requests batch service quantum
+      rounds seed faults =
+    let module P = Velum_cluster.Parallel in
+    let n_ports = 1 + backends + clients in
+    let mac p = Int64.of_int (0x10 + p) in
+    let lb_setup =
+      Images.plan ~heap_pages:2 ~vnet:true
+        ~user:
+          (Workloads.vnet_lb ~my_mac:(mac 0)
+             ~backends:(List.init backends (fun b -> mac (1 + b))))
+        ()
+    in
+    let backend_setup b =
+      Images.plan ~heap_pages:2 ~vnet:true
+        ~user:(Workloads.vnet_backend ~my_mac:(mac (1 + b)) ~service)
+        ()
+    in
+    let client_setup c =
+      Images.plan ~heap_pages:2 ~vnet:true
+        ~user:
+          (Workloads.vnet_client ~my_mac:(mac (1 + backends + c)) ~lb_mac:(mac 0)
+             ~peers:(n_ports - 1) ~requests ~batch ~gap:500)
+        ()
+    in
+    let mk_vms _i =
+      [ P.spec ~name:"lb" lb_setup ]
+      @ List.init backends (fun b ->
+            P.spec ~name:(Printf.sprintf "backend%d" b) (backend_setup b))
+      @ List.init clients (fun c ->
+            P.spec ~name:(Printf.sprintf "client%d" c) (client_setup c))
+    in
+    let stash = Array.make hosts None in
+    let hists = Array.init hosts (fun _ -> Histogram.create ()) in
+    let wire i hyp =
+      let ports =
+        Array.init n_ports (fun _ ->
+            Link.create ~bytes_per_cycle:1.0 ~latency_cycles:200 ())
+      in
+      (match faults with
+      | Some base ->
+          Array.iteri
+            (fun p l ->
+              Link.set_faults l
+                (Fault.derive base ~seed:(Int64.of_int (7_001 + (i * 97) + p))))
+            ports
+      | None -> ());
+      let sw = Switch.create ports in
+      Array.iteri (fun p _ -> Switch.learn sw ~mac:(mac p) ~port:p) ports;
+      Switch.set_snoop sw
+        (Some
+           (fun port now frame ->
+             if
+               port > backends
+               && String.length frame >= 48
+               && String.get_int64_le frame 16 = 2L
+             then
+               Histogram.add hists.(i)
+                 (Int64.to_int (Int64.sub now (String.get_int64_le frame 32)))));
+      Hypervisor.add_ticker hyp (Switch.tick sw);
+      Hypervisor.add_event_source hyp (fun () -> Switch.next_event sw);
+      List.iteri
+        (fun p vm -> ignore (Vm.attach_vnet vm ~link:ports.(p) ~endpoint:`A))
+        hyp.Hypervisor.vms;
+      stash.(i) <- Some (sw, ports)
+    in
+    let cfg = P.config ~quantum ~rounds ~seed ~hosts ~wire ~mk_vms () in
+    let r = P.run ~domains cfg in
+    print_string r.P.report;
+    let fleet_hist = Histogram.create () in
+    let replies = ref 0 and sent = ref 0 and kicks = ref 0 and drops = ref 0 in
+    Array.iteri
+      (fun i node ->
+        let sw, ports = Option.get stash.(i) in
+        let vnets =
+          List.filter_map (fun vm -> vm.Vm.vnet) node.P.hyp.Hypervisor.vms
+        in
+        let sum f = List.fold_left (fun a v -> a + f v) 0 vnets in
+        let wire_drop =
+          Array.fold_left (fun a l -> a + Link.wire_dropped l) 0 ports
+        in
+        if not (Switch.conserved sw) then
+          failwith (Printf.sprintf "net: host%d switch conservation violated" i);
+        let h = hists.(i) in
+        List.iter
+          (fun (lo, n) ->
+            for _ = 1 to n do
+              Histogram.add fleet_hist lo
+            done)
+          (Histogram.buckets h);
+        replies := !replies + Histogram.count h;
+        sent := !sent + sum Virtio_net.frames_sent;
+        kicks := !kicks + sum Virtio_net.kicks;
+        drops := !drops + Switch.drops sw + wire_drop;
+        Printf.printf
+          "host%d replies=%d p50=%.1f p95=%.1f p99=%.1f max=%d sent=%d \
+           recv=%d sw_drops=%d wire_drop=%d kicks=%d\n"
+          i (Histogram.count h) (Histogram.percentile h 50.0)
+          (Histogram.percentile h 95.0) (Histogram.percentile h 99.0)
+          (Histogram.max_value h) (sum Virtio_net.frames_sent)
+          (sum Virtio_net.frames_received) (Switch.drops sw) wire_drop
+          (sum Virtio_net.kicks))
+      r.P.fleet.P.nodes;
+    Printf.printf
+      "fabric: replies=%d p50=%.1f p95=%.1f p99=%.1f drops=%d frames/kick=%s\n"
+      !replies
+      (Histogram.percentile fleet_hist 50.0)
+      (Histogram.percentile fleet_hist 95.0)
+      (Histogram.percentile fleet_hist 99.0)
+      !drops
+      (if !kicks = 0 then "-"
+       else Printf.sprintf "%.2f" (float_of_int !sent /. float_of_int !kicks))
+    (* the base fault plan only seeds the per-link derived plans, so its
+       own counters stay empty — nothing useful to print here *)
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Run a switched virtio-net fleet (LB fan-out over backends under \
+          open-loop clients) and print per-host latency/counter digests — \
+          byte-deterministic at any --domains.")
+    Term.(
+      const action $ hosts $ domains $ backends $ clients $ requests $ batch
+      $ service $ quantum $ rounds $ seed $ faults_arg)
+
 (* ---------------- info ---------------- *)
 
 let info_cmd =
@@ -964,7 +1133,8 @@ let info_cmd =
       \  engine.cache.{entries,hits,misses,invalidations,evictions}\n\
       \  engine.chain.{patched,follows,severed}\n\
       \  engine.trace.{built,follows,severed,side_exits}\n\
-      \  tlb.{hits,misses,evictions,flushes}  dtlb.{hits,misses,fills}\n";
+      \  tlb.{hits,misses,evictions,flushes}  dtlb.{hits,misses,fills}\n\
+      \  net.{sent,received,tx_dropped,rx_dropped,rx_overflow,rx_queued,kicks}\n";
     Printf.printf "fault-injection sites (--faults SPEC):\n  %s\n"
       (String.concat " " (List.map Fault.site_name Fault.all_sites));
     Printf.printf
@@ -1013,6 +1183,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "velum" ~version:"1.0.0" ~doc)
           [
-            run_cmd; cluster_cmd; trace_cmd; migrate_cmd; replicate_cmd;
-            snapshot_cmd; recover_cmd; disasm_cmd; consolidate_cmd; info_cmd;
+            run_cmd; cluster_cmd; net_cmd; trace_cmd; migrate_cmd;
+            replicate_cmd; snapshot_cmd; recover_cmd; disasm_cmd;
+            consolidate_cmd; info_cmd;
           ]))

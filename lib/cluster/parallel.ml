@@ -31,11 +31,12 @@ type config = {
   trace : bool;
   host_frames : int option;
   mailbox_capacity : int option;
+  wire : (int -> Hypervisor.t -> unit) option;
 }
 
 let config ?(quantum = 200_000L) ?(rounds = 8) ?(seed = 0L) ?faults
     ?(hb_miss_limit = 3) ?(hb_timeout = 0L) ?(migrate_every = 0) ?fail_host
-    ?(trace = false) ?host_frames ?mailbox_capacity ~hosts ~mk_vms () =
+    ?(trace = false) ?host_frames ?mailbox_capacity ?wire ~hosts ~mk_vms () =
   if hosts <= 0 then invalid_arg "Parallel.config: hosts must be positive";
   if Int64.compare quantum 0L <= 0 then
     invalid_arg "Parallel.config: quantum must be positive";
@@ -60,6 +61,7 @@ let config ?(quantum = 200_000L) ?(rounds = 8) ?(seed = 0L) ?faults
     trace;
     host_frames;
     mailbox_capacity;
+    wire;
   }
 
 (* ---- fleet state ---- *)
@@ -141,6 +143,9 @@ let init cfg =
               Virtio_blk.set_faults vm.Vm.vblk node_faults
             end)
           specs;
+        (* intra-host fabric (switch, vnet adapters, tickers): runs
+           before the first round, in host order, on the coordinator *)
+        Option.iter (fun w -> w i hyp) cfg.wire;
         {
           id = i;
           hyp;

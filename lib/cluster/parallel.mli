@@ -71,6 +71,13 @@ type config = private {
   mailbox_capacity : int option;
       (** bound every inbox/outbox (see {!Mailbox.create}); [None] =
           unbounded *)
+  wire : (int -> Velum_vmm.Hypervisor.t -> unit) option;
+      (** per-host fabric builder, called once per host at {!init} after
+          its VMs are created and loaded.  Use it to build an intra-host
+          network ({!Velum_devices.Switch} + {!Velum_vmm.Vm.attach_vnet})
+          and register its tickers.  Everything it wires lives inside
+          one host, so worker-phase parallelism never touches shared
+          state and byte-determinism is preserved. *)
 }
 
 val config :
@@ -85,6 +92,7 @@ val config :
   ?trace:bool ->
   ?host_frames:int ->
   ?mailbox_capacity:int ->
+  ?wire:(int -> Velum_vmm.Hypervisor.t -> unit) ->
   hosts:int ->
   mk_vms:(int -> vm_spec list) ->
   unit ->

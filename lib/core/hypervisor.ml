@@ -29,6 +29,12 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
+  (* Ambient infrastructure that is not a VM device — a software switch
+     between this host's VMs, for instance.  Tickers run at every wake
+     point; event sources feed the idle-time search so a pending frame
+     arrival wakes the host instead of deadlocking it. *)
+  mutable tickers : (int64 -> unit) list;
+  mutable event_sources : (unit -> int64 option) list;
 }
 
 let create ?ctx ?host ?sched ?(pcpus = 1) () =
@@ -51,6 +57,8 @@ let create ?ctx ?host ?sched ?(pcpus = 1) () =
     sched_decisions = 0;
     watchdog = None;
     restart_handler = None;
+    tickers = [];
+    event_sources = [];
   }
 
 let ctx t = t.ctx
@@ -67,6 +75,12 @@ let set_watchdog t ~budget ~policy =
 let watchdog_fired t = match t.watchdog with None -> 0 | Some w -> w.wd_fired
 let set_restart_handler t f = t.restart_handler <- Some f
 let restart_handler t = t.restart_handler
+
+(* Registration order is preserved (ticks run oldest-first) so a fixed
+   wiring order gives a fixed tick order — the fleet's byte-determinism
+   depends on it. *)
+let add_ticker t f = t.tickers <- t.tickers @ [ f ]
+let add_event_source t f = t.event_sources <- t.event_sources @ [ f ]
 
 let now t = t.clock
 let pcpu_count t = Array.length t.pcpus
@@ -265,6 +279,7 @@ let exec_vcpu t vm ~vcpu_idx ~base ~slice =
 (* ---- wake and idle machinery ---- *)
 
 let wake_sleepers_at t ~now =
+  List.iter (fun f -> f now) t.tickers;
   List.iter
     (fun vm ->
       Bus.tick vm.Vm.bus now;
@@ -298,8 +313,10 @@ let next_event t =
         vm.Vm.vcpus;
       Option.iter consider (Blockdev.next_completion vm.Vm.blk);
       Option.iter consider (Virtio_blk.next_completion vm.Vm.vblk);
-      Option.iter (fun n -> Option.iter consider (Nic.next_arrival n)) vm.Vm.nic)
+      Option.iter (fun n -> Option.iter consider (Nic.next_arrival n)) vm.Vm.nic;
+      Option.iter (fun v -> Option.iter consider (Virtio_net.next_arrival v)) vm.Vm.vnet)
     t.vms;
+  List.iter (fun src -> Option.iter consider (src ())) t.event_sources;
   !earliest
 
 let all_halted t = t.vms <> [] && List.for_all Vm.halted t.vms

@@ -35,6 +35,13 @@ type t = {
   mutable sched_decisions : int;
   mutable watchdog : watchdog option;
   mutable restart_handler : (Vm.t -> unit) option;
+  mutable tickers : (int64 -> unit) list;
+      (** ambient per-host infrastructure ticked at every wake point —
+          e.g. a software switch between this host's VMs *)
+  mutable event_sources : (unit -> int64 option) list;
+      (** extra feeds for the idle-time event search (e.g.
+          {!Velum_devices.Switch.next_event}) so pending fabric work
+          wakes an otherwise idle host instead of deadlocking it *)
 }
 
 val create :
@@ -120,6 +127,15 @@ val set_restart_handler : t -> (Vm.t -> unit) -> unit
     {!restart_handler} when several supervisors share a hypervisor. *)
 
 val restart_handler : t -> (Vm.t -> unit) option
+
+val add_ticker : t -> (int64 -> unit) -> unit
+(** Register an ambient ticker, called with the current clock at every
+    wake point (before device buses tick).  Registration order is the
+    tick order — keep wiring order fixed for byte-deterministic runs. *)
+
+val add_event_source : t -> (unit -> int64 option) -> unit
+(** Register an extra next-event feed consulted when every vCPU is
+    blocked, alongside device completions and timer deadlines. *)
 
 val advance_idle : t -> to_:int64 -> unit
 (** Fast-forward every pCPU clock to [to_] (no-op for clocks already

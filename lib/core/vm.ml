@@ -27,6 +27,7 @@ type t = {
   mutable blk : Blockdev.t;
   mutable vblk : Virtio_blk.t;
   mutable nic : Nic.t option;
+  mutable vnet : Virtio_net.t option;
   monitor : Monitor.t;
   dirty : Bytes.t;
   mutable dirty_logging : bool;
@@ -318,6 +319,7 @@ let create ~host ~id ~name ~mem_frames ?(vcpu_count = 1) ?(paging = Nested_pagin
       blk = Blockdev.create ~sectors:blk_sectors { Blockdev.dma_read = (fun _ _ -> None); dma_write = (fun _ _ -> false) };
       vblk = Virtio_blk.create ~sectors:blk_sectors { Virtio_ring.read_u64 = (fun _ -> None); write_u64 = (fun _ _ -> false); read_bytes = (fun _ _ -> None); write_bytes = (fun _ _ -> false) };
       nic = None;
+      vnet = None;
       monitor = Monitor.create ();
       dirty = Bytes.make ((mem_frames + 7) / 8) '\000';
       dirty_logging = false;
@@ -388,6 +390,16 @@ let destroy t =
           ignore (Frame_alloc.decr_ref t.host.Host.alloc hpa_ppn);
           P2m.set t.p2m gfn P2m.Absent
       | _ -> ())
+
+(* Plug a virtio-net adapter into [link] at [endpoint] and put it on
+   the bus.  Callable any time after creation — a migration twin gets
+   its fabric port back this way, with {!Virtio_net.configure} restoring
+   the ring layout host-side. *)
+let attach_vnet t ~link ~endpoint =
+  let v = Virtio_net.create ~link ~endpoint ~mem:(guest_mem t) () in
+  t.vnet <- Some v;
+  Bus.attach t.bus (Virtio_net.device v);
+  v
 
 let load_image t (img : Asm.image) =
   if not (write_gpa_bytes t img.Asm.origin img.Asm.code) then
@@ -573,6 +585,29 @@ let publish_stats t =
   g "dtlb.hits" (sum Dtlb.hits t.dtlbs);
   g "dtlb.misses" (sum Dtlb.misses t.dtlbs);
   g "dtlb.fills" (sum Dtlb.fills t.dtlbs);
+  (* Net gauges appear only when an adapter is attached, so outputs of
+     network-less runs are unchanged.  Emulated NIC and virtio-net
+     counters share one namespace: a VM has at most one of each, and the
+     drop counters are the frame-conservation terms. *)
+  Option.iter
+    (fun n ->
+      g "net.sent" (Nic.frames_sent n);
+      g "net.received" (Nic.frames_received n);
+      g "net.tx_dropped" (Nic.tx_dropped n);
+      g "net.rx_dropped" (Nic.rx_dropped n);
+      g "net.rx_overflow" (Nic.rx_overflow n);
+      g "net.rx_queued" (Nic.rx_queue_length n))
+    t.nic;
+  Option.iter
+    (fun v ->
+      g "net.sent" (Virtio_net.frames_sent v);
+      g "net.received" (Virtio_net.frames_received v);
+      g "net.tx_dropped" (Virtio_net.tx_dropped v + Virtio_net.tx_malformed v);
+      g "net.rx_dropped" (Virtio_net.rx_dropped v + Virtio_net.rx_malformed v);
+      g "net.rx_overflow" (Virtio_net.rx_overflow v);
+      g "net.rx_queued" (Virtio_net.backlog_length v);
+      g "net.kicks" (Virtio_net.kicks v))
+    t.vnet;
   match t.engine.Engine.cache with
   | None -> ()
   | Some c ->

@@ -50,6 +50,7 @@ type t = {
   mutable blk : Blockdev.t;
   mutable vblk : Virtio_blk.t;
   mutable nic : Nic.t option;
+  mutable vnet : Virtio_net.t option;  (** paravirtual fabric port *)
   monitor : Monitor.t;
   dirty : Bytes.t;  (** dirty bitmap, one bit per guest frame *)
   mutable dirty_logging : bool;
@@ -110,6 +111,13 @@ val create :
 val destroy : t -> unit
 (** Release every host frame the VM holds (guest memory, shadow tables).
     The VM must not be used afterwards. *)
+
+val attach_vnet : t -> link:Link.t -> endpoint:Link.endpoint -> Virtio_net.t
+(** Plug a virtio-net adapter into one end of [link] and attach it to
+    the VM's bus (at {!Virtio_net.mmio_base}).  Callable any time after
+    creation — this is also how a live-migration twin gets its switch
+    port back on the destination host, with {!Virtio_net.configure}
+    restoring the ring layout host-side. *)
 
 val load_image : t -> Asm.image -> unit
 (** Copy an assembled image into guest-physical memory. *)

@@ -85,6 +85,13 @@ type t = {
   mutable total_bytes : int;
   mutable seq : int; (* global tiebreaker: send order across the link *)
   mutable faults : Fault.t;
+  (* Data-lane loss accounting.  The sender cannot observe a drop (it
+     still pays serialization and gets an arrival estimate), so the link
+     itself keeps the books: every frame is either queued, counted in
+     [dropped], or produced an extra copy counted in [duplicated].  Frame
+     conservation across a NIC pair closes only with these terms. *)
+  mutable dropped : int;
+  mutable duplicated : int;
 }
 
 let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
@@ -98,6 +105,8 @@ let create ?(bytes_per_cycle = 1.25) ?(latency_cycles = 2000) () =
     total_bytes = 0;
     seq = 0;
     faults = Fault.none ();
+    dropped = 0;
+    duplicated = 0;
   }
 
 let set_faults t f = t.faults <- f
@@ -138,8 +147,10 @@ let send t ~from ~now ~payload =
   (* Fixed decision order keeps the fault schedule deterministic: the
      sender always pays the serialization time (the frame went onto the
      wire) even when the frame is then lost. *)
-  if Fault.fire f Fault.Partition ~now || Fault.fire f Fault.Drop ~now then
+  if Fault.fire f Fault.Partition ~now || Fault.fire f Fault.Drop ~now then begin
+    t.dropped <- t.dropped + 1;
     arrival
+  end
   else begin
     let payload =
       if Fault.fire f Fault.Corrupt ~now then corrupt_payload t payload
@@ -154,8 +165,10 @@ let send t ~from ~now ~payload =
       else arrival
     in
     enqueue t d ~arrival ~payload;
-    if Fault.fire f Fault.Duplicate ~now then
-      enqueue t d ~arrival:(Int64.add arrival 1L) ~payload;
+    if Fault.fire f Fault.Duplicate ~now then begin
+      t.duplicated <- t.duplicated + 1;
+      enqueue t d ~arrival:(Int64.add arrival 1L) ~payload
+    end;
     arrival
   end
 
@@ -210,4 +223,8 @@ let next_arrival t ~at =
 let in_flight t =
   t.a_to_b.heap.Heap.len + t.b_to_a.heap.Heap.len + t.a_to_b.ctl.Heap.len
   + t.b_to_a.ctl.Heap.len
+
+let queued t ~at = (dir t (peer at)).heap.Heap.len
+let wire_dropped t = t.dropped
+let wire_duplicated t = t.duplicated
 let bytes_sent t = t.total_bytes

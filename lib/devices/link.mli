@@ -33,7 +33,8 @@ val set_faults : t -> Velum_util.Fault.t -> unit
     (in a fixed order: partition, drop, corrupt, delay, duplicate) so that
     equal seeds give byte-identical loss schedules.  Dropped frames still
     consume line time and still return an arrival estimate — the sender
-    cannot tell; only [poll] reveals the loss. *)
+    cannot tell; the link books the loss in {!wire_dropped} and only
+    [poll] reveals it to the receiver. *)
 
 val faults : t -> Velum_util.Fault.t
 (** The currently attached plan ([Fault.none ()] by default). *)
@@ -62,6 +63,20 @@ val next_arrival : t -> at:endpoint -> int64 option
 
 val in_flight : t -> int
 (** Total queued frames in both directions. *)
+
+val queued : t -> at:endpoint -> int
+(** [queued t ~at] is the number of data-lane frames currently in flight
+    toward [at] (sent but not yet polled).  Switch ports use it as the
+    egress queue depth for bounded-queue admission. *)
+
+val wire_dropped : t -> int
+(** Data-lane frames lost in flight (partition or drop faults).  Control
+    lane losses are not counted here. *)
+
+val wire_duplicated : t -> int
+(** Extra data-lane frame copies created by duplicate faults.  A frame
+    conservation audit closes as:
+    sent = polled + queued + wire_dropped - wire_duplicated. *)
 
 val bytes_sent : t -> int
 (** Total payload bytes ever sent (both directions). *)

@@ -8,6 +8,9 @@ let reg_rx_dma = 0x20L
 let reg_rx_cmd = 0x28L
 let reg_frames_sent = 0x30L
 let reg_frames_received = 0x38L
+let reg_tx_dropped = 0x40L
+let reg_rx_dropped = 0x48L
+let reg_rx_overflow = 0x50L
 let mmio_base = 0x4000_1000L
 let max_frame = 9000
 
@@ -23,6 +26,9 @@ type t = {
   mutable rx_dma : int64;
   mutable sent : int;
   mutable received : int;
+  mutable tx_dropped : int;
+  mutable rx_dropped : int;
+  mutable rx_overflow : int;
   mutable now : int64;
 }
 
@@ -37,30 +43,41 @@ let create ~link ~endpoint ~dma ?(rx_capacity = 256) () =
     rx_dma = 0L;
     sent = 0;
     received = 0;
+    tx_dropped = 0;
+    rx_dropped = 0;
+    rx_overflow = 0;
     now = 0L;
   }
 
+(* [sent] counts frames actually handed to the wire; everything else a
+   TX doorbell can do to a frame (bad length, unreadable DMA source)
+   lands in [tx_dropped].  Wire losses are the link's to count. *)
 let transmit t =
   let len = Int64.to_int t.tx_len in
-  if len > 0 && len <= max_frame then
+  if len <= 0 || len > max_frame then t.tx_dropped <- t.tx_dropped + 1
+  else
     match t.dma.dma_read t.tx_addr len with
     | Some frame ->
         ignore
           (Link.send t.link ~from:t.endpoint ~now:t.now ~payload:(Bytes.to_string frame));
         t.sent <- t.sent + 1
-    | None -> ()
+    | None -> t.tx_dropped <- t.tx_dropped + 1
 
+(* The frame leaves the queue either delivered ([received]) or counted
+   ([rx_dropped]) — never destroyed silently by a bad RX_DMA target. *)
 let receive t =
   match Ring.pop t.rx with
   | Some frame ->
       if t.dma.dma_write t.rx_dma (Bytes.of_string frame) then
         t.received <- t.received + 1
+      else t.rx_dropped <- t.rx_dropped + 1
   | None -> ()
 
 let tick t now =
   if Int64.unsigned_compare now t.now > 0 then t.now <- now;
   List.iter
-    (fun frame -> ignore (Ring.push t.rx frame))
+    (fun frame ->
+      if not (Ring.push t.rx frame) then t.rx_overflow <- t.rx_overflow + 1)
     (Link.poll t.link ~at:t.endpoint ~now:t.now)
 
 let read_reg t off =
@@ -70,6 +87,9 @@ let read_reg t off =
     | None -> 0L
   else if off = reg_frames_sent then Int64.of_int t.sent
   else if off = reg_frames_received then Int64.of_int t.received
+  else if off = reg_tx_dropped then Int64.of_int t.tx_dropped
+  else if off = reg_rx_dropped then Int64.of_int t.rx_dropped
+  else if off = reg_rx_overflow then Int64.of_int t.rx_overflow
   else if off = reg_tx_addr then t.tx_addr
   else if off = reg_tx_len then t.tx_len
   else if off = reg_rx_dma then t.rx_dma
@@ -95,5 +115,9 @@ let device ?(base = mmio_base) t =
 
 let frames_sent t = t.sent
 let frames_received t = t.received
+let tx_dropped t = t.tx_dropped
+let rx_dropped t = t.rx_dropped
+let rx_overflow t = t.rx_overflow
 let rx_queue_length t = Ring.length t.rx
 let next_arrival t = Link.next_arrival t.link ~at:t.endpoint
+let link t = t.link

@@ -10,7 +10,14 @@ let sector_bytes = Blockdev.sector_bytes
 let seek_cycles = 2_000
 let cycles_per_byte = 2
 
-type batch = { finish_at : int64; completions : (int64 * bool) list (* status_gpa, ok *) }
+(* A batch completes every slot it consumed — malformed slots included,
+   otherwise the in-order used index desynchronizes from avail and the
+   guest spins on a status byte that will never be written. *)
+type completion =
+  | Exec of int64 * bool (* status_gpa, ok *)
+  | Bad_slot of int64 (* free-running ring index of a malformed slot *)
+
+type batch = { finish_at : int64; completions : completion list }
 
 type t = {
   store : Bytes.t;
@@ -121,21 +128,35 @@ let kick t =
   match setup_ring t with
   | None -> ()
   | Some ring ->
-      let descs = Virtio_ring.pending ring in
-      if descs <> [] then begin
-        let results = List.map (exec_desc t) descs in
-        let total_bytes = List.fold_left (fun acc (_, _, len) -> acc + len) 0 results in
+      let slots = Virtio_ring.pending_slots ring in
+      if slots <> [] then begin
+        let results =
+          List.map
+            (fun (idx, d) ->
+              match d with
+              | Some d ->
+                  let gpa, ok, len = exec_desc t d in
+                  (Exec (gpa, ok), len)
+              | None -> (Bad_slot idx, 0))
+            slots
+        in
+        let total_bytes = List.fold_left (fun acc (_, len) -> acc + len) 0 results in
         let latency = seek_cycles + (total_bytes * cycles_per_byte) in
-        let completions = List.map (fun (gpa, ok, _) -> (gpa, ok)) results in
+        let completions = List.map fst results in
         t.batches <-
           t.batches @ [ { finish_at = Int64.add t.now (Int64.of_int latency); completions } ]
       end
 
 let finish_batch t b =
   List.iter
-    (fun (status_gpa, ok) ->
-      if not ok then t.error_count <- t.error_count + 1;
-      ignore (t.mem.write_bytes status_gpa (Bytes.make 1 (if ok then '\000' else '\001'))))
+    (function
+      | Exec (status_gpa, ok) ->
+          if not ok then t.error_count <- t.error_count + 1;
+          ignore
+            (t.mem.write_bytes status_gpa (Bytes.make 1 (if ok then '\000' else '\001')))
+      | Bad_slot idx ->
+          t.error_count <- t.error_count + 1;
+          Option.iter (fun ring -> Virtio_ring.fail_slot ring idx) t.ring)
     b.completions;
   (match t.ring with
   | Some ring -> Virtio_ring.complete ring ~count:(List.length b.completions)

@@ -50,18 +50,35 @@ let read_desc t idx =
   let* status_gpa = t.mem.read_u64 (Int64.add a 32L) in
   Some { data_gpa; data_len = Int64.to_int len; kind; arg; status_gpa }
 
-let pending t =
+let pending_slots t =
   let avail = avail_idx t and used = used_idx t in
   let n = Int64.to_int (Int64.sub avail used) in
   if n <= 0 || n > t.ring_size then []
   else
-    List.filter_map
-      (fun i -> read_desc t (Int64.add used (Int64.of_int i)))
+    List.map
+      (fun i ->
+        let idx = Int64.add used (Int64.of_int i) in
+        (idx, read_desc t idx))
       (List.init n Fun.id)
+
+let pending t = List.filter_map snd (pending_slots t)
 
 let complete t ~count =
   let used = used_idx t in
   ignore (t.mem.write_u64 (used_addr t) (Int64.add used (Int64.of_int count)))
+
+(* A malformed slot still owes the guest a completion: the used index
+   must advance past it (the caller counts it in [complete ~count]) and
+   its status byte — if the status pointer itself is readable — gets an
+   error so the guest's poll loop terminates instead of spinning on a
+   status that will never be written. *)
+let error_status = '\001'
+
+let fail_slot t idx =
+  match t.mem.read_u64 (Int64.add (slot_addr t idx) 32L) with
+  | Some status_gpa ->
+      ignore (t.mem.write_bytes status_gpa (Bytes.make 1 error_status))
+  | None -> ()
 
 let guest_push t d =
   let avail = avail_idx t and used = used_idx t in

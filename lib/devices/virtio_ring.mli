@@ -58,12 +58,35 @@ val avail_idx : t -> int64
 
 val used_idx : t -> int64
 
+val pending_slots : t -> (int64 * desc option) list
+(** [pending_slots t] covers {e every} slot in [used_idx, avail_idx), in
+    order, pairing each free-running index with its descriptor — [None]
+    when the slot is malformed (a descriptor-word read failed).  Devices
+    must consume this, not {!pending}: the used index is in-order, so a
+    skipped slot must still be completed (see {!fail_slot}) or the ring
+    desynchronizes forever. *)
+
 val pending : t -> desc list
-(** [pending t] reads the descriptors in slots [used_idx, avail_idx);
-    malformed slots (bad addresses) are skipped. *)
+(** [pending t] is [pending_slots t] with malformed slots dropped —
+    convenient for tests and read-only inspection.  Devices that
+    [complete ~count] with this list's length will desynchronize
+    [used_idx] from [avail_idx] whenever a slot was malformed; drive
+    completion from {!pending_slots} instead. *)
 
 val complete : t -> count:int -> unit
-(** [complete t ~count] advances the used index by [count]. *)
+(** [complete t ~count] advances the used index by [count].  [count]
+    must cover malformed slots too — it is a slot count, not a
+    success count. *)
+
+val fail_slot : t -> int64 -> unit
+(** [fail_slot t idx] writes the error status byte ([0x01]) for the
+    (possibly malformed) slot at free-running index [idx], best-effort:
+    if even the status pointer word is unreadable there is nowhere to
+    write, and the slot is advanced past silently by the caller's
+    [complete]. *)
+
+val error_status : char
+(** The status byte {!fail_slot} writes. *)
 
 (** {1 Guest-side helpers}
 

@@ -7,6 +7,19 @@ let user_base = 0x0010_0000L
 let user_stack_base = 0x0014_0000L
 let user_stack_pages = 4
 let scratch_page = 0x0015_0000L
+
+(* Virtio-net driver area (two pages, kernel-only, identity-mapped when
+   the kernel is built with [vnet = true]): both descriptor rings, their
+   status-word arrays, and the receive buffer pool. *)
+let vnet_page = 0x0016_0000L
+let vnet_pages = 2
+let vnet_tx_ring = 0x0016_0000L
+let vnet_rx_ring = 0x0016_0800L
+let vnet_tx_status = 0x0016_0E00L
+let vnet_rx_status = 0x0016_0F00L
+let vnet_rx_bufs = 0x0016_1000L
+let vnet_ring_size = 32
+let vnet_buf_bytes = 64
 let heap_base = 0x0020_0000L
 
 let sys_exit = 0L
@@ -22,13 +35,20 @@ let sys_tick_count = 9L
 let sys_getchar = 10L
 let sys_net_send = 11L
 let sys_net_recv = 12L
+let sys_vnet_tx = 13L
+let sys_vnet_rx = 14L
 
-let min_frames ~user_image_bytes ~heap_pages =
+let min_frames ?(vnet = false) ~user_image_bytes ~heap_pages () =
   let page = Velum_isa.Arch.page_size in
   let user_end = Int64.to_int user_base + user_image_bytes in
   let scratch_end = Int64.to_int scratch_page + page in
+  let vnet_end = if vnet then Int64.to_int vnet_page + (vnet_pages * page) else 0 in
   let heap_end =
     if heap_pages > 0 then Int64.to_int heap_base + (heap_pages * page) else 0
   in
-  let top = max (max user_end scratch_end) (max heap_end (Int64.to_int kernel_region_end)) in
+  let top =
+    max
+      (max user_end (max scratch_end vnet_end))
+      (max heap_end (Int64.to_int kernel_region_end))
+  in
   ((top + page - 1) / page) + 8

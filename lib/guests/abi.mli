@@ -11,6 +11,8 @@
       0x0010_0000  user program                (user rwx)
       0x0014_0000  user stack (4 pages)        (user rw)
       0x0015_0000  scratch frame for sys_map   (user rw when mapped)
+      0x0016_0000  virtio-net driver area      (supervisor rw, 2 pages,
+                                               vnet kernels only)
       0x0020_0000  user heap                   (user rw, cfg pages)
       0x4000_0000  device window               (supervisor rw)
     v} *)
@@ -27,6 +29,20 @@ val user_base : int64
 val user_stack_base : int64
 val user_stack_pages : int
 val scratch_page : int64
+
+(** {2 Virtio-net driver area} — two kernel-only pages holding the TX
+    and RX descriptor rings, their status-word arrays, and the RX buffer
+    pool ([vnet_ring_size] buffers of [vnet_buf_bytes]). *)
+
+val vnet_page : int64
+val vnet_pages : int
+val vnet_tx_ring : int64
+val vnet_rx_ring : int64
+val vnet_tx_status : int64
+val vnet_rx_status : int64
+val vnet_rx_bufs : int64
+val vnet_ring_size : int
+val vnet_buf_bytes : int
 val heap_base : int64
 
 (** {1 System calls} — number in r1, args in r2.., result in r1.
@@ -41,7 +57,14 @@ val heap_base : int64
     - [sys_getchar]: pop one byte from the console input (0 if empty)
     - [sys_net_send]: r2 = frame buffer va, r3 = length
     - [sys_net_recv]: r2 = buffer va; returns the frame length in r1, or
-      -1 when nothing is pending *)
+      -1 when nothing is pending
+    - [sys_vnet_tx] (virtio-net): r2 = frame buffer va, r3 = length
+      (0 = stage nothing), r4 bit 0 = ring the doorbell; staging several
+      frames and kicking once makes the whole burst cost one VM exit.
+      Returns -1 when the TX ring is full
+    - [sys_vnet_rx] (virtio-net): r2 = buffer va; returns the frame
+      length, 0 for an errored delivery, or -1 when nothing is pending.
+      Reposts the ring buffer with plain stores — no VM exit at all *)
 
 val sys_exit : int64
 
@@ -57,6 +80,9 @@ val sys_tick_count : int64
 val sys_getchar : int64
 val sys_net_send : int64
 val sys_net_recv : int64
+val sys_vnet_tx : int64
+val sys_vnet_rx : int64
 
-val min_frames : user_image_bytes:int -> heap_pages:int -> int
-(** Guest frames needed for the layout above. *)
+val min_frames : ?vnet:bool -> user_image_bytes:int -> heap_pages:int -> unit -> int
+(** Guest frames needed for the layout above; [vnet] includes the
+    virtio-net driver area. *)

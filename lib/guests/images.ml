@@ -10,7 +10,7 @@ type setup = {
 let entry = Abi.kernel_base
 
 let plan ?(pv_console = false) ?(pv_pt = false) ?hcall_ok ?(heap_pages = 0)
-    ?(heap_superpages = false) ?(timer_interval = 0L) ~user () =
+    ?(heap_superpages = false) ?(timer_interval = 0L) ?(vnet = false) ~user () =
   let hcall_ok =
     match hcall_ok with Some v -> v | None -> pv_console || pv_pt
   in
@@ -23,13 +23,14 @@ let plan ?(pv_console = false) ?(pv_pt = false) ?hcall_ok ?(heap_pages = 0)
       heap_pages;
       heap_superpages;
       timer_interval;
+      vnet;
     }
   in
   let config = Kernel.for_user ~config:base user in
   let kernel = Kernel.build config in
   let frames =
-    Abi.min_frames ~user_image_bytes:(Bytes.length user.Asm.code)
-      ~heap_pages
+    Abi.min_frames ~vnet ~user_image_bytes:(Bytes.length user.Asm.code)
+      ~heap_pages ()
   in
   { kernel; user; config; frames }
 

@@ -17,6 +17,7 @@ val plan :
   ?heap_pages:int ->
   ?heap_superpages:bool ->
   ?timer_interval:int64 ->
+  ?vnet:bool ->
   user:Asm.image ->
   unit ->
   setup

@@ -9,6 +9,7 @@ type config = {
   heap_pages : int;
   heap_superpages : bool;
   timer_interval : int64;
+  vnet : bool;
 }
 
 let default =
@@ -20,6 +21,7 @@ let default =
     heap_pages = 0;
     heap_superpages = false;
     timer_interval = 0L;
+    vnet = false;
   }
 
 let for_user ?(config = default) (img : Asm.image) =
@@ -33,12 +35,15 @@ let perm_s_rw = 0b0_0110L
 let perm_u_rwx = 0b1_1110L
 let perm_u_rw = 0b1_0110L
 
-let mmio_pages = 4
+let mmio_pages = 4 (* 5 with the virtio-net device mapped *)
 let nic_base = 0x4000_1000L
 let blk_base = 0x4000_2000L
 let vblk_base = 0x4000_3000L
+let vnet_base = 0x4000_4000L
 let vblk_ring_size = 64L
 let vblk_status_area = Int64.add Abi.ring_page 0xE00L
+let vnet_ring_size = Int64.of_int Abi.vnet_ring_size
+let vnet_buf_bytes = Int64.of_int Abi.vnet_buf_bytes
 
 (* sie control bits (see Cpu): 63 = GIE, 62 = SPIE, 0 = timer enable,
    1 = external enable.  The external line stays masked: every driver in
@@ -97,7 +102,11 @@ let build (cfg : config) =
     Int64.add Abi.heap_base (Int64.of_int (cfg.heap_pages * Arch.page_size))
   in
   let mmio_end =
-    Int64.add Velum_machine.Bus.mmio_base (Int64.of_int (mmio_pages * Arch.page_size))
+    Int64.add Velum_machine.Bus.mmio_base
+      (Int64.of_int ((if cfg.vnet then mmio_pages + 1 else mmio_pages) * Arch.page_size))
+  in
+  let vnet_end =
+    Int64.add Abi.vnet_page (Int64.of_int (Abi.vnet_pages * Arch.page_size))
   in
   let satp_value = Arch.satp_make ~root_ppn:(Int64.shift_right_logical Abi.pt_arena_base 12) in
 
@@ -116,6 +125,9 @@ let build (cfg : config) =
         ~perms:perm_s_rw
     @ bootmap ~tag:"user" ~start:Abi.user_base ~end_:user_end ~perms:perm_u_rwx
     @ bootmap ~tag:"ustk" ~start:Abi.user_stack_base ~end_:ustack_end ~perms:perm_u_rw
+    @ (if cfg.vnet then
+         bootmap ~tag:"vnet" ~start:Abi.vnet_page ~end_:vnet_end ~perms:perm_s_rw
+       else [])
     @ (if cfg.heap_pages > 0 then
          if cfg.heap_superpages then
            (* cover the heap with 2 MiB mappings (the base is 2 MiB
@@ -217,6 +229,12 @@ let build (cfg : config) =
           (Abi.sys_net_send, "k_sys_net_send");
           (Abi.sys_net_recv, "k_sys_net_recv");
         ]
+    @ (if cfg.vnet then
+         List.concat_map dispatch_entry
+           [
+             (Abi.sys_vnet_tx, "k_sys_vnet_tx"); (Abi.sys_vnet_rx, "k_sys_vnet_rx");
+           ]
+       else [])
     @ [ li r1 (-1L); jmp "k_sys_done" ]
   in
 
@@ -433,6 +451,177 @@ let build (cfg : config) =
     ]
   in
 
+  (* Virtio-net driver.  TX: stage descriptors with plain stores and
+     ring the doorbell only when the caller asks (r4 bit 0), so a burst
+     of frames costs one VM exit.  RX: the device polls the avail index
+     and delivers on its own tick; the kernel consumes by comparing the
+     used index against its own [k_vnet_seen] cursor and reposts buffers
+     with plain stores — no exit anywhere on the receive path. *)
+  let sys_vnet =
+    if not cfg.vnet then []
+    else
+      [
+        (* one-time setup: zero both ring headers, program the device,
+           post every receive buffer.  Clobbers r5-r12, preserves
+           r2-r4. *)
+        label "k_vnet_ensure";
+        ldl r6 "k_vnet_init";
+        bne r6 r0 "k_vne_done";
+        li r8 Abi.vnet_tx_ring;
+        sd r0 r8 0L;
+        sd r0 r8 8L;
+        li r8 Abi.vnet_rx_ring;
+        sd r0 r8 0L;
+        sd r0 r8 8L;
+        li r5 vnet_base;
+        li r6 Abi.vnet_tx_ring;
+        sd r6 r5 0x10L;
+        li r6 vnet_ring_size;
+        sd r6 r5 0x18L;
+        li r6 Abi.vnet_rx_ring;
+        sd r6 r5 0x20L;
+        li r6 vnet_ring_size;
+        sd r6 r5 0x28L;
+        li r7 0L;
+        label "k_vne_post";
+        li r6 vnet_ring_size;
+        bge r7 r6 "k_vne_posted";
+        (* slot = rx ring + 16 + i*40 (avail starts at 0) *)
+        li r6 40L;
+        mul r9 r7 r6;
+        add r9 r9 r8;
+        addi r9 r9 16L;
+        li r6 vnet_buf_bytes;
+        mul r10 r7 r6;
+        li r6 Abi.vnet_rx_bufs;
+        add r10 r10 r6;
+        sd r10 r9 0L (* buffer gpa *);
+        li r6 vnet_buf_bytes;
+        sd r6 r9 8L (* buffer length *);
+        sd r0 r9 16L;
+        sd r0 r9 24L;
+        li r6 8L;
+        mul r10 r7 r6;
+        li r6 Abi.vnet_rx_status;
+        add r10 r10 r6;
+        sd r0 r10 0L (* clear the status word *);
+        sd r10 r9 32L (* status gpa *);
+        addi r7 r7 1L;
+        jmp "k_vne_post";
+        label "k_vne_posted";
+        li r6 vnet_ring_size;
+        sd r6 r8 0L (* publish avail = every buffer posted *);
+        li r6 1L;
+        sdl r6 "k_vnet_init";
+        label "k_vne_done";
+        ret;
+        (* transmit: r2 = frame va (identity = gpa), r3 = length
+           (0 = stage nothing), r4 bit 0 = kick.  -1 when the ring is
+           full. *)
+        label "k_sys_vnet_tx";
+        call "k_vnet_ensure";
+        beq r3 r0 "k_vt_kick" (* pure flush *);
+        li r8 Abi.vnet_tx_ring;
+        ld r9 r8 0L (* avail *);
+        ld r10 r8 8L (* used *);
+        sub r11 r9 r10;
+        li r6 vnet_ring_size;
+        bge r11 r6 "k_vt_full";
+        (* slot = tx ring + 16 + (avail % size)*40 *)
+        li r6 vnet_ring_size;
+        rem r12 r9 r6;
+        li r6 40L;
+        mul r12 r12 r6;
+        add r12 r12 r8;
+        addi r12 r12 16L;
+        sd r2 r12 0L (* frame gpa *);
+        sd r3 r12 8L (* length *);
+        sd r0 r12 16L;
+        sd r0 r12 24L;
+        li r6 vnet_ring_size;
+        rem r11 r9 r6;
+        li r6 8L;
+        mul r11 r11 r6;
+        li r6 Abi.vnet_tx_status;
+        add r11 r11 r6;
+        sd r0 r11 0L (* clear the status word *);
+        sd r11 r12 32L;
+        addi r9 r9 1L;
+        sd r9 r8 0L (* publish avail: a plain store, no exit *);
+        label "k_vt_kick";
+        andi r6 r4 1L;
+        beq r6 r0 "k_vt_ok";
+        li r5 vnet_base;
+        sd r0 r5 0x00L (* the one doorbell exit for the whole burst *);
+        label "k_vt_ok";
+        li r1 0L;
+        jmp "k_sys_done";
+        label "k_vt_full";
+        li r1 (-1L);
+        jmp "k_sys_done";
+        (* receive: r2 = destination buffer.  Returns the length, 0 for
+           an errored delivery, -1 when nothing is pending. *)
+        label "k_sys_vnet_rx";
+        call "k_vnet_ensure";
+        li r8 Abi.vnet_rx_ring;
+        ld r10 r8 8L (* used *);
+        ldl r9 "k_vnet_seen";
+        blt r9 r10 "k_vr_have";
+        li r1 (-1L);
+        jmp "k_sys_done";
+        label "k_vr_have";
+        li r6 vnet_ring_size;
+        rem r11 r9 r6 (* buffer index *);
+        li r6 8L;
+        mul r7 r11 r6;
+        li r6 Abi.vnet_rx_status;
+        add r7 r7 r6;
+        ld r12 r7 0L (* status word: (len << 8), or 1 on error *);
+        srli r5 r12 8L (* frame length; an error leaves 0 *);
+        li r6 vnet_buf_bytes;
+        mul r10 r11 r6;
+        li r6 Abi.vnet_rx_bufs;
+        add r10 r10 r6 (* source buffer *);
+        mv r4 r5 (* bytes remaining *);
+        mv r12 r2 (* destination cursor *);
+        label "k_vr_copy";
+        bge r0 r4 "k_vr_copied";
+        ld r6 r10 0L;
+        sd r6 r12 0L;
+        addi r10 r10 8L;
+        addi r12 r12 8L;
+        addi r4 r4 (-8L);
+        jmp "k_vr_copy";
+        label "k_vr_copied";
+        (* repost buffer [r11] at the new avail slot — plain stores *)
+        sd r0 r7 0L (* clear the status word for reuse *);
+        ld r9 r8 0L (* avail *);
+        li r6 vnet_ring_size;
+        rem r4 r9 r6;
+        li r6 40L;
+        mul r4 r4 r6;
+        add r4 r4 r8;
+        addi r4 r4 16L;
+        li r6 vnet_buf_bytes;
+        mul r10 r11 r6;
+        li r6 Abi.vnet_rx_bufs;
+        add r10 r10 r6;
+        sd r10 r4 0L;
+        li r6 vnet_buf_bytes;
+        sd r6 r4 8L;
+        sd r0 r4 16L;
+        sd r0 r4 24L;
+        sd r7 r4 32L;
+        addi r9 r9 1L;
+        sd r9 r8 0L (* publish avail: no doorbell needed *);
+        ldl r9 "k_vnet_seen";
+        addi r9 r9 1L;
+        sdl r9 "k_vnet_seen";
+        mv r1 r5;
+        jmp "k_sys_done";
+      ]
+  in
+
   let irq_handlers =
     [
       label "k_irq";
@@ -593,6 +782,10 @@ let build (cfg : config) =
       Dword 0L;
       label "k_vblk_init";
       Dword 0L;
+      label "k_vnet_init";
+      Dword 0L;
+      label "k_vnet_seen";
+      Dword 0L;
     ]
     @ [ label "k_smp_go"; Dword 0L; label "k_save_harts";
         Space (save_stride * max_harts) ]
@@ -600,7 +793,7 @@ let build (cfg : config) =
 
   let items =
     boot @ trap_entry @ sys_done @ syscalls @ sys_blk_read @ sys_vblk_read
-    @ irq_handlers @ panic @ map_page @ map_page_2m @ unmap_page @ pt_store
-    @ restore_and_sret @ data
+    @ sys_vnet @ irq_handlers @ panic @ map_page @ map_page_2m @ unmap_page
+    @ pt_store @ restore_and_sret @ data
   in
   Asm.assemble ~origin:Abi.kernel_base items

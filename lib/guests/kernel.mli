@@ -25,6 +25,10 @@ type config = {
       (** map the heap with 2 MiB superpage leaves instead of 4 KiB
           pages (rounded up to cover [heap_pages]) *)
   timer_interval : int64;  (** periodic timer in cycles; 0 disables *)
+  vnet : bool;
+      (** build the virtio-net driver: maps the {!Abi.vnet_page} area
+          and a fifth MMIO page, and dispatches [sys_vnet_tx]/
+          [sys_vnet_rx] *)
 }
 
 val default : config

@@ -388,6 +388,301 @@ let net_server ~requests ~virtio =
       ]
     @ exit_)
 
+(* ---------------- virtio-net fabric workloads ----------------
+
+   Frame format on the switched fabric (48 bytes, all fields u64 LE):
+     +0  dst mac      +8  src mac      +16 kind (0 announce, 1 request,
+     +24 request id   +32 send stamp       2 reply)
+     +40 client mac (carried end-to-end so the LB can route replies)
+
+   Buffer discipline: [sys_vnet_tx] stages a descriptor pointing at the
+   given buffer and the device only reads it at the next kick, so a
+   staged buffer must stay untouched until the doorbell rings.  The
+   client uses one buffer per frame of a batch; the forwarding guests
+   rotate through {!Abi.vnet_ring_size} slots, which is exactly the
+   number of descriptors that can be staged before the ring-full path
+   forces a flush. *)
+
+let frame_bytes = 48L
+let broadcast = -1L
+
+(* Announce this MAC to the switch with one broadcast so its learning
+   table converges before any unicast flows. *)
+let vnet_announce ~my_mac ~buf =
+  [
+    li r7 buf;
+    li r9 broadcast;
+    sd r9 r7 0L;
+    li r9 my_mac;
+    sd r9 r7 8L;
+    sd r0 r7 16L;
+    sd r0 r7 24L;
+    sd r0 r7 32L;
+    sd r9 r7 40L;
+    mv r2 r7;
+    li r3 frame_bytes;
+    li r4 1L;
+    li r1 Abi.sys_vnet_tx;
+    ecall;
+  ]
+
+let vnet_client ~my_mac ~lb_mac ~peers ~requests ~batch ~gap =
+  let batch = max 1 (min batch Abi.vnet_ring_size) in
+  let batches = max 1 (requests / batch) in
+  let rx_buf = Int64.add Abi.heap_base 0x800L in
+  let announce_buf = Int64.add Abi.heap_base 0x840L in
+  build
+    (prologue
+    @ vnet_announce ~my_mac ~buf:announce_buf
+    @ [
+        (* warm-up: wait for the peers' boot announces so the measured
+           open loop starts against a running fabric, not against VMs
+           that are still booting on a shared pcpu.  Patience is
+           bounded: a lost announce (faulted link) delays nothing
+           forever. *)
+        li r5 (Int64.of_int peers);
+        li r8 4000L (* patience, in poll iterations *);
+        label "u_warm";
+        beq r5 r0 "u_start";
+        beq r8 r0 "u_start";
+        addi r8 r8 (-1L);
+        li r1 Abi.sys_vnet_rx;
+        li r2 rx_buf;
+        ecall;
+        li r9 (-1L);
+        beq r1 r9 "u_warm_idle";
+        beq r1 r0 "u_warm" (* errored delivery *);
+        li r7 rx_buf;
+        ld r9 r7 16L;
+        bne r9 r0 "u_warm" (* only announces count *);
+        addi r5 r5 (-1L);
+        jmp "u_warm";
+        label "u_warm_idle";
+        li r1 Abi.sys_yield;
+        ecall;
+        jmp "u_warm";
+        label "u_start";
+        li r5 (Int64.of_int batches);
+        li r6 0L (* request id *);
+        label "u_batch";
+        li r8 0L (* frame within the batch *);
+        label "u_frame";
+        (* buffer j of this batch *)
+        li r7 Abi.heap_base;
+        slli r9 r8 6L;
+        add r7 r7 r9;
+        li r9 lb_mac;
+        sd r9 r7 0L;
+        li r9 my_mac;
+        sd r9 r7 8L;
+        li r9 1L;
+        sd r9 r7 16L;
+        sd r6 r7 24L;
+        li r1 Abi.sys_gettime;
+        ecall;
+        sd r1 r7 32L (* send stamp *);
+        li r9 my_mac;
+        sd r9 r7 40L;
+        label "u_stage";
+        (* kick only on the last frame: the whole batch is one exit *)
+        li r4 0L;
+        addi r9 r8 1L;
+        li r10 (Int64.of_int batch);
+        bne r9 r10 "u_nokick";
+        li r4 1L;
+        label "u_nokick";
+        mv r2 r7;
+        li r3 frame_bytes;
+        li r1 Abi.sys_vnet_tx;
+        ecall;
+        li r9 (-1L);
+        bne r1 r9 "u_staged";
+        (* ring full: flush the staged burst and retry this frame *)
+        li r3 0L;
+        li r4 1L;
+        li r1 Abi.sys_vnet_tx;
+        ecall;
+        jmp "u_stage";
+        label "u_staged";
+        addi r6 r6 1L;
+        addi r8 r8 1L;
+        li r9 (Int64.of_int batch);
+        blt r8 r9 "u_frame";
+        (* opportunistically drain replies, then pace the open loop *)
+        label "u_drain";
+        li r1 Abi.sys_vnet_rx;
+        li r2 rx_buf;
+        ecall;
+        li r9 (-1L);
+        bne r1 r9 "u_drain";
+        li r9 (Int64.of_int gap);
+        label "u_gap";
+        beq r9 r0 "u_gap_done";
+        addi r9 r9 (-1L);
+        jmp "u_gap";
+        label "u_gap_done";
+        addi r5 r5 (-1L);
+        bne r5 r0 "u_batch";
+        (* bounded final drain: keep polling while replies arrive,
+           spend one of [r8] idle polls otherwise, then exit — never
+           hangs when faults eat the tail of the reply stream *)
+        li r8 64L;
+        label "u_final";
+        li r1 Abi.sys_vnet_rx;
+        li r2 rx_buf;
+        ecall;
+        li r9 (-1L);
+        bne r1 r9 "u_final";
+        li r1 Abi.sys_yield;
+        ecall;
+        addi r8 r8 (-1L);
+        bne r8 r0 "u_final";
+      ]
+    @ exit_)
+
+(* Shared forwarding tail: stage the frame in r7 without a kick; on a
+   full ring flush the burst first.  r8 counts descriptors staged since
+   the last doorbell. *)
+let vnet_forward_and_loop =
+  [
+    label "u_fstage";
+    mv r2 r7;
+    li r3 frame_bytes;
+    li r4 0L;
+    li r1 Abi.sys_vnet_tx;
+    ecall;
+    li r9 (-1L);
+    bne r1 r9 "u_fok";
+    li r3 0L;
+    li r4 1L;
+    li r1 Abi.sys_vnet_tx;
+    ecall;
+    li r8 0L;
+    jmp "u_fstage";
+    label "u_fok";
+    addi r8 r8 1L;
+    addi r5 r5 1L;
+    jmp "u_loop";
+    (* idle: one doorbell for everything staged since the last one,
+       then let other vcpus run *)
+    label "u_idle";
+    beq r8 r0 "u_sleep";
+    li r3 0L;
+    li r4 1L;
+    li r1 Abi.sys_vnet_tx;
+    ecall;
+    li r8 0L;
+    label "u_sleep";
+    li r1 Abi.sys_yield;
+    ecall;
+    jmp "u_loop";
+  ]
+
+let vnet_lb ~my_mac ~backends =
+  let n = List.length backends in
+  if n = 0 then invalid_arg "vnet_lb: no backends";
+  let pick =
+    List.concat
+      (List.mapi
+         (fun i mac ->
+           let skip = Printf.sprintf "u_rr%d" i in
+           if i = n - 1 then [ li r10 mac ]
+           else
+             [
+               li r10 (Int64.of_int i);
+               bne r9 r10 skip;
+               li r10 mac;
+               jmp "u_pick";
+               label skip;
+             ])
+         backends)
+  in
+  build
+    (prologue
+    @ vnet_announce ~my_mac ~buf:(Int64.add Abi.heap_base 0x840L)
+    @ [
+        li r5 0L (* frames forwarded: rotates the staging buffers *);
+        li r8 0L (* staged since last kick *);
+        li r11 0L (* round-robin cursor *);
+        label "u_loop";
+        andi r9 r5 (Int64.of_int (Abi.vnet_ring_size - 1));
+        slli r9 r9 6L;
+        li r7 Abi.heap_base;
+        add r7 r7 r9;
+        li r1 Abi.sys_vnet_rx;
+        mv r2 r7;
+        ecall;
+        li r9 (-1L);
+        beq r1 r9 "u_idle";
+        beq r1 r0 "u_loop" (* errored delivery: already consumed *);
+        ld r9 r7 16L;
+        li r10 1L;
+        beq r9 r10 "u_req";
+        li r10 2L;
+        beq r9 r10 "u_rep";
+        jmp "u_loop" (* announces and junk are dropped here *);
+        label "u_rep";
+        (* reply: route back to the client carried in the frame *)
+        ld r9 r7 40L;
+        sd r9 r7 0L;
+        li r9 my_mac;
+        sd r9 r7 8L;
+        jmp "u_fstage";
+        label "u_req";
+        (* request: fan out to the next backend in line *)
+        li r12 (Int64.of_int n);
+        rem r9 r11 r12;
+      ]
+    @ pick
+    @ [
+        label "u_pick";
+        sd r10 r7 0L;
+        li r10 my_mac;
+        sd r10 r7 8L;
+        addi r11 r11 1L;
+        jmp "u_fstage";
+      ]
+    @ vnet_forward_and_loop)
+
+let vnet_backend ~my_mac ~service =
+  build
+    (prologue
+    @ vnet_announce ~my_mac ~buf:(Int64.add Abi.heap_base 0x840L)
+    @ [
+        li r5 0L;
+        li r8 0L;
+        label "u_loop";
+        andi r9 r5 (Int64.of_int (Abi.vnet_ring_size - 1));
+        slli r9 r9 6L;
+        li r7 Abi.heap_base;
+        add r7 r7 r9;
+        li r1 Abi.sys_vnet_rx;
+        mv r2 r7;
+        ecall;
+        li r9 (-1L);
+        beq r1 r9 "u_idle";
+        beq r1 r0 "u_loop";
+        ld r9 r7 16L;
+        li r10 1L;
+        bne r9 r10 "u_loop" (* only requests are served *);
+        (* burn the configured service time *)
+        li r9 (Int64.of_int service);
+        label "u_svc";
+        beq r9 r0 "u_svc_done";
+        addi r9 r9 (-1L);
+        jmp "u_svc";
+        label "u_svc_done";
+        (* turn the request into a reply addressed to its sender *)
+        ld r9 r7 8L;
+        sd r9 r7 0L;
+        li r9 my_mac;
+        sd r9 r7 8L;
+        li r9 2L;
+        sd r9 r7 16L;
+        jmp "u_fstage";
+      ]
+    @ vnet_forward_and_loop)
+
 (* Each hart stamps (hartid + 1) * 0x101 into its own heap slot — the
    SMP smoke test reads the slots from the host side. *)
 let smp_probe =

@@ -93,3 +93,38 @@ val net_server : requests:int -> virtio:bool -> Asm.image
 (** The serving side: receive a sector number, read that sector from
     the emulated ([virtio = false]) or paravirtual block device, reply
     with its first 8 bytes. *)
+
+(** {2 Virtio-net fabric workloads}
+
+    These run on the paravirtual NIC ([Kernel.config.vnet]) behind the
+    software switch.  Frames are 48 bytes of u64 fields:
+    [dst; src; kind; request id; send stamp; client mac].  All three
+    require [heap_pages >= 1] and announce their MAC with one broadcast
+    at boot so the switch's learning table converges. *)
+
+val vnet_client :
+  my_mac:int64 ->
+  lb_mac:int64 ->
+  peers:int ->
+  requests:int ->
+  batch:int ->
+  gap:int ->
+  Asm.image
+(** Open-loop request generator: waits (bounded) for [peers] boot
+    announces so the fabric is warm, then sends [requests / batch]
+    batches of [batch] stamped requests to [lb_mac], each batch staged
+    with plain stores and kicked once (one VM exit per burst), draining
+    replies opportunistically and spinning [gap] filler iterations
+    between batches regardless of replies.  Ends with a bounded reply
+    drain and exits — never hangs when link faults eat the tail of the
+    replies. *)
+
+val vnet_lb : my_mac:int64 -> backends:int64 list -> Asm.image
+(** Load balancer: forwards requests round-robin across [backends] and
+    routes replies back to the client MAC carried in the frame,
+    batching staged descriptors and ringing one doorbell per idle
+    transition.  Runs forever. *)
+
+val vnet_backend : my_mac:int64 -> service:int -> Asm.image
+(** Backend server: spins [service] iterations per request, then turns
+    it into a reply to its sender.  Runs forever. *)

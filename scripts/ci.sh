@@ -252,4 +252,35 @@ dune exec bench/main.exe -- --only E20 >"$tmp/e20.txt"
 diff "$tmp/BENCH_cluster.ref.json" BENCH_cluster.json || {
   echo "FAIL: BENCH_cluster.json diverged from the committed copy"; exit 1; }
 
+echo "== network fabric: domain invariance, tail latency, conservation =="
+# A switched virtio-net fleet (LB fan-out over backends, open-loop
+# clients) under link faults must print a byte-identical report and
+# per-host latency digest at 4 domains vs 1.  'velum net' fails hard on
+# any conservation violation, so a clean diff also certifies that every
+# frame landed in a named counter on both runs.
+nfab="--hosts 2 --requests 16 \
+  --faults seed=9,drop=0.02,corrupt=0.01,delay=0.05,dup=0.01"
+dune exec bin/velum.exe -- net $nfab --domains 1 >"$tmp/net1.txt"
+dune exec bin/velum.exe -- net $nfab --domains 4 >"$tmp/net4.txt"
+diff "$tmp/net1.txt" "$tmp/net4.txt" || {
+  echo "FAIL: net fabric diverged between 1 and 4 domains"; exit 1; }
+p50=$(sed -n 's/^fabric: .*p50=\([0-9.]*\).*/\1/p' "$tmp/net1.txt")
+p99=$(sed -n 's/^fabric: .*p99=\([0-9.]*\).*/\1/p' "$tmp/net1.txt")
+[ -n "$p99" ] || { echo "FAIL: net fabric printed no p99"; exit 1; }
+awk -v a="$p50" -v b="$p99" 'BEGIN { exit !(b + 0 >= a + 0 && b + 0 > 0) }' || {
+  echo "FAIL: nonsensical fabric percentiles (p50=$p50 p99=$p99)"; exit 1; }
+echo "fabric p99 under link faults: $p99 cycles"
+grep -q "net.kicks" "$tmp/net1.txt" || {
+  echo "FAIL: fleet report carries no net.* gauges"; exit 1; }
+
+# E23's BENCH_net.json is all simulated counters and percentiles (no
+# wall clock), so the regenerated file must match the committed copy
+# byte for byte; E23 itself asserts 1-vs-4-domain byte identity, frame
+# conservation, and reply completeness across a mid-benchmark live
+# migration of a backend.
+cp BENCH_net.json "$tmp/BENCH_net.ref.json"
+dune exec bench/main.exe -- --only E23 >"$tmp/e23.txt"
+diff "$tmp/BENCH_net.ref.json" BENCH_net.json || {
+  echo "FAIL: BENCH_net.json diverged from the committed copy"; exit 1; }
+
 echo "CI gate passed."

@@ -401,6 +401,203 @@ let test_device_tick_monotonic () =
   check64 "completes later" Blockdev.status_done
     (d.Bus.read Blockdev.reg_status Instr.W64)
 
+(* ---------------- Network fabric ---------------- *)
+
+(* A slot whose descriptor words are unreadable must still move the used
+   index: the in-order ring would otherwise desynchronize forever (the
+   device completing only well-formed slots leaves used < avail with
+   nothing pending). *)
+let test_ring_malformed_slot () =
+  let mem = Phys_mem.create ~frames:16 in
+  let base_gm = Platform.identity_guest_mem mem in
+  let poisoned = ref Int64.minus_one in
+  let gm =
+    {
+      base_gm with
+      Virtio_ring.read_u64 =
+        (fun a -> if a = !poisoned then None else base_gm.Virtio_ring.read_u64 a);
+    }
+  in
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:4 in
+  poisoned := Virtio_ring.slot_addr ring 1L;
+  for i = 0 to 2 do
+    ignore
+      (Virtio_ring.guest_push ring
+         { Virtio_ring.data_gpa = Int64.of_int (0x4000 + (i * 64)); data_len = 48;
+           kind = 0L; arg = 0L; status_gpa = Int64.of_int (0x3000 + (i * 8)) })
+  done;
+  (match Virtio_ring.pending_slots ring with
+  | [ (0L, Some _); (1L, None); (2L, Some _) ] -> ()
+  | l -> Alcotest.fail (Printf.sprintf "unexpected slots (%d)" (List.length l)));
+  checki "pending drops malformed" 2 (List.length (Virtio_ring.pending ring));
+  Virtio_ring.fail_slot ring 1L;
+  Virtio_ring.complete ring ~count:3;
+  check64 "used catches avail" (Virtio_ring.avail_idx ring)
+    (Virtio_ring.used_idx ring);
+  checkb "error status written" true
+    (Bytes.get (Option.get (base_gm.Virtio_ring.read_bytes 0x3008L 1)) 0
+    = Virtio_ring.error_status)
+
+(* The same condition end-to-end through the device: a kick over a batch
+   with an unreadable middle slot sends the readable frames, fails the
+   bad slot, and leaves the ring live for the next batch. *)
+let test_vnet_malformed_tx_slot () =
+  let link = Link.create ~bytes_per_cycle:8.0 ~latency_cycles:10 () in
+  let mem = Phys_mem.create ~frames:16 in
+  let base_gm = Platform.identity_guest_mem mem in
+  let poisoned = ref Int64.minus_one in
+  let gm =
+    {
+      base_gm with
+      Virtio_ring.read_u64 =
+        (fun a -> if a = !poisoned then None else base_gm.Virtio_ring.read_u64 a);
+    }
+  in
+  let v = Virtio_net.create ~link ~endpoint:`A ~mem:gm () in
+  Virtio_net.configure v ~tx_base:0x1000L ~tx_size:4 ~rx_base:0x2000L ~rx_size:4;
+  let ring = Virtio_ring.create ~mem:gm ~base:0x1000L ~size:4 in
+  poisoned := Virtio_ring.slot_addr ring 1L;
+  let push i =
+    ignore
+      (Virtio_ring.guest_push ring
+         { Virtio_ring.data_gpa = Int64.of_int (0x4000 + (i * 64)); data_len = 48;
+           kind = 0L; arg = 0L; status_gpa = Int64.of_int (0x3000 + (i * 8)) })
+  in
+  push 0; push 1; push 2;
+  Virtio_net.kick v;
+  checki "two on the wire" 2 (Virtio_net.frames_sent v);
+  checki "malformed counted" 1 (Virtio_net.tx_malformed v);
+  check64 "no used-index desync" (Virtio_ring.avail_idx ring)
+    (Virtio_ring.used_idx ring);
+  checkb "failed slot status" true
+    (Bytes.get (Option.get (base_gm.Virtio_ring.read_bytes 0x3008L 1)) 0
+    = Virtio_ring.error_status);
+  (* ring still usable after the malformed batch *)
+  push 3;
+  Virtio_net.kick v;
+  checki "next batch flows" 3 (Virtio_net.frames_sent v)
+
+let test_vnet_rx_overflow () =
+  let link = Link.create ~bytes_per_cycle:8.0 ~latency_cycles:10 () in
+  let mem = Phys_mem.create ~frames:16 in
+  let gm = Platform.identity_guest_mem mem in
+  let v = Virtio_net.create ~link ~endpoint:`A ~mem:gm ~backlog_capacity:4 () in
+  for _ = 1 to 7 do
+    ignore (Link.send link ~from:`B ~now:0L ~payload:(String.make 48 'x'))
+  done;
+  (* no RX ring posted yet: the backlog bounds what the device holds *)
+  Virtio_net.tick v 100_000L;
+  checki "backlog full" 4 (Virtio_net.backlog_length v);
+  checki "overflow counted" 3 (Virtio_net.rx_overflow v);
+  (* post two empty buffers; exactly two deliver, the rest stay queued *)
+  Virtio_net.configure v ~tx_base:0x1000L ~tx_size:4 ~rx_base:0x2000L ~rx_size:4;
+  let rx = Virtio_ring.create ~mem:gm ~base:0x2000L ~size:4 in
+  for i = 0 to 1 do
+    ignore
+      (Virtio_ring.guest_push rx
+         { Virtio_ring.data_gpa = Int64.of_int (0x4000 + (i * 64)); data_len = 64;
+           kind = 0L; arg = 0L; status_gpa = Int64.of_int (0x3000 + (i * 8)) })
+  done;
+  Virtio_net.tick v 200_000L;
+  checki "delivered into posted buffers" 2 (Virtio_net.frames_received v);
+  checki "rest still queued" 2 (Virtio_net.backlog_length v);
+  check64 "used advanced" 2L (Virtio_ring.used_idx rx);
+  (* arrivals = delivered + overflow + queued *)
+  checki "conservation" 7
+    (Virtio_net.frames_received v + Virtio_net.rx_overflow v
+   + Virtio_net.backlog_length v)
+
+(* Frame conservation through NIC + switch under a random fault plan and
+   a random op schedule: everything transmitted is delivered or lands in
+   a named counter — nothing disappears silently. *)
+let prop_fabric_conservation =
+  QCheck2.Test.make ~count:40 ~name:"nic+switch frame conservation"
+    QCheck2.Gen.(
+      pair (int_bound 9999) (list_size (int_range 30 120) (int_bound 99_999)))
+    (fun (seed, ops) ->
+      let n = 3 in
+      let mac i = Int64.of_int (0xA0 + i) in
+      let base = Velum_util.Fault.create ~seed:(Int64.of_int (seed + 1)) () in
+      Velum_util.Fault.set_prob base Velum_util.Fault.Drop 0.05;
+      Velum_util.Fault.set_prob base Velum_util.Fault.Corrupt 0.03;
+      Velum_util.Fault.set_prob base Velum_util.Fault.Duplicate 0.03;
+      Velum_util.Fault.set_prob base Velum_util.Fault.Delay 0.1;
+      let links =
+        Array.init n (fun p ->
+            let l = Link.create ~bytes_per_cycle:1.0 ~latency_cycles:20 () in
+            Link.set_faults l
+              (Velum_util.Fault.derive base ~seed:(Int64.of_int (31 + p)));
+            l)
+      in
+      let sw = Switch.create ~queue_cap:8 links in
+      Array.iteri (fun p _ -> Switch.learn sw ~mac:(mac p) ~port:p) links;
+      let mems = Array.init n (fun _ -> Phys_mem.create ~frames:4) in
+      let nics =
+        Array.init n (fun p ->
+            Nic.create ~link:links.(p) ~endpoint:`A
+              ~dma:(Platform.identity_dma mems.(p))
+              ~rx_capacity:4 ())
+      in
+      let devs = Array.map Nic.device nics in
+      let now = ref 0L in
+      let tick_all () =
+        Switch.tick sw !now;
+        Array.iter (fun d -> d.Bus.tick !now) devs
+      in
+      let transmit p code =
+        let dst =
+          match code mod 5 with
+          | 0 | 1 -> mac (code mod n) (* known unicast (maybe self) *)
+          | 2 -> Switch.broadcast_mac
+          | 3 -> 0x999L (* unknown unicast *)
+          | _ -> mac ((p + 1) mod n)
+        in
+        Phys_mem.write mems.(p) 0x100L Instr.W64 dst;
+        Phys_mem.write mems.(p) 0x108L Instr.W64 (mac p);
+        let len = if code mod 13 = 0 then 8 (* runt *) else 48 in
+        devs.(p).Bus.write Nic.reg_tx_addr Instr.W64 0x100L;
+        devs.(p).Bus.write Nic.reg_tx_len Instr.W64 (Int64.of_int len);
+        devs.(p).Bus.write Nic.reg_tx_cmd Instr.W64 1L
+      in
+      let receive p code =
+        if devs.(p).Bus.read Nic.reg_rx_len Instr.W64 > 0L then begin
+          let dma = if code mod 7 = 0 then 0x10_0000L (* bad *) else 0x400L in
+          devs.(p).Bus.write Nic.reg_rx_dma Instr.W64 dma;
+          devs.(p).Bus.write Nic.reg_rx_cmd Instr.W64 1L
+        end
+      in
+      List.iter
+        (fun code ->
+          match code mod 10 with
+          | 0 | 1 | 2 | 3 | 4 -> transmit (code mod n) (code / 10)
+          | 5 | 6 | 7 ->
+              now := Int64.add !now (Int64.of_int (1 + (code mod 500)));
+              tick_all ()
+          | _ -> receive (code mod n) (code / 10))
+        ops;
+      (* drain rounds: anything delayed on the wire either arrives or
+         stays visibly in flight *)
+      for _ = 1 to 5 do
+        now := Int64.add !now 1_000_000L;
+        tick_all ()
+      done;
+      let nsum f = Array.fold_left (fun a x -> a + f x) 0 nics in
+      let lsum f = Array.fold_left (fun a l -> a + f l) 0 links in
+      let lhs =
+        nsum Nic.frames_sent + lsum Link.wire_duplicated + Switch.flood_extra sw
+      in
+      let rhs =
+        nsum Nic.frames_received + nsum Nic.rx_dropped + nsum Nic.rx_overflow
+        + nsum Nic.rx_queue_length + Switch.drops sw + lsum Link.wire_dropped
+        + lsum Link.in_flight
+      in
+      if not (Switch.conserved sw) then
+        QCheck2.Test.fail_report "switch conservation violated";
+      if lhs <> rhs then
+        QCheck2.Test.fail_reportf "fabric conservation violated: %d <> %d" lhs
+          rhs;
+      true)
+
 (* ---------------- Platform ---------------- *)
 
 let test_platform_deadlock_detection () =
@@ -496,6 +693,14 @@ let () =
         [
           Alcotest.test_case "uart rx overflow" `Quick test_uart_rx_overflow;
           Alcotest.test_case "tick monotonic" `Quick test_device_tick_monotonic;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "ring malformed slot" `Quick test_ring_malformed_slot;
+          Alcotest.test_case "vnet malformed tx slot" `Quick
+            test_vnet_malformed_tx_slot;
+          Alcotest.test_case "vnet rx overflow" `Quick test_vnet_rx_overflow;
+          QCheck_alcotest.to_alcotest prop_fabric_conservation;
         ] );
       ( "platform",
         [

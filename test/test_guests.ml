@@ -37,11 +37,11 @@ let test_layout_page_aligned () =
     ]
 
 let test_min_frames () =
-  let base = Abi.min_frames ~user_image_bytes:100 ~heap_pages:0 in
+  let base = Abi.min_frames ~user_image_bytes:100 ~heap_pages:0 () in
   (* must cover the scratch page plus slack *)
   checkb "covers scratch" true
     (base >= Int64.to_int (Int64.shift_right_logical Abi.scratch_page 12));
-  let with_heap = Abi.min_frames ~user_image_bytes:100 ~heap_pages:64 in
+  let with_heap = Abi.min_frames ~user_image_bytes:100 ~heap_pages:64 () in
   checki "heap adds pages" 64
     (with_heap - Int64.to_int (Int64.shift_right_logical Abi.heap_base 12) - 8);
   checkb "syscall numbers distinct" true
@@ -77,7 +77,9 @@ let test_kernel_builds_all_configs () =
       { Kernel.default with timer_interval = 10_000L };
       { Kernel.default with heap_pages = 256 };
       Kernel.{ pv_console = true; pv_pt = true; hcall_ok = true; user_pages = 4;
-               heap_pages = 32; heap_superpages = false; timer_interval = 5_000L };
+               heap_pages = 32; heap_superpages = false; timer_interval = 5_000L;
+               vnet = false };
+      { Kernel.default with vnet = true };
       { Kernel.default with heap_pages = 600; heap_superpages = true };
     ]
 
@@ -117,6 +119,11 @@ let all_workloads =
     ("tick_watch", Workloads.tick_watch ~ticks:1L);
     ("net_ping", Workloads.net_ping ~message:"x");
     ("net_echo", Workloads.net_echo ~frames:1);
+    ("vnet_client",
+      Workloads.vnet_client ~my_mac:0x10L ~lb_mac:0x20L ~peers:3 ~requests:8
+        ~batch:4 ~gap:10);
+    ("vnet_lb", Workloads.vnet_lb ~my_mac:0x20L ~backends:[ 0x31L; 0x32L ]);
+    ("vnet_backend", Workloads.vnet_backend ~my_mac:0x31L ~service:50);
   ]
 
 let test_workloads_assemble_and_decode () =
@@ -140,7 +147,7 @@ let test_workloads_end_in_exit_or_loop () =
     (fun (name, img) ->
       let words = Bytes.length img.Asm.code / 8 in
       let last = Instr.decode (Bytes.get_int64_le img.Asm.code ((words - 1) * 8)) in
-      if name <> "dirty_loop" then
+      if not (List.mem name [ "dirty_loop"; "vnet_lb"; "vnet_backend" ]) then
         checkb (name ^ " ends with ecall") true (last = Some Instr.Ecall))
     all_workloads
 

@@ -787,6 +787,176 @@ let test_live_snapshot_clone () =
      > 0);
   Snapshot.release_live snap
 
+(* --- virtio-net fabric: client -> load balancer -> backends --- *)
+
+let vnet_mac i = Int64.of_int (0x10 + i)
+
+(* Ports: 0 = client, 1 = LB, 2.. = backends. *)
+let build_vnet_fleet ?(requests = 8) ?(batch = 4) ?(backends = 2) hyp =
+  let client_setup =
+    Images.plan ~heap_pages:2 ~vnet:true
+      ~user:
+        (Workloads.vnet_client ~my_mac:(vnet_mac 0) ~lb_mac:(vnet_mac 1)
+           ~peers:(1 + backends) ~requests ~batch ~gap:400)
+      ()
+  in
+  let lb_setup =
+    Images.plan ~heap_pages:2 ~vnet:true
+      ~user:
+        (Workloads.vnet_lb ~my_mac:(vnet_mac 1)
+           ~backends:(List.init backends (fun i -> vnet_mac (2 + i))))
+      ()
+  in
+  let backend_setup i =
+    Images.plan ~heap_pages:2 ~vnet:true
+      ~user:(Workloads.vnet_backend ~my_mac:(vnet_mac (2 + i)) ~service:100)
+      ()
+  in
+  let setups =
+    [ ("client", client_setup); ("lb", lb_setup) ]
+    @ List.init backends (fun i -> (Printf.sprintf "backend%d" i, backend_setup i))
+  in
+  let ports =
+    Array.init (List.length setups) (fun _ ->
+        Link.create ~bytes_per_cycle:1.0 ~latency_cycles:200 ())
+  in
+  let sw = Switch.create ports in
+  (* static MAC entries: guests also announce dynamically, but on a
+     time-shared pcpu the client's first batch can beat the backends'
+     boot announces to the switch and die as unknown unicast *)
+  Array.iteri (fun i _ -> Switch.learn sw ~mac:(vnet_mac i) ~port:i) ports;
+  Hypervisor.add_ticker hyp (Switch.tick sw);
+  Hypervisor.add_event_source hyp (fun () -> Switch.next_event sw);
+  let vms =
+    List.mapi
+      (fun i (name, setup) ->
+        let vm =
+          Hypervisor.create_vm hyp ~name ~mem_frames:setup.Images.frames
+            ~entry:Images.entry ()
+        in
+        ignore (Vm.attach_vnet vm ~link:ports.(i) ~endpoint:`A);
+        Images.load_vm vm setup;
+        vm)
+      setups
+  in
+  (sw, ports, vms)
+
+(* Every frame anywhere must land in a named counter: what the adapters
+   put on the wire, minus wire losses, plus duplicates and floods, is
+   what the adapters got back plus every drop the switch and adapters
+   admit to.  [conserved] folds the same identity per layer. *)
+let check_vnet_conservation sw ports vms =
+  checkb "switch conserved" true (Switch.conserved sw);
+  let vnets =
+    List.filter_map (fun vm -> vm.Vm.vnet) vms
+  in
+  let sent = List.fold_left (fun a v -> a + Virtio_net.frames_sent v) 0 vnets in
+  let received =
+    List.fold_left (fun a v -> a + Virtio_net.frames_received v) 0 vnets
+  in
+  let rx_lost =
+    List.fold_left
+      (fun a v -> a + Virtio_net.rx_dropped v + Virtio_net.rx_overflow v)
+      0 vnets
+  in
+  let backlog =
+    List.fold_left (fun a v -> a + Virtio_net.backlog_length v) 0 vnets
+  in
+  let wire_dropped =
+    Array.fold_left (fun a l -> a + Link.wire_dropped l) 0 ports
+  in
+  let wire_dup =
+    Array.fold_left (fun a l -> a + Link.wire_duplicated l) 0 ports
+  in
+  let in_flight = Array.fold_left (fun a l -> a + Link.in_flight l) 0 ports in
+  Alcotest.(check int) "frame conservation"
+    (sent + wire_dup + Switch.flood_extra sw)
+    (received + rx_lost + Switch.drops sw + wire_dropped + in_flight + backlog)
+
+let test_vnet_fabric () =
+  let host = Host.create ~frames:8192 () in
+  let hyp = Hypervisor.create ~host () in
+  let requests = 8 in
+  let sw, ports, vms = build_vnet_fleet ~requests ~batch:4 hyp in
+  ignore (Hypervisor.run hyp ~budget:60_000_000L);
+  let client = List.hd vms in
+  checkb "client halted" true (Vm.halted client);
+  let cn = Option.get client.Vm.vnet in
+  (* announce + requests out; every reply plus the three broadcast
+     announces from the other guests comes back *)
+  Alcotest.(check int) "client sent" (requests + 1) (Virtio_net.frames_sent cn);
+  Alcotest.(check int) "client got every reply"
+    (requests + Array.length ports - 1)
+    (Virtio_net.frames_received cn);
+  (* doorbell coalescing: 1 announce kick + 1 per batch of 4 *)
+  checkb "tx kicks coalesced" true (Virtio_net.kicks cn <= 1 + (requests / 4) + 1);
+  (* the LB spread the load *)
+  List.iteri
+    (fun i vm ->
+      if i >= 2 then
+        checkb
+          (Printf.sprintf "backend %d served" (i - 2))
+          true
+          (Virtio_net.frames_received (Option.get vm.Vm.vnet) >= requests / 4))
+    vms;
+  check_vnet_conservation sw ports vms
+
+(* A backend migrates to another host mid-benchmark: its port link and
+   the switch are shared infrastructure, so the twin re-attaches a fresh
+   virtio-net at the same link endpoint, re-programs the rings from the
+   static ABI layout (the ring pages travelled with guest memory), and
+   inherits the undelivered backlog.  The switch's clock is monotonic,
+   so both hypervisors may tick it. *)
+let test_vnet_migration () =
+  let host_a = Host.create ~frames:8192 () in
+  let src = Hypervisor.create ~host:host_a () in
+  let requests = 24 in
+  let sw, ports, vms = build_vnet_fleet ~requests ~batch:4 src in
+  let client = List.hd vms in
+  let backend = List.nth vms 3 in
+  (* run in small slices until the request stream is mid-flight *)
+  let cn = Option.get client.Vm.vnet in
+  let spins = ref 0 in
+  while Virtio_net.frames_sent cn < 6 && !spins < 100 do
+    ignore (Hypervisor.run src ~budget:200_000L);
+    incr spins
+  done;
+  checkb "benchmark still running" true (not (Vm.halted client));
+  let host_b = Host.create ~frames:8192 () in
+  let dst = Hypervisor.create ~host:host_b () in
+  Hypervisor.add_ticker dst (Switch.tick sw);
+  Hypervisor.add_event_source dst (fun () -> Switch.next_event sw);
+  let old_vnet = Option.get backend.Vm.vnet in
+  let mig_link = Link.create () in
+  let twin, result = Migrate.stop_and_copy ~src ~dst ~vm:backend ~link:mig_link () in
+  let backlog = Virtio_net.drain_backlog old_vnet in
+  let v = Vm.attach_vnet twin ~link:ports.(3) ~endpoint:`A in
+  Virtio_net.configure v ~tx_base:Abi.vnet_tx_ring ~tx_size:Abi.vnet_ring_size
+    ~rx_base:Abi.vnet_rx_ring ~rx_size:Abi.vnet_ring_size;
+  Virtio_net.seed_backlog v backlog;
+  checkb "pages were sent" true (result.Migrate.pages_sent > 0);
+  (* drive both hosts in alternating slices until the client finishes *)
+  let slices = ref 0 in
+  while (not (Vm.halted client)) && !slices < 60 do
+    ignore (Hypervisor.run src ~budget:1_000_000L);
+    ignore (Hypervisor.run dst ~budget:1_000_000L);
+    incr slices
+  done;
+  checkb "client halted after migration" true (Vm.halted client);
+  (* the client's bounded final drain can give up while the last replies
+     are still crossing the fabric; its RX buffers stay posted, so a few
+     more slices deliver them (delivery costs the guest zero exits) *)
+  for _ = 1 to 10 do
+    ignore (Hypervisor.run src ~budget:1_000_000L);
+    ignore (Hypervisor.run dst ~budget:1_000_000L)
+  done;
+  Alcotest.(check int) "every reply arrived"
+    (requests + Array.length ports - 1)
+    (Virtio_net.frames_received cn);
+  (* the migrated backend kept serving on the destination *)
+  checkb "twin served requests" true (Virtio_net.frames_sent v > 0);
+  checkb "switch conserved" true (Switch.conserved sw)
+
 let suite =
   [
     ("native hello", `Quick, test_native_hello);
@@ -816,6 +986,8 @@ let suite =
     ("timer vmm shadow", `Quick, test_timer_vmm Vm.Shadow_paging);
     ("timer vmm nested", `Quick, test_timer_vmm Vm.Nested_paging);
     ("net ping-pong", `Quick, test_net_ping_pong);
+    ("vnet fabric lb", `Quick, test_vnet_fabric);
+    ("vnet live migration", `Quick, test_vnet_migration);
     ("smp guest probe", `Quick, test_smp_guest_probe);
     ("smp guest syscalls", `Quick, test_smp_guest_syscalls);
     ("smp kernel native", `Quick, test_smp_guest_native_single_hart);
